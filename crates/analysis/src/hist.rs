@@ -1,0 +1,225 @@
+//! Fixed-bin histograms for request power/energy distributions (Fig. 6/7).
+
+use std::fmt;
+
+/// A histogram over a fixed range with uniformly sized bins.
+///
+/// Values below the range clamp into the first bin and values above clamp
+/// into the last bin, so the total count always equals the number of
+/// observations — matching how the paper's distribution plots bound their
+/// axes.
+///
+/// # Example
+///
+/// ```
+/// use analysis::hist::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [1.0, 1.5, 9.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_counts()[0], 2);
+/// assert_eq!(h.bin_counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if `lo >= hi`, or if either bound is not
+    /// finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0, sum: 0.0 }
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded observations (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// Raw per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `(low, high)` edges of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bin_edges(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+    }
+
+    /// Per-bin probability density (count / total / bin-width); all zeros if
+    /// no observations were recorded.
+    pub fn density(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64 / width)
+            .collect()
+    }
+
+    /// Index of the fullest bin (`None` if empty).
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+
+    /// Renders a simple ASCII bar chart, one bin per line — used by the
+    /// figure binaries to print paper-style distribution plots.
+    pub fn ascii_plot(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:7.2},{hi:7.2}) |{bar}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram[{:.2},{:.2}) n={} bins={}",
+            self.lo,
+            self.hi,
+            self.total,
+            self.counts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.0);
+        h.record(9.99);
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(99.0);
+        h.record(1.0); // exactly hi clamps to last bin
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[3], 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn mean_tracks_observations() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 8.0, 16);
+        for i in 0..1000 {
+            h.record((i % 8) as f64 + 0.5);
+        }
+        let width = 0.5;
+        let integral: f64 = h.density().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(1.5);
+        h.record(1.6);
+        h.record(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn edges_partition_range() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_edges(0), (2.0, 3.0));
+        assert_eq!(h.bin_edges(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn ascii_plot_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 4);
+        h.record(0.1);
+        let plot = h.ascii_plot(20);
+        assert_eq!(plot.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Numerical building blocks for the Power Containers reproduction.
+//!
+//! The paper's facility needs a small amount of numerics, all implemented
+//! here from scratch:
+//!
+//! * [`linreg`] — least-squares linear regression via normal equations and
+//!   partial-pivot Gaussian elimination (used for offline calibration and
+//!   the §3.2 online recalibration).
+//! * [`xcorr`] — the Eq. 4 cross-correlation used to align delayed power
+//!   measurements with model estimates.
+//! * [`hist`] — fixed-bin histograms for the Fig. 6/7 request power and
+//!   energy distributions.
+//! * [`stats`] — summary statistics and the relative-error metric used by
+//!   the Fig. 8/10 validations.
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::linreg::LeastSquares;
+//!
+//! // Fit y = 2 + 3x from noisy-free samples.
+//! let mut ls = LeastSquares::new(2);
+//! for x in 0..10 {
+//!     let x = x as f64;
+//!     ls.add_sample(&[1.0, x], 2.0 + 3.0 * x, 1.0);
+//! }
+//! let beta = ls.solve().unwrap();
+//! assert!((beta[0] - 2.0).abs() < 1e-9);
+//! assert!((beta[1] - 3.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod linreg;
+pub mod stats;
+pub mod xcorr;

@@ -1,0 +1,356 @@
+//! Least-squares linear regression.
+//!
+//! Both the offline model calibration (§4.1) and the online recalibration
+//! (§3.2) of the paper fit the coefficients of a linear power model by
+//! minimizing squared error. We accumulate the normal equations
+//! `XᵀWX β = XᵀWy` incrementally — so online recalibration can stream new
+//! samples in — and solve the small dense system with partial-pivot
+//! Gaussian elimination.
+
+use std::fmt;
+
+/// Error produced when a least-squares system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Fewer (weighted) samples than coefficients were provided.
+    Underdetermined {
+        /// Number of samples accumulated so far.
+        samples: usize,
+        /// Number of coefficients requested.
+        coefficients: usize,
+    },
+    /// The normal-equation matrix is singular (e.g. a feature is constant
+    /// zero or two features are perfectly collinear) and no ridge term was
+    /// configured.
+    Singular,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Underdetermined { samples, coefficients } => write!(
+                f,
+                "underdetermined system: {samples} samples for {coefficients} coefficients"
+            ),
+            SolveError::Singular => write!(f, "singular normal-equation matrix"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Incremental weighted least-squares accumulator.
+///
+/// Samples are `(features, target, weight)` triples. The solver returns the
+/// coefficient vector `β` minimizing `Σ wᵢ (yᵢ − xᵢ·β)²`.
+///
+/// # Example
+///
+/// ```
+/// use analysis::linreg::LeastSquares;
+///
+/// let mut ls = LeastSquares::new(1);
+/// ls.add_sample(&[2.0], 4.0, 1.0);
+/// ls.add_sample(&[3.0], 6.0, 1.0);
+/// assert!((ls.solve().unwrap()[0] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeastSquares {
+    dim: usize,
+    /// Upper-triangular-agnostic dense XᵀWX, row-major `dim × dim`.
+    xtx: Vec<f64>,
+    /// XᵀWy.
+    xty: Vec<f64>,
+    samples: usize,
+    ridge: f64,
+}
+
+impl LeastSquares {
+    /// Creates an accumulator for `dim` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> LeastSquares {
+        assert!(dim > 0, "dimension must be positive");
+        LeastSquares {
+            dim,
+            xtx: vec![0.0; dim * dim],
+            xty: vec![0.0; dim],
+            samples: 0,
+            ridge: 0.0,
+        }
+    }
+
+    /// Creates an accumulator with a ridge (Tikhonov) regularization term
+    /// `lambda`, which keeps the system solvable when some features never
+    /// vary in the calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `lambda < 0`.
+    pub fn with_ridge(dim: usize, lambda: f64) -> LeastSquares {
+        assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+        let mut ls = LeastSquares::new(dim);
+        ls.ridge = lambda;
+        ls
+    }
+
+    /// Number of coefficients being fit.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Adds one weighted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != dim` or `weight < 0`.
+    pub fn add_sample(&mut self, features: &[f64], target: f64, weight: f64) {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        assert!(weight >= 0.0, "weight must be non-negative");
+        for i in 0..self.dim {
+            let wfi = weight * features[i];
+            for j in 0..self.dim {
+                self.xtx[i * self.dim + j] += wfi * features[j];
+            }
+            self.xty[i] += wfi * target;
+        }
+        self.samples += 1;
+    }
+
+    /// Merges the accumulated statistics of `other` into `self`.
+    ///
+    /// The paper's recalibration weighs offline calibration samples and
+    /// online measurement samples equally; this lets the recalibrator keep
+    /// the offline normal equations around and fold fresh online windows in
+    /// without reprocessing the calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge(&mut self, other: &LeastSquares) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in merge");
+        for (a, b) in self.xtx.iter_mut().zip(&other.xtx) {
+            *a += b;
+        }
+        for (a, b) in self.xty.iter_mut().zip(&other.xty) {
+            *a += b;
+        }
+        self.samples += other.samples;
+    }
+
+    /// Solves the normal equations and returns the coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Underdetermined`] when fewer samples than
+    /// coefficients have been added, or [`SolveError::Singular`] when the
+    /// system has no unique solution and no ridge term was configured.
+    pub fn solve(&self) -> Result<Vec<f64>, SolveError> {
+        if self.samples < self.dim && self.ridge == 0.0 {
+            return Err(SolveError::Underdetermined {
+                samples: self.samples,
+                coefficients: self.dim,
+            });
+        }
+        let n = self.dim;
+        let mut a = self.xtx.clone();
+        for i in 0..n {
+            a[i * n + i] += self.ridge;
+        }
+        let mut b = self.xty.clone();
+        solve_dense(&mut a, &mut b, n)?;
+        Ok(b)
+    }
+}
+
+/// Solves `A x = b` in place (result left in `b`) with partial pivoting.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), SolveError> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Find pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let mag = a[row * n + col].abs();
+            if mag > best {
+                best = mag;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(SolveError::Singular);
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * b[k];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+    Ok(())
+}
+
+/// Convenience one-shot fit of `targets ≈ features · β` with unit weights.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from [`LeastSquares::solve`].
+///
+/// # Panics
+///
+/// Panics if `features.len() != targets.len()`, if `features` is empty, or
+/// if rows have inconsistent lengths.
+pub fn fit(features: &[Vec<f64>], targets: &[f64]) -> Result<Vec<f64>, SolveError> {
+    assert_eq!(features.len(), targets.len(), "row count mismatch");
+    assert!(!features.is_empty(), "no samples provided");
+    let dim = features[0].len();
+    let mut ls = LeastSquares::new(dim);
+    for (row, &y) in features.iter().zip(targets) {
+        ls.add_sample(row, y, 1.0);
+    }
+    ls.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = (0..5).map(|i| 1.5 + 0.5 * i as f64).collect();
+        let beta = fit(&xs, &ys).unwrap();
+        assert!((beta[0] - 1.5).abs() < 1e-10);
+        assert!((beta[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multi_feature_fit() {
+        // y = 2a - b + 3c
+        let rows = vec![
+            (vec![1.0, 0.0, 0.0], 2.0),
+            (vec![0.0, 1.0, 0.0], -1.0),
+            (vec![0.0, 0.0, 1.0], 3.0),
+            (vec![1.0, 1.0, 1.0], 4.0),
+            (vec![2.0, 1.0, 0.5], 4.5),
+        ];
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let beta = fit(&xs, &ys).unwrap();
+        for (got, want) in beta.iter().zip([2.0, -1.0, 3.0]) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn weighted_samples_dominate() {
+        let mut ls = LeastSquares::new(1);
+        ls.add_sample(&[1.0], 10.0, 1000.0);
+        ls.add_sample(&[1.0], 0.0, 1.0);
+        ls.add_sample(&[1.0], 0.0, 1.0);
+        let beta = ls.solve().unwrap();
+        assert!(beta[0] > 9.9, "weighted mean should be near 10, got {}", beta[0]);
+    }
+
+    #[test]
+    fn underdetermined_reports_error() {
+        let mut ls = LeastSquares::new(3);
+        ls.add_sample(&[1.0, 2.0, 3.0], 1.0, 1.0);
+        assert!(matches!(
+            ls.solve(),
+            Err(SolveError::Underdetermined { samples: 1, coefficients: 3 })
+        ));
+    }
+
+    #[test]
+    fn singular_reports_error() {
+        let mut ls = LeastSquares::new(2);
+        // Second feature is always zero → singular without ridge.
+        for i in 0..5 {
+            ls.add_sample(&[i as f64, 0.0], i as f64, 1.0);
+        }
+        assert_eq!(ls.solve(), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn ridge_rescues_singular_system() {
+        let mut ls = LeastSquares::with_ridge(2, 1e-6);
+        for i in 0..5 {
+            ls.add_sample(&[i as f64, 0.0], 2.0 * i as f64, 1.0);
+        }
+        let beta = ls.solve().unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-3);
+        assert!(beta[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut all = LeastSquares::new(2);
+        let mut left = LeastSquares::new(2);
+        let mut right = LeastSquares::new(2);
+        for i in 0..10 {
+            let row = [1.0, i as f64];
+            let y = 3.0 + 0.25 * i as f64;
+            all.add_sample(&row, y, 1.0);
+            if i % 2 == 0 {
+                left.add_sample(&row, y, 1.0);
+            } else {
+                right.add_sample(&row, y, 1.0);
+            }
+        }
+        left.merge(&right);
+        let a = all.solve().unwrap();
+        let b = left.solve().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_diagonal() {
+        // First normal-equation pivot would be zero without row exchange.
+        let rows = vec![
+            (vec![0.0, 1.0], 5.0),
+            (vec![1.0, 0.0], 7.0),
+            (vec![1.0, 1.0], 12.0),
+        ];
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let beta = fit(&xs, &ys).unwrap();
+        assert!((beta[0] - 7.0).abs() < 1e-9);
+        assert!((beta[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = SolveError::Underdetermined { samples: 1, coefficients: 2 };
+        assert!(e.to_string().contains("underdetermined"));
+        assert!(SolveError::Singular.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Summary statistics and error metrics.
+//!
+//! The Fig. 8 validation compares aggregate profiled request power against
+//! measured system power with a relative-error metric; Fig. 10 does the same
+//! for predictions. [`relative_error`] implements exactly the paper's
+//! definition. [`Summary`] collects the usual running aggregates used in the
+//! experiment tables.
+
+/// The paper's validation error metric:
+/// `|estimate − reference| / reference`.
+///
+/// Returns `f64::INFINITY` when `reference` is zero but `estimate` is not,
+/// and `0.0` when both are zero.
+///
+/// # Example
+///
+/// ```
+/// use analysis::stats::relative_error;
+///
+/// assert_eq!(relative_error(11.0, 10.0), 0.1);
+/// assert_eq!(relative_error(9.0, 10.0), 0.1);
+/// ```
+pub fn relative_error(estimate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - reference).abs() / reference.abs()
+    }
+}
+
+/// Streaming summary statistics (count, mean, variance via Welford, min,
+/// max, sum).
+///
+/// # Example
+///
+/// ```
+/// use analysis::stats::Summary;
+///
+/// let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0.0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) of a sample set, by linear interpolation on
+/// a sorted copy. Returns `None` for an empty input.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "quantile fraction out of range: {p}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_matches_paper_definition() {
+        assert!((relative_error(29.0, 25.0) - 0.16).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s: Summary = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.sum(), 15.0);
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let mut s = Summary::new();
+        s.record(f64::NAN);
+        s.record(f64::NEG_INFINITY);
+        s.record(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_summary_is_benign() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let all: Summary = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut left: Summary = (0..37).map(|i| (i as f64).sin() * 10.0).collect();
+        let right: Summary = (37..100).map(|i| (i as f64).sin() * 10.0).collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Summary::new();
+        let b: Summary = [4.0, 6.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.mean(), 5.0);
+        let mut c: Summary = [1.0].into_iter().collect();
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Measurement/model alignment cross-correlation (paper Eq. 4).
+//!
+//! Power measurements arrive with an unknown delivery delay (≈1 ms for the
+//! SandyBridge on-chip meter, ≈1.2 s for the Wattsup meter in the paper).
+//! The paper aligns the measurement and model sample sequences by computing
+//! their cross-correlation at a range of hypothetical delays and picking the
+//! delay with the highest correlation.
+
+/// The cross-correlation of a measurement series against a model series at
+/// one hypothetical delay of `lag` samples (Eq. 4).
+///
+/// `measure[i]` is compared against `model[i + lag]`: the measurement is
+/// hypothesized to describe what the model estimated `lag` samples earlier.
+/// Series are expected most-recent-first, matching the paper's notation.
+/// Returns 0.0 when the overlap is empty.
+///
+/// # Example
+///
+/// ```
+/// use analysis::xcorr::cross_correlation;
+///
+/// let model = [1.0, 5.0, 1.0, 1.0];
+/// let measure = [5.0, 1.0, 1.0];
+/// // The spike appears one sample later in the measurement.
+/// assert!(cross_correlation(&measure, &model, 1) > cross_correlation(&measure, &model, 0));
+/// ```
+pub fn cross_correlation(measure: &[f64], model: &[f64], lag: usize) -> f64 {
+    let overlap = measure.len().min(model.len().saturating_sub(lag));
+    (0..overlap).map(|i| measure[i] * model[i + lag]).sum()
+}
+
+/// A normalized (Pearson-style) variant of [`cross_correlation`] that is
+/// robust to differing sample counts per lag: raw Eq. 4 sums grow with the
+/// overlap length, so comparing lags with very different overlaps can be
+/// skewed. Returns a value in `[-1, 1]`, or 0.0 when the overlap is shorter
+/// than two samples or either side is constant.
+pub fn normalized_cross_correlation(measure: &[f64], model: &[f64], lag: usize) -> f64 {
+    let overlap = measure.len().min(model.len().saturating_sub(lag));
+    if overlap < 2 {
+        return 0.0;
+    }
+    let ms = &measure[..overlap];
+    let mm: Vec<f64> = (0..overlap).map(|i| model[i + lag]).collect();
+    let mean_a = ms.iter().sum::<f64>() / overlap as f64;
+    let mean_b = mm.iter().sum::<f64>() / overlap as f64;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..overlap {
+        let da = ms[i] - mean_a;
+        let db = mm[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Result of scanning hypothetical delays for the best alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentPeak {
+    /// The delay (in samples) with the highest correlation.
+    pub lag: usize,
+    /// The correlation score at that delay.
+    pub score: f64,
+}
+
+/// Scans delays `0..=max_lag` and returns the best-correlated one, plus the
+/// full correlation curve (index = lag), using the normalized correlation.
+///
+/// Returns `None` when no lag produced at least two overlapping samples.
+///
+/// # Example
+///
+/// ```
+/// use analysis::xcorr::find_alignment;
+///
+/// let model: Vec<f64> = (0..100).map(|i| ((i % 10) as f64)).collect();
+/// // Measurement sees the same signal 3 samples late.
+/// let measure: Vec<f64> = model[3..].to_vec();
+/// let (peak, _curve) = find_alignment(&measure, &model, 10).unwrap();
+/// assert_eq!(peak.lag, 3);
+/// ```
+pub fn find_alignment(
+    measure: &[f64],
+    model: &[f64],
+    max_lag: usize,
+) -> Option<(AlignmentPeak, Vec<f64>)> {
+    let mut curve = Vec::with_capacity(max_lag + 1);
+    let mut best: Option<AlignmentPeak> = None;
+    for lag in 0..=max_lag {
+        let score = normalized_cross_correlation(measure, model, lag);
+        curve.push(score);
+        let overlap = measure.len().min(model.len().saturating_sub(lag));
+        if overlap >= 2 {
+            match best {
+                Some(b) if b.score >= score => {}
+                _ => best = Some(AlignmentPeak { lag, score }),
+            }
+        }
+    }
+    best.map(|b| (b, curve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sawtooth(n: usize, period: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % period) as f64).collect()
+    }
+
+    #[test]
+    fn zero_lag_identity() {
+        let s = sawtooth(50, 7);
+        let c = normalized_cross_correlation(&s, &s, 0);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_known_lag() {
+        let model = sawtooth(200, 13);
+        for true_lag in [0usize, 1, 5, 12] {
+            let measure: Vec<f64> = model[true_lag..].to_vec();
+            let (peak, _) = find_alignment(&measure, &model, 20).unwrap();
+            assert_eq!(peak.lag, true_lag, "failed for lag {true_lag}");
+        }
+    }
+
+    #[test]
+    fn detects_lag_with_noise() {
+        let mut rng = 0x12345u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % 1000) as f64 / 1000.0 - 0.5
+        };
+        let model: Vec<f64> = (0..500).map(|i| ((i / 20) % 2) as f64 * 10.0 + next()).collect();
+        let measure: Vec<f64> = model[7..].iter().map(|v| v + next() * 0.3).collect();
+        let (peak, _) = find_alignment(&measure, &model, 40).unwrap();
+        assert_eq!(peak.lag, 7);
+    }
+
+    #[test]
+    fn raw_correlation_empty_overlap_is_zero() {
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        assert_eq!(cross_correlation(&a, &b, 5), 0.0);
+    }
+
+    #[test]
+    fn normalized_constant_series_is_zero() {
+        let a = [2.0; 10];
+        let b = [3.0; 20];
+        assert_eq!(normalized_cross_correlation(&a, &b, 0), 0.0);
+    }
+
+    #[test]
+    fn curve_length_matches_lags() {
+        let model = sawtooth(100, 5);
+        let measure = sawtooth(80, 5);
+        let (_, curve) = find_alignment(&measure, &model, 30).unwrap();
+        assert_eq!(curve.len(), 31);
+    }
+
+    #[test]
+    fn no_alignment_for_tiny_series() {
+        assert!(find_alignment(&[1.0], &[1.0], 5).is_none());
+    }
+
+    #[test]
+    fn anticorrelated_signal_scores_negative() {
+        let model: Vec<f64> = (0..50).map(|i| (i % 2) as f64).collect();
+        let measure: Vec<f64> = model.iter().map(|v| 1.0 - v).collect();
+        let c = normalized_cross_correlation(&measure, &model, 0);
+        assert!(c < -0.9);
+    }
+}

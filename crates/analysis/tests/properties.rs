@@ -1,0 +1,101 @@
+//! Property-based tests for the numerics crate.
+
+use analysis::hist::Histogram;
+use analysis::linreg::LeastSquares;
+use analysis::stats::{quantile, Summary};
+use analysis::xcorr::{find_alignment, normalized_cross_correlation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Least squares recovers random 3-coefficient linear models exactly
+    /// from noise-free samples.
+    #[test]
+    fn linreg_recovers_random_models(
+        c in prop::collection::vec(-100.0f64..100.0, 3),
+        xs in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 8..40),
+    ) {
+        let mut ls = LeastSquares::with_ridge(3, 1e-9);
+        for row in &xs {
+            let y: f64 = row.iter().zip(&c).map(|(x, c)| x * c).sum();
+            ls.add_sample(row, y, 1.0);
+        }
+        if let Ok(beta) = ls.solve() {
+            let fit_ok = xs.iter().all(|row| {
+                let y: f64 = row.iter().zip(&c).map(|(x, c)| x * c).sum();
+                let yhat: f64 = row.iter().zip(&beta).map(|(x, b)| x * b).sum();
+                (y - yhat).abs() < 1e-4 * (1.0 + y.abs())
+            });
+            prop_assert!(fit_ok, "fit does not reproduce training data");
+        }
+    }
+
+    /// Quantiles lie within the sample range and are monotone in p.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        values in prop::collection::vec(-1e6f64..1e6, 1..100),
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let qlo = quantile(&values, lo).unwrap();
+        let qhi = quantile(&values, hi).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(qlo >= min - 1e-9 && qhi <= max + 1e-9);
+        prop_assert!(qlo <= qhi + 1e-9);
+    }
+
+    /// Histograms never lose observations (clamping included).
+    #[test]
+    fn histogram_conserves_count(values in prop::collection::vec(-50.0f64..150.0, 0..500)) {
+        let mut h = Histogram::new(0.0, 100.0, 17);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.bin_counts().iter().sum::<u64>(), values.len() as u64);
+    }
+
+    /// Merging split summaries equals the single-stream summary.
+    #[test]
+    fn summary_merge_associative(
+        values in prop::collection::vec(-1e3f64..1e3, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let all: Summary = values.iter().copied().collect();
+        let mut left: Summary = values[..split].iter().copied().collect();
+        let right: Summary = values[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9 * (1.0 + all.mean().abs()));
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6 * (1.0 + all.variance()));
+    }
+
+    /// Normalized cross-correlation stays within [-1, 1].
+    #[test]
+    fn xcorr_normalized_bounded(
+        a in prop::collection::vec(-100.0f64..100.0, 3..50),
+        b in prop::collection::vec(-100.0f64..100.0, 3..50),
+        lag in 0usize..10,
+    ) {
+        let c = normalized_cross_correlation(&a, &b, lag);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "correlation {c}");
+    }
+
+    /// A self-shifted non-constant signal aligns at its true lag.
+    #[test]
+    fn xcorr_detects_shift(seedvals in prop::collection::vec(0.0f64..100.0, 40..80), lag in 0usize..8) {
+        // Build a signal with real structure by cumulative jitter.
+        let mut model: Vec<f64> = Vec::with_capacity(seedvals.len() * 2);
+        for (i, v) in seedvals.iter().enumerate() {
+            model.push(v + ((i / 5) % 3) as f64 * 40.0);
+            model.push(v * 0.5 + ((i / 7) % 2) as f64 * 60.0);
+        }
+        prop_assume!(model.len() > lag + 20);
+        let measure: Vec<f64> = model[lag..].to_vec();
+        if let Some((peak, _)) = find_alignment(&measure, &model, 10) {
+            prop_assert_eq!(peak.lag, lag);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end figure-harness costs: how long one simulated second of
+//! each experiment workload takes to regenerate. One bench per paper
+//! artifact family:
+//!
+//! * `fig1_power_steps` — the Fig. 1 spinner-step measurement.
+//! * `fig5_workload_second` — one simulated second of an application at
+//!   peak load with full facility accounting (Figs. 5–9 all reduce to
+//!   this inner loop).
+//! * `fig8_validation_second` — the same with the recalibrated approach
+//!   (Fig. 8/10's inner loop).
+//! * `fig14_cluster_second` — one simulated second of the two-machine
+//!   cluster (Fig. 13/14 and Table 1's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::{run_cluster, ClusterConfig, SimpleBalance};
+use hwsim::{ActivityProfile, Machine, MachineSpec};
+use ossim::{Kernel, KernelConfig, Op, ScriptProgram};
+use pc_bench::synthetic_calibration;
+use power_containers::{Approach, ModelKind};
+use simkern::{SimDuration, SimTime};
+use std::hint::black_box;
+use workloads::{run_app, LoadLevel, MachineCalibration, RunConfig, WorkloadKind};
+
+fn quick_calibration() -> MachineCalibration {
+    let set = synthetic_calibration();
+    MachineCalibration {
+        model_core_only: set.fit(ModelKind::CoreEventsOnly).expect("fit"),
+        model_chipshare: set.fit(ModelKind::WithChipShare).expect("fit"),
+        idle_by_meter: [("wattsup", 26.1), ("on-chip", 1.5)].into_iter().collect(),
+        set,
+    }
+}
+
+fn fig1_power_steps(c: &mut Criterion) {
+    c.bench_function("fig1_power_steps", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new(
+                Machine::new(MachineSpec::sandybridge(), 1),
+                KernelConfig::default(),
+            );
+            for _ in 0..2 {
+                kernel.spawn(
+                    Box::new(ScriptProgram::new(vec![Op::Compute {
+                        cycles: 1e15,
+                        profile: ActivityProfile::cpu_spin(),
+                    }])),
+                    None,
+                );
+            }
+            kernel.run_until(SimTime::from_millis(100));
+            black_box(kernel.machine().true_energy_j())
+        })
+    });
+}
+
+fn fig5_workload_second(c: &mut Criterion) {
+    let cal = quick_calibration();
+    c.bench_function("fig5_workload_second", |b| {
+        b.iter(|| {
+            let mut cfg = RunConfig::new(MachineSpec::sandybridge());
+            cfg.duration = SimDuration::from_secs(1);
+            cfg.load = LoadLevel::Peak;
+            let outcome = run_app(WorkloadKind::Solr, &cfg, &cal);
+            black_box(outcome.measured_active_power_w())
+        })
+    });
+}
+
+fn fig8_validation_second(c: &mut Criterion) {
+    let cal = quick_calibration();
+    c.bench_function("fig8_validation_second", |b| {
+        b.iter(|| {
+            let mut cfg = RunConfig::new(MachineSpec::sandybridge());
+            cfg.duration = SimDuration::from_secs(1);
+            cfg.approach = Approach::Recalibrated;
+            cfg.load = LoadLevel::Half;
+            let outcome = run_app(WorkloadKind::Stress, &cfg, &cal);
+            black_box(outcome.validation_error())
+        })
+    });
+}
+
+fn fig14_cluster_second(c: &mut Criterion) {
+    let cals = vec![quick_calibration(), quick_calibration()];
+    c.bench_function("fig14_cluster_second", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::paper_setup();
+            cfg.duration = SimDuration::from_secs(1);
+            let outcome = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+            black_box(outcome.total_energy_rate_w())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_power_steps, fig5_workload_second, fig8_validation_second, fig14_cluster_second
+}
+criterion_main!(benches);

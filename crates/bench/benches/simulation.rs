@@ -1,0 +1,84 @@
+//! Simulation substrate throughput.
+//!
+//! * `machine_advance` — integrating 1 ms of hardware state.
+//! * `kernel_busy_ms` — one millisecond of a fully loaded 4-core kernel
+//!   (context switches, PMU interrupts, meter windows).
+//! * `socket_round_trip` — tagged message delivery through the kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwsim::{ActivityProfile, CoreId, Machine, MachineSpec};
+use ossim::{FnProgram, Kernel, KernelConfig, Op};
+use simkern::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn machine_advance(c: &mut Criterion) {
+    let mut machine = Machine::new(MachineSpec::sandybridge(), 1);
+    for core in 0..4 {
+        machine.set_running(CoreId(core), Some(ActivityProfile::stress()));
+    }
+    let mut t = SimTime::ZERO;
+    c.bench_function("machine_advance_1ms", |b| {
+        b.iter(|| {
+            t += SimDuration::from_millis(1);
+            machine.advance_to(t);
+            black_box(machine.true_energy_j());
+        })
+    });
+}
+
+fn kernel_busy_ms(c: &mut Criterion) {
+    let mut kernel = Kernel::new(
+        Machine::new(MachineSpec::sandybridge(), 1),
+        KernelConfig::default(),
+    );
+    for _ in 0..8 {
+        kernel.spawn(
+            Box::new(FnProgram::new(|_pc| Op::Compute {
+                cycles: 2.0e6,
+                profile: ActivityProfile::cache_heavy(),
+            })),
+            None,
+        );
+    }
+    let mut t = SimTime::ZERO;
+    c.bench_function("kernel_busy_1ms", |b| {
+        b.iter(|| {
+            t += SimDuration::from_millis(1);
+            kernel.run_until(t);
+            black_box(kernel.stats());
+        })
+    });
+}
+
+fn socket_round_trip(c: &mut Criterion) {
+    let mut kernel = Kernel::new(
+        Machine::new(MachineSpec::sandybridge(), 1),
+        KernelConfig::default(),
+    );
+    let (tx, rx) = kernel.new_socket_pair();
+    // Echo server: receive, send back.
+    let mut received = false;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |_pc| {
+            received = !received;
+            if received {
+                Op::Recv { socket: rx }
+            } else {
+                Op::Send { socket: rx, bytes: 64, payload: 0 }
+            }
+        })),
+        None,
+    );
+    let ctx = kernel.alloc_context();
+    c.bench_function("socket_round_trip", |b| {
+        b.iter(|| {
+            kernel.inject_message(tx, 64, Some(ctx), 1);
+            let t = kernel.now() + SimDuration::from_micros(50);
+            kernel.run_until(t);
+            black_box(kernel.buffered_segments(tx));
+        })
+    });
+}
+
+criterion_group!(benches, machine_advance, kernel_busy_ms, socket_round_trip);
+criterion_main!(benches);

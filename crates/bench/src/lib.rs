@@ -1,0 +1,61 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches quantify the costs the paper's §3.5 reports (container
+//! maintenance, recalibration, duty-cycle control) plus the simulation
+//! substrate's own throughput, which bounds how fast the experiment
+//! harness can regenerate figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hwsim::{ActivityProfile, CoreId, Machine, MachineSpec};
+use power_containers::{
+    Approach, CalibrationSample, CalibrationSet, FacilityConfig, MetricVector, ModelKind,
+    PowerContainerFacility, PowerModel,
+};
+
+/// A synthetic calibration set good enough for benchmarking fits.
+pub fn synthetic_calibration() -> CalibrationSet {
+    let mut set = CalibrationSet::new(26.1);
+    for i in 1..=48 {
+        let u = i as f64 / 48.0;
+        let m = MetricVector {
+            core: u,
+            ins: 2.0 * u,
+            float: 0.4 * u,
+            cache: 0.06 * u,
+            mem: 0.03 * u,
+            chipshare: 1.0,
+            disk: 0.0,
+            net: 0.0,
+        };
+        set.push(CalibrationSample { metrics: m, active_watts: 12.0 * u + 5.6 });
+    }
+    set
+}
+
+/// A calibrated chip-share model for the SandyBridge spec.
+pub fn bench_model() -> PowerModel {
+    synthetic_calibration()
+        .fit(ModelKind::WithChipShare)
+        .expect("benchmark calibration fit")
+}
+
+/// A facility + machine pair with core 0 busy, ready for hook-level
+/// benchmarking.
+pub fn facility_fixture() -> (PowerContainerFacility, Machine) {
+    let spec = MachineSpec::sandybridge();
+    let facility = PowerContainerFacility::new(
+        bench_model(),
+        None,
+        &spec,
+        FacilityConfig {
+            approach: Approach::ChipShare,
+            retain_records: false,
+            ..FacilityConfig::default()
+        },
+    );
+    let mut machine = Machine::new(spec, 1);
+    machine.set_running(CoreId(0), Some(ActivityProfile::stress()));
+    (facility, machine)
+}

@@ -1,0 +1,40 @@
+//! Heterogeneous-cluster request distribution (paper §3.4, §4.4).
+//!
+//! A production cluster mixes machine generations; where a request runs
+//! determines how much energy it costs. This crate reproduces the
+//! paper's two-machine study:
+//!
+//! * [`profile`] — per-workload cross-machine energy profiles obtained
+//!   through power containers (Fig. 13);
+//! * [`policy`] — the three dispatch policies compared in Fig. 14 and
+//!   Table 1 (simple balance, machine heterogeneity-aware, workload
+//!   heterogeneity-aware);
+//! * [`sim`] — the lockstep two-kernel cluster simulation with an
+//!   energy- and latency-instrumented dispatcher.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cluster::{run_cluster, ClusterConfig, SimpleBalance};
+//! use hwsim::MachineSpec;
+//! use workloads::calibrate_machine;
+//!
+//! let cfg = ClusterConfig::paper_setup();
+//! let cals: Vec<_> = cfg.nodes.iter().map(|s| calibrate_machine(s, 42)).collect();
+//! let outcome = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+//! println!("total energy rate: {:.1} W", outcome.total_energy_rate_w());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod profile;
+pub mod sim;
+
+pub use policy::{
+    ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
+    WorkloadHeterogeneityAware,
+};
+pub use profile::{energy_affinity, mean_request_energy_j, AffinityRow};
+pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, NodeOutcome};

@@ -1,0 +1,235 @@
+//! Request-distribution policies (paper §4.4).
+//!
+//! Three dispatchers over a two-machine heterogeneous cluster:
+//!
+//! * **Simple load balance** — equal request streams to both machines,
+//!   oblivious to heterogeneity.
+//! * **Machine heterogeneity-aware** — fills the newer, more
+//!   energy-efficient machine to a healthy high utilization (~70%)
+//!   before spilling to the older one; same request mix everywhere.
+//! * **Workload heterogeneity-aware** — additionally uses per-workload
+//!   cross-machine energy profiles (from power containers) to decide
+//!   *which* requests spill: those with high relative energy efficiency
+//!   on the old machine go there; the rest stay on the new machine.
+
+use workloads::WorkloadKind;
+
+/// Dispatcher-visible state of one cluster node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView {
+    /// Estimated outstanding work, in "standard requests" (service time
+    /// over the mix mean) — ≈ busy cores by Little's law.
+    pub outstanding: f64,
+    /// Core count.
+    pub cores: usize,
+}
+
+impl NodeView {
+    /// Outstanding work as a fraction of the node's cores.
+    pub fn load_fraction(&self) -> f64 {
+        self.outstanding / self.cores as f64
+    }
+}
+
+/// An arriving request, as the dispatcher sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalView {
+    /// Which application the request belongs to.
+    pub app: WorkloadKind,
+    /// The app-local request-type label.
+    pub label: u32,
+}
+
+/// A request-distribution policy. Node 0 is the newer/more efficient
+/// machine by convention.
+pub trait DistributionPolicy {
+    /// The policy's display name (matches the paper's terminology).
+    fn name(&self) -> &'static str;
+    /// Chooses the node for one arriving request.
+    fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize;
+}
+
+/// Equal request streams to every node.
+#[derive(Debug, Default)]
+pub struct SimpleBalance {
+    next: usize,
+}
+
+impl SimpleBalance {
+    /// Creates the policy.
+    pub fn new() -> SimpleBalance {
+        SimpleBalance::default()
+    }
+}
+
+impl DistributionPolicy for SimpleBalance {
+    fn name(&self) -> &'static str {
+        "simple load balance"
+    }
+
+    fn choose(&mut self, _req: ArrivalView, nodes: &[NodeView]) -> usize {
+        let n = self.next;
+        self.next = (self.next + 1) % nodes.len();
+        n
+    }
+}
+
+/// Fills node 0 to `threshold` of its cores before using the others.
+#[derive(Debug)]
+pub struct MachineHeterogeneityAware {
+    /// Utilization up to which node 0 absorbs all load.
+    pub threshold: f64,
+    spill: usize,
+}
+
+impl MachineHeterogeneityAware {
+    /// Creates the policy with the paper's "healthy high utilization"
+    /// fill threshold (the in-flight-request proxy undershoots CPU
+    /// utilization because requests also block on I/O, so the threshold
+    /// sits above the ~70% utilization it produces).
+    pub fn new() -> MachineHeterogeneityAware {
+        MachineHeterogeneityAware { threshold: 0.85, spill: 0 }
+    }
+}
+
+impl Default for MachineHeterogeneityAware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistributionPolicy for MachineHeterogeneityAware {
+    fn name(&self) -> &'static str {
+        "machine heterogeneity-aware"
+    }
+
+    fn choose(&mut self, _req: ArrivalView, nodes: &[NodeView]) -> usize {
+        if nodes[0].load_fraction() < self.threshold {
+            return 0;
+        }
+        // Spill round-robin over the remaining nodes.
+        let others = nodes.len() - 1;
+        let n = 1 + self.spill % others;
+        self.spill += 1;
+        n
+    }
+}
+
+/// Like [`MachineHeterogeneityAware`], but spills preferentially the
+/// requests whose cross-machine energy ratio (node 0 energy over node 1
+/// energy) is *highest* — they lose the least by running on the old
+/// machine.
+#[derive(Debug)]
+pub struct WorkloadHeterogeneityAware {
+    /// Fill threshold for node 0.
+    pub threshold: f64,
+    /// Per-app energy ratio (node 0 / node 1), from container profiling.
+    ratios: Vec<(WorkloadKind, f64)>,
+    /// Apps with ratio above this spill first.
+    cutoff: f64,
+}
+
+impl WorkloadHeterogeneityAware {
+    /// Creates the policy from profiled cross-machine energy ratios
+    /// (Fig. 13's values). The cutoff splits apps into "keep on the new
+    /// machine" (low ratio) and "fine to spill" (high ratio) at the
+    /// midpoint of the observed ratios.
+    pub fn new(ratios: Vec<(WorkloadKind, f64)>) -> WorkloadHeterogeneityAware {
+        assert!(!ratios.is_empty(), "need at least one profiled app");
+        let min = ratios.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().map(|r| r.1).fold(0.0, f64::max);
+        WorkloadHeterogeneityAware { threshold: 0.85, ratios, cutoff: (min + max) / 2.0 }
+    }
+
+    fn ratio_of(&self, app: WorkloadKind) -> f64 {
+        self.ratios
+            .iter()
+            .find(|(k, _)| *k == app)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.5)
+    }
+}
+
+impl DistributionPolicy for WorkloadHeterogeneityAware {
+    fn name(&self) -> &'static str {
+        "workload heterogeneity-aware"
+    }
+
+    fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize {
+        let node0_free = nodes[0].load_fraction() < self.threshold;
+        if node0_free {
+            return 0;
+        }
+        let spillable = self.ratio_of(req.app) >= self.cutoff;
+        if spillable {
+            // This request runs nearly as efficiently on the old machine.
+            1
+        } else if nodes[0].load_fraction() < 1.25 {
+            // Strong affinity for node 0: tolerate higher fill there.
+            0
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(load0: f64, load1: f64) -> Vec<NodeView> {
+        vec![
+            NodeView { outstanding: load0 * 4.0, cores: 4 },
+            NodeView { outstanding: load1 * 4.0, cores: 4 },
+        ]
+    }
+
+    fn rsa() -> ArrivalView {
+        ArrivalView { app: WorkloadKind::RsaCrypto, label: 0 }
+    }
+
+    fn gae() -> ArrivalView {
+        ArrivalView { app: WorkloadKind::GaeVosao, label: 0 }
+    }
+
+    #[test]
+    fn simple_balance_alternates() {
+        let mut p = SimpleBalance::new();
+        let n = nodes(0.0, 0.0);
+        assert_eq!(p.choose(rsa(), &n), 0);
+        assert_eq!(p.choose(rsa(), &n), 1);
+        assert_eq!(p.choose(rsa(), &n), 0);
+    }
+
+    #[test]
+    fn machine_aware_fills_node0_first() {
+        let mut p = MachineHeterogeneityAware::new();
+        assert_eq!(p.choose(rsa(), &nodes(0.3, 0.0)), 0);
+        assert_eq!(p.choose(rsa(), &nodes(0.9, 0.0)), 1);
+    }
+
+    #[test]
+    fn workload_aware_spills_high_ratio_apps() {
+        let mut p = WorkloadHeterogeneityAware::new(vec![
+            (WorkloadKind::RsaCrypto, 0.25),
+            (WorkloadKind::GaeVosao, 0.75),
+        ]);
+        let full0 = nodes(0.9, 0.2);
+        // GAE (high ratio) spills to the old machine...
+        assert_eq!(p.choose(gae(), &full0), 1);
+        // ...RSA (strong node-0 affinity) stays while node 0 has any room.
+        assert_eq!(p.choose(rsa(), &full0), 0);
+        // Under the threshold everyone goes to node 0.
+        assert_eq!(p.choose(gae(), &nodes(0.3, 0.0)), 0);
+        // Node 0 completely saturated: even RSA spills.
+        assert_eq!(p.choose(rsa(), &nodes(1.3, 0.2)), 1);
+    }
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert!(SimpleBalance::new().name().contains("balance"));
+        assert!(MachineHeterogeneityAware::new().name().contains("machine"));
+        let w = WorkloadHeterogeneityAware::new(vec![(WorkloadKind::RsaCrypto, 0.2)]);
+        assert!(w.name().contains("workload"));
+    }
+}

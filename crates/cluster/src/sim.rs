@@ -1,0 +1,325 @@
+//! The two-machine cluster simulation (paper §4.4).
+//!
+//! Each node is a full machine + kernel + facility running the worker
+//! pools of every application; a dispatcher advances the nodes in
+//! lockstep, generates a Poisson arrival stream mixing the applications
+//! 50/50 by load, and routes each request according to the configured
+//! [`DistributionPolicy`]. Request contexts propagate across the machine
+//! boundary in the message tag, as in §3.4.
+
+use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
+use analysis::stats::Summary;
+use hwsim::{Machine, MachineSpec};
+use ossim::{ContextId, Kernel, KernelConfig, SocketId};
+use power_containers::{Approach, FacilityConfig, FacilityState, PowerContainerFacility};
+use simkern::{SimDuration, SimRng, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use workloads::{AppEnv, MachineCalibration, RunStats, ServerApp, WorkloadKind};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node machine specs; node 0 should be the newest machine.
+    pub nodes: Vec<MachineSpec>,
+    /// Applications in the combined workload (equal load shares).
+    pub apps: Vec<WorkloadKind>,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker-pool size per core per app.
+    pub workers_per_core: usize,
+    /// Offered volume as a fraction of the maximum the *simple balance*
+    /// policy can support (the paper's experiment runs at that maximum).
+    pub volume: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's setup: SandyBridge + Woodcrest, GAE-Vosao + RSA-crypto
+    /// at the simple-balance maximum volume.
+    pub fn paper_setup() -> ClusterConfig {
+        ClusterConfig {
+            nodes: vec![MachineSpec::sandybridge(), MachineSpec::woodcrest()],
+            apps: vec![WorkloadKind::GaeVosao, WorkloadKind::RsaCrypto],
+            duration: SimDuration::from_secs(10),
+            seed: 42,
+            workers_per_core: 4,
+            volume: 1.0,
+        }
+    }
+}
+
+struct Node {
+    kernel: Kernel,
+    facility: Rc<RefCell<FacilityState>>,
+    stats: Rc<RefCell<RunStats>>,
+    /// Per-app worker inboxes, with a round-robin cursor each.
+    inboxes: Vec<(Vec<SocketId>, usize)>,
+    /// Expected service seconds of each outstanding request.
+    outstanding: HashMap<ContextId, f64>,
+    outstanding_std: f64,
+    /// Mean service seconds across the offered mix on this node.
+    mean_service: f64,
+    completions_seen: usize,
+}
+
+impl Node {
+    fn view(&self) -> NodeView {
+        NodeView {
+            outstanding: self.outstanding_std,
+            cores: self.kernel.machine().spec().total_cores(),
+        }
+    }
+
+    /// Folds newly finished requests into the outstanding estimate.
+    fn settle_completions(&mut self) {
+        let stats = self.stats.borrow();
+        let completions = stats.completions();
+        for c in &completions[self.completions_seen..] {
+            if let Some(secs) = self.outstanding.remove(&c.ctx) {
+                self.outstanding_std -= secs / self.mean_service;
+            }
+        }
+        self.completions_seen = completions.len();
+    }
+}
+
+/// Per-node results of a cluster run.
+#[derive(Debug, Clone)]
+pub struct NodeOutcome {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Active energy drawn over the run, Joules.
+    pub active_energy_j: f64,
+    /// Active energy usage rate, Watts (the paper's Fig. 14 metric).
+    pub energy_rate_w: f64,
+    /// Requests completed on this node.
+    pub completions: usize,
+    /// Mean utilization over the run.
+    pub utilization: f64,
+}
+
+/// Results of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// The policy that produced this outcome.
+    pub policy: &'static str,
+    /// Per-node breakdown (same order as the config).
+    pub per_node: Vec<NodeOutcome>,
+    /// Response-time summary per application, seconds.
+    pub response_by_app: Vec<(WorkloadKind, Summary)>,
+    /// Per-application attributed energy, Joules — the dispatcher's
+    /// comprehensive accounting assembled from the per-request statistics
+    /// that ride response messages across the machine boundary (§3.4).
+    pub energy_by_app_j: Vec<(WorkloadKind, f64)>,
+    /// Requests dispatched.
+    pub dispatched: u64,
+    /// Requests completed cluster-wide.
+    pub completed: usize,
+}
+
+impl ClusterOutcome {
+    /// Combined active energy usage rate across nodes, Watts.
+    pub fn total_energy_rate_w(&self) -> f64 {
+        self.per_node.iter().map(|n| n.energy_rate_w).sum()
+    }
+}
+
+/// Service seconds of one request of `app`/`label` on `spec`.
+fn service_secs(app: &dyn ServerApp, spec: &MachineSpec) -> f64 {
+    let scale = spec.work_scale(&app.representative_profile());
+    app.mean_request_cycles() * scale / (spec.freq_ghz * 1e9)
+}
+
+/// The per-app arrival rate giving a 50/50 cycle split at the maximum
+/// volume the simple-balance policy sustains (its constrained node is
+/// the slowest one receiving half of each stream).
+fn per_app_rate(cfg: &ClusterConfig) -> f64 {
+    let apps: Vec<Box<dyn ServerApp>> = cfg.apps.iter().map(|k| k.app()).collect();
+    // For each node: utilization per unit of per-app rate when it
+    // receives 1/nodes of every stream.
+    let share = 1.0 / cfg.nodes.len() as f64;
+    let mut worst = 0.0_f64;
+    for spec in &cfg.nodes {
+        let cores = spec.total_cores() as f64;
+        let util_per_rate: f64 = apps
+            .iter()
+            .map(|a| share * service_secs(a.as_ref(), spec) / cores)
+            .sum();
+        worst = worst.max(util_per_rate);
+    }
+    // Target ~88% utilization on the constrained node at volume 1.0.
+    0.88 * cfg.volume / worst
+}
+
+/// Runs the cluster under `policy`.
+///
+/// `cals` supplies per-node calibrations (same order as
+/// `cfg.nodes`).
+pub fn run_cluster(
+    policy: &mut dyn DistributionPolicy,
+    cfg: &ClusterConfig,
+    cals: &[MachineCalibration],
+) -> ClusterOutcome {
+    assert_eq!(cals.len(), cfg.nodes.len(), "one calibration per node");
+    let apps: Vec<Box<dyn ServerApp>> = cfg.apps.iter().map(|k| k.app()).collect();
+    let mut nodes: Vec<Node> = Vec::new();
+    for (n, spec) in cfg.nodes.iter().enumerate() {
+        let facility = PowerContainerFacility::new(
+            cals[n].model_for(Approach::ChipShare),
+            None,
+            spec,
+            FacilityConfig {
+                approach: Approach::ChipShare,
+                // Records feed the §3.4 response tagging: each completed
+                // request's cumulative energy flows back to the
+                // dispatcher for comprehensive accounting.
+                retain_records: true,
+                ..FacilityConfig::default()
+            },
+        );
+        let state = facility.state();
+        let mut kernel = Kernel::new(
+            Machine::new(spec.clone(), cfg.seed.wrapping_add(n as u64)),
+            KernelConfig::default(),
+        );
+        kernel.install_hooks(Box::new(facility));
+        let stats = Rc::new(RefCell::new(RunStats::new()));
+        let mut inboxes = Vec::new();
+        for app in &apps {
+            let env = AppEnv {
+                stats: Rc::clone(&stats),
+                workers: cfg.workers_per_core * spec.total_cores(),
+                spec: spec.clone(),
+                seed: cfg.seed.wrapping_add(1000 + n as u64),
+                notify: None,
+            };
+            inboxes.push((app.setup(&mut kernel, &env), 0usize));
+        }
+        let mean_service = apps
+            .iter()
+            .map(|a| service_secs(a.as_ref(), spec))
+            .sum::<f64>()
+            / apps.len() as f64;
+        nodes.push(Node {
+            kernel,
+            facility: state,
+            stats,
+            inboxes,
+            outstanding: HashMap::new(),
+            outstanding_std: 0.0,
+            mean_service,
+            completions_seen: 0,
+        });
+    }
+
+    let rate = per_app_rate(cfg);
+    let mut rng = SimRng::new(cfg.seed).split(0xC1A5);
+    let end = SimTime::ZERO + cfg.duration;
+    let mut next_ctx = 1u64;
+    let mut dispatched = 0u64;
+    let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
+    // Independent Poisson streams per app, merged.
+    let mut next_arrival: Vec<SimTime> = (0..apps.len())
+        .map(|_| SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(1.0 / rate)))
+        .collect();
+
+    loop {
+        let (app_idx, &t) = next_arrival
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("apps nonempty");
+        if t >= end {
+            break;
+        }
+        next_arrival[app_idx] = t + SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
+        for node in &mut nodes {
+            node.kernel.run_until(t);
+            node.settle_completions();
+        }
+        let label = apps[app_idx].pick_label(&mut rng);
+        let views: Vec<NodeView> = nodes.iter().map(Node::view).collect();
+        let chosen = policy.choose(
+            ArrivalView { app: cfg.apps[app_idx], label },
+            &views,
+        );
+        let node = &mut nodes[chosen];
+        let ctx = ContextId(next_ctx);
+        next_ctx += 1;
+        dispatched += 1;
+        ctx_app.insert(ctx, app_idx);
+        node.stats.borrow_mut().record_arrival(ctx, label, t);
+        node.facility
+            .borrow_mut()
+            .containers_mut()
+            .set_label(ctx, label, t);
+        let spec = node.kernel.machine().spec().clone();
+        let secs = service_secs(apps[app_idx].as_ref(), &spec);
+        node.outstanding.insert(ctx, secs);
+        node.outstanding_std += secs / node.mean_service;
+        let (inbox_list, cursor) = &mut node.inboxes[app_idx];
+        let inbox = inbox_list[*cursor % inbox_list.len()];
+        *cursor += 1;
+        node.kernel.inject_message(inbox, 512, Some(ctx), label as u64);
+    }
+    for node in &mut nodes {
+        node.kernel.run_until(end);
+        node.settle_completions();
+    }
+
+    let secs = cfg.duration.as_secs_f64();
+    let per_node: Vec<NodeOutcome> = nodes
+        .iter()
+        .map(|n| {
+            let m = n.kernel.machine();
+            let cores = m.spec().total_cores();
+            let util = (0..cores)
+                .map(|c| m.counters(hwsim::CoreId(c)).core_utilization())
+                .sum::<f64>()
+                / cores as f64;
+            NodeOutcome {
+                machine: m.spec().name,
+                active_energy_j: m.true_active_energy_j(),
+                energy_rate_w: m.true_active_energy_j() / secs,
+                completions: n.stats.borrow().completions().len(),
+                utilization: util,
+            }
+        })
+        .collect();
+
+    // Per-app response-time summaries and the comprehensive per-app
+    // energy accounting, resolved through the dispatcher's ctx→app map
+    // (labels are app-local and may collide across apps). The energy per
+    // request is exactly what the §3.4 response-message tag carries back
+    // from the serving machine.
+    let mut summaries: Vec<Summary> = vec![Summary::new(); apps.len()];
+    let mut energies = vec![0.0f64; apps.len()];
+    for node in &nodes {
+        let stats = node.stats.borrow();
+        for c in stats.completions() {
+            if let Some(&app_idx) = ctx_app.get(&c.ctx) {
+                summaries[app_idx].record(c.response_secs());
+            }
+        }
+        let facility = node.facility.borrow();
+        for r in facility.containers().records() {
+            if let Some(&app_idx) = ctx_app.get(&r.ctx) {
+                energies[app_idx] += r.energy_j + r.io_energy_j;
+            }
+        }
+    }
+    let response_by_app = cfg.apps.iter().copied().zip(summaries).collect();
+    let energy_by_app_j = cfg.apps.iter().copied().zip(energies).collect();
+    let completed = per_node.iter().map(|n| n.completions).sum();
+    ClusterOutcome {
+        policy: policy.name(),
+        per_node,
+        response_by_app,
+        energy_by_app_j,
+        dispatched,
+        completed,
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the heterogeneous-cluster simulation.
+
+use cluster::{
+    run_cluster, ClusterConfig, DistributionPolicy, MachineHeterogeneityAware, SimpleBalance,
+    WorkloadHeterogeneityAware,
+};
+use simkern::SimDuration;
+use workloads::{calibrate_machine, MachineCalibration, WorkloadKind};
+
+fn quick_config() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_setup();
+    cfg.duration = SimDuration::from_secs(4);
+    cfg
+}
+
+fn calibrations(cfg: &ClusterConfig) -> Vec<MachineCalibration> {
+    cfg.nodes.iter().map(|s| calibrate_machine(s, 42)).collect()
+}
+
+#[test]
+fn simple_balance_spreads_requests_evenly() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let o = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+    assert!(o.completed > 500, "completed {}", o.completed);
+    let (a, b) = (o.per_node[0].completions, o.per_node[1].completions);
+    let ratio = a as f64 / b.max(1) as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "simple balance should split evenly: {a} vs {b}"
+    );
+}
+
+#[test]
+fn machine_aware_prefers_the_new_machine() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let o = run_cluster(&mut MachineHeterogeneityAware::new(), &cfg, &cals);
+    assert!(
+        o.per_node[0].completions > o.per_node[1].completions,
+        "node 0 should serve more: {} vs {}",
+        o.per_node[0].completions,
+        o.per_node[1].completions
+    );
+    assert!(o.per_node[0].utilization > 0.5);
+}
+
+#[test]
+fn workload_aware_beats_the_alternatives_on_energy() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let ratios = vec![
+        (WorkloadKind::GaeVosao, 0.40),
+        (WorkloadKind::RsaCrypto, 0.21),
+    ];
+    let mut policies: Vec<Box<dyn DistributionPolicy>> = vec![
+        Box::new(SimpleBalance::new()),
+        Box::new(MachineHeterogeneityAware::new()),
+        Box::new(WorkloadHeterogeneityAware::new(ratios)),
+    ];
+    let totals: Vec<f64> = policies
+        .iter_mut()
+        .map(|p| run_cluster(p.as_mut(), &cfg, &cals).total_energy_rate_w())
+        .collect();
+    assert!(
+        totals[2] < totals[0] * 0.95,
+        "workload-aware {:.1} W should beat simple balance {:.1} W",
+        totals[2],
+        totals[0]
+    );
+    assert!(
+        totals[2] < totals[1],
+        "workload-aware {:.1} W should beat machine-aware {:.1} W",
+        totals[2],
+        totals[1]
+    );
+}
+
+#[test]
+fn dispatcher_accounts_energy_per_app_via_response_tags() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let o = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+    assert_eq!(o.energy_by_app_j.len(), 2);
+    for (kind, joules) in &o.energy_by_app_j {
+        assert!(*joules > 1.0, "{kind} accounted only {joules} J");
+    }
+    // Comprehensive accounting stays below the machines' total active
+    // energy (background/infrastructure is not request energy).
+    let total_active: f64 = o.per_node.iter().map(|n| n.active_energy_j).sum();
+    let accounted: f64 = o.energy_by_app_j.iter().map(|(_, j)| *j).sum();
+    assert!(
+        accounted < total_active,
+        "accounted {accounted:.1} J vs machine total {total_active:.1} J"
+    );
+    assert!(accounted > total_active * 0.3, "accounting implausibly low");
+}
+
+#[test]
+fn response_times_are_recorded_per_app() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let o = run_cluster(&mut MachineHeterogeneityAware::new(), &cfg, &cals);
+    for (kind, summary) in &o.response_by_app {
+        assert!(summary.count() > 50, "{kind} has too few completions");
+        assert!(summary.mean() > 0.0 && summary.mean() < 1.0, "{kind} mean {}", summary.mean());
+    }
+}
+
+#[test]
+fn overloaded_balance_has_worse_latency_than_aware_policies() {
+    let cfg = quick_config();
+    let cals = calibrations(&cfg);
+    let balanced = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+    let aware = run_cluster(&mut MachineHeterogeneityAware::new(), &cfg, &cals);
+    let mean_of = |o: &cluster::ClusterOutcome| {
+        o.response_by_app
+            .iter()
+            .map(|(_, s)| s.mean())
+            .sum::<f64>()
+            / o.response_by_app.len() as f64
+    };
+    assert!(
+        mean_of(&balanced) > mean_of(&aware),
+        "balance {:.4}s should be slower than aware {:.4}s (Table 1)",
+        mean_of(&balanced),
+        mean_of(&aware)
+    );
+}

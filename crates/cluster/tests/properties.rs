@@ -1,0 +1,120 @@
+//! Property-based tests for the distribution policies.
+
+use cluster::{
+    ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
+    WorkloadHeterogeneityAware,
+};
+use proptest::prelude::*;
+use workloads::WorkloadKind;
+
+fn arb_nodes() -> impl Strategy<Value = Vec<NodeView>> {
+    prop::collection::vec(
+        (0.0f64..20.0, 1usize..16)
+            .prop_map(|(outstanding, cores)| NodeView { outstanding, cores }),
+        2..5,
+    )
+}
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalView> {
+    (prop::sample::select(vec![
+        WorkloadKind::RsaCrypto,
+        WorkloadKind::GaeVosao,
+        WorkloadKind::Solr,
+        WorkloadKind::Stress,
+    ]), 0u32..200)
+        .prop_map(|(app, label)| ArrivalView { app, label })
+}
+
+proptest! {
+    /// Every policy returns a valid node index for any state.
+    #[test]
+    fn policies_choose_valid_nodes(
+        nodes in arb_nodes(),
+        arrivals in prop::collection::vec(arb_arrival(), 1..50),
+    ) {
+        let mut policies: Vec<Box<dyn DistributionPolicy>> = vec![
+            Box::new(SimpleBalance::new()),
+            Box::new(MachineHeterogeneityAware::new()),
+            Box::new(WorkloadHeterogeneityAware::new(vec![
+                (WorkloadKind::RsaCrypto, 0.22),
+                (WorkloadKind::GaeVosao, 0.43),
+            ])),
+        ];
+        for p in &mut policies {
+            for &a in &arrivals {
+                let n = p.choose(a, &nodes);
+                prop_assert!(n < nodes.len(), "{} chose {n} of {}", p.name(), nodes.len());
+            }
+        }
+    }
+
+    /// Simple balance distributes any stream evenly across nodes.
+    #[test]
+    fn simple_balance_is_even(
+        nodes in arb_nodes(),
+        count in 10usize..200,
+    ) {
+        let mut p = SimpleBalance::new();
+        let mut hits = vec![0usize; nodes.len()];
+        for i in 0..count {
+            let a = ArrivalView { app: WorkloadKind::Solr, label: i as u32 };
+            hits[p.choose(a, &nodes)] += 1;
+        }
+        let max = *hits.iter().max().unwrap();
+        let min = *hits.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "uneven split {hits:?}");
+    }
+
+    /// The machine-aware policy never spills while node 0 is below its
+    /// threshold.
+    #[test]
+    fn machine_aware_honours_threshold(
+        load0 in 0.0f64..2.0,
+        load1 in 0.0f64..2.0,
+        label in 0u32..10,
+    ) {
+        let mut p = MachineHeterogeneityAware::new();
+        let nodes = vec![
+            NodeView { outstanding: load0 * 4.0, cores: 4 },
+            NodeView { outstanding: load1 * 4.0, cores: 4 },
+        ];
+        let choice = p.choose(
+            ArrivalView { app: WorkloadKind::RsaCrypto, label },
+            &nodes,
+        );
+        if load0 < p.threshold {
+            prop_assert_eq!(choice, 0);
+        } else {
+            prop_assert_eq!(choice, 1);
+        }
+    }
+
+    /// The workload-aware policy keeps low-ratio apps on node 0 whenever
+    /// node 0 has any tolerance left, and spills high-ratio apps once the
+    /// threshold is crossed.
+    #[test]
+    fn workload_aware_is_affinity_consistent(load0 in 0.0f64..2.0) {
+        let mut p = WorkloadHeterogeneityAware::new(vec![
+            (WorkloadKind::RsaCrypto, 0.2),
+            (WorkloadKind::GaeVosao, 0.8),
+        ]);
+        let nodes = vec![
+            NodeView { outstanding: load0 * 4.0, cores: 4 },
+            NodeView { outstanding: 0.0, cores: 4 },
+        ];
+        let rsa = p.choose(ArrivalView { app: WorkloadKind::RsaCrypto, label: 0 }, &nodes);
+        let gae = p.choose(ArrivalView { app: WorkloadKind::GaeVosao, label: 0 }, &nodes);
+        if load0 < p.threshold {
+            prop_assert_eq!(rsa, 0);
+            prop_assert_eq!(gae, 0);
+        } else {
+            // Above threshold: the spill-friendly app leaves first.
+            prop_assert_eq!(gae, 1);
+            if load0 < 1.25 {
+                prop_assert_eq!(rsa, 0, "RSA should cling to node 0 at load {}", load0);
+            } else {
+                prop_assert_eq!(rsa, 1);
+            }
+        }
+    }
+}

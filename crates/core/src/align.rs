@@ -1,0 +1,253 @@
+//! Aligning delayed power measurements with model estimates (paper §3.2).
+//!
+//! Meter readings arrive with an unknown lag (reporting delay plus data
+//! I/O latency). The facility knows only each reading's *arrival time*;
+//! to use readings for recalibration it must discover which model interval
+//! each one describes. Following the paper, we scan hypothetical delays,
+//! correlate the measurement series against the model-estimate series at
+//! each, and pick the delay with the highest cross-correlation (Eq. 4) —
+//! a poorly calibrated model still tracks power *transitions* well, which
+//! is all alignment needs.
+
+use crate::trace::TraceRing;
+use analysis::stats::Summary;
+use simkern::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One meter reading as the facility sees it: arrival instant and value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// When the reading became visible to software.
+    pub arrived_at: SimTime,
+    /// The reported average power in Watts.
+    pub watts: f64,
+}
+
+/// The outcome of a delay scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentResult {
+    /// The best-correlating measurement delay.
+    pub delay: SimDuration,
+    /// Correlation score at the best delay (Pearson-normalized, ≤ 1).
+    pub score: f64,
+    /// The full `(hypothetical delay, correlation)` curve, for Fig. 2.
+    pub curve: Vec<(SimDuration, f64)>,
+}
+
+/// Estimates the measurement delay of one meter by cross-correlating its
+/// recent readings against the model-estimate trace.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::{DelayEstimator, TraceRing, Reading};
+/// use simkern::{SimDuration, SimTime};
+///
+/// let estimator = DelayEstimator::new(
+///     SimDuration::from_millis(1),   // meter window length
+///     SimDuration::from_millis(10),  // max delay scanned
+///     SimDuration::from_millis(1),   // scan step
+///     64,
+/// );
+/// assert_eq!(estimator.max_delay(), SimDuration::from_millis(10));
+/// let _ring: TraceRing<f64> = TraceRing::new(SimDuration::from_millis(1), 128);
+/// let _r = Reading { arrived_at: SimTime::from_millis(2), watts: 30.0 };
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayEstimator {
+    meter_period: SimDuration,
+    max_delay: SimDuration,
+    step: SimDuration,
+    history: VecDeque<Reading>,
+    history_cap: usize,
+}
+
+impl DelayEstimator {
+    /// Creates an estimator for a meter with `meter_period`-long windows,
+    /// scanning delays `0..=max_delay` in increments of `step`, keeping at
+    /// most `history_cap` recent readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `history_cap` is zero.
+    pub fn new(
+        meter_period: SimDuration,
+        max_delay: SimDuration,
+        step: SimDuration,
+        history_cap: usize,
+    ) -> DelayEstimator {
+        assert!(!step.is_zero(), "scan step must be positive");
+        assert!(history_cap > 0, "history capacity must be positive");
+        DelayEstimator {
+            meter_period,
+            max_delay,
+            step,
+            history: VecDeque::new(),
+            history_cap,
+        }
+    }
+
+    /// The largest delay this estimator scans.
+    pub fn max_delay(&self) -> SimDuration {
+        self.max_delay
+    }
+
+    /// Records an arrived reading.
+    pub fn push(&mut self, reading: Reading) {
+        self.history.push_back(reading);
+        if self.history.len() > self.history_cap {
+            self.history.pop_front();
+        }
+    }
+
+    /// Number of readings currently retained.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// `true` when no readings are retained.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The retained readings, oldest first.
+    pub fn readings(&self) -> impl Iterator<Item = &Reading> {
+        self.history.iter()
+    }
+
+    /// Scans hypothetical delays against `model` (a trace of modeled
+    /// machine power) and returns the best alignment. `None` when fewer
+    /// than three readings are available or no delay yields enough
+    /// overlapping model history.
+    pub fn estimate(&self, model: &TraceRing<f64>) -> Option<AlignmentResult> {
+        if self.history.len() < 3 {
+            return None;
+        }
+        let mut curve = Vec::new();
+        let mut best: Option<(SimDuration, f64)> = None;
+        let mut delay = SimDuration::ZERO;
+        while delay <= self.max_delay {
+            if let Some(score) = self.correlation_at(model, delay) {
+                curve.push((delay, score));
+                match best {
+                    Some((_, b)) if b >= score => {}
+                    _ => best = Some((delay, score)),
+                }
+            } else {
+                curve.push((delay, 0.0));
+            }
+            delay += self.step;
+        }
+        best.map(|(delay, score)| AlignmentResult { delay, score, curve })
+    }
+
+    /// Pearson correlation between readings and the model averaged over
+    /// each reading's hypothesized window `[arrival − delay − period,
+    /// arrival − delay)`. `None` when fewer than three readings have model
+    /// coverage or either side is constant.
+    fn correlation_at(&self, model: &TraceRing<f64>, delay: SimDuration) -> Option<f64> {
+        let mut pairs = Vec::with_capacity(self.history.len());
+        for r in &self.history {
+            let end = r.arrived_at - delay;
+            let start = end - self.meter_period;
+            if let Some(avg) = model.mean_over_wall(start, end) {
+                pairs.push((r.watts, avg));
+            }
+        }
+        if pairs.len() < 3 {
+            return None;
+        }
+        let sa: Summary = pairs.iter().map(|p| p.0).collect();
+        let sb: Summary = pairs.iter().map(|p| p.1).collect();
+        let (ma, mb) = (sa.mean(), sb.mean());
+        let mut cov = 0.0;
+        for (a, b) in &pairs {
+            cov += (a - ma) * (b - mb);
+        }
+        cov /= pairs.len() as f64;
+        let denom = sa.std_dev() * sb.std_dev();
+        (denom > 1e-12).then(|| cov / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a model trace with a square-wave power signal and a reading
+    /// stream observing it `true_delay` later.
+    fn scenario(true_delay_ms: u64) -> (TraceRing<f64>, DelayEstimator) {
+        let slot = SimDuration::from_millis(1);
+        let mut model = TraceRing::new(slot, 4096);
+        let mut est = DelayEstimator::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(1),
+            256,
+        );
+        for ms in 0..400u64 {
+            // Square wave with a 25 ms period plus a slow ramp.
+            let w = if (ms / 25) % 2 == 0 { 40.0 } else { 15.0 } + ms as f64 * 0.01;
+            let t = SimTime::from_millis(ms) + SimDuration::from_micros(500);
+            model.add(t, w, SimDuration::from_millis(1));
+            // The meter reports the same window, arriving true_delay later.
+            if ms >= 100 {
+                est.push(Reading {
+                    arrived_at: SimTime::from_millis(ms + 1 + true_delay_ms),
+                    watts: w * 1.02, // calibration error does not hurt alignment
+                });
+            }
+        }
+        (model, est)
+    }
+
+    #[test]
+    fn finds_short_delay() {
+        let (model, est) = scenario(1);
+        let r = est.estimate(&model).expect("alignment");
+        assert_eq!(r.delay, SimDuration::from_millis(1), "score {}", r.score);
+        assert!(r.score > 0.95);
+    }
+
+    #[test]
+    fn finds_long_delay() {
+        let (model, est) = scenario(12);
+        let r = est.estimate(&model).expect("alignment");
+        assert_eq!(r.delay, SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn curve_has_one_point_per_step() {
+        let (model, est) = scenario(3);
+        let r = est.estimate(&model).expect("alignment");
+        assert_eq!(r.curve.len(), 21);
+        // Curve peak is at the returned delay.
+        let peak = r
+            .curve
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak.0, r.delay);
+    }
+
+    #[test]
+    fn too_few_readings_yield_none() {
+        let slot = SimDuration::from_millis(1);
+        let model = TraceRing::new(slot, 64);
+        let mut est = DelayEstimator::new(slot, slot, slot, 8);
+        est.push(Reading { arrived_at: SimTime::from_millis(1), watts: 1.0 });
+        est.push(Reading { arrived_at: SimTime::from_millis(2), watts: 2.0 });
+        assert!(est.estimate(&model).is_none());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let slot = SimDuration::from_millis(1);
+        let mut est = DelayEstimator::new(slot, slot, slot, 4);
+        for i in 0..10 {
+            est.push(Reading { arrived_at: SimTime::from_millis(i), watts: i as f64 });
+        }
+        assert_eq!(est.len(), 4);
+        assert!(!est.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Fair request power conditioning (paper §3.4).
+//!
+//! Instead of throttling the whole machine when power surges, the
+//! facility maintains a per-request power budget and applies CPU
+//! duty-cycle modulation *only* to requests exceeding it: power viruses
+//! slow down, normal requests keep running at (almost) full speed. The
+//! policy exploits the approximately linear relation between duty-cycle
+//! level and active power.
+
+use hwsim::DutyCycle;
+
+/// The fair-conditioning policy configuration.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::ConditioningPolicy;
+///
+/// let policy = ConditioningPolicy::new(40.0);
+/// // Four busy cores → 10 W per-request budget; a 16 W request is cut to
+/// // the duty level that brings it to ~10 W.
+/// let duty = policy.duty_for(16.0, 4, None);
+/// assert_eq!(duty.eighths(), 5); // floor(10/16 * 8) = 5
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConditioningPolicy {
+    /// Target for the whole machine's active power, Watts.
+    pub system_target_w: f64,
+}
+
+impl ConditioningPolicy {
+    /// Creates a policy capping system active power at `system_target_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive.
+    pub fn new(system_target_w: f64) -> ConditioningPolicy {
+        assert!(system_target_w > 0.0, "power target must be positive");
+        ConditioningPolicy { system_target_w }
+    }
+
+    /// The per-request power budget when `busy_cores` cores are in use:
+    /// the system target divided evenly among running requests. With idle
+    /// cores present each running request inherits a larger budget — the
+    /// effect visible in the paper's Fig. 12 (viruses arriving during
+    /// partially idle periods escape throttling).
+    pub fn per_request_budget_w(&self, busy_cores: usize) -> f64 {
+        self.system_target_w / busy_cores.max(1) as f64
+    }
+
+    /// The duty-cycle level for a request whose *unthrottled* power
+    /// estimate is `unthrottled_w`, given `busy_cores` currently busy
+    /// cores and an optional per-request cap overriding the fair share.
+    ///
+    /// Requests within budget run at full speed; others are scaled by the
+    /// linear duty→power relationship, flooring at the hardware minimum.
+    pub fn duty_for(
+        &self,
+        unthrottled_w: f64,
+        busy_cores: usize,
+        explicit_cap_w: Option<f64>,
+    ) -> DutyCycle {
+        let budget = explicit_cap_w.unwrap_or_else(|| self.per_request_budget_w(busy_cores));
+        if unthrottled_w <= budget || unthrottled_w <= 0.0 {
+            DutyCycle::FULL
+        } else {
+            DutyCycle::at_most(budget / unthrottled_w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_runs_full_speed() {
+        let p = ConditioningPolicy::new(40.0);
+        assert_eq!(p.duty_for(9.0, 4, None), DutyCycle::FULL);
+        assert_eq!(p.duty_for(0.0, 4, None), DutyCycle::FULL);
+    }
+
+    #[test]
+    fn over_budget_scales_linearly() {
+        let p = ConditioningPolicy::new(40.0);
+        // 20 W request on a 10 W budget → duty ≤ 1/2 → 4/8.
+        assert_eq!(p.duty_for(20.0, 4, None).eighths(), 4);
+        // 80 W request → 1/8 floor.
+        assert_eq!(p.duty_for(80.0, 4, None), DutyCycle::MIN);
+    }
+
+    #[test]
+    fn idle_cores_raise_the_budget() {
+        let p = ConditioningPolicy::new(40.0);
+        // Only 2 busy cores → 20 W budget: a 16 W virus is not throttled.
+        assert_eq!(p.duty_for(16.0, 2, None), DutyCycle::FULL);
+        // At 4 busy cores the same virus is throttled.
+        assert!(p.duty_for(16.0, 4, None) < DutyCycle::FULL);
+    }
+
+    #[test]
+    fn explicit_cap_overrides_fair_share() {
+        let p = ConditioningPolicy::new(40.0);
+        let duty = p.duty_for(16.0, 4, Some(4.0));
+        assert_eq!(duty.eighths(), 2); // floor(4/16 * 8)
+    }
+
+    #[test]
+    fn zero_busy_cores_does_not_divide_by_zero() {
+        let p = ConditioningPolicy::new(40.0);
+        assert_eq!(p.per_request_budget_w(0), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_target() {
+        let _ = ConditioningPolicy::new(0.0);
+    }
+}

@@ -1,0 +1,562 @@
+//! Power container state and lifecycle (paper §3.3, §3.5).
+//!
+//! A power container accumulates the power-relevant activity of one
+//! request context: event counters, modeled energy, I/O energy, recent
+//! power, and control state. Containers are reference-counted by the
+//! tasks bound to them and their live state is released when the last
+//! task unbinds (the paper's 784-byte structure with a reference
+//! counter); a compact [`ContainerRecord`] can be retained for analysis.
+
+use crate::metrics::MetricVector;
+use hwsim::CounterBlock;
+use ossim::ContextId;
+use simkern::SimTime;
+use std::collections::HashMap;
+
+/// Smoothing factor for the container's recent-power estimate.
+const POWER_EWMA_ALPHA: f64 = 0.5;
+
+/// Live accounting state for one request (or the background principal).
+#[derive(Debug, Clone)]
+pub struct PowerContainer {
+    created_at: SimTime,
+    last_active: SimTime,
+    refcount: u32,
+    label: Option<u32>,
+    /// Cumulative attributed event counts.
+    events: CounterBlock,
+    /// Cumulative modeled CPU/memory energy in Joules.
+    energy_j: f64,
+    /// Cumulative attributed peripheral I/O energy in Joules.
+    io_energy_j: f64,
+    /// Seconds of CPU time attributed (wall time of sampled intervals).
+    busy_seconds: f64,
+    /// Most recent sampled power (EWMA), Watts.
+    recent_power_w: f64,
+    /// Most recent *unthrottled* power estimate (power ÷ duty fraction).
+    unthrottled_power_w: f64,
+    /// Time-weighted duty-cycle fraction actually applied.
+    duty_weighted: f64,
+    /// Explicit per-request power cap, overriding the system policy.
+    power_cap_w: Option<f64>,
+    /// Cumulative-energy budget; exceeding it forces maximum throttling
+    /// (the Cinder-style "energy as a first-class resource" control the
+    /// paper's related work discusses).
+    energy_budget_j: Option<f64>,
+}
+
+impl PowerContainer {
+    fn new(now: SimTime) -> PowerContainer {
+        PowerContainer {
+            created_at: now,
+            last_active: now,
+            refcount: 0,
+            label: None,
+            events: CounterBlock::default(),
+            energy_j: 0.0,
+            io_energy_j: 0.0,
+            busy_seconds: 0.0,
+            recent_power_w: 0.0,
+            unthrottled_power_w: 0.0,
+            duty_weighted: 0.0,
+            power_cap_w: None,
+            energy_budget_j: None,
+        }
+    }
+
+    /// Cumulative modeled CPU/memory energy in Joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Cumulative attributed I/O energy in Joules.
+    pub fn io_energy_j(&self) -> f64 {
+        self.io_energy_j
+    }
+
+    /// Total attributed energy (CPU + I/O).
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy_j + self.io_energy_j
+    }
+
+    /// Seconds of attributed CPU execution.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_seconds
+    }
+
+    /// Most recent sampled power (EWMA-smoothed), Watts.
+    pub fn recent_power_w(&self) -> f64 {
+        self.recent_power_w
+    }
+
+    /// Most recent unthrottled-power estimate, Watts.
+    pub fn unthrottled_power_w(&self) -> f64 {
+        self.unthrottled_power_w
+    }
+
+    /// Mean power while executing: energy over attributed CPU seconds.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.energy_j / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted average duty-cycle fraction applied while executing.
+    pub fn mean_duty(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.duty_weighted / self.busy_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Number of tasks currently bound.
+    pub fn refcount(&self) -> u32 {
+        self.refcount
+    }
+
+    /// The workload-assigned label (request type), if any.
+    pub fn label(&self) -> Option<u32> {
+        self.label
+    }
+
+    /// The per-request power cap, if set.
+    pub fn power_cap_w(&self) -> Option<f64> {
+        self.power_cap_w
+    }
+
+    /// The per-request cumulative-energy budget, if set.
+    pub fn energy_budget_j(&self) -> Option<f64> {
+        self.energy_budget_j
+    }
+
+    /// `true` once the request has consumed its entire energy budget.
+    pub fn over_energy_budget(&self) -> bool {
+        self.energy_budget_j
+            .is_some_and(|b| self.energy_j + self.io_energy_j >= b)
+    }
+
+    /// Cumulative attributed events.
+    pub fn events(&self) -> &CounterBlock {
+        &self.events
+    }
+}
+
+/// Compact retained record of a completed container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerRecord {
+    /// The request context this container tracked.
+    pub ctx: ContextId,
+    /// Workload-assigned request-type label.
+    pub label: Option<u32>,
+    /// Container creation time.
+    pub created_at: SimTime,
+    /// When the last bound task unbound.
+    pub finished_at: SimTime,
+    /// Modeled CPU/memory energy, Joules.
+    pub energy_j: f64,
+    /// Attributed I/O energy, Joules.
+    pub io_energy_j: f64,
+    /// Attributed CPU seconds.
+    pub busy_seconds: f64,
+    /// Mean power while executing, Watts.
+    pub mean_power_w: f64,
+    /// Mean unthrottled power estimate, Watts.
+    pub unthrottled_power_w: f64,
+    /// Time-weighted mean duty fraction applied.
+    pub mean_duty: f64,
+}
+
+/// Owns every live container plus the special background container for
+/// activity with no traceable request context (§4.2's GAE background
+/// processing).
+#[derive(Debug, Clone)]
+pub struct ContainerManager {
+    live: HashMap<ContextId, PowerContainer>,
+    background: PowerContainer,
+    records: Vec<ContainerRecord>,
+    retain_records: bool,
+    total_request_energy_j: f64,
+    total_request_io_energy_j: f64,
+    released: u64,
+}
+
+impl ContainerManager {
+    /// Creates an empty manager. When `retain_records` is set, completed
+    /// containers leave a [`ContainerRecord`] behind for analysis.
+    pub fn new(retain_records: bool) -> ContainerManager {
+        ContainerManager {
+            live: HashMap::new(),
+            background: PowerContainer::new(SimTime::ZERO),
+            records: Vec::new(),
+            retain_records,
+            total_request_energy_j: 0.0,
+            total_request_io_energy_j: 0.0,
+            released: 0,
+        }
+    }
+
+    /// Binds a task to `ctx`, creating the container on first binding.
+    pub fn bind(&mut self, ctx: ContextId, now: SimTime) {
+        let c = self.live.entry(ctx).or_insert_with(|| PowerContainer::new(now));
+        c.refcount += 1;
+    }
+
+    /// Unbinds one task from `ctx`; the container is released (and
+    /// optionally recorded) when the last task unbinds. A no-op for
+    /// unknown contexts.
+    pub fn unbind(&mut self, ctx: ContextId, now: SimTime) {
+        let Some(c) = self.live.get_mut(&ctx) else { return };
+        c.refcount = c.refcount.saturating_sub(1);
+        if c.refcount == 0 {
+            let c = self.live.remove(&ctx).expect("container present");
+            self.released += 1;
+            if self.retain_records {
+                self.records.push(ContainerRecord {
+                    ctx,
+                    label: c.label,
+                    created_at: c.created_at,
+                    finished_at: now,
+                    energy_j: c.energy_j,
+                    io_energy_j: c.io_energy_j,
+                    busy_seconds: c.busy_seconds,
+                    mean_power_w: c.mean_power_w(),
+                    unthrottled_power_w: c.unthrottled_power_w,
+                    mean_duty: c.mean_duty(),
+                });
+            }
+        }
+    }
+
+    /// Attributes one sampled interval to `ctx` (or to the background
+    /// container for `None`): modeled `watts` over `dt_secs` of wall time
+    /// executed at duty fraction `duty`, with the interval's event delta.
+    pub fn attribute(
+        &mut self,
+        ctx: Option<ContextId>,
+        watts: f64,
+        duty: f64,
+        dt_secs: f64,
+        events: &CounterBlock,
+        now: SimTime,
+    ) {
+        if ctx.is_some() {
+            self.total_request_energy_j += watts * dt_secs;
+        }
+        let c = self.container_mut(ctx, now);
+        c.events.accumulate(events);
+        c.energy_j += watts * dt_secs;
+        c.busy_seconds += dt_secs;
+        c.duty_weighted += duty * dt_secs;
+        c.last_active = now;
+        c.recent_power_w =
+            POWER_EWMA_ALPHA * watts + (1.0 - POWER_EWMA_ALPHA) * c.recent_power_w;
+        let unthrottled = if duty > 0.0 { watts / duty } else { watts };
+        c.unthrottled_power_w = POWER_EWMA_ALPHA * unthrottled
+            + (1.0 - POWER_EWMA_ALPHA) * c.unthrottled_power_w;
+    }
+
+    /// Attributes peripheral I/O energy to `ctx` (or the background
+    /// container).
+    pub fn attribute_io(&mut self, ctx: Option<ContextId>, joules: f64, now: SimTime) {
+        if ctx.is_some() {
+            self.total_request_io_energy_j += joules;
+        }
+        let c = self.container_mut(ctx, now);
+        c.io_energy_j += joules;
+        c.last_active = now;
+    }
+
+    fn container_mut(&mut self, ctx: Option<ContextId>, now: SimTime) -> &mut PowerContainer {
+        match ctx {
+            Some(id) => self.live.entry(id).or_insert_with(|| PowerContainer::new(now)),
+            None => &mut self.background,
+        }
+    }
+
+    /// Labels `ctx`'s container with a request type (used by workload
+    /// drivers so experiments can group per-type energy profiles).
+    pub fn set_label(&mut self, ctx: ContextId, label: u32, now: SimTime) {
+        self.container_mut(Some(ctx), now).label = Some(label);
+    }
+
+    /// Sets (or clears) a per-request power cap for `ctx`.
+    pub fn set_power_cap(&mut self, ctx: ContextId, cap_w: Option<f64>, now: SimTime) {
+        self.container_mut(Some(ctx), now).power_cap_w = cap_w;
+    }
+
+    /// Sets (or clears) a per-request cumulative-energy budget for `ctx`.
+    pub fn set_energy_budget(&mut self, ctx: ContextId, budget_j: Option<f64>, now: SimTime) {
+        self.container_mut(Some(ctx), now).energy_budget_j = budget_j;
+    }
+
+    /// The live container for `ctx`, if any.
+    pub fn get(&self, ctx: ContextId) -> Option<&PowerContainer> {
+        self.live.get(&ctx)
+    }
+
+    /// The background container (activity with no request context).
+    pub fn background(&self) -> &PowerContainer {
+        &self.background
+    }
+
+    /// Records of completed containers (empty unless retention is on).
+    pub fn records(&self) -> &[ContainerRecord] {
+        &self.records
+    }
+
+    /// Number of live containers.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of containers released so far.
+    pub fn released_count(&self) -> u64 {
+        self.released
+    }
+
+    /// Total modeled energy attributed to *requests* (live + completed,
+    /// excluding background), Joules.
+    pub fn total_request_energy_j(&self) -> f64 {
+        self.total_request_energy_j
+    }
+
+    /// Total I/O energy attributed to requests, Joules.
+    pub fn total_request_io_energy_j(&self) -> f64 {
+        self.total_request_io_energy_j
+    }
+
+    /// Total modeled energy including the background container, Joules —
+    /// the quantity the Fig. 8 validation compares against measured
+    /// system energy.
+    pub fn total_energy_with_background_j(&self) -> f64 {
+        self.total_request_energy_j + self.background.energy_j
+    }
+
+    /// In-memory size of one live container state in bytes (the paper
+    /// reports 784 bytes for its kernel structure).
+    pub fn container_state_bytes() -> usize {
+        std::mem::size_of::<PowerContainer>()
+    }
+
+    /// Iterates over live containers.
+    pub fn iter_live(&self) -> impl Iterator<Item = (&ContextId, &PowerContainer)> {
+        self.live.iter()
+    }
+
+    /// Rolls completed records up by label — the paper's client-level
+    /// accounting ("fine-grained attribution of energy usage to clients
+    /// and their individual requests"): each label plays the role of one
+    /// client or request class.
+    pub fn energy_by_label(&self) -> Vec<LabelEnergy> {
+        let mut map: HashMap<u32, LabelEnergy> = HashMap::new();
+        for r in &self.records {
+            let Some(label) = r.label else { continue };
+            let e = map.entry(label).or_insert(LabelEnergy {
+                label,
+                requests: 0,
+                energy_j: 0.0,
+                io_energy_j: 0.0,
+                busy_seconds: 0.0,
+            });
+            e.requests += 1;
+            e.energy_j += r.energy_j;
+            e.io_energy_j += r.io_energy_j;
+            e.busy_seconds += r.busy_seconds;
+        }
+        let mut out: Vec<LabelEnergy> = map.into_values().collect();
+        out.sort_by_key(|e| e.label);
+        out
+    }
+}
+
+/// Aggregated energy accounting for one request class / client (label).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelEnergy {
+    /// The label rolled up.
+    pub label: u32,
+    /// Completed requests carrying this label.
+    pub requests: usize,
+    /// Total modeled CPU/memory energy, Joules.
+    pub energy_j: f64,
+    /// Total attributed I/O energy, Joules.
+    pub io_energy_j: f64,
+    /// Total attributed CPU seconds.
+    pub busy_seconds: f64,
+}
+
+impl LabelEnergy {
+    /// Mean total energy per request, Joules.
+    pub fn mean_energy_j(&self) -> f64 {
+        (self.energy_j + self.io_energy_j) / self.requests.max(1) as f64
+    }
+}
+
+/// Convenience: builds the metric vector of a container's lifetime-average
+/// activity (used in tests and diagnostics).
+pub fn lifetime_metrics(c: &PowerContainer) -> MetricVector {
+    MetricVector::from_counters(c.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(dt_cycles: f64) -> CounterBlock {
+        CounterBlock {
+            elapsed_cycles: dt_cycles,
+            nonhalt_cycles: dt_cycles,
+            instructions: dt_cycles * 2.0,
+            ..CounterBlock::default()
+        }
+    }
+
+    #[test]
+    fn bind_unbind_releases_at_zero() {
+        let mut m = ContainerManager::new(true);
+        let ctx = ContextId(1);
+        m.bind(ctx, SimTime::ZERO);
+        m.bind(ctx, SimTime::ZERO);
+        m.unbind(ctx, SimTime::from_millis(1));
+        assert_eq!(m.live_count(), 1, "still one binding");
+        m.unbind(ctx, SimTime::from_millis(2));
+        assert_eq!(m.live_count(), 0);
+        assert_eq!(m.released_count(), 1);
+        assert_eq!(m.records().len(), 1);
+        assert_eq!(m.records()[0].finished_at, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn attribution_accumulates_energy_and_time() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(7);
+        m.bind(ctx, SimTime::ZERO);
+        m.attribute(Some(ctx), 10.0, 1.0, 0.001, &events(1000.0), SimTime::from_millis(1));
+        m.attribute(Some(ctx), 20.0, 1.0, 0.001, &events(1000.0), SimTime::from_millis(2));
+        let c = m.get(ctx).unwrap();
+        assert!((c.energy_j() - 0.030).abs() < 1e-12);
+        assert!((c.busy_seconds() - 0.002).abs() < 1e-15);
+        assert!((c.mean_power_w() - 15.0).abs() < 1e-9);
+        assert_eq!(c.events().instructions, 4000.0);
+    }
+
+    #[test]
+    fn background_catches_untagged_activity() {
+        let mut m = ContainerManager::new(false);
+        m.attribute(None, 5.0, 1.0, 0.002, &events(100.0), SimTime::from_millis(1));
+        assert!((m.background().energy_j() - 0.010).abs() < 1e-12);
+        assert_eq!(m.total_request_energy_j(), 0.0);
+        assert!((m.total_energy_with_background_j() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unthrottled_power_divides_by_duty() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(3);
+        m.bind(ctx, SimTime::ZERO);
+        for _ in 0..20 {
+            m.attribute(Some(ctx), 5.0, 0.5, 0.001, &events(500.0), SimTime::from_millis(1));
+        }
+        let c = m.get(ctx).unwrap();
+        assert!((c.unthrottled_power_w() - 10.0).abs() < 0.1);
+        assert!((c.mean_duty() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_retention_is_optional() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(9);
+        m.bind(ctx, SimTime::ZERO);
+        m.unbind(ctx, SimTime::from_millis(1));
+        assert!(m.records().is_empty());
+        assert_eq!(m.released_count(), 1);
+    }
+
+    #[test]
+    fn energy_budget_trips_when_consumed() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(5);
+        m.bind(ctx, SimTime::ZERO);
+        m.set_energy_budget(ctx, Some(1.0), SimTime::ZERO);
+        assert!(!m.get(ctx).unwrap().over_energy_budget());
+        m.attribute(Some(ctx), 10.0, 1.0, 0.05, &CounterBlock::default(), SimTime::ZERO);
+        assert!(!m.get(ctx).unwrap().over_energy_budget(), "0.5 J of 1 J used");
+        m.attribute_io(Some(ctx), 0.6, SimTime::ZERO);
+        assert!(m.get(ctx).unwrap().over_energy_budget(), "1.1 J of 1 J used");
+    }
+
+    #[test]
+    fn labels_and_caps_survive_into_records() {
+        let mut m = ContainerManager::new(true);
+        let ctx = ContextId(4);
+        m.bind(ctx, SimTime::ZERO);
+        m.set_label(ctx, 42, SimTime::ZERO);
+        m.set_power_cap(ctx, Some(10.0), SimTime::ZERO);
+        assert_eq!(m.get(ctx).unwrap().power_cap_w(), Some(10.0));
+        m.unbind(ctx, SimTime::from_millis(1));
+        assert_eq!(m.records()[0].label, Some(42));
+    }
+
+    #[test]
+    fn unbind_unknown_context_is_noop() {
+        let mut m = ContainerManager::new(true);
+        m.unbind(ContextId(999), SimTime::ZERO);
+        assert_eq!(m.released_count(), 0);
+    }
+
+    #[test]
+    fn energy_totals_track_requests_separately() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(1);
+        m.bind(ctx, SimTime::ZERO);
+        m.attribute(Some(ctx), 10.0, 1.0, 0.1, &events(1.0), SimTime::ZERO);
+        m.attribute(None, 10.0, 1.0, 0.1, &events(1.0), SimTime::ZERO);
+        m.attribute_io(Some(ctx), 0.5, SimTime::ZERO);
+        assert!((m.total_request_energy_j() - 1.0).abs() < 1e-12);
+        assert!((m.total_request_io_energy_j() - 0.5).abs() < 1e-12);
+        assert!((m.total_energy_with_background_j() - 2.0).abs() < 1e-12);
+        // Totals survive container release.
+        m.unbind(ctx, SimTime::ZERO);
+        assert!((m.total_request_energy_j() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn container_state_is_compact() {
+        // The paper's structure is 784 bytes; ours should be of the same
+        // order (well under 1 KiB).
+        assert!(ContainerManager::container_state_bytes() < 1024);
+    }
+
+    #[test]
+    fn energy_by_label_rolls_up_records() {
+        let mut m = ContainerManager::new(true);
+        for (id, label, watts) in [(1u64, 7u32, 10.0), (2, 7, 20.0), (3, 9, 5.0)] {
+            let ctx = ContextId(id);
+            m.bind(ctx, SimTime::ZERO);
+            m.set_label(ctx, label, SimTime::ZERO);
+            m.attribute(Some(ctx), watts, 1.0, 0.1, &CounterBlock::default(), SimTime::ZERO);
+            m.unbind(ctx, SimTime::from_millis(1));
+        }
+        let rollup = m.energy_by_label();
+        assert_eq!(rollup.len(), 2);
+        let seven = rollup.iter().find(|e| e.label == 7).unwrap();
+        assert_eq!(seven.requests, 2);
+        assert!((seven.energy_j - 3.0).abs() < 1e-12);
+        assert!((seven.mean_energy_j() - 1.5).abs() < 1e-12);
+        let nine = rollup.iter().find(|e| e.label == 9).unwrap();
+        assert_eq!(nine.requests, 1);
+        assert!((nine.busy_seconds - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_metrics_reflect_events() {
+        let mut m = ContainerManager::new(false);
+        let ctx = ContextId(2);
+        m.bind(ctx, SimTime::ZERO);
+        m.attribute(Some(ctx), 1.0, 1.0, 0.001, &events(1000.0), SimTime::ZERO);
+        let metrics = lifetime_metrics(m.get(ctx).unwrap());
+        assert!((metrics.ins - 2.0).abs() < 1e-12);
+    }
+}

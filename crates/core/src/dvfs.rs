@@ -1,0 +1,117 @@
+//! A whole-machine DVFS power-capping governor.
+//!
+//! The paper's §3.4 argues that indiscriminate full-machine throttling
+//! "would lead to slowdowns of all running requests regardless of their
+//! power use" and builds per-request duty-cycle conditioning instead.
+//! This module implements that strawman properly — a feedback governor
+//! stepping every chip's DVFS operating point to hold measured power at
+//! a target — so the comparison can be quantified (the `dvfs_capping`
+//! experiment).
+
+use hwsim::{ChipId, FreqScale, Machine};
+
+/// Feedback governor: steps all chips slower while measured active power
+/// exceeds the target, faster when comfortably below it.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::DvfsGovernor;
+///
+/// let g = DvfsGovernor::new(40.0);
+/// assert_eq!(g.target_w(), 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsGovernor {
+    target_w: f64,
+    /// Hysteresis band: step up only below `target · (1 − band)`.
+    band: f64,
+}
+
+impl DvfsGovernor {
+    /// Creates a governor holding machine active power at `target_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive.
+    pub fn new(target_w: f64) -> DvfsGovernor {
+        assert!(target_w > 0.0, "power target must be positive");
+        DvfsGovernor { target_w, band: 0.06 }
+    }
+
+    /// The configured target.
+    pub fn target_w(&self) -> f64 {
+        self.target_w
+    }
+
+    /// One control step: adjusts every chip's operating point based on
+    /// the latest measured active power. Returns the new operating point
+    /// of chip 0 (all chips move together).
+    pub fn adjust(&self, machine: &mut Machine, measured_active_w: f64) -> FreqScale {
+        let chips = machine.spec().chips;
+        for chip in 0..chips {
+            let current = machine.chip_freq(ChipId(chip));
+            let next = if measured_active_w > self.target_w {
+                current.slower()
+            } else if measured_active_w < self.target_w * (1.0 - self.band) {
+                current.faster()
+            } else {
+                current
+            };
+            machine.set_chip_freq(ChipId(chip), next);
+        }
+        machine.chip_freq(ChipId(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::MachineSpec;
+
+    fn machine() -> Machine {
+        Machine::new(MachineSpec::sandybridge(), 1)
+    }
+
+    #[test]
+    fn steps_down_when_over_target() {
+        let g = DvfsGovernor::new(40.0);
+        let mut m = machine();
+        let f = g.adjust(&mut m, 50.0);
+        assert!(f.fraction() < 1.0);
+    }
+
+    #[test]
+    fn steps_up_when_well_under_target() {
+        let g = DvfsGovernor::new(40.0);
+        let mut m = machine();
+        m.set_chip_freq(ChipId(0), FreqScale::new(0.7).unwrap());
+        let f = g.adjust(&mut m, 20.0);
+        assert!(f.fraction() > 0.7);
+    }
+
+    #[test]
+    fn holds_within_hysteresis_band() {
+        let g = DvfsGovernor::new(40.0);
+        let mut m = machine();
+        m.set_chip_freq(ChipId(0), FreqScale::new(0.8).unwrap());
+        let f = g.adjust(&mut m, 39.0); // inside (37.6, 40]
+        assert!((f.fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_at_dvfs_floor() {
+        let g = DvfsGovernor::new(1.0);
+        let mut m = machine();
+        for _ in 0..30 {
+            g.adjust(&mut m, 100.0);
+        }
+        assert!((m.chip_freq(ChipId(0)).fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_target() {
+        let _ = DvfsGovernor::new(-1.0);
+    }
+}

@@ -1,0 +1,635 @@
+//! The power-container facility: the paper's kernel modification, as an
+//! [`ossim::KernelHooks`] implementation.
+//!
+//! The facility composes everything in this crate:
+//!
+//! * per-core counter sampling at context switches, PMU overflow
+//!   interrupts, and request-context binding changes (§3.3);
+//! * the Eq. 2 power model with Eq. 3 chip-share estimation (§3.1);
+//! * measurement alignment and online least-squares recalibration (§3.2);
+//! * per-request energy accounting in reference-counted containers, with
+//!   a special background container for untagged activity;
+//! * fair power conditioning through per-core duty-cycle modulation
+//!   (§3.4) and per-request I/O energy attribution.
+//!
+//! Experiments keep an `Rc<RefCell<FacilityState>>` handle to read
+//! containers and model state after (or during) a run.
+
+use crate::align::{AlignmentResult, DelayEstimator, Reading};
+use crate::calibrate::CalibrationSet;
+use crate::chipshare::SampleBoard;
+use crate::conditioning::ConditioningPolicy;
+use crate::container::ContainerManager;
+use crate::metrics::MetricVector;
+use crate::model::{ModelKind, PowerModel};
+use crate::recalibrate::Recalibrator;
+use crate::trace::TraceRing;
+use hwsim::{CoreId, CounterBlock, DeviceKind, MachineSpec, MeterId};
+use ossim::{ContextId, KernelApi, KernelHooks, TaskId};
+use simkern::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The event cost of one container-maintenance operation (§3.5): counter
+/// reads, model evaluation, and statistics updates perturb the very
+/// counters being sampled. The paper measures 2948 cycles, 1656
+/// instructions, 16 floating-point operations, 3 LLC references and no
+/// measurable memory transactions per operation.
+pub const MAINTENANCE_BUNDLE: CounterBlock = CounterBlock {
+    elapsed_cycles: 0.0,
+    nonhalt_cycles: 2948.0,
+    instructions: 1656.0,
+    flops: 16.0,
+    cache_refs: 3.0,
+    mem_txns: 0.0,
+};
+
+/// The three accounting approaches compared in the paper's Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// #1: linear model on core-level events only (Eq. 1).
+    CoreEventsOnly,
+    /// #2: adds shared chip maintenance power attribution (Eq. 2/3).
+    ChipShare,
+    /// #3: #2 plus measurement-aligned online recalibration (§3.2).
+    Recalibrated,
+}
+
+impl Approach {
+    /// The model structure this approach uses.
+    pub fn model_kind(self) -> ModelKind {
+        match self {
+            Approach::CoreEventsOnly => ModelKind::CoreEventsOnly,
+            Approach::ChipShare | Approach::Recalibrated => ModelKind::WithChipShare,
+        }
+    }
+
+    /// All approaches, in the paper's order.
+    pub const ALL: [Approach; 3] =
+        [Approach::CoreEventsOnly, Approach::ChipShare, Approach::Recalibrated];
+}
+
+/// Facility configuration.
+#[derive(Debug, Clone)]
+pub struct FacilityConfig {
+    /// Which accounting approach to run.
+    pub approach: Approach,
+    /// Periodic sampling interval, expressed as non-halt CPU time (the
+    /// PMU threshold is this many cycles at full speed). Default 1 ms.
+    pub sample_period: SimDuration,
+    /// Model the observer effect: inject [`MAINTENANCE_BUNDLE`] per
+    /// maintenance operation into the hardware counters.
+    pub observer_effect: bool,
+    /// Compensate for the observer effect by subtracting injected events
+    /// from sampled deltas (§3.5).
+    pub compensate_observer: bool,
+    /// Apply the paper's stale-record correction in Eq. 3: treat a
+    /// sibling core as inactive when the scheduler currently runs its
+    /// idle task. Disabling this is the staleness ablation — idle
+    /// siblings' last (possibly old) samples then dilute the share.
+    pub sibling_idle_check: bool,
+    /// Fair power conditioning policy, if enabled.
+    pub conditioning: Option<ConditioningPolicy>,
+    /// Name of the meter used for alignment/recalibration (e.g.
+    /// `"on-chip"` or `"wattsup"`); `None` disables both.
+    pub meter: Option<&'static str>,
+    /// The meter's reading on an idle machine, measured at calibration
+    /// time; subtracted to obtain active power.
+    pub meter_idle_w: f64,
+    /// Meter reports between alignment scans.
+    pub align_every: usize,
+    /// Largest measurement delay scanned.
+    pub max_meter_delay: SimDuration,
+    /// Delay scan resolution.
+    pub align_step: SimDuration,
+    /// Online samples between model refits.
+    pub recalibrate_every: usize,
+    /// Retain per-request records after container release.
+    pub retain_records: bool,
+    /// Additionally track modeled energy per task — used by the Fig. 4
+    /// stage-breakdown analysis of a multi-stage request.
+    pub track_per_task: bool,
+    /// Grid resolution of the model/metrics history traces.
+    pub trace_slot: SimDuration,
+    /// History trace capacity in slots.
+    pub trace_capacity: usize,
+}
+
+impl Default for FacilityConfig {
+    fn default() -> FacilityConfig {
+        FacilityConfig {
+            approach: Approach::ChipShare,
+            sample_period: SimDuration::from_millis(1),
+            observer_effect: true,
+            compensate_observer: true,
+            sibling_idle_check: true,
+            conditioning: None,
+            meter: None,
+            meter_idle_w: 0.0,
+            align_every: 8,
+            max_meter_delay: SimDuration::from_millis(2000),
+            align_step: SimDuration::from_millis(1),
+            recalibrate_every: 8,
+            retain_records: true,
+            track_per_task: false,
+            trace_slot: SimDuration::from_millis(1),
+            trace_capacity: 8192,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CoreSampler {
+    last: CounterBlock,
+    pending_maint: u32,
+}
+
+/// Shared facility state; experiments hold a handle via
+/// [`PowerContainerFacility::state`].
+pub struct FacilityState {
+    config: FacilityConfig,
+    spec: MachineSpec,
+    model: PowerModel,
+    containers: ContainerManager,
+    board: SampleBoard,
+    cores: Vec<CoreSampler>,
+    model_trace: TraceRing<f64>,
+    metrics_trace: TraceRing<MetricVector>,
+    estimator: Option<DelayEstimator>,
+    recalibrator: Option<Recalibrator>,
+    meter_id: Option<MeterId>,
+    meter_period: SimDuration,
+    aligned_delay: Option<SimDuration>,
+    last_alignment: Option<AlignmentResult>,
+    pending_readings: Vec<Reading>,
+    reports_since_align: usize,
+    maintenance_ops: u64,
+    refits: u64,
+    per_task_energy: std::collections::HashMap<TaskId, (f64, f64)>,
+}
+
+impl FacilityState {
+    /// The current power model (offline or recalibrated).
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The container manager (live containers, records, totals).
+    pub fn containers(&self) -> &ContainerManager {
+        &self.containers
+    }
+
+    /// Mutable container access (labels, per-request caps).
+    pub fn containers_mut(&mut self) -> &mut ContainerManager {
+        &mut self.containers
+    }
+
+    /// The most recent alignment scan result (Fig. 2's curve).
+    pub fn last_alignment(&self) -> Option<&AlignmentResult> {
+        self.last_alignment.as_ref()
+    }
+
+    /// The currently estimated measurement delay.
+    pub fn aligned_delay(&self) -> Option<SimDuration> {
+        self.aligned_delay
+    }
+
+    /// The recent meter readings retained for alignment (oldest first).
+    pub fn recent_readings(&self) -> Vec<crate::align::Reading> {
+        self.estimator
+            .as_ref()
+            .map(|e| e.readings().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The recalibration meter's window length, when a meter is attached.
+    pub fn meter_period(&self) -> SimDuration {
+        self.meter_period
+    }
+
+    /// A live operator report of where power is going right now.
+    pub fn power_report(&self) -> crate::report::PowerReport {
+        crate::report::PowerReport::capture(&self.containers)
+    }
+
+    /// Total container-maintenance operations performed.
+    pub fn maintenance_ops(&self) -> u64 {
+        self.maintenance_ops
+    }
+
+    /// Number of online model refits performed.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// Modeled machine active power averaged over `[t0, t1)` (Fig. 3's
+    /// model series).
+    pub fn modeled_power_between(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
+        self.model_trace.mean_over_wall(t0, t1)
+    }
+
+    /// Modeled `(energy_j, busy_seconds)` attributed to one task; only
+    /// populated when [`FacilityConfig::track_per_task`] is on.
+    pub fn task_energy(&self, task: TaskId) -> Option<(f64, f64)> {
+        self.per_task_energy.get(&task).copied()
+    }
+
+    /// Machine-level metric vector averaged over `[t0, t1)` — used by the
+    /// offline calibration procedure to pair counter metrics with
+    /// measured power windows.
+    pub fn metrics_between(&self, t0: SimTime, t1: SimTime) -> Option<MetricVector> {
+        self.metrics_trace.mean_over_wall(t0, t1)
+    }
+
+    /// One container-maintenance operation for `core` (§3.3): read
+    /// counters, compute the interval metrics and chip share, evaluate the
+    /// model, and attribute energy to `principal`'s container.
+    ///
+    /// `principal` is `None` when the interval was idle (snapshot reset
+    /// only); `Some(None)` attributes to the background container.
+    fn sample_core(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        core: CoreId,
+        principal: Option<Option<ContextId>>,
+        task: Option<TaskId>,
+    ) {
+        let now = api.now;
+        let cum = api.machine.counters(core);
+        let mut delta = cum - self.cores[core.0].last;
+        self.cores[core.0].last = cum;
+        let pending = std::mem::take(&mut self.cores[core.0].pending_maint);
+        if delta.elapsed_cycles <= 0.0 {
+            return;
+        }
+        let Some(ctx) = principal else {
+            // Idle interval: publish zero activity for Eq. 3 readers.
+            self.board.publish(core, 0.0, now);
+            return;
+        };
+        if self.config.compensate_observer && pending > 0 {
+            let mut bundle = MAINTENANCE_BUNDLE;
+            let n = pending as f64;
+            bundle.nonhalt_cycles *= n;
+            bundle.instructions *= n;
+            bundle.flops *= n;
+            bundle.cache_refs *= n;
+            bundle.mem_txns *= n;
+            delta = delta.saturating_sub_events(&bundle);
+        }
+        let dt_secs = delta.elapsed_cycles / (self.spec.freq_ghz * 1e9);
+        let mut metrics = MetricVector::from_counters(&delta);
+        self.board.publish(core, metrics.core, now);
+        let idle_check = self.config.sibling_idle_check;
+        metrics.chipshare = self
+            .board
+            .chipshare(&self.spec, core, metrics.core, |c| idle_check && api.is_idle(c));
+        let watts = self.model.active_power(&metrics);
+        let duty = api.machine.duty_cycle(core).fraction();
+        self.containers.attribute(ctx, watts, duty, dt_secs, &delta, now);
+        if self.config.track_per_task {
+            if let Some(t) = task {
+                let e = self.per_task_energy.entry(t).or_insert((0.0, 0.0));
+                e.0 += watts * dt_secs;
+                e.1 += dt_secs;
+            }
+        }
+        // Machine-level traces for alignment/recalibration. Peripheral
+        // device activity is folded in separately at I/O completion.
+        self.model_trace.add(now, watts, SimDuration::from_secs_f64(dt_secs));
+        self.metrics_trace
+            .add(now, metrics, SimDuration::from_secs_f64(dt_secs));
+        // The maintenance operation itself perturbs the counters (§3.5).
+        if self.config.observer_effect {
+            api.machine.inject_events(core, &MAINTENANCE_BUNDLE);
+            self.cores[core.0].pending_maint += 1;
+        }
+        self.maintenance_ops += 1;
+    }
+
+    /// Applies the conditioning policy to `core` for the request `ctx`
+    /// about to run (or running) there. `extra_busy` accounts for a task
+    /// being dispatched in the same instant that the scheduler view does
+    /// not yet reflect.
+    fn condition(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        core: CoreId,
+        ctx: Option<ContextId>,
+        extra_busy: usize,
+    ) {
+        let Some(policy) = self.config.conditioning else { return };
+        let busy = (0..api.core_count())
+            .filter(|&c| api.running_task(CoreId(c)).is_some())
+            .count()
+            + extra_busy;
+        let (unthrottled, cap, exhausted) = match ctx.and_then(|c| self.containers.get(c)) {
+            Some(cont) => (
+                cont.unthrottled_power_w(),
+                cont.power_cap_w(),
+                cont.over_energy_budget(),
+            ),
+            None => (0.0, None, false),
+        };
+        let duty = if exhausted {
+            // Out of energy budget: run at the hardware floor until done.
+            hwsim::DutyCycle::MIN
+        } else {
+            policy.duty_for(unthrottled, busy, cap)
+        };
+        api.machine.set_duty_cycle(core, duty);
+    }
+
+    fn arm_pmu(&self, api: &mut KernelApi<'_>, core: CoreId) {
+        let cycles = self.spec.cycles_in(self.config.sample_period);
+        api.machine.set_pmu_threshold(core, Some(cycles));
+    }
+
+    /// Drains newly visible meter reports, re-estimates the measurement
+    /// delay periodically, and feeds aligned windows to the recalibrator.
+    fn poll_meter(&mut self, api: &mut KernelApi<'_>) {
+        let Some(id) = self.meter_id else { return };
+        let reports = api.machine.pop_meter_reports(id);
+        if reports.is_empty() {
+            return;
+        }
+        for r in &reports {
+            let reading = Reading { arrived_at: r.visible_at, watts: r.avg_watts };
+            if let Some(e) = &mut self.estimator {
+                e.push(reading);
+            }
+            self.pending_readings.push(reading);
+            self.reports_since_align += 1;
+        }
+        if self.reports_since_align >= self.config.align_every {
+            self.reports_since_align = 0;
+            if let Some(e) = &self.estimator {
+                if let Some(result) = e.estimate(&self.model_trace) {
+                    self.aligned_delay = Some(result.delay);
+                    self.last_alignment = Some(result);
+                }
+            }
+        }
+        let (Some(delay), Some(recal)) = (self.aligned_delay, self.recalibrator.as_mut())
+        else {
+            self.pending_readings.clear();
+            return;
+        };
+        let mut refit_due = false;
+        for r in self.pending_readings.drain(..) {
+            let end = r.arrived_at - delay;
+            let start = end - self.meter_period;
+            if let Some(metrics) = self.metrics_trace.mean_over_wall(start, end) {
+                recal.add_online_sample(metrics, r.watts - self.config.meter_idle_w);
+                if recal.samples_since_fit() >= self.config.recalibrate_every {
+                    refit_due = true;
+                }
+            }
+        }
+        if refit_due {
+            if let Ok(model) = self.recalibrator.as_mut().expect("checked").refit() {
+                self.model = model;
+                self.refits += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FacilityState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FacilityState")
+            .field("approach", &self.config.approach)
+            .field("maintenance_ops", &self.maintenance_ops)
+            .field("refits", &self.refits)
+            .field("live_containers", &self.containers.live_count())
+            .finish()
+    }
+}
+
+/// The installable facility. Construct with
+/// [`PowerContainerFacility::new`], keep the [`state`] handle, and pass
+/// the facility to [`ossim::Kernel::install_hooks`].
+///
+/// [`state`]: PowerContainerFacility::state
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{Machine, MachineSpec};
+/// use ossim::{Kernel, KernelConfig};
+/// use power_containers::{
+///     CalibrationSet, FacilityConfig, ModelKind, PowerContainerFacility, PowerModel,
+/// };
+///
+/// let spec = MachineSpec::sandybridge();
+/// let model = PowerModel::new(ModelKind::WithChipShare, 26.1, [8.0; 8]);
+/// let facility = PowerContainerFacility::new(model, None, &spec, FacilityConfig::default());
+/// let state = facility.state();
+/// let mut kernel = Kernel::new(Machine::new(spec, 1), KernelConfig::default());
+/// kernel.install_hooks(Box::new(facility));
+/// assert_eq!(state.borrow().maintenance_ops(), 0);
+/// ```
+pub struct PowerContainerFacility {
+    state: Rc<RefCell<FacilityState>>,
+}
+
+impl PowerContainerFacility {
+    /// Creates a facility for a machine with `spec`, starting from
+    /// `model`. `calibration` supplies the offline sample set needed when
+    /// the approach is [`Approach::Recalibrated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the approach is `Recalibrated` but no calibration set or
+    /// meter was provided.
+    pub fn new(
+        model: PowerModel,
+        calibration: Option<&CalibrationSet>,
+        spec: &MachineSpec,
+        config: FacilityConfig,
+    ) -> PowerContainerFacility {
+        let recalibrator = if config.approach == Approach::Recalibrated {
+            let cal = calibration
+                .expect("Recalibrated approach requires the offline calibration set");
+            assert!(
+                config.meter.is_some(),
+                "Recalibrated approach requires a recalibration meter"
+            );
+            Some(Recalibrator::new(cal, config.approach.model_kind()))
+        } else {
+            None
+        };
+        let cores = spec.total_cores();
+        let state = FacilityState {
+            spec: spec.clone(),
+            model,
+            containers: ContainerManager::new(config.retain_records),
+            board: SampleBoard::new(cores),
+            cores: vec![CoreSampler::default(); cores],
+            model_trace: TraceRing::new(config.trace_slot, config.trace_capacity),
+            metrics_trace: TraceRing::new(config.trace_slot, config.trace_capacity),
+            estimator: None, // needs the meter period, resolved at boot
+            recalibrator,
+            meter_id: None,
+            meter_period: SimDuration::from_millis(1),
+            aligned_delay: None,
+            last_alignment: None,
+            pending_readings: Vec::new(),
+            reports_since_align: 0,
+            maintenance_ops: 0,
+            refits: 0,
+            per_task_energy: std::collections::HashMap::new(),
+            config,
+        };
+        PowerContainerFacility { state: Rc::new(RefCell::new(state)) }
+    }
+
+    /// A shared handle onto the facility's state.
+    pub fn state(&self) -> Rc<RefCell<FacilityState>> {
+        Rc::clone(&self.state)
+    }
+}
+
+impl KernelHooks for PowerContainerFacility {
+    fn on_boot(&mut self, api: &mut KernelApi<'_>) {
+        let mut s = self.state.borrow_mut();
+        for c in 0..api.core_count() {
+            s.cores[c].last = api.machine.counters(CoreId(c));
+            s.arm_pmu(api, CoreId(c));
+        }
+        if let Some(name) = s.config.meter {
+            s.meter_id = api.machine.find_meter(name);
+            if let Some(id) = s.meter_id {
+                let spec = api.machine.meter_spec(id).clone();
+                s.meter_period = spec.period;
+                s.estimator = Some(DelayEstimator::new(
+                    spec.period,
+                    s.config.max_meter_delay,
+                    s.config.align_step,
+                    128,
+                ));
+            }
+        }
+    }
+
+    fn on_context_switch(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        core: CoreId,
+        prev: Option<TaskId>,
+        next: Option<TaskId>,
+    ) {
+        let mut s = self.state.borrow_mut();
+        let principal = prev.map(|t| api.context_of(t));
+        s.sample_core(api, core, principal, prev);
+        if next.is_some() {
+            let next_ctx = next.and_then(|t| api.context_of(t));
+            s.condition(api, core, next_ctx, 1);
+        } else if s.config.conditioning.is_some() {
+            // Idle cores return to full speed for the next dispatch.
+            api.machine.set_duty_cycle(core, hwsim::DutyCycle::FULL);
+        }
+    }
+
+    fn on_pmu_interrupt(&mut self, api: &mut KernelApi<'_>, core: CoreId, task: TaskId) {
+        let mut s = self.state.borrow_mut();
+        let ctx = api.context_of(task);
+        s.sample_core(api, core, Some(ctx), Some(task));
+        s.arm_pmu(api, core);
+        s.condition(api, core, ctx, 0);
+        s.poll_meter(api);
+    }
+
+    fn on_context_bound(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        task: TaskId,
+        old: Option<ContextId>,
+        new: Option<ContextId>,
+        core: Option<CoreId>,
+    ) {
+        let mut s = self.state.borrow_mut();
+        // The pre-binding slice belongs to the old context.
+        if let Some(core) = core {
+            s.sample_core(api, core, Some(old), Some(task));
+        }
+        let now = api.now;
+        if let Some(o) = old {
+            s.containers.unbind(o, now);
+        }
+        if let Some(n) = new {
+            s.containers.bind(n, now);
+        }
+    }
+
+    fn on_task_created(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        _task: TaskId,
+        _parent: Option<TaskId>,
+        ctx: Option<ContextId>,
+    ) {
+        if let Some(c) = ctx {
+            self.state.borrow_mut().containers.bind(c, api.now);
+        }
+    }
+
+    fn on_task_exit(&mut self, api: &mut KernelApi<'_>, task: TaskId, ctx: Option<ContextId>) {
+        let mut s = self.state.borrow_mut();
+        // Attribute the exiting task's final CPU slice *before* releasing
+        // its container; the context-switch hook that follows would
+        // otherwise attribute it to a fresh, orphaned container.
+        let core = (0..api.core_count())
+            .map(CoreId)
+            .find(|&c| api.running_task(c) == Some(task));
+        if let Some(core) = core {
+            s.sample_core(api, core, Some(ctx), Some(task));
+        }
+        if let Some(c) = ctx {
+            s.containers.unbind(c, api.now);
+        }
+    }
+
+    fn on_io_complete(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        device: DeviceKind,
+        _task: TaskId,
+        ctx: Option<ContextId>,
+        _bytes: u64,
+        seconds: f64,
+    ) {
+        let mut s = self.state.borrow_mut();
+        let coeff = match device {
+            DeviceKind::Disk => s.model.coefficients()[6],
+            DeviceKind::Net => s.model.coefficients()[7],
+        };
+        s.containers.attribute_io(ctx, coeff * seconds, api.now);
+        // Backfill the device's active span into the machine-level
+        // traces, slot by slot, so alignment/recalibration sees it.
+        let now = api.now;
+        let slot = s.config.trace_slot;
+        let mut t = now - SimDuration::from_secs_f64(seconds);
+        let mut unit = MetricVector::default();
+        match device {
+            DeviceKind::Disk => unit.disk = 1.0,
+            DeviceKind::Net => unit.net = 1.0,
+        }
+        while t < now {
+            let slot_end = SimTime::from_nanos(
+                (t.as_nanos() / slot.as_nanos() + 1) * slot.as_nanos(),
+            );
+            let chunk_end = slot_end.min(now);
+            let dt = chunk_end.duration_since(t);
+            s.metrics_trace.add(chunk_end, unit, dt);
+            s.model_trace.add(chunk_end, coeff, dt);
+            t = chunk_end;
+        }
+    }
+}
+
+impl std::fmt::Debug for PowerContainerFacility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.state.borrow().fmt(f)
+    }
+}

@@ -1,0 +1,195 @@
+//! The power model's feature vector.
+
+use hwsim::CounterBlock;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Number of features in the full model (Eq. 2 plus device utilizations).
+pub const FEATURES: usize = 8;
+
+/// The per-interval event metrics the paper's model consumes (§3.1):
+/// core utilization, instructions/cycle, FLOPs/cycle, LLC refs/cycle,
+/// memory transactions/cycle, the Eq. 3 chip power share, and disk/network
+/// utilization for the full-system model.
+///
+/// A `MetricVector` always describes an *interval* (two counter snapshots),
+/// never a cumulative state.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::MetricVector;
+///
+/// let mut m = MetricVector::default();
+/// m.core = 1.0;
+/// m.ins = 2.0;
+/// let doubled = m * 2.0;
+/// assert_eq!(doubled.ins, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricVector {
+    /// Non-halt cycles per elapsed cycle (`M_core`).
+    pub core: f64,
+    /// Retired instructions per elapsed cycle (`M_ins`).
+    pub ins: f64,
+    /// Floating-point operations per elapsed cycle (`M_float`).
+    pub float: f64,
+    /// Last-level-cache references per elapsed cycle (`M_cache`).
+    pub cache: f64,
+    /// Memory transactions per elapsed cycle (`M_mem`).
+    pub mem: f64,
+    /// Share of on-chip maintenance power (`M_chipshare`, Eq. 3).
+    pub chipshare: f64,
+    /// Disk active fraction (`M_disk`).
+    pub disk: f64,
+    /// Network active fraction (`M_net`).
+    pub net: f64,
+}
+
+impl MetricVector {
+    /// Builds the CPU metrics from a counter delta; `chipshare`, `disk`
+    /// and `net` are left at zero for the caller to fill.
+    pub fn from_counters(delta: &CounterBlock) -> MetricVector {
+        MetricVector {
+            core: delta.core_utilization(),
+            ins: delta.ins_rate(),
+            float: delta.flop_rate(),
+            cache: delta.cache_rate(),
+            mem: delta.mem_rate(),
+            chipshare: 0.0,
+            disk: 0.0,
+            net: 0.0,
+        }
+    }
+
+    /// The features as a fixed-order array (the regression layout).
+    pub fn as_array(&self) -> [f64; FEATURES] {
+        [
+            self.core,
+            self.ins,
+            self.float,
+            self.cache,
+            self.mem,
+            self.chipshare,
+            self.disk,
+            self.net,
+        ]
+    }
+
+    /// Reconstructs a vector from the regression layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != FEATURES`.
+    pub fn from_slice(a: &[f64]) -> MetricVector {
+        assert_eq!(a.len(), FEATURES, "feature count mismatch");
+        MetricVector {
+            core: a[0],
+            ins: a[1],
+            float: a[2],
+            cache: a[3],
+            mem: a[4],
+            chipshare: a[5],
+            disk: a[6],
+            net: a[7],
+        }
+    }
+
+    /// Human-readable feature names, aligned with [`MetricVector::as_array`].
+    pub const NAMES: [&'static str; FEATURES] =
+        ["core", "ins", "float", "cache", "mem", "chipshare", "disk", "net"];
+}
+
+impl Add for MetricVector {
+    type Output = MetricVector;
+    fn add(self, o: MetricVector) -> MetricVector {
+        MetricVector {
+            core: self.core + o.core,
+            ins: self.ins + o.ins,
+            float: self.float + o.float,
+            cache: self.cache + o.cache,
+            mem: self.mem + o.mem,
+            chipshare: self.chipshare + o.chipshare,
+            disk: self.disk + o.disk,
+            net: self.net + o.net,
+        }
+    }
+}
+
+impl AddAssign for MetricVector {
+    fn add_assign(&mut self, o: MetricVector) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for MetricVector {
+    type Output = MetricVector;
+    fn mul(self, s: f64) -> MetricVector {
+        MetricVector {
+            core: self.core * s,
+            ins: self.ins * s,
+            float: self.float * s,
+            cache: self.cache * s,
+            mem: self.mem * s,
+            chipshare: self.chipshare * s,
+            disk: self.disk * s,
+            net: self.net * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counters_computes_rates() {
+        let delta = CounterBlock {
+            elapsed_cycles: 1000.0,
+            nonhalt_cycles: 500.0,
+            instructions: 1500.0,
+            flops: 100.0,
+            cache_refs: 50.0,
+            mem_txns: 25.0,
+        };
+        let m = MetricVector::from_counters(&delta);
+        assert_eq!(m.core, 0.5);
+        assert_eq!(m.ins, 1.5);
+        assert_eq!(m.float, 0.1);
+        assert_eq!(m.cache, 0.05);
+        assert_eq!(m.mem, 0.025);
+        assert_eq!(m.chipshare, 0.0);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let m = MetricVector {
+            core: 1.0,
+            ins: 2.0,
+            float: 3.0,
+            cache: 4.0,
+            mem: 5.0,
+            chipshare: 6.0,
+            disk: 7.0,
+            net: 8.0,
+        };
+        assert_eq!(MetricVector::from_slice(&m.as_array()), m);
+    }
+
+    #[test]
+    fn arithmetic_is_elementwise() {
+        let a = MetricVector { core: 1.0, ins: 2.0, ..MetricVector::default() };
+        let b = MetricVector { core: 0.5, mem: 1.0, ..MetricVector::default() };
+        let sum = a + b;
+        assert_eq!(sum.core, 1.5);
+        assert_eq!(sum.ins, 2.0);
+        assert_eq!(sum.mem, 1.0);
+        let scaled = sum * 2.0;
+        assert_eq!(scaled.core, 3.0);
+    }
+
+    #[test]
+    fn names_align_with_layout() {
+        assert_eq!(MetricVector::NAMES.len(), FEATURES);
+        assert_eq!(MetricVector::NAMES[5], "chipshare");
+    }
+}

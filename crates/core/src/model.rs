@@ -1,0 +1,168 @@
+//! The linear power model (paper Eq. 1 and Eq. 2).
+
+use crate::metrics::{MetricVector, FEATURES};
+use std::fmt;
+
+/// Which terms of the model are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Approach #1 (Eq. 1): core-level events only; the shared chip
+    /// maintenance power is not modeled.
+    CoreEventsOnly,
+    /// Approach #2 (Eq. 2): adds the `M_chipshare` attribution of shared
+    /// chip maintenance power.
+    WithChipShare,
+}
+
+impl ModelKind {
+    /// `true` when this kind uses the chip-share feature.
+    pub fn uses_chipshare(self) -> bool {
+        matches!(self, ModelKind::WithChipShare)
+    }
+}
+
+/// A calibrated linear power model: `P_active = Σ C_i · M_i`, with a known
+/// constant idle power `C_idle` outside the active sum.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::{MetricVector, ModelKind, PowerModel};
+///
+/// let mut coeffs = [0.0; power_containers::FEATURES];
+/// coeffs[0] = 10.0; // 10 W per unit of core utilization
+/// let model = PowerModel::new(ModelKind::CoreEventsOnly, 26.1, coeffs);
+/// let m = MetricVector { core: 0.5, ..Default::default() };
+/// assert_eq!(model.active_power(&m), 5.0);
+/// assert_eq!(model.full_power(&m), 31.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    kind: ModelKind,
+    idle_w: f64,
+    coeffs: [f64; FEATURES],
+}
+
+impl PowerModel {
+    /// Creates a model from explicit coefficients (regression layout, see
+    /// [`MetricVector::as_array`]).
+    ///
+    /// For a [`ModelKind::CoreEventsOnly`] model the chip-share
+    /// coefficient is forced to zero.
+    pub fn new(kind: ModelKind, idle_w: f64, mut coeffs: [f64; FEATURES]) -> PowerModel {
+        if !kind.uses_chipshare() {
+            coeffs[5] = 0.0;
+        }
+        PowerModel { kind, idle_w, coeffs }
+    }
+
+    /// The model variant.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The constant idle power `C_idle` in Watts.
+    pub fn idle_w(&self) -> f64 {
+        self.idle_w
+    }
+
+    /// The coefficient vector.
+    pub fn coefficients(&self) -> &[f64; FEATURES] {
+        &self.coeffs
+    }
+
+    /// Modeled *active* power for the given metrics, clamped at zero.
+    pub fn active_power(&self, m: &MetricVector) -> f64 {
+        let a = m.as_array();
+        let mut p = 0.0;
+        for i in 0..FEATURES {
+            p += self.coeffs[i] * a[i];
+        }
+        p.max(0.0)
+    }
+
+    /// Modeled full power (idle + active).
+    pub fn full_power(&self, m: &MetricVector) -> f64 {
+        self.idle_w + self.active_power(m)
+    }
+
+    /// Strips metrics the model kind must not see (the chip-share feature
+    /// for Approach #1) — used when assembling calibration samples so that
+    /// each approach is fit on exactly the features it models.
+    pub fn mask_metrics(kind: ModelKind, mut m: MetricVector) -> MetricVector {
+        if !kind.uses_chipshare() {
+            m.chipshare = 0.0;
+        }
+        m
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PowerModel({:?}, idle={:.1}W", self.kind, self.idle_w)?;
+        for (name, c) in MetricVector::NAMES.iter().zip(self.coeffs) {
+            write!(f, ", {name}={c:.3}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeffs() -> [f64; FEATURES] {
+        [8.0, 3.0, 1.5, 3.5, 2.0, 5.6, 1.7, 5.8]
+    }
+
+    #[test]
+    fn active_power_is_dot_product() {
+        let model = PowerModel::new(ModelKind::WithChipShare, 26.1, coeffs());
+        let m = MetricVector {
+            core: 1.0,
+            ins: 2.0,
+            float: 0.0,
+            cache: 0.1,
+            mem: 0.05,
+            chipshare: 0.25,
+            disk: 0.0,
+            net: 0.0,
+        };
+        let expected = 8.0 + 6.0 + 0.35 + 0.1 + 1.4;
+        assert!((model.active_power(&m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_only_model_ignores_chipshare() {
+        let model = PowerModel::new(ModelKind::CoreEventsOnly, 0.0, coeffs());
+        let m = MetricVector { chipshare: 1.0, ..MetricVector::default() };
+        assert_eq!(model.active_power(&m), 0.0);
+        assert_eq!(model.coefficients()[5], 0.0);
+    }
+
+    #[test]
+    fn negative_predictions_clamp_to_zero() {
+        let mut c = [0.0; FEATURES];
+        c[0] = -100.0;
+        let model = PowerModel::new(ModelKind::WithChipShare, 10.0, c);
+        let m = MetricVector { core: 1.0, ..MetricVector::default() };
+        assert_eq!(model.active_power(&m), 0.0);
+        assert_eq!(model.full_power(&m), 10.0);
+    }
+
+    #[test]
+    fn mask_metrics_respects_kind() {
+        let m = MetricVector { chipshare: 0.5, ..MetricVector::default() };
+        assert_eq!(PowerModel::mask_metrics(ModelKind::CoreEventsOnly, m).chipshare, 0.0);
+        assert_eq!(PowerModel::mask_metrics(ModelKind::WithChipShare, m).chipshare, 0.5);
+    }
+
+    #[test]
+    fn display_lists_all_coefficients() {
+        let model = PowerModel::new(ModelKind::WithChipShare, 26.1, coeffs());
+        let s = model.to_string();
+        for name in MetricVector::NAMES {
+            assert!(s.contains(name), "missing {name} in {s}");
+        }
+    }
+}

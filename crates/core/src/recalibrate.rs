@@ -1,0 +1,202 @@
+//! Online model recalibration (paper §3.2).
+//!
+//! Aligned measurement windows yield `(machine metrics, measured active
+//! power)` pairs for the *production* workload. The recalibrator folds
+//! these into the offline calibration's normal equations — "weighed
+//! equally in the square error minimization target" — and refits the
+//! coefficients by least-squares, correcting for the mismatch between
+//! calibration microbenchmarks and unusually high-power production
+//! behaviour (the Stress / power-virus case).
+
+use crate::calibrate::CalibrationSet;
+use crate::metrics::{MetricVector, FEATURES};
+use crate::model::{ModelKind, PowerModel};
+use analysis::linreg::{LeastSquares, SolveError};
+
+/// Streams aligned online samples into a refit of the power model.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::{
+///     CalibrationSample, CalibrationSet, MetricVector, ModelKind, Recalibrator,
+/// };
+///
+/// let mut set = CalibrationSet::new(26.1);
+/// for i in 1..=10 {
+///     let u = i as f64 / 10.0;
+///     set.push(CalibrationSample {
+///         metrics: MetricVector { core: u, chipshare: 1.0, ..Default::default() },
+///         active_watts: 8.0 * u + 5.6,
+///     });
+/// }
+/// let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+/// // Production workload draws more power than calibration predicted:
+/// for _ in 0..50 {
+///     let m = MetricVector { core: 1.0, mem: 0.04, chipshare: 1.0, ..Default::default() };
+///     r.add_online_sample(m, 22.0);
+/// }
+/// let model = r.refit().unwrap();
+/// assert!(model.active_power(&MetricVector {
+///     core: 1.0, mem: 0.04, chipshare: 1.0, ..Default::default()
+/// }) > 18.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recalibrator {
+    offline: LeastSquares,
+    online: LeastSquares,
+    kind: ModelKind,
+    idle_w: f64,
+    online_samples: usize,
+    samples_since_fit: usize,
+}
+
+impl Recalibrator {
+    /// Creates a recalibrator seeded with the offline calibration set.
+    pub fn new(offline: &CalibrationSet, kind: ModelKind) -> Recalibrator {
+        Recalibrator {
+            offline: offline.accumulator(kind),
+            online: LeastSquares::new(FEATURES),
+            kind,
+            idle_w: offline.idle_w(),
+            online_samples: 0,
+            samples_since_fit: 0,
+        }
+    }
+
+    /// Adds one aligned online observation: machine-level metrics over a
+    /// measurement window and the measured *active* power for that window.
+    pub fn add_online_sample(&mut self, metrics: MetricVector, active_watts: f64) {
+        let m = PowerModel::mask_metrics(self.kind, metrics);
+        self.online.add_sample(&m.as_array(), active_watts.max(0.0), 1.0);
+        self.online_samples += 1;
+        self.samples_since_fit += 1;
+    }
+
+    /// Number of online samples accumulated.
+    pub fn online_samples(&self) -> usize {
+        self.online_samples
+    }
+
+    /// Number of samples added since the last [`Recalibrator::refit`].
+    pub fn samples_since_fit(&self) -> usize {
+        self.samples_since_fit
+    }
+
+    /// Refits coefficients over offline + online samples, equally weighted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] if the combined system is unsolvable.
+    pub fn refit(&mut self) -> Result<PowerModel, SolveError> {
+        let mut combined = self.offline.clone();
+        combined.merge(&self.online);
+        let beta = combined.solve()?;
+        let mut coeffs = [0.0; FEATURES];
+        coeffs.copy_from_slice(&beta);
+        self.samples_since_fit = 0;
+        Ok(PowerModel::new(self.kind, self.idle_w, coeffs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::CalibrationSample;
+
+    /// Calibration set from a linear law missing an interaction the
+    /// production workload exhibits.
+    fn offline_set() -> CalibrationSet {
+        let mut set = CalibrationSet::new(26.1);
+        for level in [0.25, 0.5, 0.75, 1.0f64] {
+            for f in 0..6 {
+                let mut a = [0.0; FEATURES];
+                a[0] = level;
+                a[f] = level;
+                a[5] = 1.0;
+                let truth = [8.0, 3.0, 1.5, 3.5, 2.0, 5.6, 0.0, 0.0];
+                let watts: f64 = a.iter().zip(truth).map(|(x, c)| x * c).sum();
+                set.push(CalibrationSample {
+                    metrics: MetricVector::from_slice(&a),
+                    active_watts: watts,
+                });
+            }
+        }
+        set
+    }
+
+    /// A "Stress"-like workload point whose true power exceeds the linear
+    /// law the offline model was fit to (hidden co-activity term).
+    fn stress_point() -> (MetricVector, f64) {
+        let m = MetricVector {
+            core: 1.0,
+            ins: 3.4,
+            float: 1.5,
+            cache: 0.08,
+            mem: 0.0425,
+            chipshare: 1.0,
+            disk: 0.0,
+            net: 0.0,
+        };
+        // Linear part ≈ 8 + 10.2 + 2.25 + 0.28 + 0.085 + 5.6 = 26.4 W;
+        // true power has +6 W of unmodeled interaction.
+        (m, 32.4)
+    }
+
+    #[test]
+    fn offline_model_underestimates_stress() {
+        let set = offline_set();
+        let model = set.fit(ModelKind::WithChipShare).unwrap();
+        let (m, truth) = stress_point();
+        let err = (model.active_power(&m) - truth).abs() / truth;
+        assert!(err > 0.1, "offline model should be >10% off, got {err:.3}");
+    }
+
+    #[test]
+    fn recalibration_fixes_stress_estimate() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let (m, truth) = stress_point();
+        for _ in 0..200 {
+            r.add_online_sample(m, truth);
+        }
+        let model = r.refit().unwrap();
+        let err = (model.active_power(&m) - truth).abs() / truth;
+        assert!(err < 0.03, "recalibrated error should be small, got {err:.3}");
+    }
+
+    #[test]
+    fn refit_without_online_samples_matches_offline_fit() {
+        let set = offline_set();
+        let offline_model = set.fit(ModelKind::WithChipShare).unwrap();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let refit = r.refit().unwrap();
+        for (a, b) in offline_model.coefficients().iter().zip(refit.coefficients()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_counters_track_fits() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let (m, w) = stress_point();
+        r.add_online_sample(m, w);
+        r.add_online_sample(m, w);
+        assert_eq!(r.online_samples(), 2);
+        assert_eq!(r.samples_since_fit(), 2);
+        let _ = r.refit().unwrap();
+        assert_eq!(r.samples_since_fit(), 0);
+        assert_eq!(r.online_samples(), 2);
+    }
+
+    #[test]
+    fn negative_measured_power_is_clamped() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let (m, _) = stress_point();
+        r.add_online_sample(m, -5.0); // noisy meter minus idle can dip below 0
+        let model = r.refit().unwrap();
+        assert!(model.active_power(&m) >= 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Time-sliced history rings for model estimates and metrics.
+//!
+//! Measurement alignment (§3.2) compares a *series* of model estimates
+//! against delayed meter readings, and recalibration needs the metric
+//! vector that was live during each (re-aligned) measurement window. Both
+//! need a bounded history of time-integrated values on a fixed grid;
+//! [`TraceRing`] provides it.
+
+use simkern::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::ops::{AddAssign, Mul};
+
+/// A bounded ring of per-slot time integrals on a fixed time grid.
+///
+/// `add(t, value, dt)` accumulates `value · dt` into the slot containing
+/// `t`; queries return integrals (and covered seconds) over arbitrary
+/// intervals, approximating partial slots by linear fraction.
+///
+/// # Example
+///
+/// ```
+/// use power_containers::TraceRing;
+/// use simkern::{SimDuration, SimTime};
+///
+/// let mut ring: TraceRing<f64> = TraceRing::new(SimDuration::from_millis(1), 100);
+/// ring.add(SimTime::from_micros(500), 40.0, SimDuration::from_millis(1));
+/// let (integral, secs) = ring.integral_between(SimTime::ZERO, SimTime::from_millis(1));
+/// assert!((integral / secs - 40.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing<T> {
+    slot: SimDuration,
+    capacity: usize,
+    /// Index of the first retained slot.
+    base: u64,
+    values: VecDeque<(T, f64)>,
+}
+
+impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
+    /// Creates a ring of `capacity` slots of length `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero or `capacity` is zero.
+    pub fn new(slot: SimDuration, capacity: usize) -> TraceRing<T> {
+        assert!(!slot.is_zero(), "slot length must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        TraceRing { slot, capacity, base: 0, values: VecDeque::new() }
+    }
+
+    /// The slot length.
+    pub fn slot(&self) -> SimDuration {
+        self.slot
+    }
+
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.slot.as_nanos()
+    }
+
+    /// Accumulates `value · dt` into the slot containing `t` (typically
+    /// the *end* of the sampled interval; sampling periods are much
+    /// shorter than slots, so the approximation is tight).
+    pub fn add(&mut self, t: SimTime, value: T, dt: SimDuration) {
+        let idx = self.slot_of(t.saturating_sub_for_slot(self.slot));
+        // Grow forward to include idx.
+        if self.values.is_empty() {
+            self.base = idx;
+            self.values.push_back((T::default(), 0.0));
+        }
+        while self.base + (self.values.len() as u64) <= idx {
+            self.values.push_back((T::default(), 0.0));
+            if self.values.len() > self.capacity {
+                self.values.pop_front();
+                self.base += 1;
+            }
+        }
+        if idx < self.base {
+            return; // too old; history already evicted
+        }
+        let off = (idx - self.base) as usize;
+        let secs = dt.as_secs_f64();
+        let entry = &mut self.values[off];
+        entry.0 += value * secs;
+        entry.1 += secs;
+    }
+
+    /// The integral and covered seconds over `[t0, t1)`, weighting partial
+    /// slots by overlap fraction. Returns zeros when the interval predates
+    /// retained history.
+    pub fn integral_between(&self, t0: SimTime, t1: SimTime) -> (T, f64) {
+        let mut total = T::default();
+        let mut secs = 0.0;
+        if t1 <= t0 || self.values.is_empty() {
+            return (total, secs);
+        }
+        let slot_ns = self.slot.as_nanos();
+        let first = self.slot_of(t0);
+        let last = self.slot_of(t1 - SimDuration::from_nanos(1));
+        for idx in first..=last {
+            if idx < self.base {
+                continue;
+            }
+            let off = (idx - self.base) as usize;
+            let Some(&(v, s)) = self.values.get(off) else { continue };
+            let slot_start = idx * slot_ns;
+            let slot_end = slot_start + slot_ns;
+            let lo = slot_start.max(t0.as_nanos());
+            let hi = slot_end.min(t1.as_nanos());
+            let frac = (hi.saturating_sub(lo)) as f64 / slot_ns as f64;
+            total += v * frac;
+            secs += s * frac;
+        }
+        (total, secs)
+    }
+
+    /// Average value over `[t0, t1)`, or `None` when (almost) no time was
+    /// recorded there.
+    pub fn average_between(&self, t0: SimTime, t1: SimTime) -> Option<T> {
+        let (integral, secs) = self.integral_between(t0, t1);
+        (secs > 1e-9).then(|| integral * (1.0 / secs))
+    }
+
+    /// The integral over `[t0, t1)` divided by the *wall-clock* length of
+    /// the interval, treating unrecorded slots as zero. This is the right
+    /// normalization for machine-level quantities built from per-core
+    /// contributions (each core adds its own `value·dt`; idle cores add
+    /// nothing). Returns `None` when the interval lies entirely outside
+    /// retained history.
+    pub fn mean_over_wall(&self, t0: SimTime, t1: SimTime) -> Option<T> {
+        if t1 <= t0 || self.values.is_empty() {
+            return None;
+        }
+        let last_retained = self.base + self.values.len() as u64;
+        let first = self.slot_of(t0);
+        if first + 1 < self.base + 1 || first >= last_retained {
+            // Either evicted history or entirely in the future.
+            if self.slot_of(t1 - SimDuration::from_nanos(1)) < self.base {
+                return None;
+            }
+        }
+        let (integral, _) = self.integral_between(t0, t1);
+        let wall = t1.duration_since(t0).as_secs_f64();
+        Some(integral * (1.0 / wall))
+    }
+
+    /// The most recent `n` completed slot averages ending at the slot
+    /// containing `now` (exclusive), most recent first. Slots with no
+    /// recorded time yield `T::default()`.
+    pub fn recent_series(&self, now: SimTime, n: usize) -> Vec<T> {
+        let current = self.slot_of(now);
+        let mut out = Vec::with_capacity(n);
+        for k in 1..=n as u64 {
+            if current < k {
+                break;
+            }
+            let idx = current - k;
+            let v = if idx >= self.base {
+                self.values
+                    .get((idx - self.base) as usize)
+                    .map(|&(v, s)| if s > 1e-12 { v * (1.0 / s) } else { T::default() })
+                    .unwrap_or_default()
+            } else {
+                T::default()
+            };
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Helper so `add(t, ...)` attributes to the slot the interval *ended* in
+/// rather than spilling into the next slot when `t` lands exactly on a
+/// boundary.
+trait SlotAnchor {
+    fn saturating_sub_for_slot(self, slot: SimDuration) -> Self;
+}
+
+impl SlotAnchor for SimTime {
+    fn saturating_sub_for_slot(self, slot: SimDuration) -> SimTime {
+        let _ = slot;
+        if self.as_nanos() == 0 {
+            self
+        } else {
+            self - SimDuration::from_nanos(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> TraceRing<f64> {
+        TraceRing::new(SimDuration::from_millis(1), 16)
+    }
+
+    #[test]
+    fn single_slot_average() {
+        let mut r = ring();
+        r.add(SimTime::from_micros(300), 10.0, SimDuration::from_micros(300));
+        r.add(SimTime::from_micros(900), 30.0, SimDuration::from_micros(600));
+        let avg = r.average_between(SimTime::ZERO, SimTime::from_millis(1)).unwrap();
+        // (10*0.3 + 30*0.6) / 0.9
+        assert!((avg - 23.333333).abs() < 1e-3, "avg {avg}");
+    }
+
+    #[test]
+    fn boundary_sample_lands_in_ending_slot() {
+        let mut r = ring();
+        r.add(SimTime::from_millis(1), 42.0, SimDuration::from_millis(1));
+        let avg = r.average_between(SimTime::ZERO, SimTime::from_millis(1)).unwrap();
+        assert!((avg - 42.0).abs() < 1e-9);
+        assert!(r.average_between(SimTime::from_millis(1), SimTime::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn multi_slot_query_sums_partials() {
+        let mut r = ring();
+        r.add(SimTime::from_micros(500), 10.0, SimDuration::from_millis(1));
+        r.add(SimTime::from_micros(1500), 20.0, SimDuration::from_millis(1));
+        // Query covering second half of slot 0 and first half of slot 1.
+        let (integral, secs) =
+            r.integral_between(SimTime::from_micros(500), SimTime::from_micros(1500));
+        assert!((secs - 1e-3).abs() < 1e-9);
+        assert!((integral - (10.0e-3 * 0.5 + 20.0e-3 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_forgets_old_slots() {
+        let mut r = ring();
+        r.add(SimTime::from_micros(100), 5.0, SimDuration::from_micros(100));
+        for ms in 1..40u64 {
+            r.add(
+                SimTime::from_millis(ms) + SimDuration::from_micros(100),
+                1.0,
+                SimDuration::from_micros(100),
+            );
+        }
+        let (_, secs) = r.integral_between(SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(secs, 0.0, "slot 0 must be evicted");
+    }
+
+    #[test]
+    fn recent_series_is_most_recent_first() {
+        let mut r = ring();
+        for ms in 0..5u64 {
+            r.add(
+                SimTime::from_millis(ms) + SimDuration::from_micros(500),
+                ms as f64,
+                SimDuration::from_millis(1),
+            );
+        }
+        let series = r.recent_series(SimTime::from_millis(5), 3);
+        assert_eq!(series, vec![4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_interval_yields_none() {
+        let r = ring();
+        assert!(r.average_between(SimTime::ZERO, SimTime::from_millis(1)).is_none());
+        let mut r2 = ring();
+        r2.add(SimTime::from_micros(1), 1.0, SimDuration::from_micros(1));
+        assert!(r2
+            .average_between(SimTime::from_millis(5), SimTime::from_millis(6))
+            .is_none());
+    }
+
+    #[test]
+    fn works_with_metric_vectors() {
+        use crate::metrics::MetricVector;
+        let mut r: TraceRing<MetricVector> = TraceRing::new(SimDuration::from_millis(1), 8);
+        let m = MetricVector { core: 1.0, ins: 2.0, ..MetricVector::default() };
+        r.add(SimTime::from_micros(400), m, SimDuration::from_micros(400));
+        let avg = r.average_between(SimTime::ZERO, SimTime::from_millis(1)).unwrap();
+        assert!((avg.core - 1.0).abs() < 1e-9);
+        assert!((avg.ins - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,344 @@
+//! Facility-level integration tests: alignment, recalibration and
+//! conditioning running inside a live kernel.
+
+use hwsim::{ActivityProfile, Machine, MachineSpec};
+use ossim::{FnProgram, Kernel, KernelConfig, Op, ScriptProgram};
+use power_containers::{
+    Approach, CalibrationSample, CalibrationSet, ConditioningPolicy, FacilityConfig,
+    MetricVector, ModelKind, PowerContainerFacility,
+};
+use simkern::{SimDuration, SimTime};
+
+/// A deliberately *miscalibrated* set (underestimates everything by 30%)
+/// so recalibration has something to fix.
+fn skewed_calibration() -> CalibrationSet {
+    let mut set = CalibrationSet::new(26.1);
+    let truth = [8.3, 3.1, 1.5, 3.5, 2.1, 5.6, 1.7, 5.8];
+    for i in 0..64 {
+        let u = (i % 4 + 1) as f64 / 4.0;
+        let f = i / 4 % 8;
+        let mut a = [0.0; 8];
+        a[0] = u;
+        a[f] = u.max(a[f]);
+        a[5] = 1.0;
+        let watts: f64 = a.iter().zip(truth).map(|(x, c)| x * c).sum();
+        set.push(CalibrationSample {
+            metrics: MetricVector::from_slice(&a),
+            active_watts: watts * 0.7, // systematic 30% underestimate
+        });
+    }
+    set
+}
+
+fn spawn_spinners(kernel: &mut Kernel, n: usize, profile: ActivityProfile) {
+    for _ in 0..n {
+        kernel.spawn(
+            Box::new(FnProgram::new(move |_pc| Op::Compute { cycles: 3.1e6, profile })),
+            None,
+        );
+    }
+}
+
+#[test]
+fn alignment_finds_the_onchip_meter_delay_in_vivo() {
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let model = set.fit(ModelKind::WithChipShare).expect("fit");
+    let facility = PowerContainerFacility::new(
+        model,
+        Some(&set),
+        &spec,
+        FacilityConfig {
+            approach: Approach::Recalibrated,
+            meter: Some("on-chip"),
+            meter_idle_w: 1.5,
+            max_meter_delay: SimDuration::from_millis(20),
+            ..FacilityConfig::default()
+        },
+    );
+    let state = facility.state();
+    let mut kernel = Kernel::new(Machine::new(spec, 3), KernelConfig::default());
+    kernel.install_hooks(Box::new(facility));
+    // A fluctuating load so the correlation has structure: two phases
+    // alternating between 1 and 3 busy spinners.
+    let mut phase = 0u32;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |_pc| {
+            phase += 1;
+            if phase % 2 == 0 {
+                Op::Compute { cycles: 3.1e6 * 40.0, profile: ActivityProfile::stress() }
+            } else {
+                Op::Sleep { duration: SimDuration::from_millis(35) }
+            }
+        })),
+        None,
+    );
+    spawn_spinners(&mut kernel, 1, ActivityProfile::cpu_spin());
+    kernel.run_until(SimTime::from_secs(2));
+    let s = state.borrow();
+    let delay = s.aligned_delay().expect("alignment converged");
+    assert_eq!(
+        delay,
+        SimDuration::from_millis(1),
+        "on-chip meter delay is 1 ms, estimated {delay}"
+    );
+    assert!(s.refits() > 0, "recalibration should have run");
+}
+
+#[test]
+fn recalibration_corrects_a_skewed_model_in_vivo() {
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let model = set.fit(ModelKind::WithChipShare).expect("fit");
+    let run = |approach: Approach| -> f64 {
+        let facility = PowerContainerFacility::new(
+            model.clone(),
+            Some(&set),
+            &spec,
+            FacilityConfig {
+                approach,
+                meter: (approach == Approach::Recalibrated).then_some("on-chip"),
+                meter_idle_w: 1.5,
+                max_meter_delay: SimDuration::from_millis(10),
+                ..FacilityConfig::default()
+            },
+        );
+        let state = facility.state();
+        let mut kernel = Kernel::new(Machine::new(spec.clone(), 5), KernelConfig::default());
+        kernel.install_hooks(Box::new(facility));
+        spawn_spinners(&mut kernel, 3, ActivityProfile::cache_heavy());
+        kernel.run_until(SimTime::from_secs(3));
+        let measured = kernel.machine().true_active_energy_j();
+        let attributed = state.borrow().containers().total_energy_with_background_j();
+        (attributed - measured).abs() / measured
+    };
+    let skewed_err = run(Approach::ChipShare);
+    let recal_err = run(Approach::Recalibrated);
+    assert!(skewed_err > 0.2, "skewed model should err ~30%, got {skewed_err:.3}");
+    assert!(
+        recal_err < skewed_err / 2.0,
+        "recalibration should halve the error: {recal_err:.3} vs {skewed_err:.3}"
+    );
+}
+
+#[test]
+fn conditioning_throttles_only_the_hungry_request() {
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    // Use an accurate model for conditioning decisions.
+    let mut accurate = CalibrationSet::new(26.1);
+    for s in set.samples() {
+        accurate.push(CalibrationSample {
+            metrics: s.metrics,
+            active_watts: s.active_watts / 0.7,
+        });
+    }
+    let model = accurate.fit(ModelKind::WithChipShare).expect("fit");
+    let facility = PowerContainerFacility::new(
+        model,
+        None,
+        &spec,
+        FacilityConfig {
+            // Budget of 12 W per busy core: above the ~10 W spinners,
+            // well below the ~21 W stress hog.
+            conditioning: Some(ConditioningPolicy::new(48.0)),
+            ..FacilityConfig::default()
+        },
+    );
+    let state = facility.state();
+    let mut kernel = Kernel::new(Machine::new(spec, 7), KernelConfig::default());
+    kernel.install_hooks(Box::new(facility));
+    // Four long-running requests: three modest spinners, one hog.
+    let mut ctxs = Vec::new();
+    for i in 0..4 {
+        let ctx = kernel.alloc_context();
+        ctxs.push(ctx);
+        let profile = if i == 3 {
+            ActivityProfile::stress()
+        } else {
+            ActivityProfile::cpu_spin()
+        };
+        kernel.spawn(
+            Box::new(ScriptProgram::new(vec![Op::Compute { cycles: 3.1e9, profile }])),
+            Some(ctx),
+        );
+    }
+    kernel.run_until(SimTime::from_secs(1));
+    let s = state.borrow();
+    let duty_of = |ctx| {
+        s.containers()
+            .get(ctx)
+            .map(|c| c.mean_duty())
+            .or_else(|| {
+                s.containers()
+                    .records()
+                    .iter()
+                    .find(|r| r.ctx == ctx)
+                    .map(|r| r.mean_duty)
+            })
+            .expect("container live or recorded")
+    };
+    for &ctx in &ctxs[..3] {
+        assert!(duty_of(ctx) > 0.95, "modest request throttled: duty {}", duty_of(ctx));
+    }
+    assert!(
+        duty_of(ctxs[3]) < 0.8,
+        "hog should be throttled: duty {}",
+        duty_of(ctxs[3])
+    );
+}
+
+#[test]
+fn per_request_power_cap_overrides_fair_share() {
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let mut accurate = CalibrationSet::new(26.1);
+    for s in set.samples() {
+        accurate.push(CalibrationSample {
+            metrics: s.metrics,
+            active_watts: s.active_watts / 0.7,
+        });
+    }
+    let model = accurate.fit(ModelKind::WithChipShare).expect("fit");
+    let facility = PowerContainerFacility::new(
+        model,
+        None,
+        &spec,
+        FacilityConfig {
+            conditioning: Some(ConditioningPolicy::new(400.0)), // generous system target
+            ..FacilityConfig::default()
+        },
+    );
+    let state = facility.state();
+    let mut kernel = Kernel::new(Machine::new(spec, 9), KernelConfig::default());
+    kernel.install_hooks(Box::new(facility));
+    let capped = kernel.alloc_context();
+    let free = kernel.alloc_context();
+    state
+        .borrow_mut()
+        .containers_mut()
+        .set_power_cap(capped, Some(5.0), SimTime::ZERO);
+    for &ctx in &[capped, free] {
+        kernel.spawn(
+            Box::new(ScriptProgram::new(vec![Op::Compute {
+                cycles: 3.1e9,
+                profile: ActivityProfile::high_ipc(),
+            }])),
+            Some(ctx),
+        );
+    }
+    kernel.run_until(SimTime::from_secs(1));
+    let s = state.borrow();
+    let duty = |ctx| {
+        s.containers()
+            .get(ctx)
+            .map(|c| c.mean_duty())
+            .or_else(|| {
+                s.containers()
+                    .records()
+                    .iter()
+                    .find(|r| r.ctx == ctx)
+                    .map(|r| r.mean_duty)
+            })
+            .expect("container live or recorded")
+    };
+    assert!(duty(free) > 0.95, "uncapped request at full speed, duty {}", duty(free));
+    assert!(duty(capped) < 0.6, "explicit 5 W cap should bite, duty {}", duty(capped));
+}
+
+#[test]
+fn sampling_scales_with_busy_time_not_task_count() {
+    // §3.5: sampling cost is per CPU core, not per live request.
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let model = set.fit(ModelKind::WithChipShare).expect("fit");
+    let run = |tasks: usize| -> u64 {
+        let facility =
+            PowerContainerFacility::new(model.clone(), None, &spec, FacilityConfig::default());
+        let state = facility.state();
+        let mut kernel = Kernel::new(Machine::new(spec.clone(), 11), KernelConfig::default());
+        kernel.install_hooks(Box::new(facility));
+        spawn_spinners(&mut kernel, tasks, ActivityProfile::cpu_spin());
+        kernel.run_until(SimTime::from_secs(1));
+        let ops = state.borrow().maintenance_ops();
+        ops
+    };
+    let few = run(4);
+    let many = run(64);
+    // 16x the tasks must not cost anywhere near 16x the maintenance work;
+    // context switches add some, but the PMU-driven floor dominates.
+    assert!(
+        (many as f64) < (few as f64) * 4.0,
+        "maintenance ops grew too fast: {few} -> {many}"
+    );
+}
+
+#[test]
+fn energy_budget_forces_floor_throttling() {
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let mut accurate = CalibrationSet::new(26.1);
+    for s in set.samples() {
+        accurate.push(CalibrationSample {
+            metrics: s.metrics,
+            active_watts: s.active_watts / 0.7,
+        });
+    }
+    let model = accurate.fit(ModelKind::WithChipShare).expect("fit");
+    let facility = PowerContainerFacility::new(
+        model,
+        None,
+        &spec,
+        FacilityConfig {
+            conditioning: Some(ConditioningPolicy::new(500.0)), // never binds
+            ..FacilityConfig::default()
+        },
+    );
+    let state = facility.state();
+    let mut kernel = Kernel::new(Machine::new(spec, 13), KernelConfig::default());
+    kernel.install_hooks(Box::new(facility));
+    let budgeted = kernel.alloc_context();
+    let free = kernel.alloc_context();
+    // ~10 W × 50 ms = 0.5 J budget: exhausted a quarter of the way in.
+    state
+        .borrow_mut()
+        .containers_mut()
+        .set_energy_budget(budgeted, Some(0.2), SimTime::ZERO);
+    for &ctx in &[budgeted, free] {
+        kernel.spawn(
+            Box::new(ScriptProgram::new(vec![Op::Compute {
+                cycles: 3.1e9,
+                profile: ActivityProfile::high_ipc(),
+            }])),
+            Some(ctx),
+        );
+    }
+    kernel.run_until(SimTime::from_secs(2));
+    let s = state.borrow();
+    // The unbudgeted request finished at full speed and was recorded.
+    let free_record = s
+        .containers()
+        .records()
+        .iter()
+        .find(|r| r.ctx == free)
+        .expect("free request completed");
+    assert!(
+        free_record.mean_duty > 0.95,
+        "unbudgeted request unaffected, duty {}",
+        free_record.mean_duty
+    );
+    // The budgeted one is still crawling at the floor.
+    let b = s.containers().get(budgeted).expect("budgeted request still live");
+    assert!(
+        b.mean_duty() < 0.5,
+        "budget exhaustion should floor the duty cycle, duty {}",
+        b.mean_duty()
+    );
+    assert!(b.over_energy_budget());
+    assert!(
+        b.energy_j() < free_record.energy_j * 0.6,
+        "budgeted {} J vs free {} J",
+        b.energy_j(),
+        free_record.energy_j
+    );
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the power-containers core.
+
+use hwsim::{CoreId, MachineSpec};
+use ossim::ContextId;
+use power_containers::{
+    ConditioningPolicy, ContainerManager, MetricVector, ModelKind, PowerModel, SampleBoard,
+    TraceRing,
+};
+use proptest::prelude::*;
+use simkern::{SimDuration, SimTime};
+
+proptest! {
+    /// Eq. 3 chip shares are in [0, 1] and sum to at most ~1 per chip for
+    /// any utilization pattern.
+    #[test]
+    fn chipshare_bounded_and_conserving(
+        utils in prop::collection::vec(0.0f64..=1.0, 4),
+        idle in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let spec = MachineSpec::sandybridge();
+        let mut board = SampleBoard::new(4);
+        for (c, &u) in utils.iter().enumerate() {
+            board.publish(CoreId(c), u, SimTime::ZERO);
+        }
+        let mut total = 0.0;
+        for c in 0..4 {
+            let share = board.chipshare(&spec, CoreId(c), utils[c], |s| idle[s.0]);
+            prop_assert!((0.0..=1.0).contains(&share));
+            total += share;
+        }
+        // With the idle-sibling correction the shares can over-count only
+        // when records are stale; with fresh records they stay ≤ ~1 plus
+        // the idle-masking effect.
+        let awake: f64 = utils
+            .iter()
+            .zip(&idle)
+            .filter(|(_, &i)| !i)
+            .map(|(u, _)| *u)
+            .sum();
+        if awake > 0.0 {
+            prop_assert!(total <= 4.0, "share total {total}");
+        }
+    }
+
+    /// Model predictions are non-negative and linear in the metrics.
+    #[test]
+    fn model_nonnegative_and_linear(
+        coeffs in prop::collection::vec(0.0f64..20.0, 8),
+        metrics in prop::collection::vec(0.0f64..2.0, 8),
+        scale in 0.0f64..4.0,
+    ) {
+        let mut c = [0.0; 8];
+        c.copy_from_slice(&coeffs);
+        let model = PowerModel::new(ModelKind::WithChipShare, 26.1, c);
+        let m = MetricVector::from_slice(&metrics);
+        let p1 = model.active_power(&m);
+        let p2 = model.active_power(&(m * scale));
+        prop_assert!(p1 >= 0.0);
+        prop_assert!((p2 - p1 * scale).abs() < 1e-9 * (1.0 + p2));
+    }
+
+    /// Container energy bookkeeping conserves attributed energy across
+    /// arbitrary bind/attribute/unbind interleavings.
+    #[test]
+    fn container_energy_conserved(
+        ops in prop::collection::vec((0u64..8, 0.0f64..50.0, 0.001f64..0.01), 1..100)
+    ) {
+        let mut mgr = ContainerManager::new(true);
+        let mut expected = 0.0;
+        for (ctx, watts, dt) in &ops {
+            let ctx = ContextId(*ctx);
+            mgr.bind(ctx, SimTime::ZERO);
+            mgr.attribute(
+                Some(ctx),
+                *watts,
+                1.0,
+                *dt,
+                &hwsim::CounterBlock::default(),
+                SimTime::ZERO,
+            );
+            expected += watts * dt;
+        }
+        // Release everything.
+        for (ctx, _, _) in &ops {
+            mgr.unbind(ContextId(*ctx), SimTime::from_millis(1));
+        }
+        let live: f64 = mgr.iter_live().map(|(_, c)| c.energy_j()).sum();
+        let recorded: f64 = mgr.records().iter().map(|r| r.energy_j).sum();
+        prop_assert!(
+            (live + recorded - expected).abs() < 1e-9 * (1.0 + expected),
+            "live {live} + recorded {recorded} != attributed {expected}"
+        );
+        prop_assert!((mgr.total_request_energy_j() - expected).abs() < 1e-9 * (1.0 + expected));
+    }
+
+    /// TraceRing integrals are additive over adjacent intervals.
+    #[test]
+    fn trace_integral_additive(
+        samples in prop::collection::vec((0u64..20_000_000, 0.0f64..100.0), 1..100),
+        cut in 1u64..20,
+    ) {
+        let mut ring: TraceRing<f64> = TraceRing::new(SimDuration::from_millis(1), 64);
+        for (ns, w) in &samples {
+            ring.add(SimTime::from_nanos(*ns), *w, SimDuration::from_micros(100));
+        }
+        let t0 = SimTime::ZERO;
+        let tm = SimTime::from_millis(cut);
+        let t1 = SimTime::from_millis(40);
+        let (full, secs_full) = ring.integral_between(t0, t1);
+        let (a, sa) = ring.integral_between(t0, tm);
+        let (b, sb) = ring.integral_between(tm, t1);
+        prop_assert!((full - (a + b)).abs() < 1e-9 * (1.0 + full.abs()));
+        prop_assert!((secs_full - (sa + sb)).abs() < 1e-12 + 1e-9 * secs_full);
+    }
+
+    /// The conditioning policy never throttles within-budget requests and
+    /// never produces a duty level whose projected power exceeds budget
+    /// (modulo the 1/8 hardware floor).
+    #[test]
+    fn conditioning_respects_budget(
+        target in 1.0f64..200.0,
+        unthrottled in 0.0f64..100.0,
+        busy in 1usize..16,
+    ) {
+        let policy = ConditioningPolicy::new(target);
+        let duty = policy.duty_for(unthrottled, busy, None);
+        let budget = policy.per_request_budget_w(busy);
+        if unthrottled <= budget {
+            prop_assert_eq!(duty, hwsim::DutyCycle::FULL);
+        } else {
+            let projected = unthrottled * duty.fraction();
+            prop_assert!(
+                projected <= budget + 1e-9 || duty == hwsim::DutyCycle::MIN,
+                "projected {projected} over budget {budget} at duty {duty}"
+            );
+        }
+    }
+}

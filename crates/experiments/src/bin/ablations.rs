@@ -1,0 +1,4 @@
+//! Regenerates the design-choice ablation study. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::ablations::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the anomaly-detection study. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::anomaly::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,252 @@
+//! Validates the regenerated results against the paper's qualitative
+//! claims. Reads the JSON records under `results/` (produce them with
+//! `run_all` first) and prints PASS/FAIL per claim; exits non-zero if any
+//! claim fails.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin run_all
+//! cargo run --release -p experiments --bin check_claims
+//! ```
+
+use serde_json::Value;
+
+struct Checker {
+    failures: u32,
+    checks: u32,
+}
+
+impl Checker {
+    fn claim(&mut self, name: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {name} ({detail})");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {name} ({detail})");
+        }
+    }
+}
+
+fn load(id: &str) -> Option<Value> {
+    let path = experiments::output::results_dir().join(format!("{id}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn main() {
+    let mut c = Checker { failures: 0, checks: 0 };
+
+    if let Some(fig1) = load("fig1") {
+        let sb = &fig1["machines"][0]["increments_w"];
+        let first = sb[0].as_f64().unwrap_or(0.0);
+        let second = sb[1].as_f64().unwrap_or(0.0);
+        c.claim(
+            "fig1: SandyBridge first-core step exceeds later steps",
+            first > second + 3.0,
+            format!("{first:.1} W vs {second:.1} W"),
+        );
+        let wc = &fig1["machines"][1]["increments_w"];
+        c.claim(
+            "fig1: Woodcrest pays maintenance on the first two tasks",
+            wc[1].as_f64().unwrap_or(0.0) > wc[2].as_f64().unwrap_or(99.0) + 3.0,
+            format!("{} vs {}", wc[1], wc[2]),
+        );
+    } else {
+        c.claim("fig1: record present", false, "missing".into());
+    }
+
+    if let Some(fig2) = load("fig2") {
+        for scan in fig2["scans"].as_array().unwrap_or(&vec![]) {
+            let name = scan["meter"].as_str().unwrap_or("?").to_string();
+            let true_d = scan["true_delay_ms"].as_f64().unwrap_or(0.0);
+            let est = scan["estimated_delay_ms"].as_f64().unwrap_or(-1.0);
+            c.claim(
+                &format!("fig2: {name} delay recovered"),
+                (est - true_d).abs() <= true_d.max(1.0) * 0.2 + 1.0,
+                format!("true {true_d} ms, estimated {est} ms"),
+            );
+        }
+    }
+
+    if let Some(fig4) = load("fig4") {
+        let stages = fig4["stages"].as_array().cloned().unwrap_or_default();
+        c.claim(
+            "fig4: all five request stages attributed",
+            stages.len() == 5
+                && stages.iter().all(|s| s["energy_j"].as_f64().unwrap_or(0.0) > 0.0),
+            format!("{} stages", stages.len()),
+        );
+    }
+
+    if let Some(fig8) = load("fig8") {
+        for wc in fig8["worst_case"].as_array().unwrap_or(&vec![]) {
+            let machine = wc[0].as_str().unwrap_or("?").to_string();
+            let e = &wc[1];
+            let (e1, e2, e3) = (
+                e[0].as_f64().unwrap_or(0.0),
+                e[1].as_f64().unwrap_or(0.0),
+                e[2].as_f64().unwrap_or(0.0),
+            );
+            c.claim(
+                &format!("fig8: {machine} worst-case error improves #1→#2→#3"),
+                e1 >= e2 - 0.01 && e2 >= e3 - 0.01,
+                format!("{:.1}% / {:.1}% / {:.1}%", e1 * 100.0, e2 * 100.0, e3 * 100.0),
+            );
+            c.claim(
+                &format!("fig8: {machine} recalibrated error ≤ 12% (paper ≤ 9%)"),
+                e3 <= 0.12,
+                format!("{:.1}%", e3 * 100.0),
+            );
+        }
+    }
+
+    if let Some(fig9) = load("fig9") {
+        let peak = fig9["cells"][0]["background_share"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "fig9: GAE background is a substantial share (paper ~1/3)",
+            (0.15..0.5).contains(&peak),
+            format!("{:.0}% at peak", peak * 100.0),
+        );
+    }
+
+    if let Some(fig10) = load("fig10") {
+        for s in fig10["scenarios"].as_array().unwrap_or(&vec![]) {
+            let name = s["scenario"].as_str().unwrap_or("?").to_string();
+            let w = &s["worst_errors"];
+            let containers = w[0].as_f64().unwrap_or(1.0);
+            let cpu = w[1].as_f64().unwrap_or(0.0);
+            let rate = w[2].as_f64().unwrap_or(0.0);
+            c.claim(
+                &format!("fig10: containers predict best ({name})"),
+                containers <= cpu + 0.01 && containers <= rate + 0.01 && containers <= 0.11,
+                format!(
+                    "containers {:.1}%, cpu {:.1}%, rate {:.1}%",
+                    containers * 100.0,
+                    cpu * 100.0,
+                    rate * 100.0
+                ),
+            );
+        }
+    }
+
+    if let Some(fig11) = load("fig11") {
+        let runs = fig11["runs"].as_array().cloned().unwrap_or_default();
+        let orig = runs.first().map(|r| r["frac_above_target"].as_f64().unwrap_or(0.0));
+        let cond = runs.get(1).map(|r| r["frac_above_target"].as_f64().unwrap_or(1.0));
+        c.claim(
+            "fig11: conditioning caps the virus spikes",
+            matches!((orig, cond), (Some(o), Some(cd)) if o > 0.05 && cd < 0.02),
+            format!("above-target buckets {orig:?} → {cond:?}"),
+        );
+    }
+
+    if let Some(fig12) = load("fig12") {
+        let normal = fig12["normal_slowdown"].as_f64().unwrap_or(1.0);
+        let virus = fig12["virus_slowdown"].as_f64().unwrap_or(0.0);
+        let full = fig12["full_machine_slowdown"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "fig12: only viruses pay (normal < full-machine < virus)",
+            normal < full && virus > full,
+            format!(
+                "normal {:.1}%, full-machine {:.1}%, virus {:.1}%",
+                normal * 100.0,
+                full * 100.0,
+                virus * 100.0
+            ),
+        );
+    }
+
+    if let Some(fig13) = load("fig13") {
+        let rows = fig13["rows"].as_array().cloned().unwrap_or_default();
+        let ratio_of = |name: &str| {
+            rows.iter()
+                .find(|r| r["workload"].as_str() == Some(name))
+                .and_then(|r| r["ratio"].as_f64())
+                .unwrap_or(f64::NAN)
+        };
+        let rsa = ratio_of("RSA-crypto");
+        let stress = ratio_of("Stress");
+        c.claim(
+            "fig13: RSA has the strongest new-machine affinity (paper 0.22)",
+            rows.iter().all(|r| r["ratio"].as_f64().unwrap_or(0.0) >= rsa) && rsa < 0.3,
+            format!("RSA {rsa:.2}"),
+        );
+        c.claim(
+            "fig13: Stress is the most machine-indifferent workload",
+            rows.iter().all(|r| r["ratio"].as_f64().unwrap_or(1.0) <= stress),
+            format!("Stress {stress:.2}"),
+        );
+    }
+
+    if let Some(fig14) = load("fig14") {
+        let p = fig14["policies"].as_array().cloned().unwrap_or_default();
+        let total = |i: usize| p[i]["total_w"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "fig14: workload-aware < machine-aware < simple balance",
+            total(2) < total(1) && total(1) < total(0),
+            format!("{:.1} / {:.1} / {:.1} W", total(0), total(1), total(2)),
+        );
+        let saving = fig14["saving_vs_simple"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "fig14: double-digit energy saving vs simple balance",
+            saving >= 0.10,
+            format!("{:.1}%", saving * 100.0),
+        );
+    }
+
+    if let Some(t1) = load("table1") {
+        let rows = t1["rows"].as_array().cloned().unwrap_or_default();
+        let mean_of = |i: usize| -> f64 {
+            rows[i]["by_app"]
+                .as_array()
+                .map(|apps| {
+                    apps.iter().map(|a| a[1].as_f64().unwrap_or(0.0)).sum::<f64>()
+                        / apps.len().max(1) as f64
+                })
+                .unwrap_or(0.0)
+        };
+        c.claim(
+            "table1: simple balance has the worst response times",
+            mean_of(0) > mean_of(1) && mean_of(0) > mean_of(2),
+            format!("{:.0} vs {:.0} / {:.0} ms", mean_of(0), mean_of(1), mean_of(2)),
+        );
+    }
+
+    if let Some(a) = load("ablations") {
+        for row in a["rows"].as_array().unwrap_or(&vec![]) {
+            let name = row["mechanism"].as_str().unwrap_or("?").to_string();
+            let with = row["with_mechanism"].as_f64().unwrap_or(1.0);
+            let without = row["without_mechanism"].as_f64().unwrap_or(0.0);
+            c.claim(
+                &format!("ablation: removing '{name}' hurts"),
+                without > with,
+                format!("{:.1}% → {:.1}%", with * 100.0, without * 100.0),
+            );
+        }
+    }
+
+    if let Some(d) = load("dvfs") {
+        let runs = d["runs"].as_array().cloned().unwrap_or_default();
+        let normal = |i: usize| runs[i]["normal_response_ms"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "dvfs: per-request conditioning hurts normal requests less than machine DVFS",
+            normal(1) < normal(2),
+            format!("{:.1} vs {:.1} ms", normal(1), normal(2)),
+        );
+    }
+
+    if let Some(a) = load("anomaly") {
+        let recall = a["recall"].as_f64().unwrap_or(0.0);
+        let precision = a["precision"].as_f64().unwrap_or(0.0);
+        c.claim(
+            "anomaly: live reports pinpoint the power viruses",
+            recall > 0.7 && precision > 0.6,
+            format!("recall {:.0}%, precision {:.0}%", recall * 100.0, precision * 100.0),
+        );
+    }
+
+    println!("\n{} claims checked, {} failed", c.checks, c.failures);
+    if c.failures > 0 {
+        std::process::exit(1);
+    }
+}

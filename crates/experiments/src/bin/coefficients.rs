@@ -1,0 +1,4 @@
+//! Regenerates the paper's coefficients artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::coefficients::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the DVFS-vs-conditioning capping study. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::dvfs::run(experiments::Scale::from_args());
+}

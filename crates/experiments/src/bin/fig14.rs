@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig14::run(experiments::Scale::from_args());
+}

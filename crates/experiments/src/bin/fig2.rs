@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig02::run(experiments::Scale::from_args());
+}

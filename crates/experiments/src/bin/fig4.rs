@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig04::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig05::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig06::run(experiments::Scale::from_args());
+}

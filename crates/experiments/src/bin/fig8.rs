@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::fig08::run(experiments::Scale::from_args());
+}

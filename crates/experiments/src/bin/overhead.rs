@@ -1,0 +1,4 @@
+//! Regenerates the paper's overhead artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::overhead::run(experiments::Scale::from_args());
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment in sequence, regenerating all paper artifacts.
+//! Pass `--quick` for a fast smoke-test sweep.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let t0 = std::time::Instant::now();
+    let _ = experiments::coefficients::run(scale);
+    let _ = experiments::overhead::run(scale);
+    let _ = experiments::fig01::run(scale);
+    let _ = experiments::fig02::run(scale);
+    let _ = experiments::fig03::run(scale);
+    let _ = experiments::fig04::run(scale);
+    let _ = experiments::fig05::run(scale);
+    let _ = experiments::fig06::run(scale);
+    let _ = experiments::fig07::run(scale);
+    let _ = experiments::fig08::run(scale);
+    let _ = experiments::fig09::run(scale);
+    let _ = experiments::fig10::run(scale);
+    let _ = experiments::fig11::run(scale);
+    let _ = experiments::fig12::run(scale);
+    let _ = experiments::fig13::run(scale);
+    let _ = experiments::fig14::run(scale);
+    let _ = experiments::table1::run(scale);
+    let _ = experiments::ablations::run(scale);
+    let _ = experiments::dvfs::run(scale);
+    let _ = experiments::anomaly::run(scale);
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

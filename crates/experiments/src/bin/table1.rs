@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 artifact. Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::table1::run(experiments::Scale::from_args());
+}

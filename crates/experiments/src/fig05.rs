@@ -1,0 +1,69 @@
+//! Fig. 5 — measured active power of every workload on every machine at
+//! peak and half load.
+
+use crate::output::{banner, write_record, Table};
+use crate::{Lab, Scale};
+use serde::Serialize;
+use simkern::SimDuration;
+use workloads::{run_app, LoadLevel, RunConfig, WorkloadKind};
+
+/// One bar of Fig. 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerCell {
+    /// Machine name.
+    pub machine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Load level name.
+    pub load: String,
+    /// Measured active power, Watts.
+    pub active_w: f64,
+    /// Mean core utilization.
+    pub utilization: f64,
+}
+
+/// The Fig. 5 record.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// All cells.
+    pub cells: Vec<PowerCell>,
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig5 {
+    banner("fig5", "measured active power per workload, machine, load");
+    let mut lab = Lab::new();
+    let mut cells = Vec::new();
+    for machine in ["woodcrest", "westmere", "sandybridge"] {
+        let spec = lab.spec(machine);
+        let cal = lab.calibration(machine);
+        let mut table = Table::new(["workload", "load", "active power (W)", "utilization"]);
+        for kind in WorkloadKind::ALL {
+            for load in [LoadLevel::Peak, LoadLevel::Half] {
+                let mut cfg = RunConfig::new(spec.clone());
+                cfg.load = load;
+                cfg.duration = SimDuration::from_secs(scale.run_secs() / 2 + 2);
+                let outcome = run_app(kind, &cfg, &cal);
+                let cell = PowerCell {
+                    machine: machine.to_string(),
+                    workload: kind.name().to_string(),
+                    load: load.name().to_string(),
+                    active_w: outcome.measured_active_power_w(),
+                    utilization: outcome.mean_utilization(),
+                };
+                table.row([
+                    cell.workload.clone(),
+                    cell.load.clone(),
+                    format!("{:.1}", cell.active_w),
+                    format!("{:.2}", cell.utilization),
+                ]);
+                cells.push(cell);
+            }
+        }
+        println!("machine: {machine}");
+        println!("{table}");
+    }
+    let record = Fig5 { cells };
+    write_record("fig5", &record);
+    record
+}

@@ -1,0 +1,70 @@
+//! Request-mix overrides for the Fig. 10 "new composition" experiments.
+
+use hwsim::ActivityProfile;
+use ossim::{Kernel, SocketId};
+use simkern::SimRng;
+use workloads::{AppEnv, ServerApp, WorkloadKind};
+
+/// Wraps an application but restricts its request mix to an explicit set
+/// of labels (e.g. RSA-crypto with only the largest key, or WeBWorK with
+/// only the 10 most popular problem sets).
+pub struct MixOverride {
+    inner: Box<dyn ServerApp>,
+    labels: Vec<u32>,
+    mean_cycles: f64,
+}
+
+impl MixOverride {
+    /// Restricts `inner` to the given labels; `mean_cycles` must describe
+    /// the new mix (used for load sizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn new(inner: Box<dyn ServerApp>, labels: Vec<u32>, mean_cycles: f64) -> MixOverride {
+        assert!(!labels.is_empty(), "need at least one label");
+        MixOverride { inner, labels, mean_cycles }
+    }
+}
+
+impl ServerApp for MixOverride {
+    fn kind(&self) -> WorkloadKind {
+        self.inner.kind()
+    }
+
+    fn setup(&self, kernel: &mut Kernel, env: &AppEnv) -> Vec<SocketId> {
+        self.inner.setup(kernel, env)
+    }
+
+    fn mean_request_cycles(&self) -> f64 {
+        self.mean_cycles
+    }
+
+    fn representative_profile(&self) -> ActivityProfile {
+        self.inner.representative_profile()
+    }
+
+    fn pick_label(&self, rng: &mut SimRng) -> u32 {
+        *rng.pick(&self.labels)
+    }
+
+    fn peak_utilization(&self) -> f64 {
+        self.inner.peak_utilization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restricted_mix_only_yields_listed_labels() {
+        let app = MixOverride::new(WorkloadKind::RsaCrypto.app(), vec![2], 27.0e6);
+        let mut rng = SimRng::new(1);
+        for _ in 0..20 {
+            assert_eq!(app.pick_label(&mut rng), 2);
+        }
+        assert_eq!(app.mean_request_cycles(), 27.0e6);
+        assert_eq!(app.kind(), WorkloadKind::RsaCrypto);
+    }
+}

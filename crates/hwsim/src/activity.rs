@@ -1,0 +1,202 @@
+//! Activity profiles: what a running task does to the hardware.
+
+/// Peak per-cycle event rates used to convert normalized intensities into
+/// raw counter increments. These mirror rough microarchitectural limits
+/// (4-wide issue, 2 FLOPs/cycle, and so on); their absolute values are
+/// irrelevant to the linear power model, which learns coefficients in
+/// whatever unit the counters use.
+pub(crate) mod caps {
+    /// Max retired instructions per non-halt cycle.
+    pub const INS_PER_CYCLE: f64 = 4.0;
+    /// Max floating-point operations per non-halt cycle.
+    pub const FLOPS_PER_CYCLE: f64 = 2.0;
+    /// Max last-level-cache references per non-halt cycle.
+    pub const CACHE_PER_CYCLE: f64 = 0.10;
+    /// Max memory transactions per non-halt cycle.
+    pub const MEM_PER_CYCLE: f64 = 0.05;
+}
+
+/// Normalized description of the hardware activity a task generates while
+/// running on a core.
+///
+/// Each field is an intensity in `[0, 1]`: the fraction of the
+/// corresponding unit's peak per-cycle event rate that the task sustains.
+/// A profile says nothing about *how long* the task runs — the OS layer
+/// decides that; the machine multiplies intensities by elapsed non-halt
+/// cycles to produce counter increments.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::ActivityProfile;
+///
+/// let spin = ActivityProfile::cpu_spin();
+/// let mem = ActivityProfile::memory_bound();
+/// assert!(mem.mem > spin.mem);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityProfile {
+    /// Instruction-retirement intensity.
+    pub ins: f64,
+    /// Floating-point intensity.
+    pub flops: f64,
+    /// Last-level-cache reference intensity.
+    pub cache: f64,
+    /// Memory-transaction intensity.
+    pub mem: f64,
+}
+
+impl ActivityProfile {
+    /// Creates a profile from the four intensities, clamping each into
+    /// `[0, 1]`.
+    pub fn new(ins: f64, flops: f64, cache: f64, mem: f64) -> ActivityProfile {
+        ActivityProfile {
+            ins: ins.clamp(0.0, 1.0),
+            flops: flops.clamp(0.0, 1.0),
+            cache: cache.clamp(0.0, 1.0),
+            mem: mem.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A raw CPU spin: the core is busy but retires few instructions and
+    /// touches no memory (the paper's baseline calibration microbenchmark).
+    pub fn cpu_spin() -> ActivityProfile {
+        ActivityProfile::new(0.15, 0.0, 0.005, 0.0)
+    }
+
+    /// A high-instruction-rate integer loop.
+    pub fn high_ipc() -> ActivityProfile {
+        ActivityProfile::new(0.95, 0.02, 0.01, 0.0)
+    }
+
+    /// A floating-point-saturating loop.
+    pub fn float_heavy() -> ActivityProfile {
+        ActivityProfile::new(0.60, 0.95, 0.01, 0.0)
+    }
+
+    /// A last-level-cache-thrashing loop.
+    pub fn cache_heavy() -> ActivityProfile {
+        ActivityProfile::new(0.40, 0.02, 0.90, 0.10)
+    }
+
+    /// A memory-bandwidth-bound loop.
+    pub fn memory_bound() -> ActivityProfile {
+        ActivityProfile::new(0.30, 0.02, 0.70, 0.95)
+    }
+
+    /// The "Stress" workload shape: core, floating-point, cache and memory
+    /// units all simultaneously busy (Adler-32 over a large buffer with
+    /// added FP ops). This is the kind of unusually-high-power behaviour
+    /// offline calibration underestimates.
+    pub fn stress() -> ActivityProfile {
+        ActivityProfile::new(0.85, 0.75, 0.80, 0.85)
+    }
+
+    /// An idle placeholder (all zeros); a core running this still counts as
+    /// busy for chip-maintenance purposes, unlike a core with no profile.
+    pub fn quiescent() -> ActivityProfile {
+        ActivityProfile::new(0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Linear blend of two profiles: `self * (1-t) + other * t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside `[0, 1]`.
+    pub fn blend(&self, other: &ActivityProfile, t: f64) -> ActivityProfile {
+        assert!((0.0..=1.0).contains(&t), "blend factor out of range: {t}");
+        ActivityProfile::new(
+            self.ins * (1.0 - t) + other.ins * t,
+            self.flops * (1.0 - t) + other.flops * t,
+            self.cache * (1.0 - t) + other.cache * t,
+            self.mem * (1.0 - t) + other.mem * t,
+        )
+    }
+
+    /// Scales all intensities by `factor` (clamped into range).
+    pub fn scaled(&self, factor: f64) -> ActivityProfile {
+        ActivityProfile::new(
+            self.ins * factor,
+            self.flops * factor,
+            self.cache * factor,
+            self.mem * factor,
+        )
+    }
+}
+
+/// Peripheral device classes whose power the full-system accounting covers
+/// (paper §3.3: "power-consuming peripheral devices for disk and network
+/// I/O").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Disk subsystem.
+    Disk,
+    /// Network interface.
+    Net,
+}
+
+impl DeviceKind {
+    /// Both device kinds, for iteration.
+    pub const ALL: [DeviceKind; 2] = [DeviceKind::Disk, DeviceKind::Net];
+
+    /// Stable index for array storage.
+    pub const fn index(self) -> usize {
+        match self {
+            DeviceKind::Disk => 0,
+            DeviceKind::Net => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_out_of_range() {
+        let p = ActivityProfile::new(2.0, -1.0, 0.5, 1.5);
+        assert_eq!(p.ins, 1.0);
+        assert_eq!(p.flops, 0.0);
+        assert_eq!(p.cache, 0.5);
+        assert_eq!(p.mem, 1.0);
+    }
+
+    #[test]
+    fn presets_are_in_range() {
+        for p in [
+            ActivityProfile::cpu_spin(),
+            ActivityProfile::high_ipc(),
+            ActivityProfile::float_heavy(),
+            ActivityProfile::cache_heavy(),
+            ActivityProfile::memory_bound(),
+            ActivityProfile::stress(),
+            ActivityProfile::quiescent(),
+        ] {
+            for v in [p.ins, p.flops, p.cache, p.mem] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = ActivityProfile::cpu_spin();
+        let b = ActivityProfile::stress();
+        assert_eq!(a.blend(&b, 0.0), a);
+        assert_eq!(a.blend(&b, 1.0), b);
+        let mid = a.blend(&b, 0.5);
+        assert!((mid.mem - (a.mem + b.mem) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_halves_intensity() {
+        let p = ActivityProfile::high_ipc().scaled(0.5);
+        assert!((p.ins - 0.475).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_indices_are_distinct() {
+        assert_ne!(DeviceKind::Disk.index(), DeviceKind::Net.index());
+        assert_eq!(DeviceKind::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-core hardware event counters.
+
+use std::ops::Sub;
+
+/// Cumulative per-core hardware event counters, the inputs to the paper's
+/// power model (§3.1): elapsed cycles, non-halt cycles, retired
+/// instructions, floating-point operations, last-level-cache references,
+/// and memory transactions.
+///
+/// Values are `f64` accumulators rather than integers: the simulation
+/// advances in arbitrary-length intervals and fractional event counts keep
+/// the accounting exact; the linear model only ever consumes *ratios* of
+/// counter deltas.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::CounterBlock;
+///
+/// let earlier = CounterBlock::default();
+/// let mut later = CounterBlock::default();
+/// later.elapsed_cycles = 1000.0;
+/// later.nonhalt_cycles = 500.0;
+/// let delta = later - earlier;
+/// assert_eq!(delta.core_utilization(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterBlock {
+    /// Total cycles elapsed on this core's fixed-frequency clock, halted or
+    /// not.
+    pub elapsed_cycles: f64,
+    /// Unhalted (busy) cycles.
+    pub nonhalt_cycles: f64,
+    /// Retired instructions.
+    pub instructions: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Last-level-cache references.
+    pub cache_refs: f64,
+    /// Memory transactions.
+    pub mem_txns: f64,
+}
+
+impl CounterBlock {
+    /// Core utilization over this (delta) block: non-halt cycles per
+    /// elapsed cycle (the paper's `M_core`). Zero when no cycles elapsed.
+    pub fn core_utilization(&self) -> f64 {
+        if self.elapsed_cycles <= 0.0 {
+            0.0
+        } else {
+            self.nonhalt_cycles / self.elapsed_cycles
+        }
+    }
+
+    /// Instructions per elapsed cycle (`M_ins`).
+    pub fn ins_rate(&self) -> f64 {
+        self.per_cycle(self.instructions)
+    }
+
+    /// Floating-point operations per elapsed cycle (`M_float`).
+    pub fn flop_rate(&self) -> f64 {
+        self.per_cycle(self.flops)
+    }
+
+    /// Last-level-cache references per elapsed cycle (`M_cache`).
+    pub fn cache_rate(&self) -> f64 {
+        self.per_cycle(self.cache_refs)
+    }
+
+    /// Memory transactions per elapsed cycle (`M_mem`).
+    pub fn mem_rate(&self) -> f64 {
+        self.per_cycle(self.mem_txns)
+    }
+
+    fn per_cycle(&self, events: f64) -> f64 {
+        if self.elapsed_cycles <= 0.0 {
+            0.0
+        } else {
+            events / self.elapsed_cycles
+        }
+    }
+
+    /// Adds `other` into `self` element-wise.
+    pub fn accumulate(&mut self, other: &CounterBlock) {
+        self.elapsed_cycles += other.elapsed_cycles;
+        self.nonhalt_cycles += other.nonhalt_cycles;
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.cache_refs += other.cache_refs;
+        self.mem_txns += other.mem_txns;
+    }
+
+    /// Subtracts an event bundle, flooring at zero — used for the §3.5
+    /// observer-effect compensation (maintenance-induced events must not
+    /// drive a delta negative).
+    pub fn saturating_sub_events(&self, other: &CounterBlock) -> CounterBlock {
+        CounterBlock {
+            elapsed_cycles: (self.elapsed_cycles - other.elapsed_cycles).max(0.0),
+            nonhalt_cycles: (self.nonhalt_cycles - other.nonhalt_cycles).max(0.0),
+            instructions: (self.instructions - other.instructions).max(0.0),
+            flops: (self.flops - other.flops).max(0.0),
+            cache_refs: (self.cache_refs - other.cache_refs).max(0.0),
+            mem_txns: (self.mem_txns - other.mem_txns).max(0.0),
+        }
+    }
+}
+
+impl Sub for CounterBlock {
+    type Output = CounterBlock;
+
+    /// Delta between two cumulative snapshots (`later - earlier`).
+    fn sub(self, earlier: CounterBlock) -> CounterBlock {
+        CounterBlock {
+            elapsed_cycles: self.elapsed_cycles - earlier.elapsed_cycles,
+            nonhalt_cycles: self.nonhalt_cycles - earlier.nonhalt_cycles,
+            instructions: self.instructions - earlier.instructions,
+            flops: self.flops - earlier.flops,
+            cache_refs: self.cache_refs - earlier.cache_refs,
+            mem_txns: self.mem_txns - earlier.mem_txns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterBlock {
+        CounterBlock {
+            elapsed_cycles: 1000.0,
+            nonhalt_cycles: 800.0,
+            instructions: 1600.0,
+            flops: 100.0,
+            cache_refs: 40.0,
+            mem_txns: 20.0,
+        }
+    }
+
+    #[test]
+    fn rates_divide_by_elapsed() {
+        let c = sample();
+        assert_eq!(c.core_utilization(), 0.8);
+        assert_eq!(c.ins_rate(), 1.6);
+        assert_eq!(c.flop_rate(), 0.1);
+        assert_eq!(c.cache_rate(), 0.04);
+        assert_eq!(c.mem_rate(), 0.02);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_rates() {
+        let c = CounterBlock::default();
+        assert_eq!(c.core_utilization(), 0.0);
+        assert_eq!(c.ins_rate(), 0.0);
+    }
+
+    #[test]
+    fn subtraction_gives_delta() {
+        let a = sample();
+        let mut b = sample();
+        b.accumulate(&sample());
+        let d = b - a;
+        assert_eq!(d.elapsed_cycles, 1000.0);
+        assert_eq!(d.instructions, 1600.0);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let small = CounterBlock { instructions: 5.0, ..CounterBlock::default() };
+        let big = CounterBlock { instructions: 10.0, ..CounterBlock::default() };
+        let r = small.saturating_sub_events(&big);
+        assert_eq!(r.instructions, 0.0);
+    }
+
+    #[test]
+    fn accumulate_is_additive() {
+        let mut acc = CounterBlock::default();
+        acc.accumulate(&sample());
+        acc.accumulate(&sample());
+        assert_eq!(acc.nonhalt_cycles, 1600.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! CPU duty-cycle modulation.
+
+use std::fmt;
+
+/// A per-core duty-cycle level in eighths, mirroring the Intel
+/// clock-modulation facility the paper uses for throttling (§3.4): during
+/// each modulation window the core executes for `level/8` of the time and
+/// is effectively halted for the rest, issuing no memory operations.
+///
+/// The paper relies on the approximately linear relationship between the
+/// duty-cycle level and active power, and on the level being independently
+/// settable per core; both properties hold here by construction.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::DutyCycle;
+///
+/// let full = DutyCycle::FULL;
+/// assert_eq!(full.fraction(), 1.0);
+/// let half = DutyCycle::new(4).unwrap();
+/// assert_eq!(half.fraction(), 0.5);
+/// assert_eq!(half.to_string(), "4/8");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DutyCycle(u8);
+
+impl DutyCycle {
+    /// Full speed (8/8).
+    pub const FULL: DutyCycle = DutyCycle(8);
+    /// The lowest level the hardware supports (1/8).
+    pub const MIN: DutyCycle = DutyCycle(1);
+
+    /// Creates a duty-cycle level of `eighths/8`.
+    ///
+    /// Returns `None` unless `1 <= eighths <= 8` (level 0 would halt the
+    /// core entirely, which the hardware does not offer).
+    pub fn new(eighths: u8) -> Option<DutyCycle> {
+        (1..=8).contains(&eighths).then_some(DutyCycle(eighths))
+    }
+
+    /// The level in eighths (1..=8).
+    pub const fn eighths(self) -> u8 {
+        self.0
+    }
+
+    /// The executed fraction of cycles, in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        f64::from(self.0) / 8.0
+    }
+
+    /// The largest duty-cycle level whose fraction does not exceed
+    /// `fraction`, flooring at 1/8. Used by the conditioning policy to turn
+    /// a computed speed budget into a hardware setting.
+    pub fn at_most(fraction: f64) -> DutyCycle {
+        let eighths = (fraction * 8.0).floor() as i64;
+        DutyCycle(eighths.clamp(1, 8) as u8)
+    }
+
+    /// One level slower, saturating at [`DutyCycle::MIN`].
+    pub fn slower(self) -> DutyCycle {
+        DutyCycle(self.0.saturating_sub(1).max(1))
+    }
+
+    /// One level faster, saturating at [`DutyCycle::FULL`].
+    pub fn faster(self) -> DutyCycle {
+        DutyCycle((self.0 + 1).min(8))
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> DutyCycle {
+        DutyCycle::FULL
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/8", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(DutyCycle::new(0).is_none());
+        assert!(DutyCycle::new(9).is_none());
+        assert_eq!(DutyCycle::new(8), Some(DutyCycle::FULL));
+        assert_eq!(DutyCycle::new(1), Some(DutyCycle::MIN));
+    }
+
+    #[test]
+    fn fraction_is_linear_in_level() {
+        for e in 1..=8u8 {
+            let d = DutyCycle::new(e).unwrap();
+            assert!((d.fraction() - f64::from(e) / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn at_most_floors() {
+        assert_eq!(DutyCycle::at_most(1.0), DutyCycle::FULL);
+        assert_eq!(DutyCycle::at_most(0.99), DutyCycle::new(7).unwrap());
+        assert_eq!(DutyCycle::at_most(0.5), DutyCycle::new(4).unwrap());
+        assert_eq!(DutyCycle::at_most(0.0), DutyCycle::MIN);
+        assert_eq!(DutyCycle::at_most(-3.0), DutyCycle::MIN);
+        assert_eq!(DutyCycle::at_most(42.0), DutyCycle::FULL);
+    }
+
+    #[test]
+    fn slower_faster_saturate() {
+        assert_eq!(DutyCycle::MIN.slower(), DutyCycle::MIN);
+        assert_eq!(DutyCycle::FULL.faster(), DutyCycle::FULL);
+        assert_eq!(DutyCycle::FULL.slower().eighths(), 7);
+        assert_eq!(DutyCycle::MIN.faster().eighths(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_level() {
+        assert!(DutyCycle::MIN < DutyCycle::FULL);
+    }
+}

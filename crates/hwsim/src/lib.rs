@@ -1,0 +1,57 @@
+//! Multicore server hardware simulation.
+//!
+//! This crate stands in for the three Intel machines of the Power Containers
+//! paper (dual-socket dual-core Woodcrest, dual-socket six-core Westmere,
+//! quad-core SandyBridge). It simulates, per machine:
+//!
+//! * **Cores and hardware event counters** — non-halt cycles, retired
+//!   instructions, floating-point operations, last-level-cache references,
+//!   and memory transactions accumulate while a core runs a task's
+//!   [`ActivityProfile`].
+//! * **A hidden ground-truth power law** ([`power::GroundTruthPower`]) that
+//!   includes the shared per-chip *maintenance power* the paper's Eq. 2
+//!   models, plus a co-activity interaction term the linear model cannot
+//!   express — this is what makes online recalibration (§3.2) matter.
+//! * **Power meters** ([`meter`]) — an on-chip package meter (1 ms windows,
+//!   ≈1 ms delivery delay, like the SandyBridge RAPL meter) and an external
+//!   whole-machine meter (1 s windows, ≈1.2 s delay, like a Wattsup).
+//! * **Per-core duty-cycle modulation** ([`DutyCycle`], multiples of 1/8,
+//!   like the Intel clock-modulation MSR the paper uses for throttling).
+//! * **PMU overflow programming** — a per-core non-halt-cycle threshold
+//!   whose expiry the OS layer turns into sampling interrupts.
+//!
+//! The operating-system simulation (`ossim`) owns a [`Machine`] and advances
+//! it between scheduling events; the power-container facility only ever sees
+//! counter values and (delayed) meter reports — exactly the information the
+//! paper's kernel had.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::{ActivityProfile, Machine, MachineSpec};
+//! use simkern::SimTime;
+//!
+//! let mut m = Machine::new(MachineSpec::sandybridge(), 42);
+//! m.set_running(hwsim::CoreId(0), Some(ActivityProfile::cpu_spin()));
+//! m.advance_to(SimTime::from_millis(10));
+//! let c = m.counters(hwsim::CoreId(0));
+//! assert!(c.nonhalt_cycles > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod counters;
+mod duty;
+mod machine;
+pub mod meter;
+pub mod power;
+mod spec;
+
+pub use activity::{ActivityProfile, DeviceKind};
+pub use counters::CounterBlock;
+pub use duty::DutyCycle;
+pub use machine::{CoreId, FreqScale, Machine};
+pub use meter::{MeterId, MeterReport, MeterScope, MeterSpec};
+pub use spec::{ChipId, MachineSpec};

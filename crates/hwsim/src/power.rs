@@ -1,0 +1,205 @@
+//! The hidden ground-truth power law.
+//!
+//! Real silicon does not obey the linear counter model of the paper's Eq. 2
+//! exactly — that is the entire point of §3.2's online recalibration. This
+//! module defines what power the simulated machines *actually* draw. The
+//! OS-level power-container model never reads these parameters; it only
+//! sees hardware counters and delayed meter reports.
+//!
+//! The law contains three effects the paper discusses:
+//!
+//! 1. **Per-core activity power** that is linear in the activity
+//!    intensities and in the duty-cycle fraction (matching the paper's
+//!    observation that duty-cycle level relates approximately linearly to
+//!    active power).
+//! 2. **Shared chip-maintenance power** drawn by each package while at
+//!    least one of its cores is unhalted (clock distribution, voltage
+//!    regulators, uncore — Fig. 1's "first core costs more" step).
+//! 3. **A co-activity interaction term** — extra power drawn when the
+//!    memory subsystem and the instruction pipeline are *simultaneously*
+//!    saturated, as in the Stress workload and the GAE power virus. Linear
+//!    models calibrated on one-dimensional microbenchmarks systematically
+//!    miss this, reproducing the paper's finding that recalibration is
+//!    "particularly effective … for high-power workloads like Stress".
+
+use crate::activity::ActivityProfile;
+use crate::DutyCycle;
+
+/// Ground-truth power parameters for one machine. All values are Watts
+/// except where noted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruthPower {
+    /// Constant platform power outside the processor packages (fans, PSU
+    /// loss, chipset, idle disks). Visible only to whole-machine meters.
+    pub platform_idle_w: f64,
+    /// Idle power of all processor packages combined (visible to the
+    /// on-chip meter; small on SandyBridge — the paper reports ~5% of
+    /// package power).
+    pub pkg_idle_w: f64,
+    /// Shared maintenance power per chip while any of its cores is busy.
+    pub chip_maintenance_w: f64,
+    /// Power of one busy core at full duty, independent of activity.
+    pub core_w: f64,
+    /// Additional per-core power at instruction intensity 1.0.
+    pub ins_w: f64,
+    /// Additional per-core power at floating-point intensity 1.0.
+    pub flop_w: f64,
+    /// Additional per-core power at cache intensity 1.0.
+    pub cache_w: f64,
+    /// Additional per-core power at memory intensity 1.0.
+    pub mem_w: f64,
+    /// Co-activity interaction power at full memory *and* pipeline
+    /// saturation (per core).
+    pub coact_w: f64,
+    /// Disk subsystem active power.
+    pub disk_w: f64,
+    /// Network interface active power.
+    pub net_w: f64,
+}
+
+impl GroundTruthPower {
+    /// Active power of one core running `profile` at duty-cycle `duty`.
+    ///
+    /// Returns 0.0 for a halted core (no profile).
+    pub fn core_active_power(&self, profile: Option<&ActivityProfile>, duty: DutyCycle) -> f64 {
+        let Some(p) = profile else { return 0.0 };
+        let coact = p.mem * p.ins.max(p.flops);
+        duty.fraction()
+            * (self.core_w
+                + self.ins_w * p.ins
+                + self.flop_w * p.flops
+                + self.cache_w * p.cache
+                + self.mem_w * p.mem
+                + self.coact_w * coact)
+    }
+
+    /// Whole-machine idle power (platform + packages).
+    pub fn machine_idle_w(&self) -> f64 {
+        self.platform_idle_w + self.pkg_idle_w
+    }
+
+    /// SandyBridge parameters, tuned so that the §4.1 calibration on this
+    /// machine recovers approximately the paper's reported coefficient
+    /// maxima (machine idle 26.1 W, `C_core·M_max` ≈ 33 W over four cores,
+    /// chip share ≈ 5.6 W, ...).
+    pub fn sandybridge() -> GroundTruthPower {
+        GroundTruthPower {
+            platform_idle_w: 24.6,
+            pkg_idle_w: 1.5,
+            chip_maintenance_w: 5.6,
+            core_w: 8.3,
+            ins_w: 3.1,
+            flop_w: 1.5,
+            cache_w: 3.5,
+            mem_w: 2.1,
+            coact_w: 6.0,
+            disk_w: 1.7,
+            net_w: 5.8,
+        }
+    }
+
+    /// Woodcrest (2006, 65 nm): poor energy proportionality — high idle,
+    /// expensive cores, comparatively cheap memory-side power.
+    pub fn woodcrest() -> GroundTruthPower {
+        GroundTruthPower {
+            platform_idle_w: 148.0,
+            pkg_idle_w: 24.0,
+            chip_maintenance_w: 8.0,
+            core_w: 9.5,
+            ins_w: 6.5,
+            flop_w: 4.0,
+            cache_w: 1.5,
+            mem_w: 1.5,
+            coact_w: 0.5,
+            disk_w: 2.5,
+            net_w: 5.0,
+        }
+    }
+
+    /// Westmere (2010, 32 nm low-power parts): frugal cores, but a strong
+    /// co-activity term — the paper observed that Stress generates
+    /// "higher-than-normal power consumption, particularly on our Westmere
+    /// processor-based machine".
+    pub fn westmere() -> GroundTruthPower {
+        GroundTruthPower {
+            platform_idle_w: 92.0,
+            pkg_idle_w: 8.0,
+            chip_maintenance_w: 7.0,
+            core_w: 4.2,
+            ins_w: 1.3,
+            flop_w: 0.9,
+            cache_w: 1.7,
+            mem_w: 1.3,
+            coact_w: 5.5,
+            disk_w: 2.0,
+            net_w: 5.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halted_core_draws_nothing() {
+        let t = GroundTruthPower::sandybridge();
+        assert_eq!(t.core_active_power(None, DutyCycle::FULL), 0.0);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_duty() {
+        let t = GroundTruthPower::sandybridge();
+        let p = ActivityProfile::stress();
+        let full = t.core_active_power(Some(&p), DutyCycle::FULL);
+        let half = t.core_active_power(Some(&p), DutyCycle::new(4).unwrap());
+        assert!((half - full / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_app_beats_spin_power_by_about_half() {
+        // Paper §1: at full utilization a cache/memory-intensive app drew
+        // 49% more (package) power than a CPU spin on SandyBridge.
+        let t = GroundTruthPower::sandybridge();
+        let spin = 4.0 * t.core_active_power(Some(&ActivityProfile::cpu_spin()), DutyCycle::FULL)
+            + t.chip_maintenance_w;
+        let mem = 4.0 * t.core_active_power(Some(&ActivityProfile::memory_bound()), DutyCycle::FULL)
+            + t.chip_maintenance_w;
+        let ratio = mem / spin;
+        assert!(
+            (1.3..1.8).contains(&ratio),
+            "memory/spin power ratio {ratio:.2} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn coactivity_only_fires_when_both_sides_busy() {
+        let t = GroundTruthPower::westmere();
+        let mem_only = ActivityProfile::new(0.0, 0.0, 0.0, 1.0);
+        let cpu_only = ActivityProfile::new(1.0, 0.0, 0.0, 0.0);
+        let both = ActivityProfile::new(1.0, 0.0, 0.0, 1.0);
+        let p_mem = t.core_active_power(Some(&mem_only), DutyCycle::FULL);
+        let p_cpu = t.core_active_power(Some(&cpu_only), DutyCycle::FULL);
+        let p_both = t.core_active_power(Some(&both), DutyCycle::FULL);
+        let superposition = p_mem + p_cpu - t.core_w; // core_w counted twice
+        assert!(
+            p_both > superposition + t.coact_w * 0.9,
+            "interaction term missing: {p_both} vs {superposition}"
+        );
+    }
+
+    #[test]
+    fn sandybridge_idle_matches_paper() {
+        let t = GroundTruthPower::sandybridge();
+        assert!((t.machine_idle_w() - 26.1).abs() < 1e-9);
+        // Package idle is a small fraction of package power, per §1.
+        assert!(t.pkg_idle_w < 3.0);
+    }
+
+    #[test]
+    fn woodcrest_is_least_proportional() {
+        let wc = GroundTruthPower::woodcrest();
+        let sb = GroundTruthPower::sandybridge();
+        assert!(wc.machine_idle_w() > 4.0 * sb.machine_idle_w());
+    }
+}

@@ -1,0 +1,195 @@
+//! Machine specifications for the paper's three evaluation platforms.
+
+use crate::meter::MeterSpec;
+use crate::power::GroundTruthPower;
+use simkern::SimDuration;
+
+/// Identifies one multicore chip (processor package / socket) on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChipId(pub usize);
+
+/// Static description of a simulated machine: topology, clock frequency,
+/// the hidden ground-truth power law, and the power meters attached to it.
+///
+/// The three presets mirror the paper's evaluation platforms (§4):
+///
+/// | Preset | Processor | Topology | Released |
+/// |---|---|---|---|
+/// | [`MachineSpec::woodcrest`] | 2 × Xeon 5160, 3.0 GHz | 2 chips × 2 cores | 2006 |
+/// | [`MachineSpec::westmere`] | 2 × Xeon L5640, 2.26 GHz | 2 chips × 6 cores | 2010 |
+/// | [`MachineSpec::sandybridge`] | Xeon E31220, 3.1 GHz | 1 chip × 4 cores | 2011 |
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Human-readable name ("sandybridge", ...).
+    pub name: &'static str,
+    /// Number of processor packages (sockets).
+    pub chips: usize,
+    /// Cores per package.
+    pub cores_per_chip: usize,
+    /// Core clock frequency in GHz; also the rate at which elapsed-cycle
+    /// counters advance.
+    pub freq_ghz: f64,
+    /// The hidden physical power behaviour (never exposed to the model).
+    pub truth: GroundTruthPower,
+    /// Power meters attached to this machine.
+    pub meters: Vec<MeterSpec>,
+    /// Cycle-count multiplier for compute-dominated work relative to the
+    /// newest machine: older microarchitectures need more cycles for the
+    /// same request (no wide issue, no crypto extensions, ...).
+    pub compute_scale: f64,
+    /// Cycle-count multiplier for memory-dominated work; DRAM latency
+    /// improved far less across the paper's machine generations, which is
+    /// what creates the workload-specific cross-machine energy affinity of
+    /// Fig. 13.
+    pub mem_scale: f64,
+}
+
+impl MachineSpec {
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// The chip that `core` (flat index) belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn chip_of(&self, core: usize) -> ChipId {
+        assert!(core < self.total_cores(), "core {core} out of range");
+        ChipId(core / self.cores_per_chip)
+    }
+
+    /// Flat indices of all cores on `chip`.
+    pub fn cores_of(&self, chip: ChipId) -> std::ops::Range<usize> {
+        let start = chip.0 * self.cores_per_chip;
+        start..start + self.cores_per_chip
+    }
+
+    /// Cycles elapsed in a wall-clock duration at this machine's frequency.
+    pub fn cycles_in(&self, d: SimDuration) -> f64 {
+        self.freq_ghz * d.as_nanos() as f64
+    }
+
+    /// Wall-clock duration needed for `cycles` cycles at full speed.
+    pub fn duration_of_cycles(&self, cycles: f64) -> SimDuration {
+        SimDuration::from_secs_f64(cycles / (self.freq_ghz * 1e9))
+    }
+
+    /// The cycle-count multiplier this machine applies to work with the
+    /// given activity mix: a blend of [`MachineSpec::compute_scale`] and
+    /// [`MachineSpec::mem_scale`] weighted by the profile's memory
+    /// intensity. DRAM-bound work sees little generational speedup (its
+    /// runtime is stall-dominated), while compute-bound work sees the
+    /// full microarchitectural gap — the source of Fig. 13's spread.
+    pub fn work_scale(&self, profile: &crate::ActivityProfile) -> f64 {
+        let w = profile.mem.clamp(0.0, 1.0);
+        self.compute_scale * (1.0 - w) + self.mem_scale * w
+    }
+
+    /// The quad-core SandyBridge machine (Xeon E31220, 3.1 GHz), with both
+    /// an on-chip package meter (1 ms windows, 1 ms delay) and an external
+    /// whole-machine meter (1 s windows, 1.2 s delay).
+    pub fn sandybridge() -> MachineSpec {
+        MachineSpec {
+            name: "sandybridge",
+            chips: 1,
+            cores_per_chip: 4,
+            freq_ghz: 3.1,
+            truth: GroundTruthPower::sandybridge(),
+            meters: vec![MeterSpec::on_chip(), MeterSpec::wattsup()],
+            compute_scale: 1.0,
+            mem_scale: 1.0,
+        }
+    }
+
+    /// The dual-socket dual-core Woodcrest machine (2 × Xeon 5160, 3.0
+    /// GHz), with only an external Wattsup-style meter.
+    pub fn woodcrest() -> MachineSpec {
+        MachineSpec {
+            name: "woodcrest",
+            chips: 2,
+            cores_per_chip: 2,
+            freq_ghz: 3.0,
+            truth: GroundTruthPower::woodcrest(),
+            meters: vec![MeterSpec::wattsup()],
+            compute_scale: 2.8,
+            mem_scale: 1.05,
+        }
+    }
+
+    /// The dual-socket six-core Westmere machine (2 × Xeon L5640, 2.26
+    /// GHz), with only an external Wattsup-style meter.
+    pub fn westmere() -> MachineSpec {
+        MachineSpec {
+            name: "westmere",
+            chips: 2,
+            cores_per_chip: 6,
+            freq_ghz: 2.26,
+            truth: GroundTruthPower::westmere(),
+            meters: vec![MeterSpec::wattsup()],
+            compute_scale: 1.15,
+            mem_scale: 0.95,
+        }
+    }
+
+    /// All three evaluation machines, in the paper's order.
+    pub fn all_machines() -> Vec<MachineSpec> {
+        vec![
+            MachineSpec::woodcrest(),
+            MachineSpec::westmere(),
+            MachineSpec::sandybridge(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_paper() {
+        let wc = MachineSpec::woodcrest();
+        assert_eq!(wc.total_cores(), 4);
+        assert_eq!(wc.chips, 2);
+        let wm = MachineSpec::westmere();
+        assert_eq!(wm.total_cores(), 12);
+        let sb = MachineSpec::sandybridge();
+        assert_eq!(sb.total_cores(), 4);
+        assert_eq!(sb.chips, 1);
+    }
+
+    #[test]
+    fn chip_of_partitions_cores() {
+        let wc = MachineSpec::woodcrest();
+        assert_eq!(wc.chip_of(0), ChipId(0));
+        assert_eq!(wc.chip_of(1), ChipId(0));
+        assert_eq!(wc.chip_of(2), ChipId(1));
+        assert_eq!(wc.chip_of(3), ChipId(1));
+        assert_eq!(wc.cores_of(ChipId(1)), 2..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chip_of_rejects_bad_core() {
+        MachineSpec::sandybridge().chip_of(4);
+    }
+
+    #[test]
+    fn cycles_round_trip() {
+        let sb = MachineSpec::sandybridge();
+        let d = SimDuration::from_millis(2);
+        let cycles = sb.cycles_in(d);
+        assert!((cycles - 6.2e6).abs() < 1.0);
+        let back = sb.duration_of_cycles(cycles);
+        assert!((back.as_millis_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sandybridge_has_on_chip_meter() {
+        let sb = MachineSpec::sandybridge();
+        assert_eq!(sb.meters.len(), 2);
+        let wc = MachineSpec::woodcrest();
+        assert_eq!(wc.meters.len(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the hardware simulation.
+
+use hwsim::{ActivityProfile, CoreId, DutyCycle, Machine, MachineSpec};
+use proptest::prelude::*;
+use simkern::{SimDuration, SimTime};
+
+fn arb_profile() -> impl Strategy<Value = ActivityProfile> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)
+        .prop_map(|(i, f, c, m)| ActivityProfile::new(i, f, c, m))
+}
+
+proptest! {
+    /// Counters are monotone non-decreasing under arbitrary run/duty
+    /// sequences, and utilization never exceeds 1.
+    #[test]
+    fn counters_monotone(
+        steps in prop::collection::vec(
+            (arb_profile(), 1u8..=8, 1u64..5_000_000, any::<bool>()),
+            1..40
+        )
+    ) {
+        let mut m = Machine::new(MachineSpec::sandybridge(), 1);
+        let mut t = SimTime::ZERO;
+        let mut prev = m.counters(CoreId(0));
+        for (profile, duty, ns, busy) in steps {
+            m.set_running(CoreId(0), busy.then_some(profile));
+            m.set_duty_cycle(CoreId(0), DutyCycle::new(duty).expect("valid"));
+            t += SimDuration::from_nanos(ns);
+            m.advance_to(t);
+            let cur = m.counters(CoreId(0));
+            prop_assert!(cur.elapsed_cycles >= prev.elapsed_cycles);
+            prop_assert!(cur.nonhalt_cycles >= prev.nonhalt_cycles);
+            prop_assert!(cur.instructions >= prev.instructions);
+            prop_assert!(cur.nonhalt_cycles <= cur.elapsed_cycles + 1e-6);
+            prev = cur;
+        }
+    }
+
+    /// Energy accounting is additive: advancing in many small steps gives
+    /// the same energy as one big step.
+    #[test]
+    fn energy_additive_over_splits(
+        profile in arb_profile(),
+        parts in prop::collection::vec(1u64..2_000_000, 1..20),
+    ) {
+        let total_ns: u64 = parts.iter().sum();
+        let mut split = Machine::new(MachineSpec::sandybridge(), 9);
+        split.set_running(CoreId(0), Some(profile));
+        let mut t = SimTime::ZERO;
+        for ns in &parts {
+            t += SimDuration::from_nanos(*ns);
+            split.advance_to(t);
+        }
+        let mut whole = Machine::new(MachineSpec::sandybridge(), 9);
+        whole.set_running(CoreId(0), Some(profile));
+        whole.advance_to(SimTime::from_nanos(total_ns));
+        let (a, b) = (split.true_energy_j(), whole.true_energy_j());
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + b), "split {a} vs whole {b}");
+    }
+
+    /// True power is linear in the duty fraction for any profile.
+    #[test]
+    fn power_linear_in_duty(profile in arb_profile(), duty in 1u8..=8) {
+        let truth = MachineSpec::sandybridge().truth;
+        let d = DutyCycle::new(duty).expect("valid");
+        let full = truth.core_active_power(Some(&profile), DutyCycle::FULL);
+        let scaled = truth.core_active_power(Some(&profile), d);
+        prop_assert!((scaled - full * d.fraction()).abs() < 1e-9);
+    }
+
+    /// Active power is zero iff no core runs and no device is active.
+    #[test]
+    fn idle_machine_draws_no_active_power(ns in 1u64..10_000_000) {
+        let mut m = Machine::new(MachineSpec::westmere(), 4);
+        m.advance_to(SimTime::from_nanos(ns));
+        prop_assert_eq!(m.true_active_energy_j(), 0.0);
+        prop_assert!(m.true_energy_j() > 0.0);
+    }
+
+    /// Meter reports bracket the true average power (within noise).
+    #[test]
+    fn meter_reports_track_truth(profile in arb_profile(), cores in 1usize..=4) {
+        let mut m = Machine::new(MachineSpec::sandybridge(), 11);
+        for c in 0..cores {
+            m.set_running(CoreId(c), Some(profile));
+        }
+        let expected = m.true_package_power_watts();
+        m.advance_to(SimTime::from_millis(20));
+        let id = m.find_meter("on-chip").expect("meter");
+        let reports = m.pop_meter_reports(id);
+        prop_assert!(!reports.is_empty());
+        for r in reports {
+            prop_assert!(
+                (r.avg_watts - expected).abs() <= expected * 0.05 + 0.5,
+                "report {} vs expected {}",
+                r.avg_watts,
+                expected
+            );
+        }
+    }
+
+    /// PMU deadlines always make progress: the scheduled delay is at
+    /// least one nanosecond and the threshold is reached by then.
+    #[test]
+    fn pmu_deadline_progresses(
+        profile in arb_profile(),
+        duty in 1u8..=8,
+        threshold in 1.0f64..10_000_000.0,
+    ) {
+        let mut m = Machine::new(MachineSpec::sandybridge(), 2);
+        m.set_running(CoreId(0), Some(profile));
+        m.set_duty_cycle(CoreId(0), DutyCycle::new(duty).expect("valid"));
+        m.set_pmu_threshold(CoreId(0), Some(threshold));
+        let d = m.time_until_pmu(CoreId(0)).expect("armed and busy");
+        prop_assert!(d.as_nanos() >= 1);
+        m.advance_to(SimTime::ZERO + d);
+        prop_assert!(m.pmu_expired(CoreId(0)), "threshold not reached after deadline");
+    }
+}

@@ -1,0 +1,200 @@
+//! Kernel instrumentation hooks.
+//!
+//! The power-container facility of the paper is a set of kernel
+//! modifications that observe scheduling events and drive per-core
+//! sampling and control. [`KernelHooks`] is the corresponding seam in this
+//! simulation: the kernel invokes it at exactly the moments the paper's
+//! patched Linux 2.6.30 instruments — context switches, PMU overflow
+//! interrupts, request-context (re)binding, task lifecycle, and I/O.
+//!
+//! Hooks receive a [`KernelApi`] giving access to the hardware (counters,
+//! duty-cycle, PMU programming) and a read-only view of scheduler state
+//! (who runs where, whether a sibling core is idle). The hardware has
+//! always been advanced to the present instant before a hook runs, so
+//! counter reads are exact; any duty-cycle or PMU change a hook makes
+//! takes effect from the present instant onward.
+
+use crate::ids::{ContextId, TaskId};
+use hwsim::{CoreId, DeviceKind, Machine};
+use simkern::SimTime;
+
+/// Access granted to hooks at a hook point.
+pub struct KernelApi<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The machine: hooks may read counters, set duty-cycle levels, arm
+    /// PMU thresholds, and inject observer-effect events.
+    pub machine: &'a mut Machine,
+    pub(crate) running: &'a [Option<TaskId>],
+    pub(crate) contexts: &'a [Option<ContextId>],
+}
+
+impl<'a> KernelApi<'a> {
+    /// Builds a standalone API view — for facility benchmarks and tests
+    /// that exercise hooks without a full kernel. `running` must have one
+    /// entry per core; `contexts` is indexed by task id.
+    pub fn new(
+        now: SimTime,
+        machine: &'a mut Machine,
+        running: &'a [Option<TaskId>],
+        contexts: &'a [Option<ContextId>],
+    ) -> KernelApi<'a> {
+        assert_eq!(
+            running.len(),
+            machine.spec().total_cores(),
+            "one running slot per core"
+        );
+        KernelApi { now, machine, running, contexts }
+    }
+
+    /// The task currently running on `core`, if any.
+    pub fn running_task(&self, core: CoreId) -> Option<TaskId> {
+        self.running[core.0]
+    }
+
+    /// `true` when the scheduler currently runs the idle task on `core` —
+    /// the sibling-staleness check of the paper's Eq. 3 implementation.
+    pub fn is_idle(&self, core: CoreId) -> bool {
+        self.running[core.0].is_none()
+    }
+
+    /// The request context `task` is currently bound to.
+    pub fn context_of(&self, task: TaskId) -> Option<ContextId> {
+        self.contexts.get(task.0 as usize).copied().flatten()
+    }
+
+    /// Number of cores on the machine.
+    pub fn core_count(&self) -> usize {
+        self.running.len()
+    }
+}
+
+/// Events the kernel reports to an installed facility.
+///
+/// All methods have empty default implementations so facilities override
+/// only what they need.
+#[allow(unused_variables)]
+pub trait KernelHooks {
+    /// The kernel finished construction; arm initial PMU state here.
+    fn on_boot(&mut self, api: &mut KernelApi<'_>) {}
+
+    /// A context switch is occurring on `core`: `prev` is being descheduled
+    /// and `next` dispatched (either may be `None` for the idle task). The
+    /// machine still reflects `prev`'s activity; counters read here include
+    /// everything `prev` executed.
+    fn on_context_switch(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        core: CoreId,
+        prev: Option<TaskId>,
+        next: Option<TaskId>,
+    ) {
+    }
+
+    /// The PMU overflow threshold on `core` expired while `task` was
+    /// running. The facility typically samples counters, re-arms the
+    /// threshold, and applies control decisions here.
+    fn on_pmu_interrupt(&mut self, api: &mut KernelApi<'_>, core: CoreId, task: TaskId) {}
+
+    /// `task`'s request-context binding changed (socket read inheritance,
+    /// explicit rebind, or fork inheritance at creation). `core` is where
+    /// the task is running, when it is on a CPU at the moment of binding.
+    fn on_context_bound(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        task: TaskId,
+        old: Option<ContextId>,
+        new: Option<ContextId>,
+        core: Option<CoreId>,
+    ) {
+    }
+
+    /// A task was created (`parent` is `None` for tasks spawned by the
+    /// harness).
+    fn on_task_created(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        task: TaskId,
+        parent: Option<TaskId>,
+        ctx: Option<ContextId>,
+    ) {
+    }
+
+    /// A task exited.
+    fn on_task_exit(&mut self, api: &mut KernelApi<'_>, task: TaskId, ctx: Option<ContextId>) {}
+
+    /// A blocking I/O operation started on behalf of `task`.
+    fn on_io_start(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        device: DeviceKind,
+        task: TaskId,
+        ctx: Option<ContextId>,
+        bytes: u64,
+    ) {
+    }
+
+    /// A blocking I/O operation completed; `seconds` is how long the
+    /// device worked on it.
+    fn on_io_complete(
+        &mut self,
+        api: &mut KernelApi<'_>,
+        device: DeviceKind,
+        task: TaskId,
+        ctx: Option<ContextId>,
+        bytes: u64,
+        seconds: f64,
+    ) {
+    }
+}
+
+/// A facility that observes nothing — the default when no hooks are
+/// installed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl KernelHooks for NoHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::MachineSpec;
+
+    #[test]
+    fn api_views_scheduler_state() {
+        let mut machine = Machine::new(MachineSpec::sandybridge(), 1);
+        let running = vec![Some(TaskId(5)), None, None, None];
+        let contexts = vec![None, None, None, None, None, Some(ContextId(7))];
+        let api = KernelApi {
+            now: SimTime::ZERO,
+            machine: &mut machine,
+            running: &running,
+            contexts: &contexts,
+        };
+        assert_eq!(api.running_task(CoreId(0)), Some(TaskId(5)));
+        assert!(api.is_idle(CoreId(1)));
+        assert!(!api.is_idle(CoreId(0)));
+        assert_eq!(api.context_of(TaskId(5)), Some(ContextId(7)));
+        assert_eq!(api.context_of(TaskId(0)), None);
+        assert_eq!(api.context_of(TaskId(99)), None);
+        assert_eq!(api.core_count(), 4);
+    }
+
+    #[test]
+    fn no_hooks_accepts_all_events() {
+        let mut machine = Machine::new(MachineSpec::sandybridge(), 1);
+        let running = vec![None; 4];
+        let contexts: Vec<Option<ContextId>> = vec![];
+        let mut api = KernelApi {
+            now: SimTime::ZERO,
+            machine: &mut machine,
+            running: &running,
+            contexts: &contexts,
+        };
+        let mut h = NoHooks;
+        h.on_boot(&mut api);
+        h.on_context_switch(&mut api, CoreId(0), None, Some(TaskId(0)));
+        h.on_pmu_interrupt(&mut api, CoreId(0), TaskId(0));
+        h.on_task_exit(&mut api, TaskId(0), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Identifier newtypes for OS objects.
+
+use std::fmt;
+
+/// Identifies a task (process or thread) in the simulated OS.
+///
+/// Task ids are never reused within one kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Identifies a request execution context — the paper's unit of power
+/// accounting. A context flows with a request across tasks, sockets, and
+/// forks; the power-container facility keys its containers by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId(pub u64);
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// Identifies one endpoint of a socket pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SocketId(pub u32);
+
+impl fmt::Display for SocketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sock{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_distinct_and_nonempty() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+        assert_eq!(ContextId(9).to_string(), "ctx9");
+        assert_eq!(SocketId(1).to_string(), "sock1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(ContextId(1) < ContextId(2));
+    }
+}

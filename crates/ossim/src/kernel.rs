@@ -1,0 +1,796 @@
+//! The simulated operating system kernel.
+//!
+//! [`Kernel`] owns a [`Machine`] and drives it with a discrete-event loop:
+//! per-core run queues with round-robin quanta, Linux-like spreading
+//! placement of woken tasks (idle cores on the least-busy chip first —
+//! the behaviour behind Fig. 1's Woodcrest measurements), sockets with
+//! per-segment request-context tags, fork/wait, blocking I/O and sleeps,
+//! and PMU-overflow interrupts delivered to the installed
+//! [`KernelHooks`](crate::KernelHooks) facility.
+
+use crate::hooks::{KernelApi, KernelHooks};
+use crate::ids::{ContextId, SocketId, TaskId};
+use crate::program::{Op, ProcCtx, Program, Resume};
+use crate::socket::{Segment, SocketTable};
+use hwsim::{ActivityProfile, CoreId, DeviceKind, Machine};
+use simkern::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Work below this many remaining cycles counts as complete (absorbs
+/// nanosecond rounding of completion deadlines).
+const CYCLE_EPS: f64 = 0.5;
+
+/// Cap on zero-time operations one task may issue back-to-back; exceeding
+/// it indicates a program spinning without ever computing or blocking.
+const MAX_INSTANT_OPS: usize = 100_000;
+
+/// Tunable kernel parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Round-robin scheduling quantum.
+    pub quantum: SimDuration,
+    /// One-way local socket delivery latency.
+    pub socket_latency: SimDuration,
+    /// Disk throughput in bytes/second.
+    pub disk_bandwidth: f64,
+    /// Fixed per-operation disk latency.
+    pub disk_latency: SimDuration,
+    /// Network throughput in bytes/second.
+    pub net_bandwidth: f64,
+    /// Fixed per-operation network latency.
+    pub net_latency: SimDuration,
+    /// Ablation: emulate the naive context-propagation design the paper
+    /// rejects in §3.3 — the receiving *socket* inherits the most recent
+    /// message's tag instead of each segment carrying its own, which
+    /// misattributes requests on persistent connections.
+    pub naive_socket_tagging: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            quantum: SimDuration::from_millis(2),
+            socket_latency: SimDuration::from_micros(10),
+            disk_bandwidth: 150e6,
+            disk_latency: SimDuration::from_micros(400),
+            net_bandwidth: 1e9,
+            net_latency: SimDuration::from_micros(50),
+            naive_socket_tagging: false,
+        }
+    }
+}
+
+/// Observable lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting in a run queue.
+    Runnable,
+    /// Executing on the given core.
+    Running(CoreId),
+    /// Blocked in `read()` on a socket.
+    BlockedRecv(SocketId),
+    /// Blocked in `wait()` for a child.
+    BlockedWait,
+    /// Blocked on disk or network I/O.
+    BlockedIo,
+    /// Blocked in a timer sleep.
+    BlockedSleep,
+    /// Exited, waiting to be reaped by its parent.
+    Zombie,
+    /// Exited and reaped.
+    Dead,
+}
+
+#[derive(Debug)]
+enum Pending {
+    Compute { remaining: f64, profile: ActivityProfile },
+    Recv { socket: SocketId },
+    Wait,
+    Io { device: DeviceKind, bytes: u64, started: SimTime },
+    Sleep,
+}
+
+struct Task {
+    parent: Option<TaskId>,
+    program: Option<Box<dyn Program>>,
+    state: TaskState,
+    pending: Option<Pending>,
+    resume: Resume,
+    last_msg: Option<Segment>,
+    children_live: u32,
+    zombies: Vec<TaskId>,
+    detached: bool,
+}
+
+/// Aggregate kernel activity counters, used by the overhead experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Context switches performed (including switches to/from idle).
+    pub context_switches: u64,
+    /// PMU overflow interrupts delivered to hooks.
+    pub pmu_interrupts: u64,
+    /// Socket messages delivered.
+    pub messages: u64,
+    /// Tasks created (spawn + fork).
+    pub tasks_created: u64,
+    /// Tasks exited.
+    pub tasks_exited: u64,
+}
+
+#[derive(Debug, Clone)]
+enum KEvent {
+    CoreTick { core: usize, gen: u64 },
+    Deliver { dst: SocketId, seg: Segment },
+    Wake { task: TaskId },
+}
+
+/// The simulated OS kernel for one machine.
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{ActivityProfile, Machine, MachineSpec};
+/// use ossim::{Kernel, Op, ScriptProgram};
+/// use simkern::SimTime;
+///
+/// let machine = Machine::new(MachineSpec::sandybridge(), 1);
+/// let mut kernel = Kernel::new(machine, Default::default());
+/// kernel.spawn(
+///     Box::new(ScriptProgram::new(vec![Op::Compute {
+///         cycles: 3.1e6,
+///         profile: ActivityProfile::cpu_spin(),
+///     }])),
+///     None,
+/// );
+/// kernel.run_until(SimTime::from_millis(5));
+/// assert_eq!(kernel.stats().tasks_exited, 1);
+/// ```
+pub struct Kernel {
+    machine: Machine,
+    config: KernelConfig,
+    tasks: Vec<Task>,
+    contexts: Vec<Option<ContextId>>,
+    running: Vec<Option<TaskId>>,
+    runqueues: Vec<VecDeque<TaskId>>,
+    quantum_end: Vec<SimTime>,
+    core_gen: Vec<u64>,
+    progress_base: Vec<f64>,
+    sockets: SocketTable,
+    events: EventQueue<KEvent>,
+    hooks: Option<Box<dyn KernelHooks>>,
+    prog_rng: SimRng,
+    device_users: [u32; 2],
+    next_ctx: u64,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel owning `machine`.
+    pub fn new(machine: Machine, config: KernelConfig) -> Kernel {
+        let n = machine.spec().total_cores();
+        Kernel {
+            config,
+            tasks: Vec::new(),
+            contexts: Vec::new(),
+            running: vec![None; n],
+            runqueues: (0..n).map(|_| VecDeque::new()).collect(),
+            quantum_end: vec![SimTime::MAX; n],
+            core_gen: vec![0; n],
+            progress_base: vec![0.0; n],
+            sockets: SocketTable::default(),
+            events: EventQueue::new(),
+            hooks: None,
+            prog_rng: SimRng::new(0xB5EF_0C7A).split(machine.spec().total_cores() as u64),
+            device_users: [0, 0],
+            next_ctx: 1,
+            stats: KernelStats::default(),
+            machine,
+        }
+    }
+
+    /// Installs the instrumentation facility and delivers its
+    /// [`KernelHooks::on_boot`] callback.
+    pub fn install_hooks(&mut self, hooks: Box<dyn KernelHooks>) {
+        self.hooks = Some(hooks);
+        self.with_hooks(|h, api| h.on_boot(api));
+    }
+
+    /// Removes and returns the installed facility.
+    pub fn take_hooks(&mut self) -> Option<Box<dyn KernelHooks>> {
+        self.hooks.take()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.machine.now()
+    }
+
+    /// Immutable access to the machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (meter reads, manual overrides).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Allocates a fresh request-context identifier.
+    pub fn alloc_context(&mut self) -> ContextId {
+        let id = ContextId(self.next_ctx);
+        self.next_ctx += 1;
+        id
+    }
+
+    /// Creates a connected socket pair.
+    pub fn new_socket_pair(&mut self) -> (SocketId, SocketId) {
+        self.sockets.new_pair()
+    }
+
+    /// Number of buffered, unread segments on `socket`.
+    pub fn buffered_segments(&self, socket: SocketId) -> usize {
+        self.sockets.get(socket).buffer.len()
+    }
+
+    /// The request context `task` is bound to.
+    pub fn context_of(&self, task: TaskId) -> Option<ContextId> {
+        self.contexts.get(task.0 as usize).copied().flatten()
+    }
+
+    /// The lifecycle state of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was never created.
+    pub fn task_state(&self, task: TaskId) -> TaskState {
+        self.tasks[task.0 as usize].state
+    }
+
+    /// `true` when `task` has not yet exited.
+    pub fn is_alive(&self, task: TaskId) -> bool {
+        !matches!(self.task_state(task), TaskState::Zombie | TaskState::Dead)
+    }
+
+    /// `true` when no task is running or runnable (all blocked or exited).
+    pub fn is_quiescent(&self) -> bool {
+        self.running.iter().all(Option::is_none)
+            && self.runqueues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Spawns a top-level task. The task is placed immediately (on an idle
+    /// core if one exists).
+    pub fn spawn(&mut self, program: Box<dyn Program>, ctx: Option<ContextId>) -> TaskId {
+        self.create_task(program, None, ctx, true)
+    }
+
+    /// Sends a message on `socket` from outside the machine (e.g. a
+    /// remote dispatcher holding the client end of a connection): the
+    /// segment appears at `socket`'s peer after the socket latency, just
+    /// as [`Op::Send`] would deliver it.
+    pub fn inject_message(
+        &mut self,
+        socket: SocketId,
+        bytes: u32,
+        ctx: Option<ContextId>,
+        payload: u64,
+    ) {
+        self.send_segment(socket, bytes, payload, ctx);
+    }
+
+    /// Runs the event loop until simulated time `t_end`; hardware state is
+    /// integrated exactly up to `t_end` on return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation livelocks (an unbounded number of events
+    /// fire without simulated time advancing), which indicates a bug in a
+    /// program or facility rather than a recoverable condition.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        let mut last_t = SimTime::MAX;
+        let mut same_t: u64 = 0;
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            if t == last_t {
+                same_t += 1;
+                assert!(
+                    same_t < 5_000_000,
+                    "simulation livelock at {t}: {same_t} events without time advancing \
+                     (stats: {:?})",
+                    self.stats
+                );
+            } else {
+                last_t = t;
+                same_t = 0;
+            }
+            let (t, ev) = self.events.pop().expect("peeked event");
+            self.machine.advance_to(t);
+            self.handle(ev);
+        }
+        self.machine.advance_to(t_end);
+    }
+
+    /// Runs until either no events remain or `t_limit` is reached.
+    /// Returns the time at which the loop stopped.
+    pub fn run_until_quiescent(&mut self, t_limit: SimTime) -> SimTime {
+        while let Some(t) = self.events.peek_time() {
+            if t > t_limit {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked event");
+            self.machine.advance_to(t);
+            self.handle(ev);
+        }
+        let end = self.now().min(t_limit);
+        self.machine.advance_to(end);
+        end
+    }
+
+    // ---- internal machinery -------------------------------------------
+
+    fn with_hooks<F: FnOnce(&mut dyn KernelHooks, &mut KernelApi<'_>)>(&mut self, f: F) {
+        if let Some(mut h) = self.hooks.take() {
+            let mut api = KernelApi {
+                now: self.machine.now(),
+                machine: &mut self.machine,
+                running: &self.running,
+                contexts: &self.contexts,
+            };
+            f(h.as_mut(), &mut api);
+            self.hooks = Some(h);
+        }
+    }
+
+    fn handle(&mut self, ev: KEvent) {
+        match ev {
+            KEvent::CoreTick { core, gen } => {
+                if self.core_gen[core] == gen {
+                    self.core_tick(CoreId(core));
+                }
+            }
+            KEvent::Deliver { dst, seg } => self.deliver(dst, seg),
+            KEvent::Wake { task } => self.wake(task),
+        }
+    }
+
+    fn deliver(&mut self, dst: SocketId, seg: Segment) {
+        self.stats.messages += 1;
+        let ep = self.sockets.get_mut(dst);
+        ep.buffer.push_back(seg);
+        if seg.ctx.is_some() {
+            ep.last_tag = seg.ctx;
+        }
+        if let Some(reader) = ep.waiting_reader.take() {
+            self.tasks[reader.0 as usize].state = TaskState::Runnable;
+            self.place_runnable(reader);
+        }
+    }
+
+    fn wake(&mut self, task: TaskId) {
+        let t = &mut self.tasks[task.0 as usize];
+        match t.pending.take() {
+            Some(Pending::Sleep) => {
+                t.resume = Resume::Done;
+            }
+            Some(Pending::Io { device, bytes, started }) => {
+                t.resume = Resume::Done;
+                self.device_users[device.index()] -= 1;
+                if self.device_users[device.index()] == 0 {
+                    self.machine.set_device_active(device, false);
+                }
+                let seconds = self.now().duration_since(started).as_secs_f64();
+                let ctx = self.context_of(task);
+                self.with_hooks(|h, api| h.on_io_complete(api, device, task, ctx, bytes, seconds));
+            }
+            other => {
+                // Spurious wake (task already handled); restore and ignore.
+                self.tasks[task.0 as usize].pending = other;
+                return;
+            }
+        }
+        self.tasks[task.0 as usize].state = TaskState::Runnable;
+        self.place_runnable(task);
+    }
+
+    /// The Fig. 1 placement policy: prefer an idle core on the chip with
+    /// the fewest busy cores (Linux's performance-oriented spreading);
+    /// fall back to the shortest run queue.
+    fn pick_core(&self) -> CoreId {
+        let spec = self.machine.spec();
+        let mut best_idle: Option<(usize, usize)> = None; // (busy_on_chip, core)
+        for core in 0..spec.total_cores() {
+            if self.running[core].is_none() && self.runqueues[core].is_empty() {
+                let chip = spec.chip_of(core);
+                let busy = spec
+                    .cores_of(chip)
+                    .filter(|&c| self.running[c].is_some())
+                    .count();
+                match best_idle {
+                    Some((b, _)) if b <= busy => {}
+                    _ => best_idle = Some((busy, core)),
+                }
+            }
+        }
+        if let Some((_, core)) = best_idle {
+            return CoreId(core);
+        }
+        let core = (0..spec.total_cores())
+            .min_by_key(|&c| self.runqueues[c].len() + usize::from(self.running[c].is_some()))
+            .expect("machine has at least one core");
+        CoreId(core)
+    }
+
+    fn place_runnable(&mut self, task: TaskId) {
+        let core = self.pick_core();
+        if self.running[core.0].is_none() && self.runqueues[core.0].is_empty() {
+            self.install(core, Some(task));
+            self.step_task(core);
+        } else {
+            self.runqueues[core.0].push_back(task);
+        }
+    }
+
+    /// Accounts the running task's compute progress up to the machine's
+    /// present instant.
+    fn account(&mut self, core: CoreId) {
+        let Some(tid) = self.running[core.0] else { return };
+        let nonhalt = self.machine.counters(core).nonhalt_cycles;
+        let used = nonhalt - self.progress_base[core.0];
+        self.progress_base[core.0] = nonhalt;
+        if let Some(Pending::Compute { remaining, .. }) =
+            &mut self.tasks[tid.0 as usize].pending
+        {
+            *remaining = (*remaining - used).max(0.0);
+        }
+    }
+
+    /// Switches `core` to `next` (possibly idle), firing the context-switch
+    /// hook. The caller must already have moved the previous task out of
+    /// the `Running` state (blocked/queued/exited).
+    fn install(&mut self, core: CoreId, next: Option<TaskId>) {
+        let prev = self.running[core.0];
+        self.account(core);
+        self.stats.context_switches += 1;
+        self.with_hooks(|h, api| h.on_context_switch(api, core, prev, next));
+        self.running[core.0] = next;
+        match next {
+            Some(tid) => {
+                self.tasks[tid.0 as usize].state = TaskState::Running(core);
+                self.quantum_end[core.0] = self.now() + self.config.quantum;
+                self.progress_base[core.0] = self.machine.counters(core).nonhalt_cycles;
+            }
+            None => {
+                self.machine.set_running(core, None);
+                self.quantum_end[core.0] = SimTime::MAX;
+                self.schedule_tick(core);
+            }
+        }
+    }
+
+    /// Advances the task on `core` through zero-time operations until it
+    /// settles into computing, blocks, or exits (possibly dispatching a
+    /// successor, which is then stepped too).
+    fn step_task(&mut self, core: CoreId) {
+        let mut budget = MAX_INSTANT_OPS;
+        loop {
+            let Some(tid) = self.running[core.0] else {
+                self.schedule_tick(core);
+                return;
+            };
+            budget -= 1;
+            assert!(budget > 0, "task {tid} issued too many zero-time ops; missing Compute/block");
+            let idx = tid.0 as usize;
+            match self.tasks[idx].pending.take() {
+                Some(Pending::Compute { remaining, profile }) if remaining > CYCLE_EPS => {
+                    self.tasks[idx].pending = Some(Pending::Compute { remaining, profile });
+                    self.machine.set_running(core, Some(profile));
+                    self.schedule_tick(core);
+                    return;
+                }
+                Some(Pending::Compute { .. }) => {
+                    self.tasks[idx].resume = Resume::Done;
+                }
+                Some(Pending::Recv { socket }) => {
+                    let ep = self.sockets.get_mut(socket);
+                    if let Some(seg) = ep.buffer.pop_front() {
+                        // Per-segment tagging is the paper's safe design;
+                        // the naive ablation inherits the socket's most
+                        // recent tag instead, which misattributes when a
+                        // new request's message arrives before an old one
+                        // is read (persistent connections, §3.3).
+                        let inherited = if self.config.naive_socket_tagging {
+                            ep.last_tag
+                        } else {
+                            seg.ctx
+                        };
+                        self.tasks[idx].last_msg = Some(seg);
+                        self.tasks[idx].resume = Resume::Received;
+                        if let Some(ctx) = inherited {
+                            self.bind_context(tid, Some(ctx), Some(core));
+                        }
+                    } else {
+                        // Block in read().
+                        let prev_reader =
+                            self.sockets.get_mut(socket).waiting_reader.replace(tid);
+                        assert!(
+                            prev_reader.is_none(),
+                            "two tasks blocked reading {socket}"
+                        );
+                        self.tasks[idx].pending = Some(Pending::Recv { socket });
+                        self.tasks[idx].state = TaskState::BlockedRecv(socket);
+                        let next = self.runqueues[core.0].pop_front();
+                        self.install(core, next);
+                        continue;
+                    }
+                }
+                Some(Pending::Wait) => {
+                    if let Some(z) = self.tasks[idx].zombies.pop() {
+                        self.tasks[z.0 as usize].state = TaskState::Dead;
+                        self.tasks[idx].resume = Resume::ChildExited(z);
+                    } else if self.tasks[idx].children_live > 0 {
+                        self.tasks[idx].pending = Some(Pending::Wait);
+                        self.tasks[idx].state = TaskState::BlockedWait;
+                        let next = self.runqueues[core.0].pop_front();
+                        self.install(core, next);
+                        continue;
+                    } else {
+                        self.tasks[idx].resume = Resume::Done;
+                    }
+                }
+                Some(other @ (Pending::Io { .. } | Pending::Sleep)) => {
+                    unreachable!("blocking op {other:?} pending at dispatch")
+                }
+                None => {
+                    let op = self.fetch_op(core, tid);
+                    if self.execute_op(core, tid, op) {
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fetch_op(&mut self, _core: CoreId, tid: TaskId) -> Op {
+        let idx = tid.0 as usize;
+        let mut program = self.tasks[idx].program.take().expect("running task has a program");
+        let mut ctx = ProcCtx {
+            now: self.machine.now(),
+            task: tid,
+            context: self.contexts[idx],
+            resume: self.tasks[idx].resume,
+            last_msg: self.tasks[idx].last_msg,
+            rng: &mut self.prog_rng,
+            sockets: &mut self.sockets,
+        };
+        let op = program.next_op(&mut ctx);
+        self.tasks[idx].program = Some(program);
+        self.tasks[idx].resume = Resume::Done;
+        op
+    }
+
+    /// Executes one op for the running task on `core`. Returns `true` when
+    /// the step loop should continue (op was instantaneous or changed the
+    /// dispatched task), which is the case for every op.
+    fn execute_op(&mut self, core: CoreId, tid: TaskId, op: Op) -> bool {
+        let idx = tid.0 as usize;
+        match op {
+            Op::Compute { cycles, profile } => {
+                self.tasks[idx].pending = Some(Pending::Compute { remaining: cycles, profile });
+            }
+            Op::Send { socket, bytes, payload } => {
+                let ctx = self.contexts[idx];
+                self.send_segment(socket, bytes, payload, ctx);
+            }
+            Op::SendTagged { socket, bytes, payload, ctx } => {
+                self.send_segment(socket, bytes, payload, ctx);
+            }
+            Op::Recv { socket } => {
+                self.tasks[idx].pending = Some(Pending::Recv { socket });
+            }
+            Op::Fork { child, ctx, detached } => {
+                let child_ctx = ctx.or(self.contexts[idx]);
+                let child_id = self.create_task(child, Some(tid), child_ctx, detached);
+                if !detached {
+                    self.tasks[idx].children_live += 1;
+                }
+                let _ = child_id;
+            }
+            Op::WaitChild => {
+                self.tasks[idx].pending = Some(Pending::Wait);
+            }
+            Op::DiskIo { bytes } => self.start_io(core, tid, DeviceKind::Disk, bytes),
+            Op::NetIo { bytes } => self.start_io(core, tid, DeviceKind::Net, bytes),
+            Op::Sleep { duration } => {
+                self.tasks[idx].pending = Some(Pending::Sleep);
+                self.tasks[idx].state = TaskState::BlockedSleep;
+                self.events.push(self.now() + duration, KEvent::Wake { task: tid });
+                let next = self.runqueues[core.0].pop_front();
+                self.install(core, next);
+            }
+            Op::BindContext(ctx) => {
+                self.bind_context(tid, ctx, Some(core));
+            }
+            Op::Exit => self.exit_task(core, tid),
+        }
+        true
+    }
+
+    fn send_segment(&mut self, socket: SocketId, bytes: u32, payload: u64, ctx: Option<ContextId>) {
+        let dst = self.sockets.get(socket).peer;
+        let seg = Segment { bytes, ctx, payload, sent_at: self.now() };
+        self.events
+            .push(self.now() + self.config.socket_latency, KEvent::Deliver { dst, seg });
+    }
+
+    fn start_io(&mut self, core: CoreId, tid: TaskId, device: DeviceKind, bytes: u64) {
+        let (bw, lat) = match device {
+            DeviceKind::Disk => (self.config.disk_bandwidth, self.config.disk_latency),
+            DeviceKind::Net => (self.config.net_bandwidth, self.config.net_latency),
+        };
+        let ctx = self.contexts[tid.0 as usize];
+        self.with_hooks(|h, api| h.on_io_start(api, device, tid, ctx, bytes));
+        self.device_users[device.index()] += 1;
+        if self.device_users[device.index()] == 1 {
+            self.machine.set_device_active(device, true);
+        }
+        let dur = lat + SimDuration::from_secs_f64(bytes as f64 / bw);
+        self.tasks[tid.0 as usize].pending =
+            Some(Pending::Io { device, bytes, started: self.now() });
+        self.tasks[tid.0 as usize].state = TaskState::BlockedIo;
+        self.events.push(self.now() + dur, KEvent::Wake { task: tid });
+        let next = self.runqueues[core.0].pop_front();
+        self.install(core, next);
+    }
+
+    fn exit_task(&mut self, core: CoreId, tid: TaskId) {
+        let ctx = self.contexts[tid.0 as usize];
+        self.with_hooks(|h, api| h.on_task_exit(api, tid, ctx));
+        self.stats.tasks_exited += 1;
+        let idx = tid.0 as usize;
+        self.tasks[idx].program = None;
+        // Notify or park under the parent.
+        let parent = self.tasks[idx].parent;
+        let detached = self.tasks[idx].detached;
+        let mut new_state = TaskState::Dead;
+        if let Some(p) = parent {
+            let pidx = p.0 as usize;
+            if !matches!(self.tasks[pidx].state, TaskState::Zombie | TaskState::Dead) {
+                if !detached {
+                    self.tasks[pidx].children_live -= 1;
+                    if matches!(self.tasks[pidx].pending, Some(Pending::Wait))
+                        && matches!(self.tasks[pidx].state, TaskState::BlockedWait)
+                    {
+                        self.tasks[pidx].pending = None;
+                        self.tasks[pidx].resume = Resume::ChildExited(tid);
+                        self.tasks[pidx].state = TaskState::Runnable;
+                        self.place_runnable(p);
+                    } else {
+                        new_state = TaskState::Zombie;
+                        self.tasks[pidx].zombies.push(tid);
+                    }
+                }
+            }
+        }
+        self.tasks[idx].state = new_state;
+        let next = self.runqueues[core.0].pop_front();
+        // The final context switch still sees the exiting task's context so
+        // its last CPU slice is attributed correctly; unbind afterwards.
+        self.install(core, next);
+        self.contexts[idx] = None;
+    }
+
+    fn bind_context(&mut self, tid: TaskId, new: Option<ContextId>, core: Option<CoreId>) {
+        let idx = tid.0 as usize;
+        let old = self.contexts[idx];
+        if old == new {
+            return;
+        }
+        self.contexts[idx] = new;
+        self.with_hooks(|h, api| h.on_context_bound(api, tid, old, new, core));
+    }
+
+    fn create_task(
+        &mut self,
+        program: Box<dyn Program>,
+        parent: Option<TaskId>,
+        ctx: Option<ContextId>,
+        detached: bool,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task {
+            parent,
+            program: Some(program),
+            state: TaskState::Runnable,
+            pending: None,
+            resume: Resume::Start,
+            last_msg: None,
+            children_live: 0,
+            zombies: Vec::new(),
+            detached,
+        });
+        self.contexts.push(ctx);
+        self.stats.tasks_created += 1;
+        self.with_hooks(|h, api| h.on_task_created(api, id, parent, ctx));
+        self.place_runnable(id);
+        id
+    }
+
+    fn core_tick(&mut self, core: CoreId) {
+        self.account(core);
+        let Some(tid) = self.running[core.0] else {
+            return;
+        };
+        // 1. PMU overflow?
+        if self.machine.pmu_expired(core) {
+            self.machine.set_pmu_threshold(core, None);
+            self.stats.pmu_interrupts += 1;
+            self.with_hooks(|h, api| h.on_pmu_interrupt(api, core, tid));
+            // The hook may have injected observer-effect cycles.
+            self.account(core);
+        }
+        // 2. Quantum expiry with waiting work → round-robin.
+        let still_computing = matches!(
+            self.tasks[tid.0 as usize].pending,
+            Some(Pending::Compute { remaining, .. }) if remaining > CYCLE_EPS
+        );
+        if self.now() >= self.quantum_end[core.0] {
+            if let Some(next) = self.runqueues[core.0].pop_front() {
+                self.tasks[tid.0 as usize].state = TaskState::Runnable;
+                self.runqueues[core.0].push_back(tid);
+                self.install(core, Some(next));
+                self.step_task(core);
+                return;
+            }
+            self.quantum_end[core.0] = self.now() + self.config.quantum;
+        }
+        if still_computing {
+            self.schedule_tick(core);
+        } else {
+            // Compute op finished (or task had an instantaneous op queued).
+            self.step_task(core);
+        }
+    }
+
+    fn schedule_tick(&mut self, core: CoreId) {
+        self.core_gen[core.0] += 1;
+        let gen = self.core_gen[core.0];
+        let Some(tid) = self.running[core.0] else {
+            return; // idle cores need no tick
+        };
+        let mut t = self.quantum_end[core.0];
+        if let Some(Pending::Compute { remaining, .. }) = &self.tasks[tid.0 as usize].pending {
+            let rate = self.machine.effective_rate_ghz(core); // cycles per ns
+            let ns = (remaining / rate).ceil().max(1.0) as u64;
+            let done = self.now() + SimDuration::from_nanos(ns);
+            if done < t {
+                t = done;
+            }
+        }
+        if let Some(d) = self.machine.time_until_pmu(core) {
+            let pmu = self.now() + d;
+            if pmu < t {
+                t = pmu;
+            }
+        }
+        if t != SimTime::MAX {
+            self.events.push(t, KEvent::CoreTick { core: core.0, gen });
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now())
+            .field("tasks", &self.tasks.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+

@@ -1,0 +1,55 @@
+//! Operating-system simulation for the Power Containers reproduction.
+//!
+//! The paper implements power containers as modifications to Linux 2.6.30.
+//! This crate provides the corresponding substrate: a deterministic,
+//! single-threaded simulation of the kernel mechanisms the facility hooks
+//! into —
+//!
+//! * **Tasks and scheduling** ([`Kernel`]): per-core run queues,
+//!   round-robin quanta, and Linux-like wakeup placement that spreads load
+//!   across chips for performance (the behaviour visible in the paper's
+//!   Fig. 1 Woodcrest measurements).
+//! * **Programs** ([`Program`], [`Op`]): task behaviour as deterministic
+//!   op-stream state machines — compute bursts with hardware activity
+//!   profiles, socket sends/receives, fork/wait, blocking I/O, sleeps.
+//! * **Sockets with per-segment context tags** — each message carries its
+//!   sender's request-context identifier (the paper's TCP-option tag), and
+//!   a reader inherits the context of the data it actually consumes, which
+//!   is what makes accounting safe on persistent connections (§3.3).
+//! * **Instrumentation hooks** ([`KernelHooks`]): the seam where the
+//!   power-container facility attaches, invoked at context switches, PMU
+//!   overflow interrupts, context (re)binding, task lifecycle and I/O.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::{ActivityProfile, Machine, MachineSpec};
+//! use ossim::{Kernel, Op, ScriptProgram};
+//! use simkern::SimTime;
+//!
+//! let mut kernel = Kernel::new(Machine::new(MachineSpec::sandybridge(), 1), Default::default());
+//! kernel.spawn(
+//!     Box::new(ScriptProgram::new(vec![Op::Compute {
+//!         cycles: 1e6,
+//!         profile: ActivityProfile::high_ipc(),
+//!     }])),
+//!     None,
+//! );
+//! kernel.run_until(SimTime::from_millis(1));
+//! assert!(kernel.is_quiescent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hooks;
+mod ids;
+mod kernel;
+mod program;
+mod socket;
+
+pub use hooks::{KernelApi, KernelHooks, NoHooks};
+pub use ids::{ContextId, SocketId, TaskId};
+pub use kernel::{Kernel, KernelConfig, KernelStats, TaskState};
+pub use program::{FnProgram, Op, ProcCtx, Program, Resume, ScriptProgram};
+pub use socket::Segment;

@@ -1,0 +1,291 @@
+//! Programs: the behaviour of simulated tasks.
+//!
+//! A task's behaviour is an object implementing [`Program`]: each time the
+//! previous operation completes, the kernel asks the program for the next
+//! [`Op`]. This op-stream representation keeps the simulation
+//! single-threaded and deterministic while still allowing dynamic,
+//! data-dependent behaviour (server loops, per-request work, forking
+//! pipelines).
+
+use crate::ids::{ContextId, SocketId, TaskId};
+use crate::socket::{Segment, SocketTable};
+use hwsim::{ActivityProfile, DeviceKind};
+use simkern::{SimDuration, SimRng, SimTime};
+
+/// One operation a task asks the kernel to perform.
+pub enum Op {
+    /// Execute `cycles` non-halt cycles of work with the given hardware
+    /// activity profile. Duty-cycle throttling stretches the wall-clock
+    /// time this takes.
+    Compute {
+        /// Non-halt cycles of work remaining.
+        cycles: f64,
+        /// Hardware activity generated while computing.
+        profile: ActivityProfile,
+    },
+    /// Send one message over a socket, tagged with the sender's current
+    /// request context (non-blocking).
+    Send {
+        /// Sending endpoint; the message appears at its peer.
+        socket: SocketId,
+        /// Message size in bytes.
+        bytes: u32,
+        /// Application payload word delivered with the message.
+        payload: u64,
+    },
+    /// Send one message with an explicit request-context tag, regardless
+    /// of the sender's own binding. This is how a request dispatcher
+    /// opens a fresh context: the tag rides the message (the simulated
+    /// TCP option) and the receiving stage inherits it on `read()`.
+    SendTagged {
+        /// Sending endpoint; the message appears at its peer.
+        socket: SocketId,
+        /// Message size in bytes.
+        bytes: u32,
+        /// Application payload word delivered with the message.
+        payload: u64,
+        /// The request context to tag the message with.
+        ctx: Option<ContextId>,
+    },
+    /// Block until a message is available on `socket`, then consume it.
+    /// The task inherits the consumed segment's request context.
+    Recv {
+        /// Receiving endpoint.
+        socket: SocketId,
+    },
+    /// Spawn a child task running `child`.
+    Fork {
+        /// The child's behaviour.
+        child: Box<dyn Program>,
+        /// The child's request context; `None` inherits the parent's.
+        ctx: Option<ContextId>,
+        /// Detached children are reaped on exit without a `WaitChild`;
+        /// non-detached children persist as zombies until waited for.
+        detached: bool,
+    },
+    /// Block until one (non-detached) child exits; completes immediately
+    /// if a zombie child is already waiting or no children exist.
+    WaitChild,
+    /// Blocking disk I/O of `bytes` bytes.
+    DiskIo {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Blocking network I/O of `bytes` bytes.
+    NetIo {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Block for a fixed duration (timer sleep; the core is free).
+    Sleep {
+        /// Sleep length.
+        duration: SimDuration,
+    },
+    /// Rebind this task to a different request context (or unbind with
+    /// `None`). Used by request drivers to open a fresh context per
+    /// arriving request.
+    BindContext(Option<ContextId>),
+    /// Terminate this task.
+    Exit,
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Compute { cycles, .. } => write!(f, "Compute({cycles:.0} cycles)"),
+            Op::Send { socket, bytes, .. } => write!(f, "Send({socket}, {bytes}B)"),
+            Op::SendTagged { socket, bytes, ctx, .. } => {
+                write!(f, "SendTagged({socket}, {bytes}B, {ctx:?})")
+            }
+            Op::Recv { socket } => write!(f, "Recv({socket})"),
+            Op::Fork { detached, .. } => write!(f, "Fork(detached={detached})"),
+            Op::WaitChild => write!(f, "WaitChild"),
+            Op::DiskIo { bytes } => write!(f, "DiskIo({bytes}B)"),
+            Op::NetIo { bytes } => write!(f, "NetIo({bytes}B)"),
+            Op::Sleep { duration } => write!(f, "Sleep({duration})"),
+            Op::BindContext(ctx) => write!(f, "BindContext({ctx:?})"),
+            Op::Exit => write!(f, "Exit"),
+        }
+    }
+}
+
+/// Why the program is being asked for its next op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resume {
+    /// First dispatch of the task.
+    Start,
+    /// The previous op completed normally.
+    Done,
+    /// The previous op was a `Recv`; the consumed segment is in
+    /// [`ProcCtx::last_msg`].
+    Received,
+    /// The previous op was a `WaitChild`; a child with the given id exited.
+    ChildExited(TaskId),
+}
+
+/// Kernel services available to a program while it chooses its next op.
+pub struct ProcCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// This task's id.
+    pub task: TaskId,
+    /// This task's current request context.
+    pub context: Option<ContextId>,
+    /// Why the program was resumed.
+    pub resume: Resume,
+    /// The message consumed by a just-completed `Recv`.
+    pub last_msg: Option<Segment>,
+    /// Deterministic per-task randomness.
+    pub rng: &'a mut SimRng,
+    pub(crate) sockets: &'a mut SocketTable,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Creates a fresh connected socket pair (e.g. for talking to a child
+    /// about to be forked).
+    pub fn new_socket_pair(&mut self) -> (SocketId, SocketId) {
+        self.sockets.new_pair()
+    }
+}
+
+/// The behaviour of one task: a state machine yielding [`Op`]s.
+///
+/// Programs run inside the single-threaded kernel loop, so they need no
+/// synchronization; shared experiment state is typically an
+/// `Rc<RefCell<...>>` captured by the program.
+pub trait Program {
+    /// Returns the next operation to perform. Called once at first dispatch
+    /// and again each time the previous op completes.
+    fn next_op(&mut self, ctx: &mut ProcCtx<'_>) -> Op;
+}
+
+/// A program built from a closure — convenient for tests and simple
+/// drivers.
+///
+/// # Example
+///
+/// ```
+/// use ossim::{FnProgram, Op};
+///
+/// let mut steps = vec![Op::Exit];
+/// let _p = FnProgram::new(move |_ctx| steps.pop().unwrap_or(Op::Exit));
+/// ```
+pub struct FnProgram<F>(F);
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> Op> FnProgram<F> {
+    /// Wraps a closure as a [`Program`].
+    pub fn new(f: F) -> FnProgram<F> {
+        FnProgram(f)
+    }
+}
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> Op> Program for FnProgram<F> {
+    fn next_op(&mut self, ctx: &mut ProcCtx<'_>) -> Op {
+        (self.0)(ctx)
+    }
+}
+
+/// A program that executes a fixed list of ops and exits.
+///
+/// # Example
+///
+/// ```
+/// use ossim::{Op, ScriptProgram};
+/// use hwsim::ActivityProfile;
+///
+/// let _p = ScriptProgram::new(vec![
+///     Op::Compute { cycles: 1e6, profile: ActivityProfile::cpu_spin() },
+/// ]);
+/// ```
+pub struct ScriptProgram {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl ScriptProgram {
+    /// Creates a program that performs `ops` in order, then exits.
+    pub fn new(ops: Vec<Op>) -> ScriptProgram {
+        ScriptProgram { ops: ops.into_iter() }
+    }
+}
+
+impl Program for ScriptProgram {
+    fn next_op(&mut self, _ctx: &mut ProcCtx<'_>) -> Op {
+        self.ops.next().unwrap_or(Op::Exit)
+    }
+}
+
+/// Relates an I/O op to a device kind (helper shared with the kernel).
+#[allow(dead_code)]
+pub(crate) fn io_device(op_is_disk: bool) -> DeviceKind {
+    if op_is_disk {
+        DeviceKind::Disk
+    } else {
+        DeviceKind::Net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats_do_not_panic() {
+        let ops = [
+            Op::Compute { cycles: 10.0, profile: ActivityProfile::cpu_spin() },
+            Op::Send { socket: SocketId(0), bytes: 1, payload: 0 },
+            Op::Recv { socket: SocketId(0) },
+            Op::Fork { child: Box::new(ScriptProgram::new(vec![])), ctx: None, detached: true },
+            Op::WaitChild,
+            Op::DiskIo { bytes: 1 },
+            Op::NetIo { bytes: 1 },
+            Op::Sleep { duration: SimDuration::from_millis(1) },
+            Op::BindContext(Some(ContextId(1))),
+            Op::Exit,
+        ];
+        for op in &ops {
+            assert!(!format!("{op:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn script_program_yields_then_exits() {
+        let mut table = SocketTable::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = ProcCtx {
+            now: SimTime::ZERO,
+            task: TaskId(0),
+            context: None,
+            resume: Resume::Start,
+            last_msg: None,
+            rng: &mut rng,
+            sockets: &mut table,
+        };
+        let mut p = ScriptProgram::new(vec![Op::WaitChild]);
+        assert!(matches!(p.next_op(&mut ctx), Op::WaitChild));
+        assert!(matches!(p.next_op(&mut ctx), Op::Exit));
+        assert!(matches!(p.next_op(&mut ctx), Op::Exit));
+    }
+
+    #[test]
+    fn proc_ctx_creates_socket_pairs() {
+        let mut table = SocketTable::default();
+        let mut rng = SimRng::new(1);
+        let mut ctx = ProcCtx {
+            now: SimTime::ZERO,
+            task: TaskId(0),
+            context: None,
+            resume: Resume::Start,
+            last_msg: None,
+            rng: &mut rng,
+            sockets: &mut table,
+        };
+        let (a, b) = ctx.new_socket_pair();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn io_device_maps_kinds() {
+        assert_eq!(io_device(true), DeviceKind::Disk);
+        assert_eq!(io_device(false), DeviceKind::Net);
+    }
+}

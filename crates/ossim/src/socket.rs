@@ -1,0 +1,120 @@
+//! Sockets with per-segment request-context tagging.
+//!
+//! The paper (§3.3) tags each socket message with the sender's request
+//! context identifier, carried in a TCP option. Because high-throughput
+//! servers reuse persistent connections across requests, a socket buffer
+//! may simultaneously hold segments belonging to *different* requests, so
+//! each buffered segment keeps its own tag and a receiver inherits the
+//! context of the data it actually reads — the naive
+//! socket-inherits-last-tag design is explicitly unsafe.
+
+use crate::ids::{ContextId, SocketId};
+use simkern::SimTime;
+use std::collections::VecDeque;
+
+/// One message buffered in a socket, carrying its sender's request-context
+/// tag (the simulated TCP option) and a small application payload word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Message size in bytes (affects nothing in the local transport but is
+    /// reported to hooks and workloads).
+    pub bytes: u32,
+    /// The sender's request context at send time, if any.
+    pub ctx: Option<ContextId>,
+    /// Free-form application data (request type, status code, ...).
+    pub payload: u64,
+    /// When the message was sent.
+    pub sent_at: SimTime,
+}
+
+/// One endpoint of a bidirectional socket pair.
+#[derive(Debug, Clone)]
+pub(crate) struct SocketEndpoint {
+    /// The other endpoint of the pair.
+    pub peer: SocketId,
+    /// Received segments not yet consumed by a `read()`.
+    pub buffer: VecDeque<Segment>,
+    /// Task blocked in `read()` on this endpoint, if any.
+    pub waiting_reader: Option<crate::ids::TaskId>,
+    /// The tag of the most recently *delivered* message — only consulted
+    /// by the naive-tagging ablation (§3.3's rejected design).
+    pub last_tag: Option<ContextId>,
+}
+
+impl SocketEndpoint {
+    pub fn new(peer: SocketId) -> SocketEndpoint {
+        SocketEndpoint {
+            peer,
+            buffer: VecDeque::new(),
+            waiting_reader: None,
+            last_tag: None,
+        }
+    }
+}
+
+/// The socket table; owns every endpoint in one kernel.
+#[derive(Debug, Default)]
+pub(crate) struct SocketTable {
+    endpoints: Vec<SocketEndpoint>,
+}
+
+impl SocketTable {
+    /// Creates a connected pair and returns both endpoint ids.
+    pub fn new_pair(&mut self) -> (SocketId, SocketId) {
+        let a = SocketId(self.endpoints.len() as u32);
+        let b = SocketId(self.endpoints.len() as u32 + 1);
+        self.endpoints.push(SocketEndpoint::new(b));
+        self.endpoints.push(SocketEndpoint::new(a));
+        (a, b)
+    }
+
+    pub fn get(&self, id: SocketId) -> &SocketEndpoint {
+        &self.endpoints[id.0 as usize]
+    }
+
+    pub fn get_mut(&mut self, id: SocketId) -> &mut SocketEndpoint {
+        &mut self.endpoints[id.0 as usize]
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_endpoints_reference_each_other() {
+        let mut t = SocketTable::default();
+        let (a, b) = t.new_pair();
+        assert_eq!(t.get(a).peer, b);
+        assert_eq!(t.get(b).peer, a);
+        let (c, _d) = t.new_pair();
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn segments_keep_individual_tags() {
+        let mut t = SocketTable::default();
+        let (a, _b) = t.new_pair();
+        let ep = t.get_mut(a);
+        ep.buffer.push_back(Segment {
+            bytes: 10,
+            ctx: Some(ContextId(1)),
+            payload: 0,
+            sent_at: SimTime::ZERO,
+        });
+        ep.buffer.push_back(Segment {
+            bytes: 20,
+            ctx: Some(ContextId(2)),
+            payload: 0,
+            sent_at: SimTime::ZERO,
+        });
+        assert_eq!(ep.buffer[0].ctx, Some(ContextId(1)));
+        assert_eq!(ep.buffer[1].ctx, Some(ContextId(2)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the OS simulation: arbitrary well-formed
+//! programs must never hang, panic, or violate accounting invariants.
+
+use hwsim::{ActivityProfile, CoreId, Machine, MachineSpec};
+use ossim::{Kernel, KernelConfig, Op, ScriptProgram};
+use proptest::prelude::*;
+use simkern::{SimDuration, SimTime};
+
+/// A generatable, always-terminating op for script programs.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Compute { kilocycles: u32, intensity: u8 },
+    Sleep { micros: u32 },
+    DiskIo { bytes: u32 },
+    NetIo { bytes: u32 },
+    ForkCompute { kilocycles: u32, wait: bool },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u32..5000, 0u8..=4).prop_map(|(kilocycles, intensity)| GenOp::Compute {
+            kilocycles,
+            intensity
+        }),
+        (1u32..3000).prop_map(|micros| GenOp::Sleep { micros }),
+        (1u32..200_000).prop_map(|bytes| GenOp::DiskIo { bytes }),
+        (1u32..200_000).prop_map(|bytes| GenOp::NetIo { bytes }),
+        (1u32..2000, any::<bool>()).prop_map(|(kilocycles, wait)| GenOp::ForkCompute {
+            kilocycles,
+            wait
+        }),
+    ]
+}
+
+fn profile_for(intensity: u8) -> ActivityProfile {
+    match intensity {
+        0 => ActivityProfile::cpu_spin(),
+        1 => ActivityProfile::high_ipc(),
+        2 => ActivityProfile::cache_heavy(),
+        3 => ActivityProfile::memory_bound(),
+        _ => ActivityProfile::stress(),
+    }
+}
+
+fn realize(ops: &[GenOp]) -> (Vec<Op>, f64) {
+    let mut out = Vec::new();
+    let mut compute_cycles = 0.0;
+    for op in ops {
+        match op {
+            GenOp::Compute { kilocycles, intensity } => {
+                let cycles = *kilocycles as f64 * 1e3;
+                compute_cycles += cycles;
+                out.push(Op::Compute { cycles, profile: profile_for(*intensity) });
+            }
+            GenOp::Sleep { micros } => out.push(Op::Sleep {
+                duration: SimDuration::from_micros(*micros as u64),
+            }),
+            GenOp::DiskIo { bytes } => out.push(Op::DiskIo { bytes: *bytes as u64 }),
+            GenOp::NetIo { bytes } => out.push(Op::NetIo { bytes: *bytes as u64 }),
+            GenOp::ForkCompute { kilocycles, wait } => {
+                let cycles = *kilocycles as f64 * 1e3;
+                compute_cycles += cycles;
+                out.push(Op::Fork {
+                    child: Box::new(ScriptProgram::new(vec![Op::Compute {
+                        cycles,
+                        profile: ActivityProfile::cpu_spin(),
+                    }])),
+                    ctx: None,
+                    detached: !*wait,
+                });
+                if *wait {
+                    out.push(Op::WaitChild);
+                }
+            }
+        }
+    }
+    (out, compute_cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any batch of random programs terminates, and the machine's total
+    /// busy cycles equal the compute work submitted.
+    #[test]
+    fn random_programs_terminate_and_conserve_cycles(
+        programs in prop::collection::vec(prop::collection::vec(gen_op(), 0..8), 1..10)
+    ) {
+        let mut kernel = Kernel::new(
+            Machine::new(MachineSpec::sandybridge(), 1234),
+            KernelConfig::default(),
+        );
+        let mut expected_cycles = 0.0;
+        for ops in &programs {
+            let (script, cycles) = realize(ops);
+            expected_cycles += cycles;
+            kernel.spawn(Box::new(ScriptProgram::new(script)), None);
+        }
+        // Generous bound: total work is < 50M cycles ≈ 16 ms serial.
+        kernel.run_until(SimTime::from_secs(2));
+        prop_assert!(kernel.is_quiescent(), "programs did not terminate");
+        let total_busy: f64 = (0..4)
+            .map(|c| kernel.machine().counters(CoreId(c)).nonhalt_cycles)
+            .sum();
+        // Completion deadlines round up to whole nanoseconds, so each
+        // compute op may run up to ~4 extra cycles (3.1 GHz clock).
+        let ops: usize = programs.iter().map(Vec::len).sum();
+        let tolerance = 1.0 + 8.0 * ops as f64;
+        prop_assert!(
+            total_busy >= expected_cycles - 1.0 && total_busy <= expected_cycles + tolerance,
+            "busy {total_busy} vs submitted {expected_cycles} (tolerance {tolerance})"
+        );
+        prop_assert_eq!(kernel.stats().tasks_exited, kernel.stats().tasks_created);
+    }
+
+    /// Utilization never exceeds 1 per core and energy is monotone.
+    #[test]
+    fn utilization_and_energy_invariants(
+        programs in prop::collection::vec(prop::collection::vec(gen_op(), 1..6), 1..8),
+        checkpoints in prop::collection::vec(1u64..50, 1..5),
+    ) {
+        let mut kernel = Kernel::new(
+            Machine::new(MachineSpec::woodcrest(), 99),
+            KernelConfig::default(),
+        );
+        for ops in &programs {
+            let (script, _) = realize(ops);
+            kernel.spawn(Box::new(ScriptProgram::new(script)), None);
+        }
+        let mut sorted = checkpoints.clone();
+        sorted.sort_unstable();
+        let mut last_energy = 0.0;
+        for ms in sorted {
+            kernel.run_until(SimTime::from_millis(ms));
+            let e = kernel.machine().true_energy_j();
+            prop_assert!(e >= last_energy, "energy went backwards");
+            last_energy = e;
+            for c in 0..4 {
+                let counters = kernel.machine().counters(CoreId(c));
+                prop_assert!(counters.core_utilization() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Messages with random tags always deliver exactly once and in order
+    /// per connection.
+    #[test]
+    fn socket_delivery_is_exactly_once_in_order(
+        payloads in prop::collection::vec(0u64..1_000_000, 1..50)
+    ) {
+        use ossim::{FnProgram, Resume};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut kernel = Kernel::new(
+            Machine::new(MachineSpec::sandybridge(), 7),
+            KernelConfig::default(),
+        );
+        let (tx, rx) = kernel.new_socket_pair();
+        let got: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = Rc::clone(&got);
+        let expect = payloads.len();
+        kernel.spawn(
+            Box::new(FnProgram::new(move |pc| {
+                if pc.resume == Resume::Received {
+                    g.borrow_mut().push(pc.last_msg.expect("msg").payload);
+                }
+                if g.borrow().len() < expect {
+                    Op::Recv { socket: rx }
+                } else {
+                    Op::Exit
+                }
+            })),
+            None,
+        );
+        for &p in &payloads {
+            kernel.inject_message(tx, 16, None, p);
+        }
+        kernel.run_until(SimTime::from_millis(100));
+        prop_assert_eq!(&*got.borrow(), &payloads);
+    }
+}

@@ -1,0 +1,285 @@
+//! Deterministic random number generation.
+//!
+//! The simulation must be reproducible from a single seed, and independent
+//! subsystems (workload generators, noise injection, arrival processes) must
+//! not perturb each other's random streams when one of them draws more or
+//! fewer values. [`SimRng`] therefore supports *splitting*: deriving an
+//! independent child generator from a parent in a deterministic way.
+//!
+//! The core generator is xoshiro256\*\*, seeded through SplitMix64, both
+//! public-domain algorithms by Blackman and Vigna.
+
+/// A deterministic, splittable pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use simkern::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Children with different labels produce independent streams.
+/// let mut c1 = a.split(1);
+/// let mut c2 = a.split(2);
+/// assert_ne!(c1.next_u64(), c2.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+    /// Seed identity fixed at construction; `split` derives children from
+    /// this so that drawing values never perturbs child streams.
+    lineage: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        let mut sm = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            lineage: seed,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child stream depends only on this generator's *seed lineage* and
+    /// the `label`, not on how many values have been drawn from the parent,
+    /// so adding draws in one subsystem never perturbs another.
+    pub fn split(&self, label: u64) -> SimRng {
+        // Mix the parent's fixed seed lineage with the label through
+        // SplitMix64 for a well-separated child seed.
+        let mut sm = self.lineage ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        let seed = splitmix64(&mut sm);
+        SimRng::new(seed)
+    }
+
+    /// Next raw 64-bit value (xoshiro256\*\*).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid uniform range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, bound)` using Lemire's rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to remove modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A sample from the standard normal distribution (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.normal()
+    }
+
+    /// An exponential sample with the given mean (e.g. Poisson inter-arrival
+    /// gaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// A log-normal sample parameterized by the *underlying* normal's mean
+    /// and standard deviation.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_draw_independent() {
+        let parent1 = SimRng::new(99);
+        let mut parent2 = SimRng::new(99);
+        // Drawing from one copy of the parent must not change split results.
+        let _ = parent2.next_u64();
+        let mut c1 = parent1.split(5);
+        let mut c2 = parent2.split(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn split_labels_give_distinct_streams() {
+        let parent = SimRng::new(3);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SimRng::new(13);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut rng = SimRng::new(17);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.next_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::new(23);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::new(29);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(31);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SimRng::new(37);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

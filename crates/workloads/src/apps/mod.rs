@@ -1,0 +1,161 @@
+//! The paper's server and cloud-computing application models (§4.2).
+//!
+//! Each application reproduces the *activity shape* of its original —
+//! stage structure, hardware profile mix, request-length distribution —
+//! rather than its code:
+//!
+//! | Model | Paper workload | Character |
+//! |---|---|---|
+//! | [`RsaCrypto`] | OpenSSL RSA service, 3 key sizes | compute-bound, trimodal lengths |
+//! | [`Solr`] | Solr/Lucene search on Wikipedia | cache-heavy, long-tailed lengths |
+//! | [`WeBWorK`] | Apache+PHP+MySQL+latex/dvipng | multi-stage, forks, sockets |
+//! | [`Stress`] | stressapptest | all units busy at once; unusually high power |
+//! | [`GaeVosao`] | Google App Engine + Vosao CMS | JVM servlets, 9:1 read/write, background processing |
+//! | [`GaeHybrid`] | GAE-Vosao + synthetic power viruses | ~half the load from 16 MB-writing viruses |
+
+mod gae;
+mod rsa;
+mod solr;
+mod stress;
+mod webwork;
+
+pub use gae::{GaeHybrid, GaeVosao, POWER_VIRUS_LABEL};
+pub use rsa::RsaCrypto;
+pub use solr::Solr;
+pub use stress::Stress;
+pub use webwork::WeBWorK;
+
+use crate::stats::RunStats;
+use hwsim::{ActivityProfile, MachineSpec};
+use ossim::{Kernel, SocketId};
+use simkern::SimRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Environment handed to an application's [`ServerApp::setup`].
+pub struct AppEnv {
+    /// Shared run statistics.
+    pub stats: Rc<RefCell<RunStats>>,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// The machine this instance runs on (for speed scaling).
+    pub spec: MachineSpec,
+    /// Seed for any app-internal randomness.
+    pub seed: u64,
+    /// Completion channel for closed-loop clients (worker-side endpoint).
+    pub notify: Option<ossim::SocketId>,
+}
+
+/// A server application: sets up its worker pool (and any auxiliary
+/// service tasks), and describes its request mix for load sizing.
+pub trait ServerApp {
+    /// The workload this app implements.
+    fn kind(&self) -> WorkloadKind;
+
+    /// Installs server infrastructure into the kernel; returns the
+    /// driver-side inbox endpoints of the worker pool.
+    fn setup(&self, kernel: &mut Kernel, env: &AppEnv) -> Vec<SocketId>;
+
+    /// Mean busy cycles one request consumes across all stages, on the
+    /// reference (SandyBridge) machine — used for load sizing.
+    fn mean_request_cycles(&self) -> f64;
+
+    /// A profile representative of the app's activity mix, used to apply
+    /// machine speed scaling when sizing load.
+    fn representative_profile(&self) -> ActivityProfile;
+
+    /// Draws a request-type label from the app's mix.
+    fn pick_label(&self, rng: &mut SimRng) -> u32;
+
+    /// The utilization the load generator targets at peak load (leaving
+    /// headroom for background processing where the app has any).
+    fn peak_utilization(&self) -> f64 {
+        0.9
+    }
+}
+
+/// The six evaluation workloads, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Synthetic OpenSSL security processing.
+    RsaCrypto,
+    /// The Solr/Lucene search platform.
+    Solr,
+    /// The WeBWorK online homework system.
+    WeBWorK,
+    /// The Stressful Application Test.
+    Stress,
+    /// Google App Engine running the Vosao CMS.
+    GaeVosao,
+    /// GAE-Vosao plus synthetic power viruses.
+    GaeHybrid,
+}
+
+impl WorkloadKind {
+    /// All workloads, in the paper's order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::RsaCrypto,
+        WorkloadKind::Solr,
+        WorkloadKind::WeBWorK,
+        WorkloadKind::Stress,
+        WorkloadKind::GaeVosao,
+        WorkloadKind::GaeHybrid,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::RsaCrypto => "RSA-crypto",
+            WorkloadKind::Solr => "Solr",
+            WorkloadKind::WeBWorK => "WeBWorK",
+            WorkloadKind::Stress => "Stress",
+            WorkloadKind::GaeVosao => "GAE-Vosao",
+            WorkloadKind::GaeHybrid => "GAE-Hybrid",
+        }
+    }
+
+    /// Instantiates the application model.
+    pub fn app(self) -> Box<dyn ServerApp> {
+        match self {
+            WorkloadKind::RsaCrypto => Box::new(RsaCrypto::new()),
+            WorkloadKind::Solr => Box::new(Solr::new()),
+            WorkloadKind::WeBWorK => Box::new(WeBWorK::new()),
+            WorkloadKind::Stress => Box::new(Stress::new()),
+            WorkloadKind::GaeVosao => Box::new(GaeVosao::new()),
+            WorkloadKind::GaeHybrid => Box::new(GaeHybrid::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_instantiate() {
+        for kind in WorkloadKind::ALL {
+            let app = kind.app();
+            assert_eq!(app.kind(), kind);
+            assert!(app.mean_request_cycles() > 1e5, "{kind} cycles too small");
+            assert!(app.peak_utilization() > 0.3 && app.peak_utilization() <= 1.0);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_come_from_each_apps_mix() {
+        let mut rng = SimRng::new(9);
+        for kind in WorkloadKind::ALL {
+            let app = kind.app();
+            for _ in 0..50 {
+                let _ = app.pick_label(&mut rng);
+            }
+        }
+    }
+}

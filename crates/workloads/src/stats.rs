@@ -1,0 +1,151 @@
+//! Run statistics: arrivals, completions, response times.
+
+use analysis::stats::Summary;
+use ossim::ContextId;
+use simkern::SimTime;
+use std::collections::HashMap;
+
+/// A completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The request's context id.
+    pub ctx: ContextId,
+    /// Request-type label.
+    pub label: u32,
+    /// When the dispatcher issued the request.
+    pub arrived: SimTime,
+    /// When the final stage finished.
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// End-to-end response time in seconds.
+    pub fn response_secs(&self) -> f64 {
+        self.finished.duration_since(self.arrived).as_secs_f64()
+    }
+}
+
+/// Shared bookkeeping for one workload run (driver writes arrivals, pool
+/// workers write completions).
+#[derive(Debug, Default)]
+pub struct RunStats {
+    arrivals: HashMap<ContextId, (u32, SimTime)>,
+    completions: Vec<Completion>,
+    issued: u64,
+}
+
+impl RunStats {
+    /// Creates empty statistics.
+    pub fn new() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Records a dispatched request.
+    pub fn record_arrival(&mut self, ctx: ContextId, label: u32, at: SimTime) {
+        self.arrivals.insert(ctx, (label, at));
+        self.issued += 1;
+    }
+
+    /// Records a finished request; unknown contexts (e.g. background
+    /// work) are ignored.
+    pub fn record_completion(&mut self, ctx: ContextId, at: SimTime) {
+        if let Some((label, arrived)) = self.arrivals.get(&ctx).copied() {
+            self.completions.push(Completion { ctx, label, arrived, finished: at });
+        }
+    }
+
+    /// Requests dispatched so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// All completions, in finish order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Completions finished inside `[from, to)`.
+    pub fn completions_between(&self, from: SimTime, to: SimTime) -> Vec<Completion> {
+        self.completions
+            .iter()
+            .copied()
+            .filter(|c| c.finished >= from && c.finished < to)
+            .collect()
+    }
+
+    /// Response-time summary, optionally restricted to one label.
+    pub fn response_summary(&self, label: Option<u32>) -> Summary {
+        self.completions
+            .iter()
+            .filter(|c| label.is_none_or(|l| c.label == l))
+            .map(Completion::response_secs)
+            .collect()
+    }
+
+    /// The label a context was dispatched with, if known.
+    pub fn label_of(&self, ctx: ContextId) -> Option<u32> {
+        self.arrivals.get(&ctx).map(|(l, _)| *l)
+    }
+
+    /// Throughput over `[from, to)` in completions per second.
+    pub fn throughput(&self, from: SimTime, to: SimTime) -> f64 {
+        let n = self.completions_between(from, to).len();
+        let secs = to.duration_since(from).as_secs_f64();
+        if secs > 0.0 {
+            n as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_completion_round_trip() {
+        let mut s = RunStats::new();
+        let ctx = ContextId(1);
+        s.record_arrival(ctx, 7, SimTime::from_millis(10));
+        s.record_completion(ctx, SimTime::from_millis(35));
+        assert_eq!(s.issued(), 1);
+        assert_eq!(s.completions().len(), 1);
+        let c = s.completions()[0];
+        assert_eq!(c.label, 7);
+        assert!((c.response_secs() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_completion_is_ignored() {
+        let mut s = RunStats::new();
+        s.record_completion(ContextId(9), SimTime::ZERO);
+        assert!(s.completions().is_empty());
+    }
+
+    #[test]
+    fn summaries_filter_by_label() {
+        let mut s = RunStats::new();
+        for (i, label) in [(1u64, 0u32), (2, 0), (3, 1)] {
+            let ctx = ContextId(i);
+            s.record_arrival(ctx, label, SimTime::ZERO);
+            s.record_completion(ctx, SimTime::from_millis(i * 10));
+        }
+        assert_eq!(s.response_summary(None).count(), 3);
+        assert_eq!(s.response_summary(Some(0)).count(), 2);
+        assert_eq!(s.response_summary(Some(1)).count(), 1);
+    }
+
+    #[test]
+    fn throughput_counts_window() {
+        let mut s = RunStats::new();
+        for i in 0..10u64 {
+            let ctx = ContextId(i);
+            s.record_arrival(ctx, 0, SimTime::ZERO);
+            s.record_completion(ctx, SimTime::from_millis(i * 100));
+        }
+        // Window [0, 500ms) holds completions at 0..400ms → 5 of them.
+        let tp = s.throughput(SimTime::ZERO, SimTime::from_millis(500));
+        assert!((tp - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-application behaviour tests: each §4.2 workload model must show
+//! the characteristics the paper describes.
+
+use hwsim::MachineSpec;
+use simkern::SimDuration;
+use workloads::{
+    calibrate_machine, run_app, LoadLevel, MachineCalibration, RunConfig, WorkloadKind,
+    POWER_VIRUS_LABEL,
+};
+
+fn sb_cal() -> (MachineSpec, MachineCalibration) {
+    let spec = MachineSpec::sandybridge();
+    let cal = calibrate_machine(&spec, 42);
+    (spec, cal)
+}
+
+fn quick_run(kind: WorkloadKind, load: LoadLevel) -> workloads::RunOutcome {
+    let (spec, cal) = sb_cal();
+    let mut cfg = RunConfig::new(spec);
+    cfg.load = load;
+    cfg.duration = SimDuration::from_secs(4);
+    run_app(kind, &cfg, &cal)
+}
+
+#[test]
+fn rsa_request_energies_are_trimodal() {
+    let outcome = quick_run(WorkloadKind::RsaCrypto, LoadLevel::Half);
+    let f = outcome.facility.borrow();
+    let mut by_label = [(0.0, 0usize); 3];
+    for r in f.containers().records() {
+        if let Some(l) = r.label {
+            let e = &mut by_label[l as usize];
+            e.0 += r.energy_j;
+            e.1 += 1;
+        }
+    }
+    let means: Vec<f64> = by_label.iter().map(|(e, n)| e / (*n).max(1) as f64).collect();
+    assert!(by_label.iter().all(|(_, n)| *n > 20), "all three keys seen: {by_label:?}");
+    // Larger keys cost strictly more energy, roughly tracking cycles.
+    assert!(means[0] < means[1] && means[1] < means[2], "means {means:?}");
+    assert!(means[2] / means[0] > 3.0, "largest/smallest ratio {:.1}", means[2] / means[0]);
+}
+
+#[test]
+fn solr_has_long_tailed_energy() {
+    let outcome = quick_run(WorkloadKind::Solr, LoadLevel::Half);
+    let f = outcome.facility.borrow();
+    let energies: Vec<f64> = f
+        .containers()
+        .records()
+        .iter()
+        .filter(|r| r.busy_seconds > 0.0)
+        .map(|r| r.energy_j)
+        .collect();
+    assert!(energies.len() > 200);
+    let p95 = analysis::stats::quantile(&energies, 0.95).unwrap();
+    let p50 = analysis::stats::quantile(&energies, 0.50).unwrap();
+    assert!(p95 / p50 > 2.0, "Solr tail p95/p50 = {:.2}", p95 / p50);
+}
+
+#[test]
+fn webwork_spawns_per_request_pipeline_tasks() {
+    let outcome = quick_run(WorkloadKind::WeBWorK, LoadLevel::Half);
+    let requests = outcome.stats.borrow().completions().len() as u64;
+    let created = outcome.kernel.stats().tasks_created;
+    // Each request forks shell + latex + dvipng (3 children).
+    assert!(requests > 100);
+    assert!(
+        created as f64 > requests as f64 * 2.5,
+        "expected ≥3 forks per request: {created} tasks for {requests} requests"
+    );
+    // The MySQL round trip means at least two socket messages per request.
+    assert!(outcome.kernel.stats().messages as f64 > requests as f64 * 2.5);
+}
+
+#[test]
+fn gae_background_is_substantial_and_untagged() {
+    let outcome = quick_run(WorkloadKind::GaeVosao, LoadLevel::Peak);
+    let f = outcome.facility.borrow();
+    let c = f.containers();
+    let bg = c.background().energy_j();
+    let req = c.total_request_energy_j();
+    let share = bg / (bg + req);
+    assert!(
+        (0.15..0.45).contains(&share),
+        "background share {share:.2} outside the paper's ~1/3 neighbourhood"
+    );
+}
+
+#[test]
+fn hybrid_viruses_draw_more_power_than_vosao() {
+    let outcome = quick_run(WorkloadKind::GaeHybrid, LoadLevel::Half);
+    let f = outcome.facility.borrow();
+    let mut virus = analysis::stats::Summary::new();
+    let mut normal = analysis::stats::Summary::new();
+    for r in f.containers().records() {
+        if r.busy_seconds <= 0.0 {
+            continue;
+        }
+        match r.label {
+            Some(POWER_VIRUS_LABEL) => virus.record(r.mean_power_w),
+            Some(_) => normal.record(r.mean_power_w),
+            None => {}
+        }
+    }
+    assert!(virus.count() >= 5, "viruses seen: {}", virus.count());
+    assert!(
+        virus.mean() > normal.mean() + 2.0,
+        "virus {:.1} W vs normal {:.1} W",
+        virus.mean(),
+        normal.mean()
+    );
+}
+
+#[test]
+fn stress_draws_the_most_power_of_all_workloads() {
+    let stress = quick_run(WorkloadKind::Stress, LoadLevel::Peak).measured_active_power_w();
+    let rsa = quick_run(WorkloadKind::RsaCrypto, LoadLevel::Peak).measured_active_power_w();
+    let solr = quick_run(WorkloadKind::Solr, LoadLevel::Peak).measured_active_power_w();
+    assert!(
+        stress > rsa * 1.3 && stress > solr * 1.2,
+        "stress {stress:.1} W vs rsa {rsa:.1} W, solr {solr:.1} W"
+    );
+}
+
+#[test]
+fn peak_load_roughly_doubles_half_load_power() {
+    let peak = quick_run(WorkloadKind::Solr, LoadLevel::Peak);
+    let half = quick_run(WorkloadKind::Solr, LoadLevel::Half);
+    let ratio = peak.measured_active_power_w() / half.measured_active_power_w();
+    assert!(
+        (1.3..2.3).contains(&ratio),
+        "peak/half active power ratio {ratio:.2}"
+    );
+    assert!(peak.mean_utilization() > half.mean_utilization() * 1.4);
+}
+
+#[test]
+fn throughput_tracks_offered_rate_below_saturation() {
+    let outcome = quick_run(WorkloadKind::RsaCrypto, LoadLevel::Half);
+    let secs = outcome.end.as_secs_f64();
+    let completed = outcome.stats.borrow().completions().len() as f64 / secs;
+    let offered = outcome.offered_rate;
+    assert!(
+        (completed / offered - 1.0).abs() < 0.15,
+        "completed {completed:.0}/s vs offered {offered:.0}/s"
+    );
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the workload layer.
+
+use hwsim::MachineSpec;
+use proptest::prelude::*;
+use simkern::{SimDuration, SimRng, SimTime};
+use workloads::{apps::WeBWorK, offered_rate, LoadLevel, RequestTrace, WorkloadKind};
+
+proptest! {
+    /// Offered rates are positive and scale linearly with the load
+    /// fraction on every machine and workload.
+    #[test]
+    fn offered_rate_scales_linearly(fraction in 0.05f64..1.5) {
+        for spec in MachineSpec::all_machines() {
+            for kind in WorkloadKind::ALL {
+                let app = kind.app();
+                let base = offered_rate(app.as_ref(), &spec, LoadLevel::Peak);
+                let scaled = offered_rate(app.as_ref(), &spec, LoadLevel::Fraction(fraction));
+                prop_assert!(base > 0.0);
+                prop_assert!((scaled / base - fraction).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Every label an app's mix produces maps to positive difficulty /
+    /// bounded ranges.
+    #[test]
+    fn label_mixes_are_well_formed(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        for kind in WorkloadKind::ALL {
+            let app = kind.app();
+            for _ in 0..64 {
+                let label = app.pick_label(&mut rng);
+                match kind {
+                    WorkloadKind::RsaCrypto => prop_assert!(label < 3),
+                    WorkloadKind::WeBWorK => prop_assert!(label < 3000),
+                    WorkloadKind::Solr | WorkloadKind::Stress => prop_assert_eq!(label, 0),
+                    WorkloadKind::GaeVosao => prop_assert!(label <= 1),
+                    WorkloadKind::GaeHybrid => {
+                        prop_assert!(label <= 1 || label == workloads::POWER_VIRUS_LABEL)
+                    }
+                }
+            }
+        }
+    }
+
+    /// WeBWorK difficulties are deterministic and bounded for all labels.
+    #[test]
+    fn webwork_difficulty_bounded(label in 0u32..3000) {
+        let d = WeBWorK::difficulty(label);
+        prop_assert!((0.5..2.5).contains(&d));
+        prop_assert_eq!(d, WeBWorK::difficulty(label));
+    }
+
+    /// Trace JSON round-trips for arbitrary traces.
+    #[test]
+    fn trace_jsonl_round_trips(
+        entries in prop::collection::vec((0u64..10_000_000_000, 0u32..4000), 0..200)
+    ) {
+        let trace = RequestTrace::new(
+            entries
+                .iter()
+                .map(|&(ns, label)| workloads::TraceEntry {
+                    at: SimTime::from_nanos(ns),
+                    label,
+                })
+                .collect(),
+        );
+        let back = RequestTrace::from_jsonl(&trace.to_jsonl()).expect("round trip");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Synthesized traces respect rate and duration for any seed.
+    #[test]
+    fn trace_synthesis_bounded(seed in any::<u64>(), rate in 10.0f64..5000.0) {
+        let mut rng = SimRng::new(seed);
+        let duration = SimDuration::from_millis(500);
+        let t = RequestTrace::synthesize(rate, duration, &mut rng, |_| 0);
+        prop_assert!(t.entries().iter().all(|e| e.at < SimTime::ZERO + duration));
+        // Within 5 sigma of the Poisson expectation.
+        let expect = rate * 0.5;
+        let sigma = expect.sqrt();
+        prop_assert!(
+            (t.len() as f64 - expect).abs() < 5.0 * sigma + 5.0,
+            "{} arrivals for expectation {expect}",
+            t.len()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end validation of the accounting pipeline: the Fig. 8
+//! mechanics (aggregate attributed energy vs measured active energy,
+//! improving across the three approaches).
+
+use hwsim::MachineSpec;
+use power_containers::Approach;
+use simkern::SimDuration;
+use workloads::{calibrate_machine, run_app, LoadLevel, RunConfig, WorkloadKind};
+
+fn error_for(
+    kind: WorkloadKind,
+    approach: Approach,
+    spec: &MachineSpec,
+    cal: &workloads::MachineCalibration,
+    load: LoadLevel,
+) -> f64 {
+    let mut cfg = RunConfig::new(spec.clone());
+    cfg.approach = approach;
+    cfg.load = load;
+    cfg.duration = SimDuration::from_secs(10);
+    cfg.seed = 1234;
+    let outcome = run_app(kind, &cfg, cal);
+    let err = outcome.validation_error();
+    println!(
+        "{} {:?} {}: err={:.1}% util={:.2} measured={:.1}W attributed={:.1}W reqs={}",
+        kind,
+        approach,
+        load.name(),
+        err * 100.0,
+        outcome.mean_utilization(),
+        outcome.measured_active_power_w(),
+        outcome.attributed_energy_j() / outcome.end.as_secs_f64(),
+        outcome.stats.borrow().completions().len(),
+    );
+    err
+}
+
+#[test]
+fn chipshare_approach_validates_normal_workloads_well() {
+    let spec = MachineSpec::sandybridge();
+    let cal = calibrate_machine(&spec, 42);
+    for kind in [WorkloadKind::RsaCrypto, WorkloadKind::Solr] {
+        for load in [LoadLevel::Peak, LoadLevel::Half] {
+            let err = error_for(kind, Approach::ChipShare, &spec, &cal, load);
+            assert!(err < 0.20, "{kind} {load:?} error {err:.3}");
+        }
+    }
+}
+
+#[test]
+fn approaches_improve_on_stress() {
+    // Stress exercises the hidden co-activity term: Approach #2 should be
+    // noticeably wrong and Approach #3 should fix most of it.
+    let spec = MachineSpec::sandybridge();
+    let cal = calibrate_machine(&spec, 42);
+    let e1 = error_for(WorkloadKind::Stress, Approach::CoreEventsOnly, &spec, &cal, LoadLevel::Half);
+    let e2 = error_for(WorkloadKind::Stress, Approach::ChipShare, &spec, &cal, LoadLevel::Half);
+    let e3 = error_for(WorkloadKind::Stress, Approach::Recalibrated, &spec, &cal, LoadLevel::Half);
+    assert!(e2 > 0.05, "stress should stress the offline model, err {e2:.3}");
+    assert!(e3 < e2, "recalibration should reduce error: {e3:.3} vs {e2:.3}");
+    assert!(e3 < 0.10, "recalibrated error should be small, got {e3:.3}");
+    let _ = e1;
+}
+
+#[test]
+fn multi_stage_webwork_accounts_most_energy() {
+    let spec = MachineSpec::sandybridge();
+    let cal = calibrate_machine(&spec, 42);
+    let err = error_for(WorkloadKind::WeBWorK, Approach::ChipShare, &spec, &cal, LoadLevel::Peak);
+    assert!(err < 0.25, "WeBWorK error {err:.3}");
+}

@@ -1,0 +1,13 @@
+//! Meta-crate re-exporting the Power Containers reproduction workspace.
+//!
+//! See [`power_containers`] for the paper's primary contribution and the
+//! README for an architecture overview.
+
+pub use analysis;
+pub use cluster;
+pub use experiments;
+pub use hwsim;
+pub use ossim;
+pub use power_containers;
+pub use simkern;
+pub use workloads;
