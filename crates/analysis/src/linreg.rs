@@ -116,8 +116,8 @@ impl LeastSquares {
         assert!(weight >= 0.0, "weight must be non-negative");
         for i in 0..self.dim {
             let wfi = weight * features[i];
-            for j in 0..self.dim {
-                self.xtx[i * self.dim + j] += wfi * features[j];
+            for (j, &fj) in features.iter().enumerate() {
+                self.xtx[i * self.dim + j] += wfi * fj;
             }
             self.xty[i] += wfi * target;
         }
@@ -153,6 +153,22 @@ impl LeastSquares {
     /// coefficients have been added, or [`SolveError::Singular`] when the
     /// system has no unique solution and no ridge term was configured.
     pub fn solve(&self) -> Result<Vec<f64>, SolveError> {
+        self.solve_conditioned().map(|(beta, _)| beta)
+    }
+
+    /// Like [`LeastSquares::solve`], but also returns a cheap condition
+    /// estimate of the normal-equation matrix: the ratio of the largest
+    /// to the smallest pivot magnitude met during elimination. A
+    /// well-posed fit stays within a few orders of magnitude; a
+    /// near-singular system (e.g. online samples all describing the same
+    /// operating point) blows the ratio up, and a robust consumer should
+    /// reject the fit rather than trust coefficients solved across a
+    /// nearly-degenerate pivot.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LeastSquares::solve`].
+    pub fn solve_conditioned(&self) -> Result<(Vec<f64>, f64), SolveError> {
         if self.samples < self.dim && self.ridge == 0.0 {
             return Err(SolveError::Underdetermined {
                 samples: self.samples,
@@ -165,15 +181,18 @@ impl LeastSquares {
             a[i * n + i] += self.ridge;
         }
         let mut b = self.xty.clone();
-        solve_dense(&mut a, &mut b, n)?;
-        Ok(b)
+        let condition = solve_dense(&mut a, &mut b, n)?;
+        Ok((b, condition))
     }
 }
 
-/// Solves `A x = b` in place (result left in `b`) with partial pivoting.
-fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), SolveError> {
+/// Solves `A x = b` in place (result left in `b`) with partial pivoting;
+/// returns the max/min pivot-magnitude ratio as a condition estimate.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<f64, SolveError> {
     debug_assert_eq!(a.len(), n * n);
     debug_assert_eq!(b.len(), n);
+    let mut pivot_max = 0.0f64;
+    let mut pivot_min = f64::INFINITY;
     for col in 0..n {
         // Find pivot.
         let mut pivot = col;
@@ -188,6 +207,8 @@ fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), SolveError>
         if best < 1e-12 {
             return Err(SolveError::Singular);
         }
+        pivot_max = pivot_max.max(best);
+        pivot_min = pivot_min.min(best);
         if pivot != col {
             for k in 0..n {
                 a.swap(col * n + k, pivot * n + k);
@@ -215,7 +236,7 @@ fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), SolveError>
         }
         b[col] = acc / a[col * n + col];
     }
-    Ok(())
+    Ok(if pivot_min > 0.0 { pivot_max / pivot_min } else { f64::INFINITY })
 }
 
 /// Convenience one-shot fit of `targets ≈ features · β` with unit weights.
@@ -345,6 +366,38 @@ mod tests {
         let beta = fit(&xs, &ys).unwrap();
         assert!((beta[0] - 7.0).abs() < 1e-9);
         assert!((beta[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn condition_estimate_separates_good_from_bad() {
+        // Well-spread features: pivots stay comparable.
+        let mut good = LeastSquares::new(2);
+        for i in 0..10 {
+            good.add_sample(&[1.0, i as f64 / 10.0], i as f64, 1.0);
+        }
+        let (_, cond_good) = good.solve_conditioned().unwrap();
+        // Nearly collinear features: pivot ratio explodes.
+        let mut bad = LeastSquares::new(2);
+        for i in 0..10 {
+            let x = i as f64 / 10.0;
+            let jitter = 1e-6 * (i % 3) as f64;
+            bad.add_sample(&[x, x + jitter], x, 1.0);
+        }
+        let (_, cond_bad) = bad.solve_conditioned().unwrap();
+        assert!(cond_good < 1e3, "good condition {cond_good}");
+        assert!(cond_bad > 1e6, "bad condition {cond_bad}");
+    }
+
+    #[test]
+    fn solve_matches_solve_conditioned() {
+        let mut ls = LeastSquares::new(2);
+        for i in 0..6 {
+            ls.add_sample(&[1.0, i as f64], 2.0 + 3.0 * i as f64, 1.0);
+        }
+        let a = ls.solve().unwrap();
+        let (b, cond) = ls.solve_conditioned().unwrap();
+        assert_eq!(a, b);
+        assert!(cond.is_finite() && cond >= 1.0);
     }
 
     #[test]

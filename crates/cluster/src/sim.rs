@@ -9,7 +9,7 @@
 
 use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
 use analysis::stats::Summary;
-use hwsim::{Machine, MachineSpec};
+use hwsim::{plan_node_faults, DutyCycle, FaultConfig, Machine, MachineSpec, NodeFaultWindow};
 use ossim::{ContextId, Kernel, KernelConfig, SocketId};
 use power_containers::{Approach, FacilityConfig, FacilityState, PowerContainerFacility};
 use simkern::{SimDuration, SimRng, SimTime};
@@ -34,6 +34,11 @@ pub struct ClusterConfig {
     /// Offered volume as a fraction of the maximum the *simple balance*
     /// policy can support (the paper's experiment runs at that maximum).
     pub volume: f64,
+    /// Fault injection: machine-level faults (meters, counters, tags)
+    /// are applied to every node with a node-specific seed; the
+    /// node-level slowdown/blackout rates drive a precomputed window
+    /// plan the dispatcher must ride out.
+    pub faults: FaultConfig,
 }
 
 impl ClusterConfig {
@@ -47,9 +52,17 @@ impl ClusterConfig {
             seed: 42,
             workers_per_core: 4,
             volume: 1.0,
+            faults: FaultConfig::none(),
         }
     }
 }
+
+/// Health-check period of the dispatcher's degraded-node detector.
+const HEALTH_CHECK_EVERY: SimDuration = SimDuration::from_millis(100);
+/// Initial penalty a node receives when detected degraded.
+const PENALTY_BASE: SimDuration = SimDuration::from_millis(200);
+/// Penalty ceiling under exponential backoff.
+const PENALTY_MAX: SimDuration = SimDuration::from_millis(1600);
 
 struct Node {
     kernel: Kernel,
@@ -63,6 +76,17 @@ struct Node {
     /// Mean service seconds across the offered mix on this node.
     mean_service: f64,
     completions_seen: usize,
+    /// This node's slowdown/blackout windows, in start order.
+    fault_windows: Vec<NodeFaultWindow>,
+    next_window: usize,
+    /// The window currently in force, if any.
+    active_window: Option<NodeFaultWindow>,
+    /// Dispatcher-side health state: the node is avoided until
+    /// `penalty_until` once the detector sees it stall.
+    penalty_until: SimTime,
+    penalty: SimDuration,
+    last_health_check: SimTime,
+    completions_at_check: usize,
 }
 
 impl Node {
@@ -83,6 +107,86 @@ impl Node {
             }
         }
         self.completions_seen = completions.len();
+    }
+
+    /// Advances the node's kernel to `t`, applying any fault-window
+    /// transitions exactly at their boundaries. A slowdown caps every
+    /// core's duty cycle at the window's DVFS fraction; a blackout
+    /// freezes the node outright — its kernel does not advance (so no
+    /// request completes and no message is processed) until the window
+    /// passes, after which it works through the backlog.
+    fn advance_to(&mut self, t: SimTime) {
+        loop {
+            let boundary = match (&self.active_window, self.fault_windows.get(self.next_window))
+            {
+                (Some(w), _) => w.end,
+                (None, Some(w)) => w.start,
+                (None, None) => break,
+            };
+            if boundary > t {
+                break;
+            }
+            match self.active_window.take() {
+                Some(w) => {
+                    if w.kind == hwsim::FaultKind::NodeSlowdown {
+                        self.kernel.run_until(boundary);
+                        self.set_all_duty(DutyCycle::FULL);
+                    }
+                    // A blackout held the kernel frozen; the run_until
+                    // below (or the next call) replays the backlog.
+                }
+                None => {
+                    let w = self.fault_windows[self.next_window];
+                    self.next_window += 1;
+                    self.kernel.run_until(w.start);
+                    if w.kind == hwsim::FaultKind::NodeSlowdown {
+                        self.set_all_duty(DutyCycle::at_most(w.factor));
+                    }
+                    self.active_window = Some(w);
+                }
+            }
+        }
+        let frozen = matches!(
+            &self.active_window,
+            Some(w) if w.kind == hwsim::FaultKind::NodeBlackout
+        );
+        if !frozen {
+            self.kernel.run_until(t);
+        }
+    }
+
+    fn set_all_duty(&mut self, duty: DutyCycle) {
+        for c in 0..self.kernel.machine().spec().total_cores() {
+            self.kernel.machine_mut().set_duty_cycle(hwsim::CoreId(c), duty);
+        }
+    }
+
+    /// `true` while the dispatcher is steering load away from this node.
+    fn penalized(&self, now: SimTime) -> bool {
+        now < self.penalty_until
+    }
+
+    /// Periodic liveness probe: outstanding work with no completion
+    /// progress since the last check marks the node degraded and extends
+    /// its penalty with exponential backoff (bounded by
+    /// [`PENALTY_MAX`]); progress resets the backoff. Returns `true`
+    /// when a new degradation was detected.
+    fn health_check(&mut self, now: SimTime) -> bool {
+        if now.duration_since(self.last_health_check) < HEALTH_CHECK_EVERY {
+            return false;
+        }
+        let stalled =
+            !self.outstanding.is_empty() && self.completions_seen == self.completions_at_check;
+        self.last_health_check = now;
+        self.completions_at_check = self.completions_seen;
+        if stalled {
+            self.penalty_until = now + self.penalty;
+            self.penalty = (self.penalty + self.penalty).min(PENALTY_MAX);
+            true
+        } else {
+            self.penalty = PENALTY_BASE;
+            false
+        }
     }
 }
 
@@ -118,6 +222,17 @@ pub struct ClusterOutcome {
     pub dispatched: u64,
     /// Requests completed cluster-wide.
     pub completed: usize,
+    /// Requests the dispatcher steered away from a degraded (penalized)
+    /// node to a healthy one.
+    pub rerouted: u64,
+    /// Requests dropped because every node was penalized at dispatch
+    /// time (the bounded-retry give-up path).
+    pub dropped: u64,
+    /// Health-check degradation detections across the run.
+    pub degradations_detected: u64,
+    /// Machine-level faults injected across all nodes, by kind (indexed
+    /// like [`hwsim::FaultKind::ALL`]).
+    pub fault_counts: [u64; hwsim::FaultKind::ALL.len()],
 }
 
 impl ClusterOutcome {
@@ -181,10 +296,15 @@ pub fn run_cluster(
             },
         );
         let state = facility.state();
-        let mut kernel = Kernel::new(
-            Machine::new(spec.clone(), cfg.seed.wrapping_add(n as u64)),
-            KernelConfig::default(),
-        );
+        let mut machine = Machine::new(spec.clone(), cfg.seed.wrapping_add(n as u64));
+        if cfg.faults.is_active() {
+            // Same fault profile on every node, decorrelated by seed.
+            machine.set_fault_config(FaultConfig {
+                seed: cfg.faults.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..cfg.faults.clone()
+            });
+        }
+        let mut kernel = Kernel::new(machine, KernelConfig::default());
         kernel.install_hooks(Box::new(facility));
         let stats = Rc::new(RefCell::new(RunStats::new()));
         let mut inboxes = Vec::new();
@@ -212,7 +332,17 @@ pub fn run_cluster(
             outstanding_std: 0.0,
             mean_service,
             completions_seen: 0,
+            fault_windows: Vec::new(),
+            next_window: 0,
+            active_window: None,
+            penalty_until: SimTime::ZERO,
+            penalty: PENALTY_BASE,
+            last_health_check: SimTime::ZERO,
+            completions_at_check: 0,
         });
+    }
+    for w in plan_node_faults(&cfg.faults, nodes.len(), cfg.duration) {
+        nodes[w.node].fault_windows.push(w);
     }
 
     let rate = per_app_rate(cfg);
@@ -220,6 +350,9 @@ pub fn run_cluster(
     let end = SimTime::ZERO + cfg.duration;
     let mut next_ctx = 1u64;
     let mut dispatched = 0u64;
+    let mut rerouted = 0u64;
+    let mut dropped = 0u64;
+    let mut degradations_detected = 0u64;
     let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
     // Independent Poisson streams per app, merged.
     let mut next_arrival: Vec<SimTime> = (0..apps.len())
@@ -237,15 +370,39 @@ pub fn run_cluster(
         }
         next_arrival[app_idx] = t + SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
         for node in &mut nodes {
-            node.kernel.run_until(t);
+            node.advance_to(t);
             node.settle_completions();
+            if node.health_check(t) {
+                degradations_detected += 1;
+            }
         }
         let label = apps[app_idx].pick_label(&mut rng);
         let views: Vec<NodeView> = nodes.iter().map(Node::view).collect();
-        let chosen = policy.choose(
+        let mut chosen = policy.choose(
             ArrivalView { app: cfg.apps[app_idx], label },
             &views,
         );
+        if nodes[chosen].penalized(t) {
+            // Bounded retry: probe the remaining nodes for the healthy
+            // one with the least outstanding work; if every node is
+            // penalized, give the request up rather than pile onto a
+            // degraded machine.
+            let alt = (0..nodes.len())
+                .filter(|&i| i != chosen && !nodes[i].penalized(t))
+                .min_by(|&a, &b| {
+                    nodes[a].outstanding_std.total_cmp(&nodes[b].outstanding_std)
+                });
+            match alt {
+                Some(i) => {
+                    chosen = i;
+                    rerouted += 1;
+                }
+                None => {
+                    dropped += 1;
+                    continue;
+                }
+            }
+        }
         let node = &mut nodes[chosen];
         let ctx = ContextId(next_ctx);
         next_ctx += 1;
@@ -266,6 +423,10 @@ pub fn run_cluster(
         node.kernel.inject_message(inbox, 512, Some(ctx), label as u64);
     }
     for node in &mut nodes {
+        node.advance_to(end);
+        // Let a node frozen right up to the end replay its backlog so
+        // energy accounting covers the whole run.
+        node.active_window = None;
         node.kernel.run_until(end);
         node.settle_completions();
     }
@@ -314,6 +475,14 @@ pub fn run_cluster(
     let response_by_app = cfg.apps.iter().copied().zip(summaries).collect();
     let energy_by_app_j = cfg.apps.iter().copied().zip(energies).collect();
     let completed = per_node.iter().map(|n| n.completions).sum();
+    let mut fault_counts = [0u64; hwsim::FaultKind::ALL.len()];
+    for node in &nodes {
+        for (total, n) in
+            fault_counts.iter_mut().zip(node.kernel.machine().fault_log().counts())
+        {
+            *total += n;
+        }
+    }
     ClusterOutcome {
         policy: policy.name(),
         per_node,
@@ -321,5 +490,9 @@ pub fn run_cluster(
         energy_by_app_j,
         dispatched,
         completed,
+        rerouted,
+        dropped,
+        degradations_detected,
+        fault_counts,
     }
 }

@@ -127,3 +127,55 @@ fn overloaded_balance_has_worse_latency_than_aware_policies() {
         mean_of(&aware)
     );
 }
+
+#[test]
+fn dispatcher_rides_out_node_blackouts() {
+    let mut cfg = quick_config();
+    cfg.faults = hwsim::FaultConfig {
+        seed: 7,
+        node_blackout_hz: 1.0,
+        node_blackout_len: SimDuration::from_millis(400),
+        ..hwsim::FaultConfig::none()
+    };
+    let cals = calibrations(&cfg);
+    let faulty = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+    assert!(
+        faulty.degradations_detected > 0,
+        "blackouts every ~1 s over 4 s must trip the health check: {faulty:?}"
+    );
+    assert!(
+        faulty.rerouted > 0,
+        "penalized nodes should shed load to healthy ones: rerouted {}",
+        faulty.rerouted
+    );
+    // Degraded, not collapsed: the healthy node picks up the slack.
+    let clean = run_cluster(&mut SimpleBalance::new(), &quick_config(), &cals);
+    assert!(
+        faulty.completed as f64 > 0.7 * clean.completed as f64,
+        "faulty {} vs clean {}",
+        faulty.completed,
+        clean.completed
+    );
+    // Accounting stays intact: dispatched = completed + dropped + still in flight.
+    assert!(faulty.completed as u64 + faulty.dropped <= faulty.dispatched);
+}
+
+#[test]
+fn node_slowdowns_shift_load_without_drops() {
+    let mut cfg = quick_config();
+    cfg.faults = hwsim::FaultConfig {
+        seed: 11,
+        node_slowdown_hz: 2.0,
+        node_slowdown_factor: 0.5,
+        node_slowdown_len: SimDuration::from_millis(300),
+        ..hwsim::FaultConfig::none()
+    };
+    let cals = calibrations(&cfg);
+    let o = run_cluster(&mut SimpleBalance::new(), &cfg, &cals);
+    assert!(o.completed > 400, "slowdowns alone should not strand requests: {o:?}");
+    assert_eq!(
+        o.fault_counts.iter().sum::<u64>(),
+        0,
+        "node-level windows are dispatcher-side, not machine fault-log entries"
+    );
+}

@@ -9,10 +9,14 @@
 //! a poorly calibrated model still tracks power *transitions* well, which
 //! is all alignment needs.
 
+use crate::error::FacilityError;
 use crate::trace::TraceRing;
 use analysis::stats::Summary;
 use simkern::{SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// Fewest retained readings an alignment scan will run on.
+const MIN_READINGS: usize = 3;
 
 /// One meter reading as the facility sees it: arrival instant and value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,6 +145,68 @@ impl DelayEstimator {
         best.map(|(delay, score)| AlignmentResult { delay, score, curve })
     }
 
+    /// Like [`DelayEstimator::estimate`], but validates the scan before
+    /// the caller may act on it: the best correlation must reach
+    /// `min_score`, and no *well-separated* delay (more than one scan
+    /// step away) may correlate within `ambiguity_margin` of the best —
+    /// a near-tie between distant delays means the scan cannot tell them
+    /// apart, which happens when meter dropouts punch holes in the
+    /// reading stream or the workload is too periodic over the window.
+    ///
+    /// # Errors
+    ///
+    /// [`FacilityError::InsufficientReadings`] when fewer than three
+    /// readings are retained (or none overlap the model trace),
+    /// [`FacilityError::AlignmentLowScore`] and
+    /// [`FacilityError::AlignmentAmbiguous`] per the checks above. On
+    /// any error the caller should keep its previous delay estimate.
+    pub fn estimate_checked(
+        &self,
+        model: &TraceRing<f64>,
+        min_score: f64,
+        ambiguity_margin: f64,
+    ) -> Result<AlignmentResult, FacilityError> {
+        if self.history.len() < MIN_READINGS {
+            return Err(FacilityError::InsufficientReadings {
+                have: self.history.len(),
+                need: MIN_READINGS,
+            });
+        }
+        // `estimate` returning `None` past the length gate means no
+        // scanned delay had three readings overlapping the model trace.
+        let result = self.estimate(model).ok_or(FacilityError::InsufficientReadings {
+            have: 0,
+            need: MIN_READINGS,
+        })?;
+        if result.score < min_score {
+            return Err(FacilityError::AlignmentLowScore {
+                score: result.score,
+                min: min_score,
+            });
+        }
+        let separation = self.step + self.step;
+        let runner_up = result
+            .curve
+            .iter()
+            .filter(|(d, _)| {
+                let gap =
+                    if *d > result.delay { *d - result.delay } else { result.delay - *d };
+                gap >= separation
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some(&(delay, score)) = runner_up {
+            let margin = result.score - score;
+            if margin < ambiguity_margin {
+                return Err(FacilityError::AlignmentAmbiguous {
+                    best: result.delay,
+                    runner_up: delay,
+                    margin,
+                });
+            }
+        }
+        Ok(result)
+    }
+
     /// Pearson correlation between readings and the model averaged over
     /// each reading's hypothesized window `[arrival − delay − period,
     /// arrival − delay)`. `None` when fewer than three readings have model
@@ -238,6 +304,73 @@ mod tests {
         est.push(Reading { arrived_at: SimTime::from_millis(1), watts: 1.0 });
         est.push(Reading { arrived_at: SimTime::from_millis(2), watts: 2.0 });
         assert!(est.estimate(&model).is_none());
+    }
+
+    #[test]
+    fn checked_estimate_accepts_a_clean_scan() {
+        let (model, est) = scenario(5);
+        let r = est.estimate_checked(&model, 0.4, 0.02).expect("clean scan");
+        assert_eq!(r.delay, SimDuration::from_millis(5));
+        assert_eq!(Some(r), est.estimate(&model));
+    }
+
+    #[test]
+    fn checked_estimate_flags_too_few_readings() {
+        let slot = SimDuration::from_millis(1);
+        let model = TraceRing::new(slot, 64);
+        let mut est = DelayEstimator::new(slot, slot, slot, 8);
+        est.push(Reading { arrived_at: SimTime::from_millis(1), watts: 1.0 });
+        let err = est.estimate_checked(&model, 0.4, 0.02).expect_err("one reading");
+        assert!(
+            matches!(err, FacilityError::InsufficientReadings { have: 1, need: 3 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn checked_estimate_flags_uncorrelated_readings() {
+        let (model, mut est) = scenario(1);
+        // Replace the meter stream with power values unrelated to the
+        // model trace (as if every reading were corrupted).
+        let arrivals: Vec<SimTime> = est.readings().map(|r| r.arrived_at).collect();
+        est.history.clear();
+        for (i, at) in arrivals.into_iter().enumerate() {
+            let w = 20.0 + ((i * 7919) % 23) as f64; // pseudo-random, aperiodic
+            est.push(Reading { arrived_at: at, watts: w });
+        }
+        let err = est.estimate_checked(&model, 0.4, 0.02).expect_err("garbage stream");
+        assert!(matches!(err, FacilityError::AlignmentLowScore { .. }), "got {err}");
+    }
+
+    #[test]
+    fn checked_estimate_flags_periodic_ambiguity() {
+        // A pure 10 ms square wave with a 20 ms scan range: delays d and
+        // d+10ms correlate identically, so the scan cannot pick one.
+        let slot = SimDuration::from_millis(1);
+        let mut model = TraceRing::new(slot, 4096);
+        let mut est = DelayEstimator::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(1),
+            256,
+        );
+        for ms in 0..400u64 {
+            let w = if (ms / 5) % 2 == 0 { 40.0 } else { 15.0 };
+            let t = SimTime::from_millis(ms) + SimDuration::from_micros(500);
+            model.add(t, w, SimDuration::from_millis(1));
+            if ms >= 100 {
+                est.push(Reading { arrived_at: SimTime::from_millis(ms + 3), watts: w });
+            }
+        }
+        let err = est.estimate_checked(&model, 0.4, 0.02).expect_err("periodic tie");
+        match err {
+            FacilityError::AlignmentAmbiguous { best, runner_up, margin } => {
+                let gap = if best > runner_up { best - runner_up } else { runner_up - best };
+                assert_eq!(gap, SimDuration::from_millis(10), "aliased by one period");
+                assert!(margin < 0.02, "near-tie, margin {margin}");
+            }
+            other => panic!("expected ambiguity, got {other}"),
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@ use crate::calibrate::CalibrationSet;
 use crate::chipshare::SampleBoard;
 use crate::conditioning::ConditioningPolicy;
 use crate::container::ContainerManager;
-use crate::metrics::MetricVector;
+use crate::error::FacilityError;
+use crate::metrics::{DegradeStats, MetricVector};
 use crate::model::{ModelKind, PowerModel};
 use crate::recalibrate::Recalibrator;
 use crate::trace::TraceRing;
@@ -104,6 +105,14 @@ pub struct FacilityConfig {
     pub align_step: SimDuration,
     /// Online samples between model refits.
     pub recalibrate_every: usize,
+    /// Minimum correlation an alignment scan must reach; weaker scans
+    /// keep the previous delay estimate (see
+    /// [`crate::FacilityError::AlignmentLowScore`]).
+    pub min_align_score: f64,
+    /// Required correlation margin between the best delay and any
+    /// well-separated competitor; closer ties are ambiguous and keep the
+    /// previous delay estimate.
+    pub align_ambiguity_margin: f64,
     /// Retain per-request records after container release.
     pub retain_records: bool,
     /// Additionally track modeled energy per task — used by the Fig. 4
@@ -130,6 +139,8 @@ impl Default for FacilityConfig {
             max_meter_delay: SimDuration::from_millis(2000),
             align_step: SimDuration::from_millis(1),
             recalibrate_every: 8,
+            min_align_score: 0.4,
+            align_ambiguity_margin: 0.02,
             retain_records: true,
             track_per_task: false,
             trace_slot: SimDuration::from_millis(1),
@@ -142,6 +153,27 @@ impl Default for FacilityConfig {
 struct CoreSampler {
     last: CounterBlock,
     pending_maint: u32,
+}
+
+/// `true` when a counter delta is physically impossible: negative event
+/// counts (an overflow wrap ran backwards), busy time exceeding wall
+/// time, or per-cycle event rates beyond what any core can retire (a
+/// glitch injected phantom events). The additive slack absorbs injected
+/// maintenance bundles on short intervals; real faults overshoot these
+/// bounds by orders of magnitude.
+fn counter_anomaly(delta: &CounterBlock) -> bool {
+    const SLACK: f64 = 1e5;
+    let e = delta.elapsed_cycles;
+    delta.nonhalt_cycles < 0.0
+        || delta.instructions < 0.0
+        || delta.flops < 0.0
+        || delta.cache_refs < 0.0
+        || delta.mem_txns < 0.0
+        || delta.nonhalt_cycles > e + SLACK
+        || delta.instructions > 16.0 * e + SLACK
+        || delta.flops > 16.0 * e + SLACK
+        || delta.cache_refs > 4.0 * e + SLACK
+        || delta.mem_txns > 4.0 * e + SLACK
 }
 
 /// Shared facility state; experiments hold a handle via
@@ -163,8 +195,11 @@ pub struct FacilityState {
     last_alignment: Option<AlignmentResult>,
     pending_readings: Vec<Reading>,
     reports_since_align: usize,
+    last_window_end: Option<SimTime>,
     maintenance_ops: u64,
     refits: u64,
+    degrade: DegradeStats,
+    last_degradation: Option<FacilityError>,
     per_task_energy: std::collections::HashMap<TaskId, (f64, f64)>,
 }
 
@@ -222,6 +257,16 @@ impl FacilityState {
         self.refits
     }
 
+    /// Counters of every graceful-degradation decision taken so far.
+    pub fn degrade_stats(&self) -> DegradeStats {
+        self.degrade
+    }
+
+    /// The most recent recoverable failure the facility degraded around.
+    pub fn last_degradation(&self) -> Option<&FacilityError> {
+        self.last_degradation.as_ref()
+    }
+
     /// Modeled machine active power averaged over `[t0, t1)` (Fig. 3's
     /// model series).
     pub fn modeled_power_between(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
@@ -267,6 +312,15 @@ impl FacilityState {
             self.board.publish(core, 0.0, now);
             return;
         };
+        if counter_anomaly(&delta) {
+            // A glitched or wrapped counter corrupted this interval: the
+            // snapshot above already resynchronized to the new cumulative
+            // values, so drop the window instead of attributing garbage
+            // energy (and keep it out of the alignment traces).
+            self.degrade.samples_rejected += 1;
+            self.last_degradation = Some(FacilityError::CounterAnomaly { core: core.0 });
+            return;
+        }
         if self.config.compensate_observer && pending > 0 {
             let mut bundle = MAINTENANCE_BUNDLE;
             let n = pending as f64;
@@ -347,6 +401,12 @@ impl FacilityState {
 
     /// Drains newly visible meter reports, re-estimates the measurement
     /// delay periodically, and feeds aligned windows to the recalibrator.
+    ///
+    /// Every step degrades gracefully: dropped meter windows are counted
+    /// as gaps, a low-scoring or ambiguous alignment scan keeps the
+    /// previous delay estimate, and a rejected refit keeps serving the
+    /// last good model (resetting the online accumulator once the
+    /// rejection streak exceeds the staleness bound).
     fn poll_meter(&mut self, api: &mut KernelApi<'_>) {
         let Some(id) = self.meter_id else { return };
         let reports = api.machine.pop_meter_reports(id);
@@ -354,6 +414,14 @@ impl FacilityState {
             return;
         }
         for r in &reports {
+            // A hole between consecutive report windows means the meter
+            // dropped at least one window.
+            if let Some(end) = self.last_window_end {
+                if r.window_start > end {
+                    self.degrade.meter_gaps += 1;
+                }
+            }
+            self.last_window_end = Some(r.window_end);
             let reading = Reading { arrived_at: r.visible_at, watts: r.avg_watts };
             if let Some(e) = &mut self.estimator {
                 e.push(reading);
@@ -364,9 +432,20 @@ impl FacilityState {
         if self.reports_since_align >= self.config.align_every {
             self.reports_since_align = 0;
             if let Some(e) = &self.estimator {
-                if let Some(result) = e.estimate(&self.model_trace) {
-                    self.aligned_delay = Some(result.delay);
-                    self.last_alignment = Some(result);
+                match e.estimate_checked(
+                    &self.model_trace,
+                    self.config.min_align_score,
+                    self.config.align_ambiguity_margin,
+                ) {
+                    Ok(result) => {
+                        self.aligned_delay = Some(result.delay);
+                        self.last_alignment = Some(result);
+                    }
+                    Err(e) => {
+                        // Keep the previous delay estimate (if any).
+                        self.degrade.align_fallbacks += 1;
+                        self.last_degradation = Some(e);
+                    }
                 }
             }
         }
@@ -387,9 +466,27 @@ impl FacilityState {
             }
         }
         if refit_due {
-            if let Ok(model) = self.recalibrator.as_mut().expect("checked").refit() {
-                self.model = model;
-                self.refits += 1;
+            match recal.refit() {
+                Ok(model) => {
+                    self.model = model;
+                    self.refits += 1;
+                }
+                Err(e) => {
+                    // The served model is whatever was accepted last, so
+                    // rejecting the candidate *is* the fallback.
+                    self.degrade.refits_rejected += 1;
+                    if recal.last_good().is_some() {
+                        self.degrade.refit_fallbacks += 1;
+                    }
+                    if recal.is_stale() {
+                        // Bounded staleness: the online accumulator is
+                        // poisoned beyond recovery — rebuild it from a
+                        // clean window.
+                        recal.reset_online();
+                        self.degrade.stale_model_resets += 1;
+                    }
+                    self.last_degradation = Some(e);
+                }
             }
         }
     }
@@ -441,20 +538,39 @@ impl PowerContainerFacility {
     /// # Panics
     ///
     /// Panics if the approach is `Recalibrated` but no calibration set or
-    /// meter was provided.
+    /// meter was provided; [`PowerContainerFacility::try_new`] returns
+    /// the misconfiguration as an error instead.
     pub fn new(
         model: PowerModel,
         calibration: Option<&CalibrationSet>,
         spec: &MachineSpec,
         config: FacilityConfig,
     ) -> PowerContainerFacility {
+        match Self::try_new(model, calibration, spec, config) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`FacilityError::CalibrationMissing`] /
+    /// [`FacilityError::MeterMissing`] when the approach is
+    /// [`Approach::Recalibrated`] but the offline calibration set or the
+    /// meter name was not provided.
+    pub fn try_new(
+        model: PowerModel,
+        calibration: Option<&CalibrationSet>,
+        spec: &MachineSpec,
+        config: FacilityConfig,
+    ) -> Result<PowerContainerFacility, FacilityError> {
         let recalibrator = if config.approach == Approach::Recalibrated {
-            let cal = calibration
-                .expect("Recalibrated approach requires the offline calibration set");
-            assert!(
-                config.meter.is_some(),
-                "Recalibrated approach requires a recalibration meter"
-            );
+            let cal = calibration.ok_or(FacilityError::CalibrationMissing)?;
+            if config.meter.is_none() {
+                return Err(FacilityError::MeterMissing);
+            }
             Some(Recalibrator::new(cal, config.approach.model_kind()))
         } else {
             None
@@ -476,12 +592,15 @@ impl PowerContainerFacility {
             last_alignment: None,
             pending_readings: Vec::new(),
             reports_since_align: 0,
+            last_window_end: None,
             maintenance_ops: 0,
             refits: 0,
+            degrade: DegradeStats::default(),
+            last_degradation: None,
             per_task_energy: std::collections::HashMap::new(),
             config,
         };
-        PowerContainerFacility { state: Rc::new(RefCell::new(state)) }
+        Ok(PowerContainerFacility { state: Rc::new(RefCell::new(state)) })
     }
 
     /// A shared handle onto the facility's state.

@@ -69,6 +69,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The facility must degrade gracefully, never panic, when its inputs
+// misbehave: recoverable failures go through `FacilityError` instead of
+// `unwrap`/`expect`. Tests may still unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod align;
 mod calibrate;
@@ -76,6 +80,7 @@ mod chipshare;
 mod conditioning;
 mod container;
 mod dvfs;
+mod error;
 mod facility;
 mod metrics;
 mod model;
@@ -91,11 +96,12 @@ pub use dvfs::DvfsGovernor;
 pub use container::{
     lifetime_metrics, ContainerManager, ContainerRecord, LabelEnergy, PowerContainer,
 };
+pub use error::FacilityError;
 pub use facility::{
     Approach, FacilityConfig, FacilityState, PowerContainerFacility, MAINTENANCE_BUNDLE,
 };
-pub use metrics::{MetricVector, FEATURES};
+pub use metrics::{DegradeStats, MetricVector, FEATURES};
 pub use model::{ModelKind, PowerModel};
-pub use recalibrate::Recalibrator;
+pub use recalibrate::{Recalibrator, RefitPolicy};
 pub use report::{ConsumerLine, PowerReport};
 pub use trace::TraceRing;

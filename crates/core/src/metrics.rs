@@ -137,9 +137,64 @@ impl Mul<f64> for MetricVector {
     }
 }
 
+/// Counters of every graceful-degradation decision the facility takes
+/// when its inputs misbehave (see [`crate::FacilityError`]). All zeros on
+/// a clean run; each counter names the fallback that fired, so a
+/// robustness sweep can attribute accuracy loss to specific fault
+/// classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Counter samples rejected as physically impossible (negative or
+    /// implausibly high event deltas) and resynchronized instead of
+    /// attributed.
+    pub samples_rejected: u64,
+    /// Meter-window gaps observed in the report stream (dropped
+    /// windows).
+    pub meter_gaps: u64,
+    /// Alignment scans rejected (low score, ambiguity, or too few
+    /// readings) where the facility kept its previous delay estimate.
+    pub align_fallbacks: u64,
+    /// Model refits rejected (singular, ill-conditioned, or
+    /// outlier-contaminated).
+    pub refits_rejected: u64,
+    /// Rejected refits where the facility kept serving the last good
+    /// model.
+    pub refit_fallbacks: u64,
+    /// Times the last-good model exceeded its staleness bound and the
+    /// recalibrator was reset to a clean accumulation window.
+    pub stale_model_resets: u64,
+}
+
+impl DegradeStats {
+    /// Total degradation decisions of any kind.
+    pub fn total(&self) -> u64 {
+        self.samples_rejected
+            + self.meter_gaps
+            + self.align_fallbacks
+            + self.refits_rejected
+            + self.refit_fallbacks
+            + self.stale_model_resets
+    }
+
+    /// `true` when the run never degraded.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degrade_stats_total_and_clean() {
+        let mut d = DegradeStats::default();
+        assert!(d.is_clean());
+        d.samples_rejected = 2;
+        d.align_fallbacks = 1;
+        assert_eq!(d.total(), 3);
+        assert!(!d.is_clean());
+    }
 
     #[test]
     fn from_counters_computes_rates() {

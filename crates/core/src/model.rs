@@ -75,8 +75,8 @@ impl PowerModel {
     pub fn active_power(&self, m: &MetricVector) -> f64 {
         let a = m.as_array();
         let mut p = 0.0;
-        for i in 0..FEATURES {
-            p += self.coeffs[i] * a[i];
+        for (c, x) in self.coeffs.iter().zip(a.iter()) {
+            p += c * x;
         }
         p.max(0.0)
     }

@@ -9,9 +9,53 @@
 //! behaviour (the Stress / power-virus case).
 
 use crate::calibrate::CalibrationSet;
+use crate::error::FacilityError;
 use crate::metrics::{MetricVector, FEATURES};
 use crate::model::{ModelKind, PowerModel};
-use analysis::linreg::{LeastSquares, SolveError};
+use analysis::linreg::LeastSquares;
+use std::collections::VecDeque;
+
+/// Acceptance policy for online refits: a fit must be well-conditioned
+/// and consistent with the recent sample window before the facility will
+/// serve it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefitPolicy {
+    /// Largest acceptable condition estimate (max/min pivot ratio) of
+    /// the combined normal equations.
+    pub max_condition: f64,
+    /// A recent sample is an outlier when its residual deviates from the
+    /// window's median residual by more than this many robust standard
+    /// deviations.
+    pub outlier_sigma: f64,
+    /// Floor on the robust residual scale, in Watts, so a near-constant
+    /// window doesn't flag measurement noise as outliers.
+    pub outlier_scale_floor_w: f64,
+    /// Largest tolerable outlier fraction in the screened window; above
+    /// it the whole fit is rejected as contaminated.
+    pub max_outlier_frac: f64,
+    /// Consecutive rejected refits after which the last-good model is
+    /// considered stale and the online accumulator should be rebuilt
+    /// from scratch (the bounded-staleness guard).
+    pub max_rejected_streak: u32,
+}
+
+impl Default for RefitPolicy {
+    fn default() -> RefitPolicy {
+        RefitPolicy {
+            max_condition: 1e10,
+            outlier_sigma: 4.0,
+            outlier_scale_floor_w: 0.75,
+            max_outlier_frac: 0.25,
+            max_rejected_streak: 4,
+        }
+    }
+}
+
+/// Recent raw online samples retained for outlier screening.
+const RECENT_CAP: usize = 256;
+
+/// Minimum screened-window size; smaller windows skip the outlier test.
+const MIN_SCREEN: usize = 8;
 
 /// Streams aligned online samples into a refit of the power model.
 ///
@@ -49,6 +93,12 @@ pub struct Recalibrator {
     idle_w: f64,
     online_samples: usize,
     samples_since_fit: usize,
+    /// Recent raw `(masked features, active watts)` pairs, for outlier
+    /// screening of candidate refits.
+    recent: VecDeque<([f64; FEATURES], f64)>,
+    last_good: Option<PowerModel>,
+    rejected_streak: u32,
+    policy: RefitPolicy,
 }
 
 impl Recalibrator {
@@ -61,14 +111,33 @@ impl Recalibrator {
             idle_w: offline.idle_w(),
             online_samples: 0,
             samples_since_fit: 0,
+            recent: VecDeque::new(),
+            last_good: None,
+            rejected_streak: 0,
+            policy: RefitPolicy::default(),
         }
+    }
+
+    /// Replaces the refit acceptance policy.
+    pub fn set_policy(&mut self, policy: RefitPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active refit acceptance policy.
+    pub fn policy(&self) -> &RefitPolicy {
+        &self.policy
     }
 
     /// Adds one aligned online observation: machine-level metrics over a
     /// measurement window and the measured *active* power for that window.
     pub fn add_online_sample(&mut self, metrics: MetricVector, active_watts: f64) {
         let m = PowerModel::mask_metrics(self.kind, metrics);
-        self.online.add_sample(&m.as_array(), active_watts.max(0.0), 1.0);
+        let watts = active_watts.max(0.0);
+        self.online.add_sample(&m.as_array(), watts, 1.0);
+        self.recent.push_back((m.as_array(), watts));
+        if self.recent.len() > RECENT_CAP {
+            self.recent.pop_front();
+        }
         self.online_samples += 1;
         self.samples_since_fit += 1;
     }
@@ -83,20 +152,130 @@ impl Recalibrator {
         self.samples_since_fit
     }
 
-    /// Refits coefficients over offline + online samples, equally weighted.
+    /// The model produced by the most recent accepted refit, if any.
+    pub fn last_good(&self) -> Option<&PowerModel> {
+        self.last_good.as_ref()
+    }
+
+    /// Consecutive refit rejections since the last accepted fit.
+    pub fn rejected_streak(&self) -> u32 {
+        self.rejected_streak
+    }
+
+    /// `true` once the rejection streak exceeds the policy's staleness
+    /// bound: whatever model the facility is serving is too old to keep
+    /// trusting, and the online accumulator is likely poisoned.
+    pub fn is_stale(&self) -> bool {
+        self.rejected_streak > self.policy.max_rejected_streak
+    }
+
+    /// Drops all accumulated online state (accumulator, screen window,
+    /// rejection streak), keeping the offline equations and the last
+    /// good model. The staleness recovery path: contaminated samples
+    /// live in the accumulator forever, so once refits keep failing the
+    /// only way back is a clean window.
+    pub fn reset_online(&mut self) {
+        self.online = LeastSquares::new(FEATURES);
+        self.recent.clear();
+        self.samples_since_fit = 0;
+        self.rejected_streak = 0;
+    }
+
+    /// Refits coefficients over offline + online samples, equally
+    /// weighted, then screens the candidate: ill-conditioned systems and
+    /// fits that disagree with too much of the recent sample window are
+    /// rejected, leaving the caller on its previous (last-good) model.
     ///
     /// # Errors
     ///
-    /// Propagates [`SolveError`] if the combined system is unsolvable.
-    pub fn refit(&mut self) -> Result<PowerModel, SolveError> {
+    /// [`FacilityError::Solve`] when the combined system is unsolvable,
+    /// [`FacilityError::IllConditioned`] /
+    /// [`FacilityError::OutlierContaminated`] when the candidate fails
+    /// screening. Any error resets the between-refits sample counter and
+    /// extends the rejection streak.
+    pub fn refit(&mut self) -> Result<PowerModel, FacilityError> {
+        self.samples_since_fit = 0;
         let mut combined = self.offline.clone();
         combined.merge(&self.online);
-        let beta = combined.solve()?;
+        let (beta, condition) = match combined.solve_conditioned() {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.rejected_streak += 1;
+                return Err(e.into());
+            }
+        };
+        if condition > self.policy.max_condition {
+            self.rejected_streak += 1;
+            return Err(FacilityError::IllConditioned {
+                condition,
+                limit: self.policy.max_condition,
+            });
+        }
         let mut coeffs = [0.0; FEATURES];
         coeffs.copy_from_slice(&beta);
-        self.samples_since_fit = 0;
-        Ok(PowerModel::new(self.kind, self.idle_w, coeffs))
+        let model = PowerModel::new(self.kind, self.idle_w, coeffs);
+        if let Err(e) = self.screen_outliers(&model) {
+            self.rejected_streak += 1;
+            return Err(e);
+        }
+        self.rejected_streak = 0;
+        self.last_good = Some(model.clone());
+        Ok(model)
     }
+
+    /// Rejects `model` when too many recent samples sit far from it
+    /// *and* those far samples are mutually inconsistent. Deviation is
+    /// measured against the window's median residual, and a flagged set
+    /// whose residuals are themselves tightly clustered is treated as a
+    /// coherent workload mode the linear family cannot express (the
+    /// legitimate recalibration case — least squares already balances
+    /// it), while scattered deviations (glitched windows, corrupted
+    /// readings) reject the fit.
+    fn screen_outliers(&self, model: &PowerModel) -> Result<(), FacilityError> {
+        if self.recent.len() < MIN_SCREEN {
+            return Ok(());
+        }
+        let residuals: Vec<f64> = self
+            .recent
+            .iter()
+            .map(|(feat, watts)| {
+                watts - model.active_power(&MetricVector::from_slice(feat))
+            })
+            .collect();
+        let median = median_of(&mut residuals.clone());
+        let mut deviations: Vec<f64> =
+            residuals.iter().map(|r| (r - median).abs()).collect();
+        let mad = median_of(&mut deviations);
+        // 1.4826 · MAD estimates σ for Gaussian residuals.
+        let scale = (1.4826 * mad).max(self.policy.outlier_scale_floor_w);
+        let threshold = self.policy.outlier_sigma * scale;
+        let flagged: Vec<f64> = residuals
+            .iter()
+            .copied()
+            .filter(|r| (r - median).abs() > threshold)
+            .collect();
+        let (outliers, screened) = (flagged.len(), residuals.len());
+        if outliers as f64 <= self.policy.max_outlier_frac * screened as f64 {
+            return Ok(());
+        }
+        // Coherence test on the flagged set: corruption scatters, a real
+        // secondary operating point clusters.
+        let flagged_median = median_of(&mut flagged.clone());
+        let mut flagged_dev: Vec<f64> =
+            flagged.iter().map(|r| (r - flagged_median).abs()).collect();
+        let flagged_spread = 1.4826 * median_of(&mut flagged_dev);
+        if flagged_spread <= threshold {
+            return Ok(());
+        }
+        Err(FacilityError::OutlierContaminated { outliers, screened })
+    }
+}
+
+
+/// Median by sorting in place (ties broken toward the lower middle).
+fn median_of(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
 }
 
 #[cfg(test)]
@@ -198,5 +377,100 @@ mod tests {
         r.add_online_sample(m, -5.0); // noisy meter minus idle can dip below 0
         let model = r.refit().unwrap();
         assert!(model.active_power(&m) >= 0.0);
+    }
+
+    #[test]
+    fn contaminated_window_rejects_refit_but_keeps_last_good() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let (m, truth) = stress_point();
+        for _ in 0..100 {
+            r.add_online_sample(m, truth);
+        }
+        let good = r.refit().expect("clean refit accepted");
+        assert!(r.last_good().is_some());
+        assert_eq!(r.rejected_streak(), 0);
+        // A burst of corrupted readings (glitched windows) lands: wild
+        // power values scattered around the same operating point.
+        for i in 0..60 {
+            let watts = if i % 2 == 0 { 0.0 } else { 200.0 };
+            r.add_online_sample(m, watts);
+        }
+        let err = r.refit().expect_err("contaminated refit must be rejected");
+        assert!(
+            matches!(err, FacilityError::OutlierContaminated { .. }),
+            "unexpected error {err}"
+        );
+        assert_eq!(r.rejected_streak(), 1);
+        assert_eq!(r.samples_since_fit(), 0, "rejection still resets the batch");
+        // The last good model is untouched by the rejected candidate.
+        let kept = r.last_good().expect("kept");
+        assert_eq!(kept.coefficients(), good.coefficients());
+    }
+
+    #[test]
+    fn coherent_secondary_mode_is_not_contamination() {
+        // A workload alternating between two operating points, one of
+        // which carries unmodeled power the linear family can't fit.
+        // Least squares balances the two; the screen must accept the fit
+        // even though the minority mode's residuals exceed the threshold.
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        let (m, truth) = stress_point();
+        let quiet = MetricVector { core: 0.3, ins: 0.5, chipshare: 1.0, ..Default::default() };
+        let quiet_watts = 0.3 * 8.0 + 0.5 * 3.0 + 5.6;
+        for _ in 0..100 {
+            r.add_online_sample(quiet, quiet_watts);
+        }
+        for _ in 0..40 {
+            r.add_online_sample(m, truth + 30.0); // +30 W hidden interaction
+        }
+        r.refit().expect("a tight secondary mode is legitimate workload");
+        assert_eq!(r.rejected_streak(), 0);
+    }
+
+    #[test]
+    fn condition_limit_rejects_fit() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        r.set_policy(RefitPolicy { max_condition: 1.0, ..RefitPolicy::default() });
+        let (m, truth) = stress_point();
+        for _ in 0..20 {
+            r.add_online_sample(m, truth);
+        }
+        let err = r.refit().expect_err("must exceed a condition limit of 1");
+        assert!(matches!(err, FacilityError::IllConditioned { .. }), "got {err}");
+        assert!(r.last_good().is_none());
+    }
+
+    #[test]
+    fn rejection_streak_drives_staleness_and_reset_recovers() {
+        let set = offline_set();
+        let mut r = Recalibrator::new(&set, ModelKind::WithChipShare);
+        r.set_policy(RefitPolicy { max_rejected_streak: 2, ..RefitPolicy::default() });
+        let (m, truth) = stress_point();
+        // Poison a third of the window so every refit is rejected as
+        // contaminated (the MAD screen needs a clean majority).
+        for _ in 0..100 {
+            r.add_online_sample(m, truth);
+        }
+        for i in 0..50 {
+            r.add_online_sample(m, if i % 2 == 0 { 0.0 } else { 200.0 });
+        }
+        for _ in 0..3 {
+            let _ = r.refit().expect_err("poisoned accumulator");
+        }
+        assert!(r.is_stale(), "streak of 3 > bound of 2");
+        // Bounded-staleness recovery: rebuild from a clean window.
+        r.reset_online();
+        assert!(!r.is_stale());
+        assert_eq!(r.samples_since_fit(), 0);
+        for _ in 0..50 {
+            r.add_online_sample(m, truth);
+        }
+        let model = r.refit().expect("clean window fits again");
+        let err = (model.active_power(&m) - truth).abs() / truth;
+        assert!(err < 0.05, "recovered fit error {err:.3}");
+        assert_eq!(r.rejected_streak(), 0);
     }
 }

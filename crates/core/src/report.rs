@@ -49,11 +49,7 @@ impl PowerReport {
                 energy_j: c.total_energy_j(),
             })
             .collect();
-        consumers.sort_by(|a, b| {
-            b.recent_power_w
-                .partial_cmp(&a.recent_power_w)
-                .expect("power values are finite")
-        });
+        consumers.sort_by(|a, b| b.recent_power_w.total_cmp(&a.recent_power_w));
         let total_request_w = consumers.iter().map(|c| c.recent_power_w).sum();
         PowerReport {
             consumers,

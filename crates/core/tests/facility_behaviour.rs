@@ -342,3 +342,64 @@ fn energy_budget_forces_floor_throttling() {
         free_record.energy_j
     );
 }
+
+#[test]
+fn facility_degrades_gracefully_under_injected_faults() {
+    use hwsim::FaultConfig;
+    let spec = MachineSpec::sandybridge();
+    let set = skewed_calibration();
+    let model = set.fit(ModelKind::WithChipShare).expect("fit");
+    let run = |faults: Option<FaultConfig>| -> (f64, power_containers::DegradeStats) {
+        let facility = PowerContainerFacility::try_new(
+            model.clone(),
+            Some(&set),
+            &spec,
+            FacilityConfig {
+                approach: Approach::Recalibrated,
+                meter: Some("on-chip"),
+                meter_idle_w: 1.5,
+                max_meter_delay: SimDuration::from_millis(10),
+                ..FacilityConfig::default()
+            },
+        )
+        .expect("valid configuration");
+        let state = facility.state();
+        let mut machine = Machine::new(spec.clone(), 5);
+        if let Some(f) = faults {
+            machine.set_fault_config(f);
+        }
+        let mut kernel = Kernel::new(machine, KernelConfig::default());
+        kernel.install_hooks(Box::new(facility));
+        spawn_spinners(&mut kernel, 3, ActivityProfile::cache_heavy());
+        kernel.run_until(SimTime::from_secs(3));
+        let measured = kernel.machine().true_active_energy_j();
+        let attributed = state.borrow().containers().total_energy_with_background_j();
+        let err = (attributed - measured).abs() / measured;
+        let stats = state.borrow().degrade_stats();
+        (err, stats)
+    };
+    let (clean_err, clean_stats) = run(None);
+    assert!(clean_stats.samples_rejected == 0, "clean run rejects nothing");
+    let (faulty_err, faulty_stats) = run(Some(FaultConfig {
+        meter_dropout: 0.05,
+        counter_glitch_hz: 2.0,
+        counter_wrap_hz: 1.0,
+        ..FaultConfig::none()
+    }));
+    // Every corrupted counter window must be caught, not attributed.
+    assert!(
+        faulty_stats.samples_rejected > 0,
+        "glitches at 3 Hz over 3 s should reject samples: {faulty_stats:?}"
+    );
+    assert!(
+        faulty_stats.meter_gaps > 0,
+        "5% dropout over ~3000 windows should leave gaps: {faulty_stats:?}"
+    );
+    // Degraded, not destroyed: attribution error stays within 2x of the
+    // clean run (the ISSUE acceptance bound) plus a small absolute floor
+    // for runs where the clean error is itself tiny.
+    assert!(
+        faulty_err < (clean_err * 2.0).max(0.05) + 0.02,
+        "faulty {faulty_err:.3} vs clean {clean_err:.3}"
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the fault-injection robustness sweep. Pass `--quick` for
+//! a fast run.
+fn main() {
+    let _ = experiments::fault_sweep::run(experiments::Scale::from_args());
+}

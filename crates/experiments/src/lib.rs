@@ -29,6 +29,7 @@
 //! | [`ablations`] | design-choice ablations (tagging, Eq. 3, observer effect) |
 //! | [`dvfs`] | extension: per-request conditioning vs whole-machine DVFS |
 //! | [`anomaly`] | extension: online power-anomaly detection from reports |
+//! | [`fault_sweep`] | extension: attribution accuracy under injected faults |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +39,7 @@ pub mod anomaly;
 pub mod cache;
 pub mod coefficients;
 pub mod dvfs;
+pub mod fault_sweep;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

@@ -1,0 +1,708 @@
+//! Seeded, deterministic fault injection for the simulated hardware.
+//!
+//! Real measurement pipelines degrade in the field: meter reports get
+//! lost on the USB path or arrive late, PMU event counters glitch and
+//! wrap, message tags are dropped or corrupted in transit, and whole
+//! cluster nodes slow down or black out. This module is the single
+//! source of those faults for the whole simulation stack:
+//!
+//! * **Meter faults** — per-window dropout (the report never becomes
+//!   visible) and extra delivery lag, applied by [`crate::Machine`] as
+//!   windows close.
+//! * **Counter faults** — glitches (a burst of phantom events lands in
+//!   one counter read) and overflow wraps (an event counter jumps
+//!   backwards, so the next delta is hugely negative), drawn as Poisson
+//!   arrivals per core.
+//! * **Tag faults** — per-delivered-segment loss (the context tag is
+//!   stripped) or corruption (the tag is replaced with a different,
+//!   plausible-looking id), consulted by the OS layer at delivery time.
+//! * **Node faults** — per-node slowdown and blackout windows for the
+//!   cluster dispatcher, precomputed by [`plan_node_faults`].
+//!
+//! All randomness derives from [`FaultConfig::seed`] through dedicated
+//! [`SimRng`] streams, *separate* from the machine's measurement-noise
+//! stream: enabling or disabling fault injection never perturbs the
+//! fault-free simulation, and the same seed and config always produce
+//! the byte-identical fault schedule recorded in [`FaultLog`].
+
+use simkern::{SimDuration, SimRng, SimTime};
+
+/// Configuration of every injectable fault. All rates default to zero
+/// ([`FaultConfig::none`]); a zero-rate config injects nothing and draws
+/// nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed for every fault stream.
+    pub seed: u64,
+    /// Probability that a closed meter window's report is silently lost.
+    pub meter_dropout: f64,
+    /// Probability that a closed meter window's report is delayed by an
+    /// extra uniform `(0, meter_extra_lag_max]` on top of its normal
+    /// delivery delay.
+    pub meter_extra_lag: f64,
+    /// Largest extra delivery lag.
+    pub meter_extra_lag_max: SimDuration,
+    /// Poisson rate (events per simulated second, per core) of counter
+    /// glitches: a burst of phantom events lands in the event counters.
+    pub counter_glitch_hz: f64,
+    /// Mean phantom-event magnitude of one glitch.
+    pub counter_glitch_events: f64,
+    /// Poisson rate (per second, per core) of event-counter overflow
+    /// wraps: one cumulative event counter jumps backwards by
+    /// [`COUNTER_WRAP_SPAN`], so the consumer's next delta is negative.
+    pub counter_wrap_hz: f64,
+    /// Probability that a delivered tagged message loses its context tag.
+    pub tag_loss: f64,
+    /// Probability that a delivered tagged message's context tag is
+    /// replaced by a different id.
+    pub tag_corrupt: f64,
+    /// Poisson rate (per second, per node) of cluster-node slowdowns.
+    pub node_slowdown_hz: f64,
+    /// DVFS fraction a slowed node runs at (clamped to `0.5..=1.0`).
+    pub node_slowdown_factor: f64,
+    /// Length of one slowdown window.
+    pub node_slowdown_len: SimDuration,
+    /// Poisson rate (per second, per node) of cluster-node blackouts
+    /// (the node stops accepting newly dispatched requests).
+    pub node_blackout_hz: f64,
+    /// Length of one blackout window.
+    pub node_blackout_len: SimDuration,
+}
+
+/// How far a wrapped event counter jumps backwards (a 2⁴⁰-count wrap,
+/// matching a 40-bit PMU event counter).
+pub const COUNTER_WRAP_SPAN: f64 = (1u64 << 40) as f64;
+
+impl FaultConfig {
+    /// A fault-free configuration (every rate zero).
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            meter_dropout: 0.0,
+            meter_extra_lag: 0.0,
+            meter_extra_lag_max: SimDuration::from_millis(50),
+            counter_glitch_hz: 0.0,
+            counter_glitch_events: 2.0e9,
+            counter_wrap_hz: 0.0,
+            tag_loss: 0.0,
+            tag_corrupt: 0.0,
+            node_slowdown_hz: 0.0,
+            node_slowdown_factor: 0.6,
+            node_slowdown_len: SimDuration::from_millis(500),
+            node_blackout_hz: 0.0,
+            node_blackout_len: SimDuration::from_millis(500),
+        }
+    }
+
+    /// A configuration exercising every fault class at moderate rates —
+    /// the robustness-sweep baseline.
+    pub fn stress(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            meter_dropout: 0.05,
+            meter_extra_lag: 0.05,
+            counter_glitch_hz: 2.0,
+            counter_wrap_hz: 0.5,
+            tag_loss: 0.02,
+            tag_corrupt: 0.01,
+            node_slowdown_hz: 0.2,
+            node_blackout_hz: 0.1,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// `true` when any meter fault can fire.
+    pub fn meter_faults_active(&self) -> bool {
+        self.meter_dropout > 0.0 || self.meter_extra_lag > 0.0
+    }
+
+    /// `true` when any counter fault can fire.
+    pub fn counter_faults_active(&self) -> bool {
+        self.counter_glitch_hz > 0.0 || self.counter_wrap_hz > 0.0
+    }
+
+    /// `true` when any tag fault can fire.
+    pub fn tag_faults_active(&self) -> bool {
+        self.tag_loss > 0.0 || self.tag_corrupt > 0.0
+    }
+
+    /// `true` when any node fault can fire.
+    pub fn node_faults_active(&self) -> bool {
+        self.node_slowdown_hz > 0.0 || self.node_blackout_hz > 0.0
+    }
+
+    /// `true` when any fault at all can fire.
+    pub fn is_active(&self) -> bool {
+        self.meter_faults_active()
+            || self.counter_faults_active()
+            || self.tag_faults_active()
+            || self.node_faults_active()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::none()
+    }
+}
+
+/// The kind of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A meter report was silently dropped.
+    MeterDropout,
+    /// A meter report's delivery was delayed further.
+    MeterExtraLag,
+    /// Phantom events landed in a core's counters.
+    CounterGlitch,
+    /// An event counter wrapped backwards.
+    CounterWrap,
+    /// A delivered message lost its context tag.
+    TagLost,
+    /// A delivered message's context tag was replaced.
+    TagCorrupted,
+    /// A cluster node entered a slowdown window.
+    NodeSlowdown,
+    /// A cluster node entered a blackout window.
+    NodeBlackout,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed order (also the [`FaultLog`] counter
+    /// order).
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::MeterDropout,
+        FaultKind::MeterExtraLag,
+        FaultKind::CounterGlitch,
+        FaultKind::CounterWrap,
+        FaultKind::TagLost,
+        FaultKind::TagCorrupted,
+        FaultKind::NodeSlowdown,
+        FaultKind::NodeBlackout,
+    ];
+
+    /// A stable display/digest name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MeterDropout => "meter-dropout",
+            FaultKind::MeterExtraLag => "meter-extra-lag",
+            FaultKind::CounterGlitch => "counter-glitch",
+            FaultKind::CounterWrap => "counter-wrap",
+            FaultKind::TagLost => "tag-lost",
+            FaultKind::TagCorrupted => "tag-corrupted",
+            FaultKind::NodeSlowdown => "node-slowdown",
+            FaultKind::NodeBlackout => "node-blackout",
+        }
+    }
+
+    fn index(self) -> usize {
+        FaultKind::ALL.iter().position(|k| *k == self).unwrap_or(0)
+    }
+}
+
+/// One injected fault, as recorded in the deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fired.
+    pub at: SimTime,
+    /// What fired.
+    pub kind: FaultKind,
+    /// The faulted site: meter index, core index, socket id, or node
+    /// index depending on `kind`.
+    pub site: u64,
+    /// Kind-specific magnitude: phantom events for a glitch, extra lag in
+    /// nanoseconds for extra-lag, replacement-tag salt for corruption;
+    /// zero otherwise.
+    pub magnitude: u64,
+}
+
+/// Counters and the deterministic schedule of every injected fault.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    counts: [u64; FaultKind::ALL.len()],
+    schedule: Vec<FaultEvent>,
+}
+
+/// Retained schedule entries; counting is unbounded but the recorded
+/// schedule is capped so long runs stay bounded in memory.
+const SCHEDULE_CAP: usize = 1 << 16;
+
+impl FaultLog {
+    /// Records one fault.
+    pub fn record(&mut self, event: FaultEvent) {
+        self.counts[event.kind.index()] += 1;
+        if self.schedule.len() < SCHEDULE_CAP {
+            self.schedule.push(event);
+        }
+    }
+
+    /// How many faults of `kind` fired.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// All per-kind counters, indexed like [`FaultKind::ALL`].
+    pub fn counts(&self) -> [u64; FaultKind::ALL.len()] {
+        self.counts
+    }
+
+    /// Total faults injected, all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The recorded fault schedule, in firing order (capped at 2¹⁶
+    /// entries).
+    pub fn schedule(&self) -> &[FaultEvent] {
+        &self.schedule
+    }
+
+    /// A canonical, byte-stable rendering of the schedule: one
+    /// `ns kind site magnitude` line per fault. Two runs with the same
+    /// seed and config must produce byte-identical digests.
+    pub fn schedule_digest(&self) -> String {
+        let mut out = String::new();
+        for e in &self.schedule {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                e.at.as_nanos(),
+                e.kind.name(),
+                e.site,
+                e.magnitude
+            ));
+        }
+        out
+    }
+
+    /// Folds another log's counters into this one (schedules are not
+    /// merged; use per-source logs for schedule comparison).
+    pub fn absorb_counts(&mut self, other: &FaultLog) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// What happened to one closed meter window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterFault {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the report.
+    Drop,
+    /// Delay the report by this much extra.
+    ExtraLag(SimDuration),
+}
+
+/// What happened to one core's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CounterFault {
+    /// Add this many phantom events.
+    Glitch(f64),
+    /// Wrap an event counter backwards by [`COUNTER_WRAP_SPAN`].
+    Wrap,
+}
+
+/// What happened to one delivered tagged message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagFault {
+    /// Deliver the tag unchanged.
+    Keep,
+    /// Strip the tag.
+    Lose,
+    /// Replace the tag; the payload is a nonzero salt to derive the
+    /// replacement id from.
+    Corrupt(u64),
+}
+
+/// Draws fault decisions from dedicated seeded streams and records them.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    meter_rng: SimRng,
+    counter_rng: SimRng,
+    tag_rng: SimRng,
+    /// Next scheduled glitch arrival per core.
+    next_glitch: Vec<SimTime>,
+    /// Next scheduled wrap arrival per core.
+    next_wrap: Vec<SimTime>,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a machine with `cores` cores.
+    pub fn new(config: FaultConfig, cores: usize) -> FaultInjector {
+        let root = SimRng::new(config.seed);
+        let mut counter_rng = root.split(0x434E_5452); // "CNTR"
+        let next_glitch = Self::draw_arrivals(&mut counter_rng, config.counter_glitch_hz, cores);
+        let next_wrap = Self::draw_arrivals(&mut counter_rng, config.counter_wrap_hz, cores);
+        FaultInjector {
+            meter_rng: root.split(0x4D54_5246), // "MTRF"
+            tag_rng: root.split(0x5441_4746),   // "TAGF"
+            counter_rng,
+            next_glitch,
+            next_wrap,
+            log: FaultLog::default(),
+            config,
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::new(FaultConfig::none(), 0)
+    }
+
+    fn draw_arrivals(rng: &mut SimRng, hz: f64, cores: usize) -> Vec<SimTime> {
+        (0..cores)
+            .map(|_| {
+                if hz > 0.0 {
+                    SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(1.0 / hz))
+                } else {
+                    SimTime::MAX
+                }
+            })
+            .collect()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The accumulated fault log.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Decides the fate of the meter window that just closed on
+    /// `meter` at `at`.
+    pub fn meter_window(&mut self, meter: usize, at: SimTime) -> MeterFault {
+        if !self.config.meter_faults_active() {
+            return MeterFault::Deliver;
+        }
+        if self.config.meter_dropout > 0.0 && self.meter_rng.chance(self.config.meter_dropout) {
+            self.log.record(FaultEvent {
+                at,
+                kind: FaultKind::MeterDropout,
+                site: meter as u64,
+                magnitude: 0,
+            });
+            return MeterFault::Drop;
+        }
+        if self.config.meter_extra_lag > 0.0 && self.meter_rng.chance(self.config.meter_extra_lag)
+        {
+            let max_ns = self.config.meter_extra_lag_max.as_nanos().max(1);
+            let extra_ns = 1 + self.meter_rng.next_below(max_ns);
+            self.log.record(FaultEvent {
+                at,
+                kind: FaultKind::MeterExtraLag,
+                site: meter as u64,
+                magnitude: extra_ns,
+            });
+            return MeterFault::ExtraLag(SimDuration::from_nanos(extra_ns));
+        }
+        MeterFault::Deliver
+    }
+
+    /// Pops the next counter fault due at or before `now`, if any.
+    /// Call repeatedly until `None`; each popped fault reschedules its
+    /// stream's next arrival.
+    pub fn next_counter_fault(&mut self, now: SimTime) -> Option<(usize, CounterFault)> {
+        if !self.config.counter_faults_active() {
+            return None;
+        }
+        // Earliest due arrival across both streams and all cores, so
+        // firing order (and therefore the schedule) is deterministic.
+        let mut best: Option<(SimTime, usize, bool)> = None;
+        for (core, &t) in self.next_glitch.iter().enumerate() {
+            if t <= now && best.is_none_or(|(bt, _, _)| t < bt) {
+                best = Some((t, core, true));
+            }
+        }
+        for (core, &t) in self.next_wrap.iter().enumerate() {
+            if t <= now && best.is_none_or(|(bt, _, _)| t < bt) {
+                best = Some((t, core, false));
+            }
+        }
+        let (at, core, is_glitch) = best?;
+        if is_glitch {
+            let hz = self.config.counter_glitch_hz;
+            self.next_glitch[core] =
+                at + SimDuration::from_secs_f64(self.counter_rng.exponential(1.0 / hz));
+            let events =
+                self.config.counter_glitch_events * (0.5 + self.counter_rng.next_f64());
+            self.log.record(FaultEvent {
+                at,
+                kind: FaultKind::CounterGlitch,
+                site: core as u64,
+                magnitude: events as u64,
+            });
+            Some((core, CounterFault::Glitch(events)))
+        } else {
+            let hz = self.config.counter_wrap_hz;
+            self.next_wrap[core] =
+                at + SimDuration::from_secs_f64(self.counter_rng.exponential(1.0 / hz));
+            self.log.record(FaultEvent {
+                at,
+                kind: FaultKind::CounterWrap,
+                site: core as u64,
+                magnitude: 0,
+            });
+            Some((core, CounterFault::Wrap))
+        }
+    }
+
+    /// Decides the fate of one tagged message delivered on socket
+    /// `site` at `at`.
+    pub fn tag_fault(&mut self, site: u64, at: SimTime) -> TagFault {
+        if !self.config.tag_faults_active() {
+            return TagFault::Keep;
+        }
+        if self.config.tag_loss > 0.0 && self.tag_rng.chance(self.config.tag_loss) {
+            self.log
+                .record(FaultEvent { at, kind: FaultKind::TagLost, site, magnitude: 0 });
+            return TagFault::Lose;
+        }
+        if self.config.tag_corrupt > 0.0 && self.tag_rng.chance(self.config.tag_corrupt) {
+            let salt = 1 + self.tag_rng.next_below(u64::MAX - 1);
+            self.log.record(FaultEvent {
+                at,
+                kind: FaultKind::TagCorrupted,
+                site,
+                magnitude: salt,
+            });
+            return TagFault::Corrupt(salt);
+        }
+        TagFault::Keep
+    }
+}
+
+/// One planned cluster-node fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaultWindow {
+    /// The affected node index.
+    pub node: usize,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+    /// [`FaultKind::NodeSlowdown`] or [`FaultKind::NodeBlackout`].
+    pub kind: FaultKind,
+    /// DVFS fraction during a slowdown (1.0 for blackouts).
+    pub factor: f64,
+}
+
+/// Precomputes every node slowdown/blackout window for a cluster run of
+/// `duration` over `nodes` nodes. Windows are non-overlapping per node
+/// and sorted by start time; the plan is a pure function of the config,
+/// so dispatcher and injector agree without sharing state.
+pub fn plan_node_faults(
+    config: &FaultConfig,
+    nodes: usize,
+    duration: SimDuration,
+) -> Vec<NodeFaultWindow> {
+    let mut plan = Vec::new();
+    if !config.node_faults_active() {
+        return plan;
+    }
+    let mut rng = SimRng::new(config.seed).split(0x4E4F_4445); // "NODE"
+    let factor = config.node_slowdown_factor.clamp(0.5, 1.0);
+    let end_of_run = SimTime::ZERO + duration;
+    for node in 0..nodes {
+        let mut cursor = SimTime::ZERO;
+        loop {
+            // Competing exponential clocks: whichever fault arrives first
+            // claims the next window.
+            let t_slow = if config.node_slowdown_hz > 0.0 {
+                SimDuration::from_secs_f64(rng.exponential(1.0 / config.node_slowdown_hz))
+            } else {
+                SimDuration::MAX
+            };
+            let t_black = if config.node_blackout_hz > 0.0 {
+                SimDuration::from_secs_f64(rng.exponential(1.0 / config.node_blackout_hz))
+            } else {
+                SimDuration::MAX
+            };
+            let (gap, kind, len, f) = if t_slow <= t_black {
+                (t_slow, FaultKind::NodeSlowdown, config.node_slowdown_len, factor)
+            } else {
+                (t_black, FaultKind::NodeBlackout, config.node_blackout_len, 1.0)
+            };
+            let start = cursor + gap;
+            if start >= end_of_run {
+                break;
+            }
+            let end = (start + len).min(end_of_run);
+            plan.push(NodeFaultWindow { node, start, end, kind, factor: f });
+            cursor = end;
+        }
+    }
+    plan.sort_by_key(|w| (w.start, w.node));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active_config(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            meter_dropout: 0.2,
+            meter_extra_lag: 0.2,
+            counter_glitch_hz: 5.0,
+            counter_wrap_hz: 2.0,
+            tag_loss: 0.1,
+            tag_corrupt: 0.1,
+            ..FaultConfig::none()
+        }
+    }
+
+    #[test]
+    fn zero_config_is_inert() {
+        let mut inj = FaultInjector::disabled();
+        for i in 0..100 {
+            assert_eq!(inj.meter_window(0, SimTime::from_millis(i)), MeterFault::Deliver);
+            assert_eq!(inj.tag_fault(0, SimTime::from_millis(i)), TagFault::Keep);
+        }
+        assert!(inj.next_counter_fault(SimTime::MAX).is_none());
+        assert_eq!(inj.log().total(), 0);
+        assert!(inj.log().schedule_digest().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(active_config(seed), 4);
+            for ms in 0..2000u64 {
+                let t = SimTime::from_millis(ms);
+                let _ = inj.meter_window(0, t);
+                let _ = inj.tag_fault(ms % 7, t);
+                while inj.next_counter_fault(t).is_some() {}
+            }
+            inj.log().schedule_digest()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must give byte-identical schedules");
+        assert_ne!(a, run(8), "different seeds should diverge");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn meter_dropout_rate_is_roughly_honored() {
+        let cfg = FaultConfig { meter_dropout: 0.05, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(FaultConfig { seed: 3, ..cfg }, 1);
+        let n = 20_000;
+        let mut drops = 0;
+        for i in 0..n {
+            if inj.meter_window(0, SimTime::from_millis(i)) == MeterFault::Drop {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "observed dropout rate {rate}");
+        assert_eq!(inj.log().count(FaultKind::MeterDropout), drops);
+    }
+
+    #[test]
+    fn counter_faults_arrive_at_poisson_rate() {
+        let cfg = FaultConfig { seed: 11, counter_glitch_hz: 10.0, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 2);
+        let mut fired = 0;
+        for ms in 0..10_000u64 {
+            while inj.next_counter_fault(SimTime::from_millis(ms)).is_some() {
+                fired += 1;
+            }
+        }
+        // 10 Hz × 10 s × 2 cores = 200 expected.
+        assert!((120..280).contains(&fired), "fired {fired}");
+        assert_eq!(inj.log().count(FaultKind::CounterGlitch), fired);
+    }
+
+    #[test]
+    fn counter_faults_fire_in_time_order() {
+        let cfg = FaultConfig {
+            seed: 5,
+            counter_glitch_hz: 50.0,
+            counter_wrap_hz: 20.0,
+            ..FaultConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, 4);
+        while inj.next_counter_fault(SimTime::from_secs(2)).is_some() {}
+        let times: Vec<u64> =
+            inj.log().schedule().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "schedule must be time-ordered");
+        assert!(times.len() > 50);
+    }
+
+    #[test]
+    fn tag_faults_split_between_loss_and_corruption() {
+        let cfg =
+            FaultConfig { seed: 9, tag_loss: 0.3, tag_corrupt: 0.3, ..FaultConfig::none() };
+        let mut inj = FaultInjector::new(cfg, 0);
+        let (mut lost, mut corrupted) = (0u64, 0u64);
+        for i in 0..5000 {
+            match inj.tag_fault(1, SimTime::from_millis(i)) {
+                TagFault::Lose => lost += 1,
+                TagFault::Corrupt(salt) => {
+                    assert_ne!(salt, 0);
+                    corrupted += 1;
+                }
+                TagFault::Keep => {}
+            }
+        }
+        assert!(lost > 1000, "lost {lost}");
+        assert!(corrupted > 500, "corrupted {corrupted}");
+        assert_eq!(inj.log().count(FaultKind::TagLost), lost);
+        assert_eq!(inj.log().count(FaultKind::TagCorrupted), corrupted);
+    }
+
+    #[test]
+    fn node_plan_is_deterministic_and_disjoint_per_node() {
+        let cfg = FaultConfig {
+            seed: 21,
+            node_slowdown_hz: 1.0,
+            node_blackout_hz: 0.5,
+            node_slowdown_len: SimDuration::from_millis(300),
+            node_blackout_len: SimDuration::from_millis(200),
+            ..FaultConfig::none()
+        };
+        let a = plan_node_faults(&cfg, 3, SimDuration::from_secs(20));
+        let b = plan_node_faults(&cfg, 3, SimDuration::from_secs(20));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for node in 0..3 {
+            let mut last_end = SimTime::ZERO;
+            for w in a.iter().filter(|w| w.node == node) {
+                assert!(w.start >= last_end, "overlapping windows on node {node}");
+                assert!(w.end > w.start);
+                last_end = w.end;
+            }
+        }
+        assert!(plan_node_faults(&FaultConfig::none(), 3, SimDuration::from_secs(20))
+            .is_empty());
+    }
+
+    #[test]
+    fn log_absorbs_counts() {
+        let mut a = FaultLog::default();
+        let mut b = FaultLog::default();
+        a.record(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::TagLost,
+            site: 0,
+            magnitude: 0,
+        });
+        b.record(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::TagLost,
+            site: 1,
+            magnitude: 0,
+        });
+        a.absorb_counts(&b);
+        assert_eq!(a.count(FaultKind::TagLost), 2);
+        assert_eq!(a.total(), 2);
+    }
+}

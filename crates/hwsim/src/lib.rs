@@ -44,6 +44,7 @@
 mod activity;
 mod counters;
 mod duty;
+pub mod faults;
 mod machine;
 pub mod meter;
 pub mod power;
@@ -52,6 +53,10 @@ mod spec;
 pub use activity::{ActivityProfile, DeviceKind};
 pub use counters::CounterBlock;
 pub use duty::DutyCycle;
+pub use faults::{
+    plan_node_faults, FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultLog, MeterFault,
+    NodeFaultWindow, TagFault,
+};
 pub use machine::{CoreId, FreqScale, Machine};
 pub use meter::{MeterId, MeterReport, MeterScope, MeterSpec};
 pub use spec::{ChipId, MachineSpec};

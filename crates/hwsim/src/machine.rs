@@ -2,6 +2,7 @@
 
 use crate::activity::{caps, ActivityProfile, DeviceKind};
 use crate::counters::CounterBlock;
+use crate::faults::{CounterFault, FaultConfig, FaultInjector, FaultLog, MeterFault};
 use crate::meter::{MeterId, MeterReport, MeterScope, MeterState};
 use crate::spec::MachineSpec;
 use crate::DutyCycle;
@@ -118,6 +119,10 @@ pub struct Machine {
     chip_freq: Vec<FreqScale>,
     now: SimTime,
     rng: SimRng,
+    /// Fault injection (inert by default); draws from its own seeded
+    /// streams so the fault-free simulation is bit-identical with or
+    /// without it.
+    faults: FaultInjector,
     /// Lifetime true energy drawn by the whole machine, in Joules
     /// (noise-free; used by experiments as the "perfect" reference).
     true_energy_j: f64,
@@ -140,6 +145,7 @@ impl Machine {
             chip_freq: vec![FreqScale::NOMINAL; spec.chips],
             now: SimTime::ZERO,
             rng: SimRng::new(seed).split(0x4D45_5452), // "METR"
+            faults: FaultInjector::disabled(),
             true_energy_j: 0.0,
             true_active_energy_j: 0.0,
             spec,
@@ -360,6 +366,30 @@ impl Machine {
         self.meters[id.0].pop_visible(now)
     }
 
+    /// Installs a fault-injection configuration, replacing any previous
+    /// one (and resetting its fault log). A [`FaultConfig::none`] config
+    /// restores fault-free operation.
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        self.faults = FaultInjector::new(config, self.cores.len());
+    }
+
+    /// The log of every fault injected so far.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.faults.log()
+    }
+
+    /// The active fault-injection configuration.
+    pub fn fault_config(&self) -> &FaultConfig {
+        self.faults.config()
+    }
+
+    /// Mutable access to the fault injector, for fault sites that live
+    /// outside the machine proper (e.g. the OS socket layer's tag
+    /// faults) so every fault lands in one log.
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
     /// Advances hardware state to `t`, integrating counters, true energy,
     /// and meter windows. Per-core/device state is held constant over the
     /// interval, so the OS must call this *before* changing any state at
@@ -375,14 +405,46 @@ impl Machine {
                 }
             }
             self.integrate_segment(seg_end);
+            self.apply_counter_faults(seg_end);
             // Close any meter windows that end exactly at seg_end.
             for i in 0..self.meters.len() {
                 if self.meters[i].window_end() == seg_end {
                     let noise = 1.0 + self.meters[i].spec.noise_frac * self.rng.normal();
                     self.meters[i].close_window(seg_end, noise);
+                    match self.faults.meter_window(i, seg_end) {
+                        MeterFault::Deliver => {}
+                        MeterFault::Drop => {
+                            self.meters[i].drop_last_pending();
+                        }
+                        MeterFault::ExtraLag(extra) => {
+                            self.meters[i].delay_last_pending(extra);
+                        }
+                    }
                 }
             }
             self.now = seg_end;
+        }
+    }
+
+    /// Applies every counter fault due by `now`. Glitches land a burst
+    /// of phantom events in the event counters (the next sampled delta
+    /// shows an impossibly high event rate); wraps pull one cumulative
+    /// event counter backwards (the next sampled delta goes negative).
+    /// Neither touches non-halt or elapsed cycles — the TSC-style fixed
+    /// counters the OS relies on for time accounting don't wrap in
+    /// practice.
+    fn apply_counter_faults(&mut self, now: SimTime) {
+        while let Some((core, fault)) = self.faults.next_counter_fault(now) {
+            let counters = &mut self.cores[core].counters;
+            match fault {
+                CounterFault::Glitch(events) => {
+                    counters.instructions += events;
+                    counters.cache_refs += events * 0.25;
+                }
+                CounterFault::Wrap => {
+                    counters.instructions -= crate::faults::COUNTER_WRAP_SPAN;
+                }
+            }
         }
     }
 
@@ -618,6 +680,97 @@ mod tests {
         let core_power = truth
             .core_active_power(Some(&ActivityProfile::cpu_spin()), DutyCycle::FULL);
         assert!((step - core_power - truth.chip_maintenance_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_dropout_loses_reports() {
+        let mut faulty = machine();
+        faulty.set_fault_config(FaultConfig {
+            seed: 13,
+            meter_dropout: 0.5,
+            ..FaultConfig::none()
+        });
+        let mut clean = machine();
+        for m in [&mut faulty, &mut clean] {
+            m.set_running(CoreId(0), Some(ActivityProfile::cpu_spin()));
+            m.advance_to(SimTime::from_millis(200));
+        }
+        let id = clean.find_meter("on-chip").unwrap();
+        let n_clean = clean.pop_meter_reports(id).len();
+        let n_faulty = faulty.pop_meter_reports(id).len();
+        let dropped = faulty.fault_log().count(crate::FaultKind::MeterDropout) as usize;
+        assert!(dropped > 50, "dropped {dropped}");
+        assert_eq!(n_clean - n_faulty, dropped);
+        // Surviving reports are untouched: the fault streams are
+        // independent of the measurement-noise stream.
+        assert_eq!(clean.true_energy_j(), faulty.true_energy_j());
+    }
+
+    #[test]
+    fn extra_lag_postpones_visibility() {
+        let mut m = machine();
+        m.set_fault_config(FaultConfig {
+            seed: 2,
+            meter_extra_lag: 1.0, // every window
+            meter_extra_lag_max: SimDuration::from_millis(500),
+            ..FaultConfig::none()
+        });
+        m.advance_to(SimTime::from_millis(10));
+        let id = m.find_meter("on-chip").unwrap();
+        // Normally a window closed at 1 ms is visible at 2 ms; with
+        // guaranteed extra lag nothing shows this early.
+        assert!(m.pop_meter_reports(id).is_empty());
+        assert!(m.fault_log().count(crate::FaultKind::MeterExtraLag) > 0);
+        m.advance_to(SimTime::from_millis(600));
+        assert!(!m.pop_meter_reports(id).is_empty(), "reports arrive eventually");
+    }
+
+    #[test]
+    fn counter_wrap_goes_backwards_and_glitch_spikes() {
+        let mut m = machine();
+        m.set_fault_config(FaultConfig {
+            seed: 4,
+            counter_glitch_hz: 50.0,
+            counter_wrap_hz: 50.0,
+            ..FaultConfig::none()
+        });
+        m.set_running(CoreId(0), Some(ActivityProfile::cpu_spin()));
+        let mut last = m.counters(CoreId(0));
+        let (mut saw_negative, mut saw_spike) = (false, false);
+        for ms in 1..=2000u64 {
+            m.advance_to(SimTime::from_millis(ms));
+            let cum = m.counters(CoreId(0));
+            let d_ins = cum.instructions - last.instructions;
+            if d_ins < 0.0 {
+                saw_negative = true;
+            }
+            // cpu_spin runs ≲4 instructions/cycle; a glitch burst dwarfs
+            // anything one millisecond can legitimately retire.
+            if d_ins > 1.0e8 {
+                saw_spike = true;
+            }
+            last = cum;
+        }
+        assert!(saw_negative, "no wrap observed");
+        assert!(saw_spike, "no glitch observed");
+        assert!(m.fault_log().count(crate::FaultKind::CounterWrap) > 0);
+        assert!(m.fault_log().count(crate::FaultKind::CounterGlitch) > 0);
+    }
+
+    #[test]
+    fn fault_free_machine_is_untouched_by_inert_config() {
+        let mut a = machine();
+        let mut b = machine();
+        b.set_fault_config(FaultConfig::none());
+        for m in [&mut a, &mut b] {
+            m.set_running(CoreId(0), Some(ActivityProfile::stress()));
+            m.advance_to(SimTime::from_millis(50));
+        }
+        assert_eq!(a.counters(CoreId(0)), b.counters(CoreId(0)));
+        assert_eq!(a.true_energy_j(), b.true_energy_j());
+        let id = a.find_meter("on-chip").unwrap();
+        assert_eq!(a.pop_meter_reports(id), b.pop_meter_reports(id));
+        assert_eq!(b.fault_log().total(), 0);
     }
 
     #[test]

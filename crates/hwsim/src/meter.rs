@@ -126,6 +126,24 @@ impl MeterState {
         self.energy_j = 0.0;
     }
 
+    /// Discards the most recently closed, still-undelivered report —
+    /// fault injection's meter dropout. Returns `false` when nothing was
+    /// pending.
+    pub fn drop_last_pending(&mut self) -> bool {
+        self.pending.pop_back().is_some()
+    }
+
+    /// Postpones the most recently closed, still-undelivered report by
+    /// `extra` — fault injection's extra delivery lag. Reports are
+    /// delivered in window order, so a delayed report also holds back
+    /// any windows closed after it (in-order transport, as on a USB
+    /// meter link).
+    pub fn delay_last_pending(&mut self, extra: SimDuration) {
+        if let Some(r) = self.pending.back_mut() {
+            r.visible_at += extra;
+        }
+    }
+
     /// Removes and returns every report visible at or before `now`, in
     /// window order.
     pub fn pop_visible(&mut self, now: SimTime) -> Vec<MeterReport> {

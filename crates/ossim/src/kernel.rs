@@ -12,7 +12,7 @@ use crate::hooks::{KernelApi, KernelHooks};
 use crate::ids::{ContextId, SocketId, TaskId};
 use crate::program::{Op, ProcCtx, Program, Resume};
 use crate::socket::{Segment, SocketTable};
-use hwsim::{ActivityProfile, CoreId, DeviceKind, Machine};
+use hwsim::{ActivityProfile, CoreId, DeviceKind, Machine, TagFault};
 use simkern::{EventQueue, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
 
@@ -115,6 +115,10 @@ pub struct KernelStats {
     pub tasks_created: u64,
     /// Tasks exited.
     pub tasks_exited: u64,
+    /// Context tags stripped in transit by fault injection.
+    pub tags_lost: u64,
+    /// Context tags replaced in transit by fault injection.
+    pub tags_corrupted: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -235,6 +239,14 @@ impl Kernel {
     /// Number of buffered, unread segments on `socket`.
     pub fn buffered_segments(&self, socket: SocketId) -> usize {
         self.sockets.get(socket).buffer.len()
+    }
+
+    /// The tag of the most recently *delivered* tagged message on
+    /// `socket` — the per-endpoint state the naive §3.3 tagging ablation
+    /// reads. A tag becomes visible here only once its segment's
+    /// delivery latency has elapsed, never at send time.
+    pub fn socket_last_tag(&self, socket: SocketId) -> Option<ContextId> {
+        self.sockets.get(socket).last_tag
     }
 
     /// The request context `task` is bound to.
@@ -361,9 +373,28 @@ impl Kernel {
 
     fn deliver(&mut self, dst: SocketId, seg: Segment) {
         self.stats.messages += 1;
+        let mut seg = seg;
+        // Tag faults strike the transport: the segment that *arrives* may
+        // have lost or corrupted its context tag, whatever was sent.
+        if let Some(ctx) = seg.ctx {
+            let now = self.machine.now();
+            match self.machine.faults_mut().tag_fault(dst.0 as u64, now) {
+                TagFault::Keep => {}
+                TagFault::Lose => {
+                    seg.ctx = None;
+                    self.stats.tags_lost += 1;
+                }
+                TagFault::Corrupt(salt) => {
+                    seg.ctx = Some(ContextId(ctx.0 ^ (1 + salt % 0xFFFF)));
+                    self.stats.tags_corrupted += 1;
+                }
+            }
+        }
         let ep = self.sockets.get_mut(dst);
         ep.buffer.push_back(seg);
         if seg.ctx.is_some() {
+            // Naive-tagging state tracks *delivery*, not send: the
+            // endpoint remembers the most recently delivered tag.
             ep.last_tag = seg.ctx;
         }
         if let Some(reader) = ep.waiting_reader.take() {
@@ -660,20 +691,20 @@ impl Kernel {
         let mut new_state = TaskState::Dead;
         if let Some(p) = parent {
             let pidx = p.0 as usize;
-            if !matches!(self.tasks[pidx].state, TaskState::Zombie | TaskState::Dead) {
-                if !detached {
-                    self.tasks[pidx].children_live -= 1;
-                    if matches!(self.tasks[pidx].pending, Some(Pending::Wait))
-                        && matches!(self.tasks[pidx].state, TaskState::BlockedWait)
-                    {
-                        self.tasks[pidx].pending = None;
-                        self.tasks[pidx].resume = Resume::ChildExited(tid);
-                        self.tasks[pidx].state = TaskState::Runnable;
-                        self.place_runnable(p);
-                    } else {
-                        new_state = TaskState::Zombie;
-                        self.tasks[pidx].zombies.push(tid);
-                    }
+            if !matches!(self.tasks[pidx].state, TaskState::Zombie | TaskState::Dead)
+                && !detached
+            {
+                self.tasks[pidx].children_live -= 1;
+                if matches!(self.tasks[pidx].pending, Some(Pending::Wait))
+                    && matches!(self.tasks[pidx].state, TaskState::BlockedWait)
+                {
+                    self.tasks[pidx].pending = None;
+                    self.tasks[pidx].resume = Resume::ChildExited(tid);
+                    self.tasks[pidx].state = TaskState::Runnable;
+                    self.place_runnable(p);
+                } else {
+                    new_state = TaskState::Zombie;
+                    self.tasks[pidx].zombies.push(tid);
                 }
             }
         }

@@ -519,3 +519,52 @@ fn busy_machine_consumes_more_energy_than_idle() {
     assert!(busy.machine().true_energy_j() > idle.machine().true_energy_j() * 1.5);
     assert_eq!(idle.machine().true_active_energy_j(), 0.0);
 }
+
+#[test]
+fn socket_tag_becomes_visible_at_delivery_not_send() {
+    // Regression test for the naive §3.3 tagging ablation: the endpoint's
+    // `last_tag` tracks the most recently *delivered* message. A tag must
+    // never become visible at send time, while its segment is still in
+    // flight through the socket latency.
+    let mut k = kernel(MachineSpec::sandybridge());
+    let (client, server) = k.new_socket_pair();
+    k.inject_message(client, 64, Some(ContextId(7)), 0);
+    assert_eq!(k.socket_last_tag(server), None, "tag leaked at send time");
+    k.run_until(SimTime::from_micros(20)); // past the 10 µs socket latency
+    assert_eq!(k.socket_last_tag(server), Some(ContextId(7)));
+    // A second in-flight message must not retag the endpoint early...
+    k.inject_message(client, 64, Some(ContextId(8)), 0);
+    assert_eq!(k.socket_last_tag(server), Some(ContextId(7)));
+    k.run_until(SimTime::from_micros(40));
+    assert_eq!(k.socket_last_tag(server), Some(ContextId(8)));
+    // ...and untagged traffic leaves the last delivered tag in place.
+    k.inject_message(client, 64, None, 0);
+    k.run_until(SimTime::from_micros(60));
+    assert_eq!(k.socket_last_tag(server), Some(ContextId(8)));
+}
+
+#[test]
+fn tag_faults_strike_at_delivery() {
+    let mut k = kernel(MachineSpec::sandybridge());
+    k.machine_mut().set_fault_config(hwsim::FaultConfig {
+        seed: 33,
+        tag_loss: 0.25,
+        tag_corrupt: 0.25,
+        ..hwsim::FaultConfig::none()
+    });
+    let (client, server) = k.new_socket_pair();
+    let n = 400u64;
+    for i in 0..n {
+        k.inject_message(client, 64, Some(ContextId(1000 + i)), 0);
+    }
+    k.run_until(SimTime::from_millis(1));
+    let stats = k.stats();
+    assert!(stats.tags_lost > 40, "lost {}", stats.tags_lost);
+    assert!(stats.tags_corrupted > 20, "corrupted {}", stats.tags_corrupted);
+    // Every fault lands in the machine's unified fault log.
+    let log = k.machine().fault_log();
+    assert_eq!(log.count(hwsim::FaultKind::TagLost), stats.tags_lost);
+    assert_eq!(log.count(hwsim::FaultKind::TagCorrupted), stats.tags_corrupted);
+    // Faults mangle tags, never the payloads: all segments still arrive.
+    assert_eq!(k.buffered_segments(server) as u64, n);
+}

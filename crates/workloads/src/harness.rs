@@ -87,6 +87,9 @@ pub struct RunConfig {
     /// requests in flight, instead of the open-loop Poisson driver — the
     /// paper's concurrency-limited test client.
     pub closed_loop: Option<usize>,
+    /// Hardware fault injection for robustness sweeps;
+    /// [`hwsim::FaultConfig::none`] leaves the machine pristine.
+    pub faults: hwsim::FaultConfig,
 }
 
 impl RunConfig {
@@ -110,6 +113,7 @@ impl RunConfig {
             sample_period: None,
             naive_socket_tagging: false,
             closed_loop: None,
+            faults: hwsim::FaultConfig::none(),
         }
     }
 }
@@ -157,6 +161,17 @@ impl RunOutcome {
             self.attributed_energy_j(),
             self.measured_active_energy_j(),
         )
+    }
+
+    /// Degradation decisions the facility took during the run (all zero
+    /// on a clean run).
+    pub fn degrade_stats(&self) -> power_containers::DegradeStats {
+        self.facility.borrow().degrade_stats()
+    }
+
+    /// Faults the machine actually injected during the run, by kind.
+    pub fn fault_counts(&self) -> [u64; hwsim::FaultKind::ALL.len()] {
+        self.kernel.machine().fault_log().counts()
     }
 
     /// Mean machine utilization over the run (busy cycles over elapsed
@@ -284,7 +299,10 @@ pub fn prepare_app(
     let facility = PowerContainerFacility::new(model, calset, &cfg.spec, facility_config);
     let state = facility.state();
 
-    let machine = Machine::new(cfg.spec.clone(), cfg.seed);
+    let mut machine = Machine::new(cfg.spec.clone(), cfg.seed);
+    if cfg.faults.is_active() {
+        machine.set_fault_config(cfg.faults.clone());
+    }
     let kernel_config = KernelConfig {
         naive_socket_tagging: cfg.naive_socket_tagging,
         ..KernelConfig::default()

@@ -1,0 +1,80 @@
+//! Fault-injection determinism: the same seed and fault configuration
+//! must reproduce the exact same run — byte-identical fault schedules
+//! and bit-identical attributed energies — no matter how often it is
+//! repeated. This is what makes robustness sweeps debuggable: any
+//! faulty run can be replayed exactly from its two integers.
+
+use hwsim::FaultConfig;
+use proptest::prelude::*;
+use simkern::SimDuration;
+use workloads::{run_app, LoadLevel, RunConfig, RunOutcome, WorkloadKind};
+
+fn faulty_run(seed: u64, faults: &FaultConfig) -> RunOutcome {
+    let spec = hwsim::MachineSpec::sandybridge();
+    let cal = workloads::calibrate_machine(&spec, 42);
+    let mut cfg = RunConfig::new(spec);
+    cfg.seed = seed;
+    cfg.approach = power_containers::Approach::Recalibrated;
+    cfg.load = LoadLevel::Half;
+    cfg.duration = SimDuration::from_millis(1500);
+    cfg.faults = faults.clone();
+    run_app(WorkloadKind::RsaCrypto, &cfg, &cal)
+}
+
+/// Container energies as exact bit patterns, in record order.
+fn energy_bits(outcome: &RunOutcome) -> Vec<(u64, u64)> {
+    let f = outcome.facility.borrow();
+    f.containers()
+        .records()
+        .iter()
+        .map(|r| (r.ctx.0, (r.energy_j + r.io_energy_j).to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn same_seed_same_faults_same_run(
+        seed in 1u64..1000,
+        dropout in 0.0f64..0.1,
+        glitch_hz in 0.0f64..4.0,
+        tag_loss in 0.0f64..0.05,
+    ) {
+        let faults = FaultConfig {
+            seed: seed ^ 0xF417,
+            meter_dropout: dropout,
+            meter_extra_lag: dropout / 2.0,
+            counter_glitch_hz: glitch_hz,
+            counter_wrap_hz: glitch_hz / 4.0,
+            tag_loss,
+            tag_corrupt: tag_loss,
+            ..FaultConfig::none()
+        };
+        let a = faulty_run(seed, &faults);
+        let b = faulty_run(seed, &faults);
+        // Byte-identical fault schedules...
+        prop_assert_eq!(
+            a.kernel.machine().fault_log().schedule_digest(),
+            b.kernel.machine().fault_log().schedule_digest()
+        );
+        prop_assert_eq!(a.fault_counts(), b.fault_counts());
+        // ...and bit-identical end-of-run attributed energies.
+        prop_assert_eq!(energy_bits(&a), energy_bits(&b));
+        prop_assert_eq!(
+            a.attributed_energy_j().to_bits(),
+            b.attributed_energy_j().to_bits()
+        );
+        prop_assert_eq!(a.degrade_stats(), b.degrade_stats());
+    }
+
+    #[test]
+    fn inert_fault_config_never_perturbs_the_run(seed in 1u64..1000) {
+        // A zero-rate config must be indistinguishable from no config at
+        // all: the injector draws nothing from any random stream.
+        let clean = faulty_run(seed, &FaultConfig::none());
+        let gated = faulty_run(seed, &FaultConfig { seed: 99, ..FaultConfig::none() });
+        prop_assert_eq!(clean.kernel.machine().fault_log().total(), 0);
+        prop_assert_eq!(energy_bits(&clean), energy_bits(&gated));
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no registry access, so the real criterion cannot be
+//! fetched. This stand-in keeps `cargo bench` (and `cargo test --benches`)
+//! compiling and running: each `bench_function` executes the closure a small
+//! number of times and prints a rough mean wall-clock time. It makes no
+//! attempt at criterion's statistics — it exists so the bench harness stays
+//! exercised and bit-rot-free offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Total wall-clock nanoseconds accumulated by [`Bencher::iter`].
+    pub elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `body` `iters` times, accumulating elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Benchmark driver; mirrors the subset of criterion's API the repo uses.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real default is 100 samples; a smoke run does not need that.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark and prints a rough mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, elapsed_ns: 0 };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / u128::from(self.sample_size.max(1));
+        println!("bench {id:<32} ~{per_iter} ns/iter ({} iters)", self.sample_size);
+        self
+    }
+
+    /// Criterion calls this at exit to emit its summary; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, as in the real crate.
+///
+/// Both invocation forms are supported:
+/// `criterion_group!(benches, a, b)` and
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_requested_iterations() {
+        let mut count = 0u64;
+        Criterion::default().sample_size(7).bench_function("count", |b| b.iter(|| count += 1));
+        assert_eq!(count, 7);
+    }
+}

@@ -1,0 +1,251 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly what the workspace needs: structs with named fields
+//! and C-like (unit-variant) enums. Anything else is a compile error with
+//! a pointer here. Code generation builds a source string and re-parses
+//! it, avoiding a dependency on `syn`/`quote` (unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a deriving type.
+enum Item {
+    /// Named-field struct: type name + field names.
+    Struct(String, Vec<String>),
+    /// C-like enum: type name + variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Parses the deriving item, or returns a message for a compile error.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the serde stand-in".into());
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected {{...}} body, found {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct(name, parse_fields(body)?)),
+        "enum" => Ok(Item::Enum(name, parse_variants(body)?)),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, found {tt:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type: scan to the next comma outside angle brackets.
+        let mut angle = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected variant name, found {tt:?}"));
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err("enums with data are not supported by the serde stand-in".into())
+            }
+            Some(other) => return Err(format!("unexpected token in enum: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// `#[derive(Serialize)]`: renders the type into the `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl")
+}
+
+/// `#[derive(Deserialize)]`: rebuilds the type from a `serde::Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).unwrap_or(&::serde::Value::Null)\
+                         ).map_err(|e| ::std::format!(\"{f}: {{}}\", e))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => \
+                                  ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::std::format!(\n\
+                                 \"unknown {name} variant {{:?}}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl")
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds without crates.io access, so the real serde
+//! cannot be fetched. This crate provides the subset the workspace uses:
+//! `#[derive(Serialize, Deserialize)]` on plain structs (named fields)
+//! and C-like enums, routed through a small JSON-shaped [`Value`] tree
+//! that the sibling `serde_json` stand-in renders and parses.
+//!
+//! The derive macros come from the `serde_derive` proc-macro crate and
+//! are re-exported here, so `use serde::{Serialize, Deserialize}` works
+//! exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON document tree. Re-exported by `serde_json` as `Value`.
+///
+/// Objects preserve insertion order (serialization output is stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (negative or within `i64`).
+    Int(i64),
+    /// Non-negative integer too large for `i64`, or any `u64` context.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The number as `f64`, if this is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Renders compact JSON, matching `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    let s = format!("{x}");
+                    if s.contains(['.', 'e', 'E']) {
+                        f.write_str(&s)
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    f.write_str("null") // JSON has no NaN/Inf
+                }
+            }
+            Value::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Value::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] tree (the stand-in's serialization).
+pub trait Serialize {
+    /// Renders `self` as a document tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`] tree (the stand-in's deserialization).
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a document tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $T:ident),+))*) => {$(
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let i = v.as_i64().ok_or_else(|| format!(
+                    "expected integer, found {v:?}"
+                ))?;
+                <$t>::try_from(i).map_err(|_| format!("integer {i} out of range"))
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_u64().ok_or_else(|| format!("expected u64, found {v:?}"))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let u = v.as_u64().ok_or_else(|| format!("expected usize, found {v:?}"))?;
+        usize::try_from(u).map_err(|_| format!("integer {u} out of range"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected number, found {v:?}"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, found {v:?}"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str().map(str::to_string).ok_or_else(|| format!("expected string, found {v:?}"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, found {v:?}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $T:ident),+))*) => {$(
+        impl<$($T: Deserialize),+> Deserialize for ($($T,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let a = v.as_array().ok_or_else(|| format!(
+                    "expected {}-tuple array, found {v:?}", $len
+                ))?;
+                if a.len() != $len {
+                    return Err(format!("expected {} elements, found {}", $len, a.len()));
+                }
+                Ok(($($T::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Int(3)),
+            ("y".into(), Value::Array(vec![Value::Float(1.5), Value::Str("s".into())])),
+        ]);
+        assert_eq!(v["x"].as_u64(), Some(3));
+        assert_eq!(v["y"][0].as_f64(), Some(1.5));
+        assert_eq!(v["y"][1].as_str(), Some("s"));
+        assert!(v["missing"].is_null());
+        assert!(v["y"][9].is_null());
+    }
+
+    #[test]
+    fn tuple_and_vec_round_trip() {
+        let orig: Vec<(String, f64)> = vec![("a".into(), 1.0), ("b".into(), -2.5)];
+        let v = orig.to_value();
+        let back: Vec<(String, f64)> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(orig, back);
+    }
+}
