@@ -124,6 +124,42 @@ impl LeastSquares {
         self.samples += 1;
     }
 
+    /// Removes a previously-added sample by rank-1 downdate of the normal
+    /// equations — the exact inverse of [`LeastSquares::add_sample`] up to
+    /// floating-point rounding.
+    ///
+    /// This is what makes windowed online recalibration O(k²) per sample:
+    /// evicting the oldest sample from a sliding window subtracts its
+    /// contribution instead of rebuilding XᵀWX from the survivors. Callers
+    /// that downdate millions of times should periodically rebuild from the
+    /// retained samples to shed accumulated rounding (see
+    /// [`RollingLeastSquares`], which does so automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != dim`, if `weight < 0`, or if no samples
+    /// are accumulated.
+    pub fn remove_sample(&mut self, features: &[f64], target: f64, weight: f64) {
+        assert_eq!(features.len(), self.dim, "feature dimension mismatch");
+        assert!(weight >= 0.0, "weight must be non-negative");
+        assert!(self.samples > 0, "no samples to remove");
+        for i in 0..self.dim {
+            let wfi = weight * features[i];
+            for (j, &fj) in features.iter().enumerate() {
+                self.xtx[i * self.dim + j] -= wfi * fj;
+            }
+            self.xty[i] -= wfi * target;
+        }
+        self.samples -= 1;
+    }
+
+    /// Resets the accumulator to the empty state, keeping `dim` and ridge.
+    pub fn clear(&mut self) {
+        self.xtx.iter_mut().for_each(|v| *v = 0.0);
+        self.xty.iter_mut().for_each(|v| *v = 0.0);
+        self.samples = 0;
+    }
+
     /// Merges the accumulated statistics of `other` into `self`.
     ///
     /// The paper's recalibration weighs offline calibration samples and
@@ -237,6 +273,176 @@ fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<f64, SolveError
         b[col] = acc / a[col * n + col];
     }
     Ok(if pivot_min > 0.0 { pivot_max / pivot_min } else { f64::INFINITY })
+}
+
+/// Rebuild the rolling accumulator from scratch after this many evictions,
+/// bounding the rounding drift that rank-1 downdates accumulate.
+const ROLLING_REBUILD_EVERY: usize = 4096;
+
+/// A sliding-window least-squares accumulator: the most recent `capacity`
+/// samples, with the normal equations maintained incrementally.
+///
+/// `push` is O(k²) — a rank-1 update, plus a rank-1 downdate of the evicted
+/// sample once the window is full — so a solve over the current window costs
+/// O(k³) regardless of how many samples have ever streamed through. This is
+/// the structure behind the paper's continuous online recalibration (§3.2):
+/// model refits must stay cheap at any uptime, which rules out batch
+/// re-accumulation over a growing sample set.
+///
+/// Downdates are exact in exact arithmetic but accumulate rounding in
+/// floating point; the accumulator transparently rebuilds itself from the
+/// retained window every [`ROLLING_REBUILD_EVERY`] evictions, so drift is
+/// bounded and callers never see it.
+///
+/// # Example
+///
+/// ```
+/// use analysis::linreg::RollingLeastSquares;
+///
+/// let mut win = RollingLeastSquares::new(1, 3);
+/// for y in [1.0, 2.0, 30.0, 30.0, 30.0] {
+///     win.push(&[1.0], y, 1.0);
+/// }
+/// // Only the last three samples remain.
+/// assert_eq!(win.len(), 3);
+/// assert!((win.solve().unwrap()[0] - 30.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingLeastSquares {
+    acc: LeastSquares,
+    /// Flat ring storage: `capacity` rows of `dim` features each.
+    features: Vec<f64>,
+    targets: Vec<f64>,
+    weights: Vec<f64>,
+    capacity: usize,
+    /// Index of the oldest sample's row.
+    head: usize,
+    len: usize,
+    evictions_since_rebuild: usize,
+}
+
+impl RollingLeastSquares {
+    /// Creates a window for `dim` coefficients holding up to `capacity`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `capacity == 0`.
+    pub fn new(dim: usize, capacity: usize) -> RollingLeastSquares {
+        assert!(capacity > 0, "capacity must be positive");
+        RollingLeastSquares {
+            acc: LeastSquares::new(dim),
+            features: vec![0.0; dim * capacity],
+            targets: vec![0.0; capacity],
+            weights: vec![0.0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            evictions_since_rebuild: 0,
+        }
+    }
+
+    /// Number of coefficients being fit.
+    pub fn dim(&self) -> usize {
+        self.acc.dim()
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a sample, evicting (and downdating) the oldest one if the
+    /// window is full. Returns `true` if an eviction happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != dim` or `weight < 0`.
+    pub fn push(&mut self, features: &[f64], target: f64, weight: f64) -> bool {
+        let dim = self.acc.dim();
+        assert_eq!(features.len(), dim, "feature dimension mismatch");
+        let evicted = if self.len == self.capacity {
+            let row = self.head * dim;
+            // Split borrow: copy the evicted row out before mutating.
+            let old: Vec<f64> = self.features[row..row + dim].to_vec();
+            self.acc.remove_sample(&old, self.targets[self.head], self.weights[self.head]);
+            self.head = (self.head + 1) % self.capacity;
+            self.len -= 1;
+            self.evictions_since_rebuild += 1;
+            true
+        } else {
+            false
+        };
+        let slot = (self.head + self.len) % self.capacity;
+        self.features[slot * dim..(slot + 1) * dim].copy_from_slice(features);
+        self.targets[slot] = target;
+        self.weights[slot] = weight;
+        self.len += 1;
+        self.acc.add_sample(features, target, weight);
+        if self.evictions_since_rebuild >= ROLLING_REBUILD_EVERY {
+            self.rebuild();
+        }
+        evicted
+    }
+
+    /// Drops every sample from the window.
+    pub fn clear(&mut self) {
+        self.acc.clear();
+        self.head = 0;
+        self.len = 0;
+        self.evictions_since_rebuild = 0;
+    }
+
+    /// The normal-equation accumulator over the current window, e.g. for
+    /// merging into an offline calibration fit.
+    pub fn accumulator(&self) -> &LeastSquares {
+        &self.acc
+    }
+
+    /// Iterates the window's samples oldest-first as
+    /// `(features, target, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64, f64)> + '_ {
+        let dim = self.acc.dim();
+        (0..self.len).map(move |i| {
+            let slot = (self.head + i) % self.capacity;
+            (&self.features[slot * dim..(slot + 1) * dim], self.targets[slot], self.weights[slot])
+        })
+    }
+
+    /// Solves the normal equations over the current window.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LeastSquares::solve`].
+    pub fn solve(&self) -> Result<Vec<f64>, SolveError> {
+        self.acc.solve()
+    }
+
+    /// Re-accumulates the normal equations from the retained samples,
+    /// discarding downdate rounding drift.
+    fn rebuild(&mut self) {
+        let dim = self.acc.dim();
+        self.acc.clear();
+        for i in 0..self.len {
+            let slot = (self.head + i) % self.capacity;
+            let row = slot * dim;
+            // Rebuild uses the same add order as streaming, so the result
+            // matches a fresh accumulator fed the window oldest-first.
+            let feats: Vec<f64> = self.features[row..row + dim].to_vec();
+            self.acc.add_sample(&feats, self.targets[slot], self.weights[slot]);
+        }
+        self.evictions_since_rebuild = 0;
+    }
 }
 
 /// Convenience one-shot fit of `targets ≈ features · β` with unit weights.
@@ -398,6 +604,85 @@ mod tests {
         let (b, cond) = ls.solve_conditioned().unwrap();
         assert_eq!(a, b);
         assert!(cond.is_finite() && cond >= 1.0);
+    }
+
+    #[test]
+    fn remove_sample_inverts_add() {
+        let mut ls = LeastSquares::new(2);
+        for i in 0..6 {
+            ls.add_sample(&[1.0, i as f64], 2.0 + 3.0 * i as f64, 1.0);
+        }
+        let before = ls.solve().unwrap();
+        ls.add_sample(&[4.0, -2.0], 100.0, 2.5);
+        ls.remove_sample(&[4.0, -2.0], 100.0, 2.5);
+        let after = ls.solve().unwrap();
+        for (x, y) in before.iter().zip(&after) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        assert_eq!(ls.samples(), 6);
+    }
+
+    #[test]
+    fn rolling_window_matches_batch_over_tail() {
+        let mut win = RollingLeastSquares::new(2, 8);
+        let mut all: Vec<(Vec<f64>, f64)> = Vec::new();
+        for i in 0..50 {
+            let row = vec![1.0, (i % 13) as f64];
+            let y = 4.0 - 0.75 * row[1] + 0.01 * (i % 7) as f64;
+            win.push(&row, y, 1.0);
+            all.push((row, y));
+        }
+        assert_eq!(win.len(), 8);
+        // Batch-fit only the retained tail.
+        let mut batch = LeastSquares::new(2);
+        for (row, y) in &all[42..] {
+            batch.add_sample(row, *y, 1.0);
+        }
+        let a = win.solve().unwrap();
+        let b = batch.solve().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rolling_iter_is_oldest_first() {
+        let mut win = RollingLeastSquares::new(1, 3);
+        for y in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            win.push(&[1.0], y, 1.0);
+        }
+        let targets: Vec<f64> = win.iter().map(|(_, y, _)| y).collect();
+        assert_eq!(targets, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn rolling_rebuild_bounds_drift() {
+        // Stream far past the rebuild threshold; the window must still
+        // agree with a fresh batch fit of its contents.
+        let mut win = RollingLeastSquares::new(2, 4);
+        for i in 0..(super::ROLLING_REBUILD_EVERY as u64 + 100) {
+            let x = (i % 17) as f64 * 1e3;
+            win.push(&[1.0, x], 5.0 + 2.0 * x, 1.0);
+        }
+        let mut batch = LeastSquares::new(2);
+        for (row, y, w) in win.iter() {
+            batch.add_sample(row, y, w);
+        }
+        let a = win.solve().unwrap();
+        let b = batch.solve().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rolling_clear_resets() {
+        let mut win = RollingLeastSquares::new(1, 4);
+        win.push(&[1.0], 2.0, 1.0);
+        win.clear();
+        assert!(win.is_empty());
+        assert_eq!(win.accumulator().samples(), 0);
+        assert!(win.solve().is_err());
     }
 
     #[test]

@@ -5,6 +5,34 @@
 //! The paper aligns the measurement and model sample sequences by computing
 //! their cross-correlation at a range of hypothetical delays and picking the
 //! delay with the highest correlation.
+//!
+//! # Fast curve evaluation
+//!
+//! The naive scan recomputes means, variances, and the cross term from
+//! scratch at every lag — `O(N·L)` for `N` samples and `L` lags, plus an
+//! allocation per lag. [`normalized_correlation_curve`] instead:
+//!
+//! * centers both series by their global means (Pearson correlation is
+//!   shift-invariant, and centering avoids catastrophic cancellation in
+//!   the `Σx² − (Σx)²/n` forms),
+//! * keeps prefix sums of values and squared values, so each lag's window
+//!   sums, means, and variances are `O(1)`,
+//! * computes the per-lag cross products `Σ aᵢ·bᵢ₊ₖ` either with one fused
+//!   pass per lag (small inputs) or a single FFT cross-correlation
+//!   (large inputs), making the whole curve `O((N+L) log (N+L))`.
+//!
+//! The naive implementation is retained as the reference oracle
+//! ([`find_alignment_naive`], [`normalized_cross_correlation`]); property
+//! tests pin the two to within `1e-9` of each other.
+//!
+//! # Ties and poisoned samples
+//!
+//! Delay scans break exact score ties toward the **smallest lag**: the
+//! earliest hypothesis wins, so a flat or periodic correlation curve yields
+//! a stable, deterministic answer. Non-finite scores (a NaN measurement or
+//! model sample poisons every window containing it) are never selected as
+//! the peak; if no lag produces a finite score the scan reports `None`
+//! rather than letting a poisoned lag win silently.
 
 /// The cross-correlation of a measurement series against a model series at
 /// one hypothetical delay of `lag` samples (Eq. 4).
@@ -34,6 +62,9 @@ pub fn cross_correlation(measure: &[f64], model: &[f64], lag: usize) -> f64 {
 /// overlap length, so comparing lags with very different overlaps can be
 /// skewed. Returns a value in `[-1, 1]`, or 0.0 when the overlap is shorter
 /// than two samples or either side is constant.
+///
+/// This is the *reference* per-lag implementation; use
+/// [`normalized_correlation_curve`] to evaluate every lag at once.
 pub fn normalized_cross_correlation(measure: &[f64], model: &[f64], lag: usize) -> f64 {
     let overlap = measure.len().min(model.len().saturating_sub(lag));
     if overlap < 2 {
@@ -59,6 +90,212 @@ pub fn normalized_cross_correlation(measure: &[f64], model: &[f64], lag: usize) 
     cov / (var_a.sqrt() * var_b.sqrt())
 }
 
+/// Above this many multiply-adds the cross terms are computed by FFT
+/// instead of one fused pass per lag.
+const FFT_CUTOFF: usize = 1 << 17;
+
+/// Computes [`normalized_cross_correlation`] for every lag `0..=max_lag`
+/// in one pass: prefix sums give each lag's means and variances in `O(1)`
+/// and the cross products come from a fused sweep (or an FFT for large
+/// inputs), for `O((N+L) log (N+L))` total instead of the naive `O(N·L)`.
+///
+/// Entries agree with the naive per-lag scan to ~1e-9 for finite inputs;
+/// windows the naive scan treats as constant come out 0.0 here too.
+///
+/// # Example
+///
+/// ```
+/// use analysis::xcorr::{normalized_correlation_curve, normalized_cross_correlation};
+///
+/// let model: Vec<f64> = (0..100).map(|i| ((i * i) % 31) as f64).collect();
+/// let measure: Vec<f64> = model[4..].to_vec();
+/// let curve = normalized_correlation_curve(&measure, &model, 10);
+/// for (lag, score) in curve.iter().enumerate() {
+///     let naive = normalized_cross_correlation(&measure, &model, lag);
+///     assert!((score - naive).abs() < 1e-9);
+/// }
+/// ```
+pub fn normalized_correlation_curve(measure: &[f64], model: &[f64], max_lag: usize) -> Vec<f64> {
+    let n_m = measure.len();
+    let l_m = model.len();
+    let mut curve = vec![0.0; max_lag + 1];
+    if n_m < 2 || l_m < 2 {
+        return curve;
+    }
+    // Center by the global means: Pearson correlation is invariant under
+    // shifting either series by a constant, and small centered values keep
+    // the Σx² − (Σx)²/n windowed forms well conditioned.
+    let ga = measure.iter().sum::<f64>() / n_m as f64;
+    let gb = model.iter().sum::<f64>() / l_m as f64;
+    let a: Vec<f64> = measure.iter().map(|v| v - ga).collect();
+    let b: Vec<f64> = model.iter().map(|v| v - gb).collect();
+    // Prefix sums: pa[i] = Σ a[0..i], paa[i] = Σ a[0..i]².
+    let mut pa = vec![0.0; n_m + 1];
+    let mut paa = vec![0.0; n_m + 1];
+    for i in 0..n_m {
+        pa[i + 1] = pa[i] + a[i];
+        paa[i + 1] = paa[i] + a[i] * a[i];
+    }
+    let mut pb = vec![0.0; l_m + 1];
+    let mut pbb = vec![0.0; l_m + 1];
+    for j in 0..l_m {
+        pb[j + 1] = pb[j] + b[j];
+        pbb[j + 1] = pbb[j] + b[j] * b[j];
+    }
+    // Cross terms T[k] = Σ_i a[i]·b[i+k] over each lag's overlap.
+    let k_max = max_lag.min(l_m.saturating_sub(2));
+    let cross = sliding_cross_products(&a, &b, k_max);
+    for (k, curve_k) in curve.iter_mut().enumerate().take(k_max + 1) {
+        let n = n_m.min(l_m - k);
+        if n < 2 {
+            continue;
+        }
+        let nf = n as f64;
+        let sum_a = pa[n];
+        let sum_aa = paa[n];
+        let sum_b = pb[k + n] - pb[k];
+        let sum_bb = pbb[k + n] - pbb[k];
+        let cov = cross[k] - sum_a * sum_b / nf;
+        let var_a = sum_aa - sum_a * sum_a / nf;
+        let var_b = sum_bb - sum_b * sum_b / nf;
+        // Relative floor: a window whose computed variance is within
+        // accumulated-rounding distance of zero is constant for our
+        // purposes (the naive scan sees an exact zero there).
+        let tol = 8.0 * f64::EPSILON * nf;
+        if var_a <= tol * (sum_aa + sum_a * sum_a / nf) || var_b <= tol * (sum_bb + sum_b * sum_b / nf)
+        {
+            continue;
+        }
+        *curve_k = cov / (var_a.sqrt() * var_b.sqrt());
+    }
+    curve
+}
+
+/// Sliding cross products `T[k] = Σ_i a[i]·b[i+k]` for `k = 0..=k_max`,
+/// each summed over the natural overlap `i < min(a.len(), b.len() − k)`.
+/// Small inputs use one fused pass per lag; large inputs switch to a
+/// single FFT cross-correlation. Building block for correlation curves
+/// over pre-centered series (used by `core::align`'s gridded delay scan).
+pub fn sliding_cross_products(a: &[f64], b: &[f64], k_max: usize) -> Vec<f64> {
+    let work: usize = (0..=k_max)
+        .map(|k| a.len().min(b.len().saturating_sub(k)))
+        .sum();
+    if work <= FFT_CUTOFF {
+        let mut out = vec![0.0; k_max + 1];
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let n = a.len().min(b.len().saturating_sub(k));
+            if n == 0 {
+                continue; // empty overlap: k may exceed b.len() entirely
+            }
+            *out_k = a[..n].iter().zip(&b[k..k + n]).map(|(x, y)| x * y).sum();
+        }
+        out
+    } else {
+        fft_cross_products(a, b, k_max)
+    }
+}
+
+/// Cross products via the correlation theorem:
+/// `T = IFFT(conj(FFT(a)) · FFT(b))`, zero-padded so nothing wraps.
+///
+/// Both inputs are real, so they share one complex transform (`c = a +
+/// i·b`, split by Hermitian symmetry) and the transform length only
+/// needs to cover `a.len() + k_max` — the highest `b` index any
+/// returned lag touches — rather than the two series end to end.
+fn fft_cross_products(a: &[f64], b: &[f64], k_max: usize) -> Vec<f64> {
+    // b[i + k] with i < a.len(), k <= k_max never reads past this.
+    let nb = b.len().min(a.len() + k_max);
+    let m = (a.len() + k_max).max(2).next_power_of_two();
+    let mut c: Vec<(f64, f64)> = (0..m)
+        .map(|j| {
+            (
+                if j < a.len() { a[j] } else { 0.0 },
+                if j < nb { b[j] } else { 0.0 },
+            )
+        })
+        .collect();
+    let tw = twiddle_table(m);
+    fft_in_place(&mut c, &tw, false);
+    // Unpack A[k] = (C[k] + conj(C[m−k]))/2 and B[k] = (C[k] −
+    // conj(C[m−k]))/2i, then form D = conj(A)·B. D is Hermitian (both
+    // spectra come from real series), so IFFT(D) is real.
+    let mut d = vec![(0.0, 0.0); m];
+    for (k, dk) in d.iter_mut().enumerate() {
+        let (cr, ci) = c[k];
+        let (sr, si) = c[(m - k) & (m - 1)];
+        let (ar, ai) = ((cr + sr) * 0.5, (ci - si) * 0.5);
+        let (br, bi) = ((ci + si) * 0.5, (sr - cr) * 0.5);
+        *dk = (ar * br + ai * bi, ar * bi - ai * br);
+    }
+    fft_in_place(&mut d, &tw, true);
+    // Lags past the transform length have empty overlap.
+    (0..=k_max).map(|k| if k < m { d[k].0 / m as f64 } else { 0.0 }).collect()
+}
+
+/// Forward twiddle factors `e^(−2πik/m)` for `k < m/2`, built by a
+/// multiplicative recurrence resynced against `sin`/`cos` every 32
+/// entries so the error stays at a few ulps without paying a libm call
+/// per entry.
+fn twiddle_table(m: usize) -> Vec<(f64, f64)> {
+    let step = -2.0 * std::f64::consts::PI / m as f64;
+    let (wr, wi) = (step.cos(), step.sin());
+    let (mut cr, mut ci) = (1.0f64, 0.0f64);
+    let mut tw = Vec::with_capacity(m / 2);
+    for k in 0..m / 2 {
+        if k % 32 == 0 {
+            let ang = step * k as f64;
+            cr = ang.cos();
+            ci = ang.sin();
+        }
+        tw.push((cr, ci));
+        let (nr, ni) = (cr * wr - ci * wi, cr * wi + ci * wr);
+        cr = nr;
+        ci = ni;
+    }
+    tw
+}
+
+/// Iterative radix-2 complex FFT (Cooley–Tukey); `inverse` leaves the
+/// result unscaled (callers divide by the length).
+fn fft_in_place(x: &mut [(f64, f64)], tw: &[(f64, f64)], inverse: bool) {
+    let n = x.len();
+    debug_assert!(n.is_power_of_two());
+    debug_assert!(tw.len() == n / 2);
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    // Table lookups keep each butterfly independent — no serial twiddle
+    // recurrence stalling the pipeline.
+    let mut len = 2;
+    while len <= n {
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (cr, mut ci) = tw[k * stride];
+                if inverse {
+                    ci = -ci;
+                }
+                let (ur, ui) = x[start + k];
+                let (vr, vi) = x[start + k + len / 2];
+                let (tr, ti) = (vr * cr - vi * ci, vr * ci + vi * cr);
+                x[start + k] = (ur + tr, ui + ti);
+                x[start + k + len / 2] = (ur - tr, ui - ti);
+            }
+        }
+        len <<= 1;
+    }
+}
+
 /// Result of scanning hypothetical delays for the best alignment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlignmentPeak {
@@ -68,10 +305,41 @@ pub struct AlignmentPeak {
     pub score: f64,
 }
 
+/// Two scores within this distance are considered tied: correlation values
+/// that close are indistinguishable from floating-point noise (a periodic
+/// signal's aliased lags land here), so the scan must not let summation
+/// order pick the winner.
+const TIE_EPS: f64 = 1e-12;
+
+/// Picks the peak of a correlation curve under the scan's selection rules:
+/// a lag is eligible when its overlap is at least two samples and its
+/// score is finite; ties (exact, or within [`TIE_EPS`]) go to the
+/// **smallest** lag, so a flat or periodic curve yields a deterministic
+/// answer regardless of which implementation computed it.
+fn pick_peak(curve: &[f64], measure_len: usize, model_len: usize) -> Option<AlignmentPeak> {
+    let mut best: Option<AlignmentPeak> = None;
+    for (lag, &score) in curve.iter().enumerate() {
+        let overlap = measure_len.min(model_len.saturating_sub(lag));
+        if overlap < 2 || !score.is_finite() {
+            continue;
+        }
+        match best {
+            Some(b) if score <= b.score + TIE_EPS => {}
+            _ => best = Some(AlignmentPeak { lag, score }),
+        }
+    }
+    best
+}
+
 /// Scans delays `0..=max_lag` and returns the best-correlated one, plus the
 /// full correlation curve (index = lag), using the normalized correlation.
 ///
-/// Returns `None` when no lag produced at least two overlapping samples.
+/// Uses the prefix-sum/FFT fast path ([`normalized_correlation_curve`]);
+/// inputs containing non-finite values fall back to the per-lag reference
+/// scan so one poisoned sample cannot contaminate every lag. In either
+/// case a non-finite score never wins: exact ties break toward the
+/// smallest lag, and if no lag yields a finite score with at least two
+/// overlapping samples the scan returns `None`.
 ///
 /// # Example
 ///
@@ -89,20 +357,28 @@ pub fn find_alignment(
     model: &[f64],
     max_lag: usize,
 ) -> Option<(AlignmentPeak, Vec<f64>)> {
-    let mut curve = Vec::with_capacity(max_lag + 1);
-    let mut best: Option<AlignmentPeak> = None;
-    for lag in 0..=max_lag {
-        let score = normalized_cross_correlation(measure, model, lag);
-        curve.push(score);
-        let overlap = measure.len().min(model.len().saturating_sub(lag));
-        if overlap >= 2 {
-            match best {
-                Some(b) if b.score >= score => {}
-                _ => best = Some(AlignmentPeak { lag, score }),
-            }
-        }
+    let finite =
+        measure.iter().all(|v| v.is_finite()) && model.iter().all(|v| v.is_finite());
+    if !finite {
+        return find_alignment_naive(measure, model, max_lag);
     }
-    best.map(|b| (b, curve))
+    let curve = normalized_correlation_curve(measure, model, max_lag);
+    pick_peak(&curve, measure.len(), model.len()).map(|p| (p, curve))
+}
+
+/// Reference implementation of [`find_alignment`]: the naive per-lag
+/// Pearson scan, kept as the correctness oracle for the fast path (and
+/// used by it when inputs contain non-finite values). Same selection
+/// rules: first lag wins exact ties, non-finite scores never win.
+pub fn find_alignment_naive(
+    measure: &[f64],
+    model: &[f64],
+    max_lag: usize,
+) -> Option<(AlignmentPeak, Vec<f64>)> {
+    let curve: Vec<f64> = (0..=max_lag)
+        .map(|lag| normalized_cross_correlation(measure, model, lag))
+        .collect();
+    pick_peak(&curve, measure.len(), model.len()).map(|p| (p, curve))
 }
 
 #[cfg(test)]
@@ -157,6 +433,7 @@ mod tests {
         let a = [2.0; 10];
         let b = [3.0; 20];
         assert_eq!(normalized_cross_correlation(&a, &b, 0), 0.0);
+        assert_eq!(normalized_correlation_curve(&a, &b, 5), vec![0.0; 6]);
     }
 
     #[test]
@@ -178,5 +455,102 @@ mod tests {
         let measure: Vec<f64> = model.iter().map(|v| 1.0 - v).collect();
         let c = normalized_cross_correlation(&measure, &model, 0);
         assert!(c < -0.9);
+    }
+
+    #[test]
+    fn fast_curve_matches_naive_on_noisy_signal() {
+        let mut rng = 0xABCDEFu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % 10_000) as f64 / 50.0 - 100.0
+        };
+        let model: Vec<f64> = (0..400).map(|_| next()).collect();
+        let measure: Vec<f64> = model[9..309].iter().map(|v| v * 1.1 + next() * 0.1).collect();
+        let curve = normalized_correlation_curve(&measure, &model, 60);
+        for (lag, score) in curve.iter().enumerate() {
+            let naive = normalized_cross_correlation(&measure, &model, lag);
+            assert!(
+                (score - naive).abs() < 1e-9,
+                "lag {lag}: fast {score} vs naive {naive}"
+            );
+        }
+        let fast = find_alignment(&measure, &model, 60).unwrap().0;
+        let naive = find_alignment_naive(&measure, &model, 60).unwrap().0;
+        assert_eq!(fast.lag, naive.lag);
+    }
+
+    #[test]
+    fn fft_path_matches_naive() {
+        // Large enough to cross FFT_CUTOFF (5000 × 501 ≫ 2^17).
+        let mut rng = 0x5EEDu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng % 1000) as f64 - 500.0
+        };
+        let model: Vec<f64> = (0..5500).map(|i| ((i / 40) % 3) as f64 * 25.0 + next() * 0.05).collect();
+        let measure: Vec<f64> = model[137..5137].to_vec();
+        let curve = normalized_correlation_curve(&measure, &model, 500);
+        for lag in [0usize, 1, 13, 137, 200, 499, 500] {
+            let naive = normalized_cross_correlation(&measure, &model, lag);
+            assert!(
+                (curve[lag] - naive).abs() < 1e-9,
+                "lag {lag}: fft {} vs naive {naive}",
+                curve[lag]
+            );
+        }
+        let (peak, _) = find_alignment(&measure, &model, 500).unwrap();
+        assert_eq!(peak.lag, 137);
+    }
+
+    #[test]
+    fn exact_tie_breaks_to_first_lag() {
+        // A 4-periodic signal: lags 0, 4, 8 correlate identically; the
+        // scan must deterministically report the earliest.
+        let model: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        let measure: Vec<f64> = (0..40).map(|i| (i % 4) as f64).collect();
+        let (peak, curve) = find_alignment(&measure, &model, 12).unwrap();
+        assert_eq!(peak.lag, 0);
+        assert!((curve[4] - curve[0]).abs() < 1e-9, "periodic lags tie");
+        let (naive_peak, _) = find_alignment_naive(&measure, &model, 12).unwrap();
+        assert_eq!(naive_peak.lag, 0);
+    }
+
+    #[test]
+    fn nan_sample_cannot_win_the_scan() {
+        let model = sawtooth(60, 7);
+        let mut measure: Vec<f64> = model[3..].to_vec();
+        measure[10] = f64::NAN;
+        // Every overlap contains the poisoned sample: no finite score
+        // exists, so the scan must refuse rather than return a NaN peak.
+        match find_alignment(&measure, &model, 10) {
+            None => {}
+            Some((peak, _)) => {
+                assert!(peak.score.is_finite(), "NaN peak leaked: {peak:?}");
+            }
+        }
+        let naive = find_alignment_naive(&measure, &model, 10);
+        match naive {
+            None => {}
+            Some((peak, _)) => assert!(peak.score.is_finite()),
+        }
+    }
+
+    #[test]
+    fn infinite_model_sample_is_guarded() {
+        let model: Vec<f64> = {
+            let mut m = sawtooth(60, 7);
+            m[55] = f64::INFINITY;
+            m
+        };
+        let measure: Vec<f64> = sawtooth(40, 7);
+        // Lags whose overlap excludes the poisoned tail still score; the
+        // peak must carry a finite score.
+        if let Some((peak, _)) = find_alignment(&measure, &model, 10) {
+            assert!(peak.score.is_finite());
+        }
     }
 }

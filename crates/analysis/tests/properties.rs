@@ -1,9 +1,12 @@
 //! Property-based tests for the numerics crate.
 
 use analysis::hist::Histogram;
-use analysis::linreg::LeastSquares;
+use analysis::linreg::{LeastSquares, RollingLeastSquares};
 use analysis::stats::{quantile, Summary};
-use analysis::xcorr::{find_alignment, normalized_cross_correlation};
+use analysis::xcorr::{
+    find_alignment, find_alignment_naive, normalized_correlation_curve,
+    normalized_cross_correlation,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -81,6 +84,91 @@ proptest! {
     ) {
         let c = normalized_cross_correlation(&a, &b, lag);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "correlation {c}");
+    }
+
+    /// The prefix-sum fast correlation curve matches the naive per-lag
+    /// Pearson scan to 1e-9 on arbitrary finite inputs.
+    #[test]
+    fn fast_curve_equals_naive_pearson(
+        a in prop::collection::vec(-500.0f64..500.0, 2..120),
+        b in prop::collection::vec(-500.0f64..500.0, 2..160),
+        max_lag in 0usize..40,
+    ) {
+        let curve = normalized_correlation_curve(&a, &b, max_lag);
+        prop_assert_eq!(curve.len(), max_lag + 1);
+        for (lag, score) in curve.iter().enumerate() {
+            let naive = normalized_cross_correlation(&a, &b, lag);
+            prop_assert!(
+                (score - naive).abs() < 1e-9,
+                "lag {}: fast {} vs naive {}", lag, score, naive
+            );
+        }
+    }
+
+    /// The fast alignment scan and the naive oracle agree on the peak
+    /// (same lag, same score to 1e-9) for arbitrary finite inputs.
+    #[test]
+    fn fast_alignment_equals_naive_oracle(
+        a in prop::collection::vec(-500.0f64..500.0, 2..100),
+        b in prop::collection::vec(-500.0f64..500.0, 2..140),
+        max_lag in 0usize..30,
+    ) {
+        let fast = find_alignment(&a, &b, max_lag);
+        let naive = find_alignment_naive(&a, &b, max_lag);
+        match (fast, naive) {
+            (None, None) => {}
+            (Some((fp, _)), Some((np, _))) => {
+                prop_assert_eq!(fp.lag, np.lag, "peak lag diverged");
+                prop_assert!((fp.score - np.score).abs() < 1e-9);
+            }
+            (f, n) => prop_assert!(false, "availability diverged: {:?} vs {:?}", f, n),
+        }
+    }
+
+    /// An incrementally maintained rolling window (rank-1 update on add,
+    /// rank-1 downdate on evict) solves to the same coefficients as a
+    /// from-scratch batch fit of the retained samples, for arbitrary
+    /// add sequences and window capacities.
+    #[test]
+    fn rolling_refit_equals_batch_fit(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-10.0f64..10.0, 3), -100.0f64..100.0),
+            1..80,
+        ),
+        cap in 1usize..24,
+    ) {
+        let mut win = RollingLeastSquares::new(3, cap);
+        for (row, y) in &rows {
+            win.push(row, *y, 1.0);
+        }
+        let kept = rows.len().min(cap);
+        let tail = &rows[rows.len() - kept..];
+        let mut batch = LeastSquares::new(3);
+        for (row, y) in tail {
+            batch.add_sample(row, *y, 1.0);
+        }
+        prop_assert_eq!(win.len(), kept);
+        // Both must agree on solvability; when solvable, on the fit.
+        match (win.solve(), batch.solve()) {
+            (Ok(a), Ok(b)) => {
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert!(
+                        (x - y).abs() < 1e-6 * (1.0 + y.abs()),
+                        "coefficients diverged: {} vs {}", x, y
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            // Downdate rounding can flip a numerically singular system
+            // either way; only a *well-conditioned* disagreement is a bug.
+            (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
+                let max_abs = tail
+                    .iter()
+                    .flat_map(|(r, _)| r.iter())
+                    .fold(0.0f64, |m, v| m.max(v.abs()));
+                prop_assert!(max_abs < 1e-3, "solvability diverged on healthy data");
+            }
+        }
     }
 
     /// A self-shifted non-constant signal aligns at its true lag.

@@ -1,0 +1,164 @@
+//! Before/after benchmarks for the incremental hot-path kernels.
+//!
+//! Each pair times the reference ("before") formulation the repo used
+//! previously against the current fast path:
+//!
+//! * `alignment_naive` / `alignment_fast` — O(N·L) per-lag Pearson scan
+//!   vs the prefix-sum + FFT correlation curve, at N=5000, L=500.
+//! * `refit_batch` / `refit_incremental` — from-scratch normal-equation
+//!   accumulation over all retained samples vs one rank-1 push into the
+//!   rolling window followed by an O(k³) solve.
+//! * `event_queue_heap` / `event_queue_bucket` — a same-instant
+//!   push/pop cascade over a backlog of future timers: every op pays
+//!   O(log backlog) in a binary heap, O(1) in the FIFO front bucket.
+//! * `trace_scan` / `trace_cursor` — linear-scan windowed means vs the
+//!   cached prefix-sum cursor on a sliding query.
+
+use analysis::linreg::{LeastSquares, RollingLeastSquares};
+use analysis::xcorr::{find_alignment, find_alignment_naive};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_bench::{alignment_signals, refit_rows, HeapQueue, NaiveTrace};
+use power_containers::TraceRing;
+use simkern::{EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+
+const ALIGN_N: usize = 5000;
+const ALIGN_LAG: usize = 500;
+
+fn alignment_naive(c: &mut Criterion) {
+    let (measure, model) = alignment_signals(ALIGN_N, ALIGN_LAG, 137);
+    c.bench_function("alignment_naive_n5000_l500", |b| {
+        b.iter(|| black_box(find_alignment_naive(&measure, &model, ALIGN_LAG)))
+    });
+}
+
+fn alignment_fast(c: &mut Criterion) {
+    let (measure, model) = alignment_signals(ALIGN_N, ALIGN_LAG, 137);
+    c.bench_function("alignment_fast_n5000_l500", |b| {
+        b.iter(|| black_box(find_alignment(&measure, &model, ALIGN_LAG)))
+    });
+}
+
+fn refit_batch(c: &mut Criterion) {
+    let rows = refit_rows(4096);
+    c.bench_function("refit_batch_n4096", |b| {
+        b.iter(|| {
+            let mut ls = LeastSquares::new(8);
+            for (row, y) in &rows {
+                ls.add_sample(row, *y, 1.0);
+            }
+            black_box(ls.solve().expect("batch fit"))
+        })
+    });
+}
+
+fn refit_incremental(c: &mut Criterion) {
+    let rows = refit_rows(4096);
+    let mut win = RollingLeastSquares::new(8, 256);
+    for (row, y) in &rows {
+        win.push(row, *y, 1.0);
+    }
+    let mut i = 0usize;
+    c.bench_function("refit_incremental_cap256", |b| {
+        b.iter(|| {
+            let (row, y) = &rows[i % rows.len()];
+            i += 1;
+            win.push(row, *y, 1.0);
+            black_box(win.solve().expect("incremental fit"))
+        })
+    });
+}
+
+const BURST: usize = 64;
+/// Pending future timers, like a kernel with many scheduled interrupts.
+const BACKLOG: u64 = 1024;
+
+fn event_queue_heap(c: &mut Criterion) {
+    let mut q: HeapQueue<u64> = HeapQueue::new();
+    for i in 0..BACKLOG {
+        q.push(SimTime::from_secs(3600 + i), i);
+    }
+    let mut t = 0u64;
+    c.bench_function("event_queue_heap_cascade64", |b| {
+        b.iter(|| {
+            t += 1;
+            let at = SimTime::from_micros(t);
+            q.push(at, 0);
+            q.push(at, 1);
+            black_box(q.pop());
+            for i in 0..BURST as u64 {
+                q.push(at, i);
+                black_box(q.pop());
+            }
+            black_box(q.pop());
+        })
+    });
+}
+
+fn event_queue_bucket(c: &mut Criterion) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..BACKLOG {
+        q.push(SimTime::from_secs(3600 + i), i);
+    }
+    let mut t = 0u64;
+    c.bench_function("event_queue_bucket_cascade64", |b| {
+        b.iter(|| {
+            t += 1;
+            let at = SimTime::from_micros(t);
+            q.push(at, 0);
+            q.push(at, 1);
+            black_box(q.pop());
+            for i in 0..BURST as u64 {
+                q.push(at, i);
+                black_box(q.pop());
+            }
+            black_box(q.pop());
+        })
+    });
+}
+
+const TRACE_SLOTS: u64 = 4096;
+
+fn trace_scan(c: &mut Criterion) {
+    let mut trace = NaiveTrace::new();
+    for ms in 1..=TRACE_SLOTS {
+        trace.add(SimTime::from_millis(ms), 20.0 + (ms % 7) as f64, SimDuration::from_millis(1));
+    }
+    let mut q = 0u64;
+    c.bench_function("trace_scan_window20", |b| {
+        b.iter(|| {
+            q = q % (TRACE_SLOTS - 20) + 1;
+            let t0 = SimTime::from_millis(q);
+            black_box(trace.mean_over_wall(t0, t0 + SimDuration::from_millis(20)))
+        })
+    });
+}
+
+fn trace_cursor(c: &mut Criterion) {
+    let slot = SimDuration::from_millis(1);
+    let mut trace: TraceRing<f64> = TraceRing::new(slot, TRACE_SLOTS as usize + 1);
+    for ms in 1..=TRACE_SLOTS {
+        trace.add(SimTime::from_millis(ms), 20.0 + (ms % 7) as f64, slot);
+    }
+    let mut q = 0u64;
+    c.bench_function("trace_cursor_window20", |b| {
+        b.iter(|| {
+            q = q % (TRACE_SLOTS - 20) + 1;
+            let t0 = SimTime::from_millis(q);
+            black_box(trace.mean_over_wall(t0, t0 + SimDuration::from_millis(20)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    alignment_naive,
+    alignment_fast,
+    refit_batch,
+    refit_incremental,
+    event_queue_heap,
+    event_queue_bucket,
+    trace_scan,
+    trace_cursor
+);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! Emits `BENCH_perf.json`: before/after timings for the hot-path
+//! kernels plus the experiment-harness wall times.
+//!
+//! The kernel pairs mirror `benches/perf_kernels.rs` but are measured
+//! here with median-of-samples timing so the committed numbers are less
+//! noise-prone than the smoke bench's single mean. Harness wall times
+//! cannot be re-measured from inside this process (a full `run_all`
+//! takes minutes), so they are passed in from actual runs:
+//!
+//! ```text
+//! perf_report [--out PATH] [--run-all-before SECS] \
+//!             [--run-all-after SECS] [--run-all-jobs4 SECS]
+//! ```
+//!
+//! With no `--out`, the report is written to `BENCH_perf.json` in the
+//! repository root.
+
+use analysis::linreg::{LeastSquares, RollingLeastSquares};
+use analysis::xcorr::{find_alignment, find_alignment_naive};
+use pc_bench::{alignment_signals, refit_rows, HeapQueue, NaiveTrace};
+use power_containers::TraceRing;
+use serde::Serialize;
+use simkern::{EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One before/after kernel pair.
+#[derive(Serialize)]
+struct KernelPair {
+    name: String,
+    before: String,
+    after: String,
+    before_ns: u64,
+    after_ns: u64,
+    speedup: f64,
+}
+
+/// Incremental-refit cost at one total-samples-seen count; flat
+/// `refit_ns` across rows is the acceptance criterion.
+#[derive(Serialize)]
+struct RefitScaling {
+    samples_seen: usize,
+    refit_ns: u64,
+}
+
+/// Wall times for the experiment harness, from real `run_all` runs.
+#[derive(Serialize)]
+struct Harness {
+    run_all_serial_before_s: Option<f64>,
+    run_all_serial_after_s: Option<f64>,
+    run_all_jobs4_s: Option<f64>,
+    note: String,
+}
+
+/// The whole report.
+#[derive(Serialize)]
+struct Report {
+    generated_by: String,
+    host_cpus: usize,
+    samples_per_measurement: usize,
+    kernels: Vec<KernelPair>,
+    refit_cost_vs_samples_seen: Vec<RefitScaling>,
+    harness: Harness,
+}
+
+const SAMPLES: usize = 15;
+
+/// Median wall time of `SAMPLES` runs of `body`, in nanoseconds. `reps`
+/// inner repetitions amortize timer overhead for sub-microsecond bodies.
+fn median_ns<F: FnMut()>(reps: u32, mut body: F) -> u64 {
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                body();
+            }
+            start.elapsed().as_nanos() / u128::from(reps)
+        })
+        .collect();
+    times.sort_unstable();
+    times[SAMPLES / 2] as u64
+}
+
+fn pair(name: &str, before: &str, after: &str, before_ns: u64, after_ns: u64) -> KernelPair {
+    KernelPair {
+        name: name.to_string(),
+        before: before.to_string(),
+        after: after.to_string(),
+        before_ns,
+        after_ns,
+        speedup: before_ns as f64 / after_ns.max(1) as f64,
+    }
+}
+
+fn alignment_pair() -> KernelPair {
+    let (measure, model) = alignment_signals(5000, 500, 137);
+    let naive = median_ns(1, || {
+        black_box(find_alignment_naive(black_box(&measure), black_box(&model), 500));
+    });
+    let fast = median_ns(1, || {
+        black_box(find_alignment(black_box(&measure), black_box(&model), 500));
+    });
+    pair(
+        "alignment_n5000_l500",
+        "per-lag Pearson scan, O(N*L)",
+        "prefix sums + packed-real FFT cross products",
+        naive,
+        fast,
+    )
+}
+
+fn refit_pair() -> KernelPair {
+    let rows = refit_rows(4096);
+    let batch = median_ns(1, || {
+        let mut ls = LeastSquares::new(8);
+        for (row, y) in &rows {
+            ls.add_sample(row, *y, 1.0);
+        }
+        black_box(ls.solve().expect("batch fit"));
+    });
+    let mut win = RollingLeastSquares::new(8, 256);
+    for (row, y) in &rows {
+        win.push(row, *y, 1.0);
+    }
+    let mut i = 0usize;
+    let incremental = median_ns(64, || {
+        let (row, y) = &rows[i % rows.len()];
+        i += 1;
+        win.push(row, *y, 1.0);
+        black_box(win.solve().expect("incremental fit"));
+    });
+    pair(
+        "refit_after_one_sample_n4096",
+        "re-accumulate normal equations over all 4096 samples",
+        "rank-1 push into cap-256 rolling window + O(k^3) solve",
+        batch,
+        incremental,
+    )
+}
+
+fn refit_scaling() -> Vec<RefitScaling> {
+    // The incremental refit must cost the same whether the recalibrator
+    // has seen 256 samples or 16384: the window caps the state.
+    [256usize, 1024, 4096, 16384]
+        .into_iter()
+        .map(|n| {
+            let rows = refit_rows(n);
+            let mut win = RollingLeastSquares::new(8, 256);
+            for (row, y) in &rows {
+                win.push(row, *y, 1.0);
+            }
+            let mut i = 0usize;
+            let refit_ns = median_ns(64, || {
+                let (row, y) = &rows[i % rows.len()];
+                i += 1;
+                win.push(row, *y, 1.0);
+                black_box(win.solve().expect("fit"));
+            });
+            RefitScaling { samples_seen: n, refit_ns }
+        })
+        .collect()
+}
+
+fn queue_pair() -> KernelPair {
+    // A same-instant push/pop cascade (a handler scheduling follow-up
+    // work at the instant being drained) over a backlog of future
+    // timers: the heap pays O(log backlog) per op, the bucket O(1).
+    const BURST: u64 = 64;
+    const BACKLOG: u64 = 1024;
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    let mut bucket: EventQueue<u64> = EventQueue::new();
+    for i in 0..BACKLOG {
+        heap.push(SimTime::from_secs(3600 + i), i);
+        bucket.push(SimTime::from_secs(3600 + i), i);
+    }
+    let mut t = 0u64;
+    let before = median_ns(16, || {
+        t += 1;
+        let at = SimTime::from_micros(t);
+        heap.push(at, 0);
+        heap.push(at, 1);
+        black_box(heap.pop());
+        for i in 0..BURST {
+            heap.push(at, i);
+            black_box(heap.pop());
+        }
+        black_box(heap.pop());
+    });
+    let after = median_ns(16, || {
+        t += 1;
+        let at = SimTime::from_micros(t);
+        bucket.push(at, 0);
+        bucket.push(at, 1);
+        black_box(bucket.pop());
+        for i in 0..BURST {
+            bucket.push(at, i);
+            black_box(bucket.pop());
+        }
+        black_box(bucket.pop());
+    });
+    pair(
+        "event_queue_same_instant_cascade64",
+        "binary heap with sequence tiebreak, O(log n) per op",
+        "FIFO front bucket for the active instant, O(1) per op",
+        before,
+        after,
+    )
+}
+
+fn trace_pair() -> KernelPair {
+    const SLOTS: u64 = 4096;
+    let mut naive = NaiveTrace::new();
+    let slot = SimDuration::from_millis(1);
+    let mut ring: TraceRing<f64> = TraceRing::new(slot, SLOTS as usize + 1);
+    for ms in 1..=SLOTS {
+        let w = 20.0 + (ms % 7) as f64;
+        naive.add(SimTime::from_millis(ms), w, slot);
+        ring.add(SimTime::from_millis(ms), w, slot);
+    }
+    let mut q = 0u64;
+    let before = median_ns(16, || {
+        q = q % (SLOTS - 20) + 1;
+        let t0 = SimTime::from_millis(q);
+        black_box(naive.mean_over_wall(t0, t0 + SimDuration::from_millis(20)));
+    });
+    let after = median_ns(16, || {
+        q = q % (SLOTS - 20) + 1;
+        let t0 = SimTime::from_millis(q);
+        black_box(ring.mean_over_wall(t0, t0 + SimDuration::from_millis(20)));
+    });
+    pair(
+        "trace_windowed_mean_4096_slots",
+        "linear scan over retained samples per query",
+        "cached prefix-sum cursor",
+        before,
+        after,
+    )
+}
+
+fn arg_secs(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")
+        });
+    eprintln!("measuring kernels ({SAMPLES} samples each, median reported)...");
+    let report = Report {
+        generated_by: "pc-bench perf_report".to_string(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        samples_per_measurement: SAMPLES,
+        kernels: vec![alignment_pair(), refit_pair(), queue_pair(), trace_pair()],
+        refit_cost_vs_samples_seen: refit_scaling(),
+        harness: Harness {
+            run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
+            run_all_serial_after_s: arg_secs(&args, "--run-all-after"),
+            run_all_jobs4_s: arg_secs(&args, "--run-all-jobs4"),
+            note: "harness times are wall-clock runs of `run_all` at full scale; \
+                   the before run predates fault_sweep (~14 s of the after total), \
+                   so the like-for-like serial speedup is larger than the raw ratio; \
+                   --jobs speedup requires multiple hardware threads (see host_cpus)"
+                .to_string(),
+        },
+    };
+    for k in &report.kernels {
+        eprintln!(
+            "  {:<36} before {:>10} ns  after {:>10} ns  ({:.1}x)",
+            k.name, k.before_ns, k.after_ns, k.speedup
+        );
+    }
+    for r in &report.refit_cost_vs_samples_seen {
+        eprintln!("  refit after {:>6} samples seen: {:>8} ns", r.samples_seen, r.refit_ns);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {}", out.display());
+}

@@ -13,6 +13,9 @@ use power_containers::{
     Approach, CalibrationSample, CalibrationSet, FacilityConfig, MetricVector, ModelKind,
     PowerContainerFacility, PowerModel,
 };
+use simkern::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A synthetic calibration set good enough for benchmarking fits.
 pub fn synthetic_calibration() -> CalibrationSet {
@@ -39,6 +42,131 @@ pub fn bench_model() -> PowerModel {
     synthetic_calibration()
         .fit(ModelKind::WithChipShare)
         .expect("benchmark calibration fit")
+}
+
+/// Deterministic xorshift64* stream for building bench signals without
+/// pulling in an RNG crate.
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a stream from a non-zero seed.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    /// Next value uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A (measure, model) signal pair with real structure and a known lag,
+/// sized for the alignment microbenchmarks.
+pub fn alignment_signals(n: usize, max_lag: usize, true_lag: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = XorShift::new(0x5EED_0001);
+    let model: Vec<f64> = (0..n + max_lag)
+        .map(|i| {
+            let square = if (i / 40) % 2 == 0 { 35.0 } else { 12.0 };
+            square + 4.0 * ((i % 17) as f64 / 17.0) + rng.next_f64()
+        })
+        .collect();
+    let measure: Vec<f64> = model[true_lag..true_lag + n].to_vec();
+    (measure, model)
+}
+
+/// Random regression rows (8 features, like the Eq. 2 metric vector)
+/// for the refit benchmarks.
+pub fn refit_rows(n: usize) -> Vec<(Vec<f64>, f64)> {
+    let mut rng = XorShift::new(0x5EED_0002);
+    (0..n)
+        .map(|_| {
+            let row: Vec<f64> = (0..8).map(|_| rng.next_f64() * 4.0).collect();
+            let y = row.iter().enumerate().map(|(j, x)| x * (j + 1) as f64).sum::<f64>()
+                + rng.next_f64() * 0.1;
+            (row, y)
+        })
+        .collect()
+}
+
+/// Reference ("before") event queue: a plain binary heap with an
+/// insertion sequence number for FIFO stability, the shape the
+/// simulation substrate used before the same-instant front bucket.
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> HeapQueue<E> {
+        HeapQueue { heap: BinaryHeap::new(), events: Vec::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let id = self.events.len() as u64;
+        self.events.push(Some(event));
+        self.heap.push(Reverse((at, self.seq, id)));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, FIFO within an instant.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, id)) = self.heap.pop()?;
+        Some((at, self.events[id as usize].take().expect("event present")))
+    }
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue::new()
+    }
+}
+
+/// Reference ("before") trace store: windowed integrals by linear scan
+/// over the retained samples, the cost shape `TraceRing` had before the
+/// cached prefix-sum cursor.
+pub struct NaiveTrace {
+    samples: Vec<(SimTime, f64, SimDuration)>,
+}
+
+impl NaiveTrace {
+    /// Creates an empty trace.
+    pub fn new() -> NaiveTrace {
+        NaiveTrace { samples: Vec::new() }
+    }
+
+    /// Records `value` covering `[t - dt, t)`.
+    pub fn add(&mut self, t: SimTime, value: f64, dt: SimDuration) {
+        self.samples.push((t, value, dt));
+    }
+
+    /// Mean of the recorded values whose end times fall in `[t0, t1)`,
+    /// weighted by their coverage — a full scan per query.
+    pub fn mean_over_wall(&self, t0: SimTime, t1: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut wall = 0.0;
+        for &(t, v, dt) in &self.samples {
+            if t >= t0 && t < t1 {
+                let secs = dt.as_nanos() as f64 * 1e-9;
+                sum += v * secs;
+                wall += secs;
+            }
+        }
+        (wall > 0.0).then(|| sum / wall)
+    }
+}
+
+impl Default for NaiveTrace {
+    fn default() -> Self {
+        NaiveTrace::new()
+    }
 }
 
 /// A facility + machine pair with core 0 busy, ready for hook-level

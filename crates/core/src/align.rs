@@ -123,8 +123,32 @@ impl DelayEstimator {
     /// machine power) and returns the best alignment. `None` when fewer
     /// than three readings are available or no delay yields enough
     /// overlapping model history.
+    ///
+    /// When readings arrive on a uniform grid spaced exactly one scan
+    /// step apart — the overwhelmingly common case for a periodic meter —
+    /// the scan runs on a shared model-mean series with prefix sums and
+    /// sliding cross products: `O(N + L)` trace queries and
+    /// quasi-linear arithmetic instead of the reference scan's `O(N·L)`
+    /// trace queries. Non-uniform arrivals, non-finite values, and
+    /// unusual trace-coverage patterns fall back to
+    /// [`DelayEstimator::estimate_reference`], which both paths must
+    /// agree with (first delay wins score ties in either).
     pub fn estimate(&self, model: &TraceRing<f64>) -> Option<AlignmentResult> {
-        if self.history.len() < 3 {
+        if self.history.len() < MIN_READINGS {
+            return None;
+        }
+        if let Some(result) = self.estimate_gridded(model) {
+            return result;
+        }
+        self.estimate_reference(model)
+    }
+
+    /// Reference implementation of [`DelayEstimator::estimate`]: one
+    /// independent Pearson correlation per scanned delay. Kept as the
+    /// correctness oracle for the gridded fast path (and used by it as
+    /// the fallback whenever the grid assumptions fail).
+    pub fn estimate_reference(&self, model: &TraceRing<f64>) -> Option<AlignmentResult> {
+        if self.history.len() < MIN_READINGS {
             return None;
         }
         let mut curve = Vec::new();
@@ -145,13 +169,178 @@ impl DelayEstimator {
         best.map(|(delay, score)| AlignmentResult { delay, score, curve })
     }
 
+    /// `true` when retained readings are finite and arrive on a uniform
+    /// grid spaced exactly one scan step apart, so delay `k·step` pairs
+    /// reading `i` (newest-first) with the model window `i + k` steps back.
+    fn on_uniform_grid(&self) -> bool {
+        if self.history.len() < MIN_READINGS {
+            return false;
+        }
+        let mut prev: Option<SimTime> = None;
+        for r in &self.history {
+            if !r.watts.is_finite() {
+                return false;
+            }
+            if let Some(p) = prev {
+                if r.arrived_at <= p || r.arrived_at - p != self.step {
+                    return false;
+                }
+            }
+            prev = Some(r.arrived_at);
+        }
+        true
+    }
+
+    /// The gridded fast path. Returns `None` when its assumptions do not
+    /// hold (non-uniform arrivals, non-finite samples, model coverage
+    /// that is not one contiguous run) and the reference scan must be
+    /// used; otherwise `Some(result)` with the same answer the reference
+    /// scan would produce (scores agree to rounding, same tie-breaking).
+    fn estimate_gridded(&self, model: &TraceRing<f64>) -> Option<Option<AlignmentResult>> {
+        if !self.on_uniform_grid() {
+            return None;
+        }
+        let n = self.history.len();
+        // The delay grid, constructed exactly like the reference scan's.
+        let mut delays = Vec::new();
+        let mut d = SimDuration::ZERO;
+        while d <= self.max_delay {
+            delays.push(d);
+            d += self.step;
+        }
+        let k_count = delays.len();
+        // Shared model-mean series: m[j] is the model average over the
+        // meter window ending j steps before the newest arrival. Reading
+        // i (newest-first) at delay k·step pairs with m[i + k]; arrival
+        // times are exact multiples of `step` apart, and SimTime
+        // subtraction saturates identically walking the series or
+        // per-reading, so each m[j] equals the reference scan's query.
+        let newest = self.history.back().expect("nonempty history").arrived_at;
+        let total = n + k_count - 1;
+        let mut series: Vec<Option<f64>> = Vec::with_capacity(total);
+        let mut end = newest;
+        for _ in 0..total {
+            series.push(model.mean_over_wall(end - self.meter_period, end));
+            end = end - self.step;
+        }
+        // Coverage must be one contiguous run: windows slide monotonically
+        // back in time, losing coverage only off the new end (not yet
+        // written) or the old end (evicted). Holes mean something unusual;
+        // let the reference scan handle them.
+        let j_lo = series.iter().position(|v| v.is_some());
+        let Some(j_lo) = j_lo else {
+            // No delay has any model overlap: the reference scan would
+            // find no eligible delay at all.
+            return Some(None);
+        };
+        let j_hi = total - 1 - series.iter().rev().position(|v| v.is_some()).expect("some exists");
+        let run = &series[j_lo..=j_hi];
+        if run.iter().any(|v| v.is_none()) {
+            return None;
+        }
+        let b_raw: Vec<f64> = run.iter().map(|v| v.expect("checked")).collect();
+        if b_raw.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mm = b_raw.len();
+        let a_raw: Vec<f64> = self.history.iter().rev().map(|r| r.watts).collect();
+        // Center by global means: per-window Pearson terms are invariant
+        // under a constant shift, and centered prefix sums stay well
+        // conditioned.
+        let ga = a_raw.iter().sum::<f64>() / n as f64;
+        let gb = b_raw.iter().sum::<f64>() / mm as f64;
+        let a: Vec<f64> = a_raw.iter().map(|v| v - ga).collect();
+        let b: Vec<f64> = b_raw.iter().map(|v| v - gb).collect();
+        let mut pa = vec![0.0; n + 1];
+        let mut paa = vec![0.0; n + 1];
+        for i in 0..n {
+            pa[i + 1] = pa[i] + a[i];
+            paa[i + 1] = paa[i] + a[i] * a[i];
+        }
+        let mut pb = vec![0.0; mm + 1];
+        let mut pbb = vec![0.0; mm + 1];
+        for j in 0..mm {
+            pb[j + 1] = pb[j] + b[j];
+            pbb[j + 1] = pbb[j] + b[j] * b[j];
+        }
+        // Cross products in run-local coordinates: lag k pairs a[i] with
+        // b[i + s] where s = k − j_lo may be negative (the newest readings
+        // hypothesize windows ahead of the covered run).
+        let fwd = if k_count > j_lo {
+            analysis::xcorr::sliding_cross_products(&a, &b, k_count - 1 - j_lo)
+        } else {
+            Vec::new()
+        };
+        let bwd = if j_lo > 0 {
+            analysis::xcorr::sliding_cross_products(&b, &a, j_lo)
+        } else {
+            Vec::new()
+        };
+        let mut curve = Vec::with_capacity(k_count);
+        let mut best: Option<(SimDuration, f64)> = None;
+        for (k, &delay) in delays.iter().enumerate() {
+            let score = (|| {
+                if k > j_hi {
+                    return None;
+                }
+                let s = k as isize - j_lo as isize;
+                let i0 = if s >= 0 { 0 } else { (-s) as usize };
+                let i1 = (n - 1).min(j_hi - k);
+                if i1 < i0 {
+                    return None;
+                }
+                let nk = i1 - i0 + 1;
+                if nk < MIN_READINGS {
+                    return None;
+                }
+                let nf = nk as f64;
+                let sum_a = pa[i1 + 1] - pa[i0];
+                let ssq_a = paa[i1 + 1] - paa[i0];
+                let j0 = (i0 as isize + s) as usize;
+                let j1 = (i1 as isize + s) as usize;
+                let sum_b = pb[j1 + 1] - pb[j0];
+                let ssq_b = pbb[j1 + 1] - pbb[j0];
+                let t = if s >= 0 { fwd[s as usize] } else { bwd[(-s) as usize] };
+                let var_a = (ssq_a - sum_a * sum_a / nf).max(0.0);
+                let var_b = (ssq_b - sum_b * sum_b / nf).max(0.0);
+                let cov = t - sum_a * sum_b / nf;
+                let denom = (var_a * var_b).sqrt();
+                // Same eligibility as the reference scan, which compares
+                // the product of *population* std-devs to 1e-12:
+                // √(va/n)·√(vb/n) > 1e-12  ⇔  √(va·vb) > 1e-12·n.
+                (denom > 1e-12 * nf).then(|| cov / denom)
+            })();
+            match score {
+                Some(sc) => {
+                    curve.push((delay, sc));
+                    match best {
+                        Some((_, b)) if b >= sc => {}
+                        _ => best = Some((delay, sc)),
+                    }
+                }
+                None => curve.push((delay, 0.0)),
+            }
+        }
+        Some(best.map(|(delay, score)| AlignmentResult { delay, score, curve }))
+    }
+
     /// Like [`DelayEstimator::estimate`], but validates the scan before
     /// the caller may act on it: the best correlation must reach
-    /// `min_score`, and no *well-separated* delay (more than one scan
-    /// step away) may correlate within `ambiguity_margin` of the best —
-    /// a near-tie between distant delays means the scan cannot tell them
-    /// apart, which happens when meter dropouts punch holes in the
-    /// reading stream or the workload is too periodic over the window.
+    /// `min_score`, and no *well-separated* delay may correlate within
+    /// `ambiguity_margin` of the best — a near-tie between distant delays
+    /// means the scan cannot tell them apart, which happens when meter
+    /// dropouts punch holes in the reading stream or the workload is too
+    /// periodic over the window.
+    ///
+    /// "Well-separated" is relative to the correlation curve's intrinsic
+    /// width, not the scan step: each score correlates against model
+    /// means over a full meter window, so the curve is smoothed over
+    /// `meter_period` and delays within half a window of the best are
+    /// the *same* peak, never competing hypotheses. (A 1 ms scan step
+    /// against a 1 s wall-meter window would otherwise flag every scan
+    /// as ambiguous against its immediate neighbours.) Competing peaks —
+    /// workload-periodicity aliases, dropout artifacts — survive the
+    /// window smoothing only when at least that far apart.
     ///
     /// # Errors
     ///
@@ -184,7 +373,7 @@ impl DelayEstimator {
                 min: min_score,
             });
         }
-        let separation = self.step + self.step;
+        let separation = (self.step + self.step).max(self.meter_period / 2);
         let runner_up = result
             .curve
             .iter()
@@ -370,6 +559,136 @@ mod tests {
                 assert!(margin < 0.02, "near-tie, margin {margin}");
             }
             other => panic!("expected ambiguity, got {other}"),
+        }
+    }
+
+    #[test]
+    fn checked_estimate_accepts_fine_step_against_wall_meter() {
+        // Wattsup geometry: a 1 s meter window scanned at 1 ms steps.
+        // The correlation curve is smoothed over the window, so delays a
+        // few steps from the best are near-ties by construction; they
+        // must not be mistaken for competing peaks (only delays at least
+        // half a window away can be). A 1.2 s true delay must survive
+        // the ambiguity check.
+        let slot = SimDuration::from_millis(100);
+        let mut model = TraceRing::new(slot, 512);
+        let mut est = DelayEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(1),
+            128,
+        );
+        for sec in 0..20u64 {
+            // Aperiodic per-second power level.
+            let w = 20.0 + ((sec * 7919) % 13) as f64;
+            for tenth in 0..10u64 {
+                let t = SimTime::from_millis(sec * 1000 + tenth * 100 + 50);
+                model.add(t, w, slot);
+            }
+            // The meter reports each 1 s window 1.2 s after it closes.
+            est.push(Reading {
+                arrived_at: SimTime::from_millis((sec + 1) * 1000 + 1200),
+                watts: w,
+            });
+        }
+        let r = est.estimate_checked(&model, 0.4, 0.02).expect("unambiguous scan");
+        assert_eq!(r.delay, SimDuration::from_millis(1200), "score {}", r.score);
+        assert!(r.score > 0.95);
+    }
+
+    /// Asserts the gridded fast path and the per-delay reference scan
+    /// agree: same best delay, same curve shape to rounding.
+    fn assert_paths_agree(model: &TraceRing<f64>, est: &DelayEstimator) {
+        let fast = est.estimate(model);
+        let slow = est.estimate_reference(model);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                assert_eq!(f.delay, s.delay, "best delay diverged");
+                assert!((f.score - s.score).abs() < 1e-9, "{} vs {}", f.score, s.score);
+                assert_eq!(f.curve.len(), s.curve.len());
+                for ((fd, fs), (sd, ss)) in f.curve.iter().zip(&s.curve) {
+                    assert_eq!(fd, sd);
+                    assert!((fs - ss).abs() < 1e-9, "curve point {fd:?}: {fs} vs {ss}");
+                }
+            }
+            (f, s) => panic!("paths disagree on availability: {f:?} vs {s:?}"),
+        }
+    }
+
+    #[test]
+    fn gridded_path_matches_reference_scan() {
+        for d in [0u64, 1, 7, 19] {
+            let (model, est) = scenario(d);
+            assert_paths_agree(&model, &est);
+        }
+    }
+
+    #[test]
+    fn gridded_path_matches_reference_with_evicted_history() {
+        // A small model ring: the oldest hypothesized windows have been
+        // evicted, so the shared series is truncated at the old end.
+        let slot = SimDuration::from_millis(1);
+        let mut model = TraceRing::new(slot, 64);
+        let mut est = DelayEstimator::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(1),
+            256,
+        );
+        for ms in 0..400u64 {
+            let w = if (ms / 25) % 2 == 0 { 40.0 } else { 15.0 } + ms as f64 * 0.01;
+            let t = SimTime::from_millis(ms) + SimDuration::from_micros(500);
+            model.add(t, w, SimDuration::from_millis(1));
+            if ms >= 100 {
+                est.push(Reading {
+                    arrived_at: SimTime::from_millis(ms + 1 + 6),
+                    watts: w * 1.02,
+                });
+            }
+        }
+        let r = est.estimate(&model).expect("alignment despite eviction");
+        assert_eq!(r.delay, SimDuration::from_millis(6));
+        assert_paths_agree(&model, &est);
+    }
+
+    #[test]
+    fn jittered_arrivals_fall_back_to_reference() {
+        let (model, mut est) = scenario(4);
+        // Perturb one arrival so spacing is no longer exactly one step:
+        // the fast path must decline and the scan still answer.
+        let mut readings: Vec<Reading> = est.readings().copied().collect();
+        readings[10].arrived_at += SimDuration::from_micros(3);
+        est.history.clear();
+        for r in readings {
+            est.push(r);
+        }
+        assert!(!est.on_uniform_grid());
+        let fast = est.estimate(&model).expect("fallback result");
+        let slow = est.estimate_reference(&model).expect("reference result");
+        assert_eq!(fast, slow, "fallback must be the reference scan verbatim");
+    }
+
+    #[test]
+    fn non_finite_reading_falls_back_to_reference() {
+        let (model, mut est) = scenario(2);
+        let mut readings: Vec<Reading> = est.readings().copied().collect();
+        readings[5].watts = f64::NAN;
+        est.history.clear();
+        for r in readings {
+            est.push(r);
+        }
+        assert!(!est.on_uniform_grid());
+        // Behavior (whatever it is, NaN-for-NaN) must match the
+        // reference scan bit-for-bit.
+        let fast = est.estimate(&model).expect("fallback result");
+        let slow = est.estimate_reference(&model).expect("reference result");
+        assert_eq!(fast.delay, slow.delay);
+        assert_eq!(fast.score.to_bits(), slow.score.to_bits());
+        assert_eq!(fast.curve.len(), slow.curve.len());
+        for ((fd, fs), (sd, ss)) in fast.curve.iter().zip(&slow.curve) {
+            assert_eq!(fd, sd);
+            assert_eq!(fs.to_bits(), ss.to_bits());
         }
     }
 

@@ -12,8 +12,7 @@ use crate::calibrate::CalibrationSet;
 use crate::error::FacilityError;
 use crate::metrics::{MetricVector, FEATURES};
 use crate::model::{ModelKind, PowerModel};
-use analysis::linreg::LeastSquares;
-use std::collections::VecDeque;
+use analysis::linreg::{LeastSquares, RollingLeastSquares};
 
 /// Acceptance policy for online refits: a fit must be well-conditioned
 /// and consistent with the recent sample window before the facility will
@@ -51,7 +50,12 @@ impl Default for RefitPolicy {
     }
 }
 
-/// Recent raw online samples retained for outlier screening.
+/// Online sample window: refits and outlier screening both run over the
+/// most recent `RECENT_CAP` samples. The window's normal equations are
+/// maintained incrementally (rank-1 update per add, rank-1 downdate per
+/// eviction), so a refit is an O(k³) solve regardless of uptime — the
+/// paper's ~16 µs recalibration cost (§3.5) presumes exactly this kind of
+/// running-accumulator structure, not a batch re-accumulation.
 const RECENT_CAP: usize = 256;
 
 /// Minimum screened-window size; smaller windows skip the outlier test.
@@ -88,14 +92,14 @@ const MIN_SCREEN: usize = 8;
 #[derive(Debug, Clone)]
 pub struct Recalibrator {
     offline: LeastSquares,
-    online: LeastSquares,
+    /// Sliding window of recent online samples with incrementally
+    /// maintained normal equations; serves both the refit accumulator
+    /// and the outlier-screening sample set.
+    window: RollingLeastSquares,
     kind: ModelKind,
     idle_w: f64,
     online_samples: usize,
     samples_since_fit: usize,
-    /// Recent raw `(masked features, active watts)` pairs, for outlier
-    /// screening of candidate refits.
-    recent: VecDeque<([f64; FEATURES], f64)>,
     last_good: Option<PowerModel>,
     rejected_streak: u32,
     policy: RefitPolicy,
@@ -106,12 +110,11 @@ impl Recalibrator {
     pub fn new(offline: &CalibrationSet, kind: ModelKind) -> Recalibrator {
         Recalibrator {
             offline: offline.accumulator(kind),
-            online: LeastSquares::new(FEATURES),
+            window: RollingLeastSquares::new(FEATURES, RECENT_CAP),
             kind,
             idle_w: offline.idle_w(),
             online_samples: 0,
             samples_since_fit: 0,
-            recent: VecDeque::new(),
             last_good: None,
             rejected_streak: 0,
             policy: RefitPolicy::default(),
@@ -130,14 +133,16 @@ impl Recalibrator {
 
     /// Adds one aligned online observation: machine-level metrics over a
     /// measurement window and the measured *active* power for that window.
+    ///
+    /// O(k²) for k model features: a rank-1 update of the window's normal
+    /// equations, plus a rank-1 downdate of the evicted sample once the
+    /// window is full. Samples older than the window no longer influence
+    /// refits, which also bounds how long a transient glitch can poison
+    /// the accumulator.
     pub fn add_online_sample(&mut self, metrics: MetricVector, active_watts: f64) {
         let m = PowerModel::mask_metrics(self.kind, metrics);
         let watts = active_watts.max(0.0);
-        self.online.add_sample(&m.as_array(), watts, 1.0);
-        self.recent.push_back((m.as_array(), watts));
-        if self.recent.len() > RECENT_CAP {
-            self.recent.pop_front();
-        }
+        self.window.push(&m.as_array(), watts, 1.0);
         self.online_samples += 1;
         self.samples_since_fit += 1;
     }
@@ -175,14 +180,13 @@ impl Recalibrator {
     /// live in the accumulator forever, so once refits keep failing the
     /// only way back is a clean window.
     pub fn reset_online(&mut self) {
-        self.online = LeastSquares::new(FEATURES);
-        self.recent.clear();
+        self.window.clear();
         self.samples_since_fit = 0;
         self.rejected_streak = 0;
     }
 
-    /// Refits coefficients over offline + online samples, equally
-    /// weighted, then screens the candidate: ill-conditioned systems and
+    /// Refits coefficients over the offline set plus the recent online
+    /// window, equally weighted, then screens the candidate: ill-conditioned systems and
     /// fits that disagree with too much of the recent sample window are
     /// rejected, leaving the caller on its previous (last-good) model.
     ///
@@ -196,7 +200,7 @@ impl Recalibrator {
     pub fn refit(&mut self) -> Result<PowerModel, FacilityError> {
         self.samples_since_fit = 0;
         let mut combined = self.offline.clone();
-        combined.merge(&self.online);
+        combined.merge(self.window.accumulator());
         let (beta, condition) = match combined.solve_conditioned() {
             Ok(ok) => ok,
             Err(e) => {
@@ -232,13 +236,13 @@ impl Recalibrator {
     /// it), while scattered deviations (glitched windows, corrupted
     /// readings) reject the fit.
     fn screen_outliers(&self, model: &PowerModel) -> Result<(), FacilityError> {
-        if self.recent.len() < MIN_SCREEN {
+        if self.window.len() < MIN_SCREEN {
             return Ok(());
         }
         let residuals: Vec<f64> = self
-            .recent
+            .window
             .iter()
-            .map(|(feat, watts)| {
+            .map(|(feat, watts, _)| {
                 watts - model.active_power(&MetricVector::from_slice(feat))
             })
             .collect();

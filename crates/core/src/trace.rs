@@ -5,8 +5,14 @@
 //! vector that was live during each (re-aligned) measurement window. Both
 //! need a bounded history of time-integrated values on a fixed grid;
 //! [`TraceRing`] provides it.
+//!
+//! Interval queries are the alignment scan's inner loop, so the ring keeps
+//! a lazily-maintained prefix-sum cursor over its slots: an interval
+//! integral is two partial edge slots plus one prefix-sum difference,
+//! `O(1)` amortized, instead of a walk over every covered slot.
 
 use simkern::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::ops::{AddAssign, Mul};
 
@@ -34,6 +40,20 @@ pub struct TraceRing<T> {
     /// Index of the first retained slot.
     base: u64,
     values: VecDeque<(T, f64)>,
+    /// Prefix-sum cursor, rebuilt lazily after out-of-order writes.
+    cursor: RefCell<Cursor<T>>,
+}
+
+/// Cached cumulative sums over the retained slots.
+///
+/// `cum[i]` is `anchor + Σ values[0..=i]`; only entries `0..cum.len()` are
+/// valid (writes truncate the suffix they dirty). `anchor` carries the
+/// total of evicted slots so entries never need rewriting on eviction:
+/// window sums are differences of `cum` entries, which cancel it.
+#[derive(Debug, Clone)]
+struct Cursor<T> {
+    cum: VecDeque<(T, f64)>,
+    anchor: (T, f64),
 }
 
 impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
@@ -45,7 +65,13 @@ impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
     pub fn new(slot: SimDuration, capacity: usize) -> TraceRing<T> {
         assert!(!slot.is_zero(), "slot length must be positive");
         assert!(capacity > 0, "capacity must be positive");
-        TraceRing { slot, capacity, base: 0, values: VecDeque::new() }
+        TraceRing {
+            slot,
+            capacity,
+            base: 0,
+            values: VecDeque::new(),
+            cursor: RefCell::new(Cursor { cum: VecDeque::new(), anchor: (T::default(), 0.0) }),
+        }
     }
 
     /// The slot length.
@@ -62,6 +88,7 @@ impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
     /// shorter than slots, so the approximation is tight).
     pub fn add(&mut self, t: SimTime, value: T, dt: SimDuration) {
         let idx = self.slot_of(t.saturating_sub_for_slot(self.slot));
+        let cursor = self.cursor.get_mut();
         // Grow forward to include idx.
         if self.values.is_empty() {
             self.base = idx;
@@ -72,6 +99,11 @@ impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
             if self.values.len() > self.capacity {
                 self.values.pop_front();
                 self.base += 1;
+                // Roll the evicted slot's total into the anchor so the
+                // remaining prefix sums stay valid untouched.
+                if let Some(front) = cursor.cum.pop_front() {
+                    cursor.anchor = front;
+                }
             }
         }
         if idx < self.base {
@@ -82,6 +114,43 @@ impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
         let entry = &mut self.values[off];
         entry.0 += value * secs;
         entry.1 += secs;
+        // The common case is a write to the newest slot; folding it into
+        // the cursor keeps queries O(1) without ever rebuilding.
+        if off + 1 == cursor.cum.len() {
+            let back = cursor.cum.back_mut().expect("non-empty cum");
+            back.0 += value * secs;
+            back.1 += secs;
+        } else {
+            cursor.cum.truncate(off.min(cursor.cum.len()));
+        }
+    }
+
+    /// Extends the cursor so slots `0..upto` have valid prefix sums.
+    fn ensure_cum(&self, upto: usize) {
+        let mut cursor = self.cursor.borrow_mut();
+        if cursor.cum.len() >= upto {
+            return;
+        }
+        if cursor.cum.is_empty() {
+            cursor.anchor = (T::default(), 0.0);
+        }
+        let mut total = *cursor.cum.back().unwrap_or(&cursor.anchor);
+        for i in cursor.cum.len()..upto {
+            let (v, s) = self.values[i];
+            total.0 += v;
+            total.1 += s;
+            cursor.cum.push_back(total);
+        }
+    }
+
+    /// `cum[hi] − cum[lo]`: the exact sum of slots `lo+1..=hi`.
+    fn cum_diff(&self, lo: usize, hi: usize) -> (T, f64) {
+        let cursor = self.cursor.borrow();
+        let (hv, hs) = cursor.cum[hi];
+        let (lv, ls) = cursor.cum[lo];
+        let mut v = hv;
+        v += lv * -1.0;
+        (v, hs - ls)
     }
 
     /// The integral and covered seconds over `[t0, t1)`, weighting partial
@@ -94,22 +163,47 @@ impl<T: Default + Copy + AddAssign + Mul<f64, Output = T>> TraceRing<T> {
             return (total, secs);
         }
         let slot_ns = self.slot.as_nanos();
-        let first = self.slot_of(t0);
-        let last = self.slot_of(t1 - SimDuration::from_nanos(1));
-        for idx in first..=last {
-            if idx < self.base {
-                continue;
-            }
-            let off = (idx - self.base) as usize;
-            let Some(&(v, s)) = self.values.get(off) else { continue };
+        // Clamp to retained slots up front: queries anchored at old times
+        // must not walk (or build sums for) evicted history.
+        let first = self.slot_of(t0).max(self.base);
+        let last = self
+            .slot_of(t1 - SimDuration::from_nanos(1))
+            .min(self.base + self.values.len() as u64 - 1);
+        if first > last {
+            return (total, secs);
+        }
+        let frac_of = |idx: u64| {
             let slot_start = idx * slot_ns;
             let slot_end = slot_start + slot_ns;
             let lo = slot_start.max(t0.as_nanos());
             let hi = slot_end.min(t1.as_nanos());
-            let frac = (hi.saturating_sub(lo)) as f64 / slot_ns as f64;
+            (hi.saturating_sub(lo)) as f64 / slot_ns as f64
+        };
+        let off_first = (first - self.base) as usize;
+        let off_last = (last - self.base) as usize;
+        if off_first == off_last {
+            let (v, s) = self.values[off_first];
+            let frac = frac_of(first);
             total += v * frac;
             secs += s * frac;
+            return (total, secs);
         }
+        // First and last slots may be partial; everything between them is
+        // covered in full and comes from the prefix-sum cursor.
+        let (v, s) = self.values[off_first];
+        let frac = frac_of(first);
+        total += v * frac;
+        secs += s * frac;
+        if off_last - off_first >= 2 {
+            self.ensure_cum(off_last);
+            let (mv, ms) = self.cum_diff(off_first, off_last - 1);
+            total += mv;
+            secs += ms;
+        }
+        let (v, s) = self.values[off_last];
+        let frac = frac_of(last);
+        total += v * frac;
+        secs += s * frac;
         (total, secs)
     }
 
@@ -274,5 +368,84 @@ mod tests {
         let avg = r.average_between(SimTime::ZERO, SimTime::from_millis(1)).unwrap();
         assert!((avg.core - 1.0).abs() < 1e-9);
         assert!((avg.ins - 2.0).abs() < 1e-9);
+    }
+
+    /// Walk-based reference for [`TraceRing::integral_between`], the
+    /// pre-cursor implementation.
+    fn integral_walk(r: &TraceRing<f64>, t0: SimTime, t1: SimTime) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut secs = 0.0;
+        if t1 <= t0 || r.values.is_empty() {
+            return (total, secs);
+        }
+        let slot_ns = r.slot.as_nanos();
+        let first = r.slot_of(t0);
+        let last = r.slot_of(t1 - SimDuration::from_nanos(1));
+        for idx in first..=last {
+            if idx < r.base {
+                continue;
+            }
+            let off = (idx - r.base) as usize;
+            let Some(&(v, s)) = r.values.get(off) else { continue };
+            let slot_start = idx * slot_ns;
+            let slot_end = slot_start + slot_ns;
+            let lo = slot_start.max(t0.as_nanos());
+            let hi = slot_end.min(t1.as_nanos());
+            let frac = (hi.saturating_sub(lo)) as f64 / slot_ns as f64;
+            total += v * frac;
+            secs += s * frac;
+        }
+        (total, secs)
+    }
+
+    #[test]
+    fn cursor_matches_walk_under_mixed_traffic() {
+        // Deterministic mix of in-order writes, occasional out-of-order
+        // writes (dirtying the cursor), evictions, and interleaved
+        // queries of every shape.
+        let mut r: TraceRing<f64> = TraceRing::new(SimDuration::from_millis(1), 16);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..400u64 {
+            let t = SimTime::from_micros(step * 400 + rng() % 300);
+            r.add(t, (rng() % 100) as f64, SimDuration::from_micros(100 + rng() % 400));
+            if step % 7 == 0 && step > 20 {
+                // Out-of-order write a few slots back.
+                let back = SimTime::from_micros((step - 10) * 400);
+                r.add(back, 3.0, SimDuration::from_micros(50));
+            }
+            if step % 3 == 0 {
+                let a = rng() % (step * 400 + 1);
+                let b = a + rng() % 5_000;
+                let (t0, t1) = (SimTime::from_micros(a), SimTime::from_micros(b));
+                let (fast_v, fast_s) = r.integral_between(t0, t1);
+                let (ref_v, ref_s) = integral_walk(&r, t0, t1);
+                assert!(
+                    (fast_v - ref_v).abs() < 1e-9 && (fast_s - ref_s).abs() < 1e-12,
+                    "step {step}: cursor ({fast_v}, {fast_s}) vs walk ({ref_v}, {ref_s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_before_history_is_cheap_and_zero() {
+        // A ring whose base has advanced far: a query anchored at t=0 must
+        // clamp to retained history rather than walking every slot since
+        // the origin (and must still report nothing).
+        let mut r = ring();
+        let far = 1_000_000u64;
+        r.add(SimTime::from_millis(far), 7.0, SimDuration::from_millis(1));
+        let (v, s) = r.integral_between(SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(v, 0.0);
+        assert_eq!(s, 0.0);
+        let (v, s) = r.integral_between(SimTime::ZERO, SimTime::from_millis(far + 1));
+        assert!((v - 7.0e-3).abs() < 1e-12);
+        assert!((s - 1e-3).abs() < 1e-12);
     }
 }

@@ -65,7 +65,7 @@ fn alignment_finds_the_onchip_meter_delay_in_vivo() {
     kernel.spawn(
         Box::new(FnProgram::new(move |_pc| {
             phase += 1;
-            if phase % 2 == 0 {
+            if phase.is_multiple_of(2) {
                 Op::Compute { cycles: 3.1e6 * 40.0, profile: ActivityProfile::stress() }
             } else {
                 Op::Sleep { duration: SimDuration::from_millis(35) }

@@ -23,8 +23,8 @@ proptest! {
             board.publish(CoreId(c), u, SimTime::ZERO);
         }
         let mut total = 0.0;
-        for c in 0..4 {
-            let share = board.chipshare(&spec, CoreId(c), utils[c], |s| idle[s.0]);
+        for (c, &u) in utils.iter().enumerate() {
+            let share = board.chipshare(&spec, CoreId(c), u, |s| idle[s.0]);
             prop_assert!((0.0..=1.0).contains(&share));
             total += share;
         }

@@ -20,7 +20,7 @@ use crate::{Lab, Scale};
 use ossim::ContextId;
 use serde::Serialize;
 use simkern::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workloads::{run_app, LoadLevel, RunConfig, WorkloadKind};
 
 /// One ablation's outcome.
@@ -44,7 +44,10 @@ pub struct Ablations {
 }
 
 /// Per-request energies keyed by context, for attribution comparisons.
-fn request_energies(outcome: &workloads::RunOutcome) -> HashMap<ContextId, f64> {
+/// Ordered map: the distortion sum below accumulates floats in iteration
+/// order, which must not vary between processes for records to reproduce
+/// byte-for-byte.
+fn request_energies(outcome: &workloads::RunOutcome) -> BTreeMap<ContextId, f64> {
     let f = outcome.facility.borrow();
     f.containers()
         .records()

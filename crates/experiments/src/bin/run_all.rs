@@ -1,27 +1,172 @@
-//! Runs every experiment in sequence, regenerating all paper artifacts.
-//! Pass `--quick` for a fast smoke-test sweep.
+//! Runs every experiment, regenerating all paper artifacts.
+//!
+//! Flags:
+//! * `--quick` — fast smoke-test scale (used by tests and CI).
+//! * `--jobs N` — run up to N experiments (and their sweep cells)
+//!   concurrently. Every experiment owns its seed, so `results/*.json`
+//!   are byte-identical at any job count.
+//! * `--only a,b,c` — run only the named experiments.
+//!
+//! Per-experiment status and wall time are collected into a summary
+//! table; the process exits non-zero if any experiment failed.
+
+use experiments::output::Table;
+use experiments::{runner, Scale};
+use std::time::{Duration, Instant};
+
+/// One registered experiment: display name plus its entry point.
+type Experiment = (&'static str, fn(Scale));
+
+/// Every experiment the harness knows, in canonical order.
+const EXPERIMENTS: &[Experiment] = &[
+    ("coefficients", |s| {
+        experiments::coefficients::run(s);
+    }),
+    ("overhead", |s| {
+        experiments::overhead::run(s);
+    }),
+    ("fig01", |s| {
+        experiments::fig01::run(s);
+    }),
+    ("fig02", |s| {
+        experiments::fig02::run(s);
+    }),
+    ("fig03", |s| {
+        experiments::fig03::run(s);
+    }),
+    ("fig04", |s| {
+        experiments::fig04::run(s);
+    }),
+    ("fig05", |s| {
+        experiments::fig05::run(s);
+    }),
+    ("fig06", |s| {
+        experiments::fig06::run(s);
+    }),
+    ("fig07", |s| {
+        experiments::fig07::run(s);
+    }),
+    ("fig08", |s| {
+        experiments::fig08::run(s);
+    }),
+    ("fig09", |s| {
+        experiments::fig09::run(s);
+    }),
+    ("fig10", |s| {
+        experiments::fig10::run(s);
+    }),
+    ("fig11", |s| {
+        experiments::fig11::run(s);
+    }),
+    ("fig12", |s| {
+        experiments::fig12::run(s);
+    }),
+    ("fig13", |s| {
+        experiments::fig13::run(s);
+    }),
+    ("fig14", |s| {
+        experiments::fig14::run(s);
+    }),
+    ("table1", |s| {
+        experiments::table1::run(s);
+    }),
+    ("ablations", |s| {
+        experiments::ablations::run(s);
+    }),
+    ("dvfs", |s| {
+        experiments::dvfs::run(s);
+    }),
+    ("anomaly", |s| {
+        experiments::anomaly::run(s);
+    }),
+    ("fault_sweep", |s| {
+        experiments::fault_sweep::run(s);
+    }),
+];
+
+/// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
+fn only_from_args() -> Option<Vec<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut names = Vec::new();
+    let mut seen = false;
+    for (i, a) in args.iter().enumerate() {
+        let list = if let Some(v) = a.strip_prefix("--only=") {
+            Some(v)
+        } else if a == "--only" {
+            args.get(i + 1).map(|s| s.as_str())
+        } else {
+            None
+        };
+        if let Some(list) = list {
+            seen = true;
+            names.extend(list.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+        }
+    }
+    seen.then_some(names)
+}
+
 fn main() {
-    let scale = experiments::Scale::from_args();
-    let t0 = std::time::Instant::now();
-    let _ = experiments::coefficients::run(scale);
-    let _ = experiments::overhead::run(scale);
-    let _ = experiments::fig01::run(scale);
-    let _ = experiments::fig02::run(scale);
-    let _ = experiments::fig03::run(scale);
-    let _ = experiments::fig04::run(scale);
-    let _ = experiments::fig05::run(scale);
-    let _ = experiments::fig06::run(scale);
-    let _ = experiments::fig07::run(scale);
-    let _ = experiments::fig08::run(scale);
-    let _ = experiments::fig09::run(scale);
-    let _ = experiments::fig10::run(scale);
-    let _ = experiments::fig11::run(scale);
-    let _ = experiments::fig12::run(scale);
-    let _ = experiments::fig13::run(scale);
-    let _ = experiments::fig14::run(scale);
-    let _ = experiments::table1::run(scale);
-    let _ = experiments::ablations::run(scale);
-    let _ = experiments::dvfs::run(scale);
-    let _ = experiments::anomaly::run(scale);
-    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+    let scale = Scale::from_args();
+    let jobs = runner::jobs_from_args();
+    runner::set_jobs(jobs);
+    let only = only_from_args();
+    if let Some(names) = &only {
+        for name in names {
+            if !EXPERIMENTS.iter().any(|(n, _)| n == name) {
+                eprintln!("error: unknown experiment `{name}` in --only");
+                eprintln!(
+                    "known: {}",
+                    EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let selected: Vec<&Experiment> = EXPERIMENTS
+        .iter()
+        .filter(|(name, _)| only.as_ref().is_none_or(|o| o.iter().any(|x| x == name)))
+        .collect();
+    // Warm the calibration caches serially before fanning out, so
+    // concurrent experiments load instead of redundantly recalibrating.
+    experiments::prewarm_calibrations();
+    let t0 = Instant::now();
+    let tasks: Vec<_> = selected
+        .iter()
+        .map(|(_, f)| {
+            let f = *f;
+            move || -> Duration {
+                let t = Instant::now();
+                f(scale);
+                t.elapsed()
+            }
+        })
+        .collect();
+    let outcomes = runner::run_parallel(jobs, tasks);
+    let total = t0.elapsed();
+    let mut table = Table::new(["experiment", "status", "wall time"]);
+    let mut failed = 0usize;
+    for ((name, _), outcome) in selected.iter().zip(&outcomes) {
+        match outcome {
+            Ok(wall) => {
+                table.row([name.to_string(), "ok".to_string(), format!("{wall:.2?}")]);
+            }
+            Err(msg) => {
+                failed += 1;
+                let mut msg = msg.replace('\n', " ");
+                msg.truncate(60);
+                table.row([name.to_string(), "FAILED".to_string(), msg]);
+            }
+        }
+    }
+    println!();
+    println!(
+        "== run_all summary: {} experiments, --jobs {jobs}, total {total:.1?} ==",
+        selected.len()
+    );
+    println!("{table}");
+    eprintln!("[all experiments done in {total:.1?}]");
+    if failed > 0 {
+        eprintln!("error: {failed} experiment(s) failed");
+        std::process::exit(1);
+    }
 }

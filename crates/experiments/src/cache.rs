@@ -77,7 +77,13 @@ pub fn calibration_for(spec: &MachineSpec, seed: u64) -> MachineCalibration {
     };
     if std::fs::create_dir_all(crate::output::results_dir()).is_ok() {
         if let Ok(json) = serde_json::to_string(&cached) {
-            let _ = std::fs::write(&path, json);
+            // Atomic publish (write temp, rename): concurrent
+            // experiment processes or workers must never observe a
+            // half-written cache file.
+            let tmp = path.with_extension(format!("json.tmp-{}", std::process::id()));
+            if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
     }
     cal

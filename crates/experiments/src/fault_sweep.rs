@@ -44,20 +44,19 @@ pub struct FaultSweep {
 }
 
 fn sweep_point(
-    lab: &mut Lab,
+    spec: &hwsim::MachineSpec,
+    cal: &workloads::MachineCalibration,
     scale: Scale,
     scenario: &str,
     faults: FaultConfig,
 ) -> FaultSweepRow {
-    let spec = lab.spec("sandybridge");
-    let cal = lab.calibration("sandybridge");
-    let mut cfg = RunConfig::new(spec);
+    let mut cfg = RunConfig::new(spec.clone());
     cfg.approach = power_containers::Approach::Recalibrated;
     cfg.load = LoadLevel::Half;
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     let dropout = faults.meter_dropout;
     cfg.faults = faults;
-    let outcome = run_app(WorkloadKind::RsaCrypto, &cfg, &cal);
+    let outcome = run_app(WorkloadKind::RsaCrypto, &cfg, cal);
     let completions = outcome.stats.borrow().completions().len();
     FaultSweepRow {
         scenario: scenario.to_string(),
@@ -69,22 +68,24 @@ fn sweep_point(
     }
 }
 
-/// Runs the sweep and prints the table.
+/// Runs the sweep and prints the table. Sweep points are independent
+/// seeded simulations, so they fan out across [`crate::runner::jobs`]
+/// workers; rows keep the canonical order (clean first).
 pub fn run(scale: Scale) -> FaultSweep {
     banner("fault-sweep", "attribution accuracy under injected hardware faults");
     let mut lab = Lab::new();
+    let spec = lab.spec("sandybridge");
+    let cal = lab.calibration("sandybridge");
     let dropout = |rate: f64| FaultConfig {
         seed: 0xFA17,
         meter_dropout: rate,
         ..FaultConfig::none()
     };
-    let mut rows = vec![sweep_point(&mut lab, scale, "clean", FaultConfig::none())];
+    let mut points: Vec<(&str, FaultConfig)> = vec![("clean", FaultConfig::none())];
     for rate in [0.01, 0.02, 0.05] {
-        rows.push(sweep_point(&mut lab, scale, "meter dropout", dropout(rate)));
+        points.push(("meter dropout", dropout(rate)));
     }
-    rows.push(sweep_point(
-        &mut lab,
-        scale,
+    points.push((
         "dropout + glitches + tag faults",
         FaultConfig {
             seed: 0xFA17,
@@ -97,6 +98,18 @@ pub fn run(scale: Scale) -> FaultSweep {
             ..FaultConfig::none()
         },
     ));
+    let tasks: Vec<_> = points
+        .into_iter()
+        .map(|(scenario, faults)| {
+            let spec = spec.clone();
+            let cal = cal.clone();
+            move || sweep_point(&spec, &cal, scale, scenario, faults)
+        })
+        .collect();
+    let rows: Vec<FaultSweepRow> = crate::runner::run_parallel(crate::runner::jobs(), tasks)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| panic!("fault-sweep point failed: {e}"));
     let clean_error = rows[0].validation_error;
     let bound = (clean_error * 2.0).max(0.05);
     let within_bound = rows

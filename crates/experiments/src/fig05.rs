@@ -29,36 +29,51 @@ pub struct Fig5 {
     pub cells: Vec<PowerCell>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Cells (machine × workload × load) are
+/// independent seeded simulations, so they fan out across
+/// [`crate::runner::jobs`] workers; assembly and printing follow the
+/// canonical sweep order regardless of completion order.
 pub fn run(scale: Scale) -> Fig5 {
     banner("fig5", "measured active power per workload, machine, load");
     let mut lab = Lab::new();
-    let mut cells = Vec::new();
-    for machine in ["woodcrest", "westmere", "sandybridge"] {
+    let machines = ["woodcrest", "westmere", "sandybridge"];
+    let mut tasks = Vec::new();
+    for machine in machines {
         let spec = lab.spec(machine);
         let cal = lab.calibration(machine);
-        let mut table = Table::new(["workload", "load", "active power (W)", "utilization"]);
         for kind in WorkloadKind::ALL {
             for load in [LoadLevel::Peak, LoadLevel::Half] {
-                let mut cfg = RunConfig::new(spec.clone());
-                cfg.load = load;
-                cfg.duration = SimDuration::from_secs(scale.run_secs() / 2 + 2);
-                let outcome = run_app(kind, &cfg, &cal);
-                let cell = PowerCell {
-                    machine: machine.to_string(),
-                    workload: kind.name().to_string(),
-                    load: load.name().to_string(),
-                    active_w: outcome.measured_active_power_w(),
-                    utilization: outcome.mean_utilization(),
-                };
-                table.row([
-                    cell.workload.clone(),
-                    cell.load.clone(),
-                    format!("{:.1}", cell.active_w),
-                    format!("{:.2}", cell.utilization),
-                ]);
-                cells.push(cell);
+                let spec = spec.clone();
+                let cal = cal.clone();
+                tasks.push(move || {
+                    let mut cfg = RunConfig::new(spec);
+                    cfg.load = load;
+                    cfg.duration = SimDuration::from_secs(scale.run_secs() / 2 + 2);
+                    let outcome = run_app(kind, &cfg, &cal);
+                    PowerCell {
+                        machine: machine.to_string(),
+                        workload: kind.name().to_string(),
+                        load: load.name().to_string(),
+                        active_w: outcome.measured_active_power_w(),
+                        utilization: outcome.mean_utilization(),
+                    }
+                });
             }
+        }
+    }
+    let cells: Vec<PowerCell> = crate::runner::run_parallel(crate::runner::jobs(), tasks)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| panic!("fig5 cell failed: {e}"));
+    for machine in machines {
+        let mut table = Table::new(["workload", "load", "active power (W)", "utilization"]);
+        for cell in cells.iter().filter(|c| c.machine == machine) {
+            table.row([
+                cell.workload.clone(),
+                cell.load.clone(),
+                format!("{:.1}", cell.active_w),
+                format!("{:.2}", cell.utilization),
+            ]);
         }
         println!("machine: {machine}");
         println!("{table}");

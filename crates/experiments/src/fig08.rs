@@ -44,16 +44,19 @@ fn approach_name(a: Approach) -> &'static str {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Cells (machine × workload × load, with the
+/// three approaches evaluated inside a cell) are independent seeded
+/// simulations, so they fan out across [`crate::runner::jobs`] workers;
+/// assembly, worst-case reduction, and printing follow the canonical
+/// sweep order regardless of completion order.
 pub fn run(scale: Scale) -> Fig8 {
     banner("fig8", "validation error of approaches #1/#2/#3");
     let mut lab = Lab::new();
-    let mut cells = Vec::new();
-    let mut worst_case = Vec::new();
     let machines: &[&str] = match scale {
         Scale::Full => &["woodcrest", "westmere", "sandybridge"],
         Scale::Quick => &["sandybridge"],
     };
+    let mut tasks = Vec::new();
     for &machine in machines {
         let spec = lab.spec(machine);
         let cal = lab.calibration(machine);
@@ -65,34 +68,49 @@ pub fn run(scale: Scale) -> Fig8 {
         } else {
             scale.run_secs() * 5 / 2
         };
-        let mut table = Table::new(["workload", "load", "#1", "#2", "#3"]);
-        let mut worst = [0.0f64; 3];
         for kind in WorkloadKind::ALL {
             for load in [LoadLevel::Peak, LoadLevel::Half] {
-                let mut errors = [0.0f64; 3];
-                for (i, approach) in Approach::ALL.into_iter().enumerate() {
-                    let mut cfg = RunConfig::new(spec.clone());
-                    cfg.approach = approach;
-                    cfg.load = load;
-                    cfg.duration = SimDuration::from_secs(secs);
-                    let outcome = run_app(kind, &cfg, &cal);
-                    errors[i] = outcome.validation_error();
-                    worst[i] = worst[i].max(errors[i]);
-                }
-                table.row([
-                    kind.name().to_string(),
-                    load.name().to_string(),
-                    pct(errors[0]),
-                    pct(errors[1]),
-                    pct(errors[2]),
-                ]);
-                cells.push(ValidationCell {
-                    machine: machine.to_string(),
-                    workload: kind.name().to_string(),
-                    load: load.name().to_string(),
-                    errors,
+                let spec = spec.clone();
+                let cal = cal.clone();
+                tasks.push(move || {
+                    let mut errors = [0.0f64; 3];
+                    for (i, approach) in Approach::ALL.into_iter().enumerate() {
+                        let mut cfg = RunConfig::new(spec.clone());
+                        cfg.approach = approach;
+                        cfg.load = load;
+                        cfg.duration = SimDuration::from_secs(secs);
+                        let outcome = run_app(kind, &cfg, &cal);
+                        errors[i] = outcome.validation_error();
+                    }
+                    ValidationCell {
+                        machine: machine.to_string(),
+                        workload: kind.name().to_string(),
+                        load: load.name().to_string(),
+                        errors,
+                    }
                 });
             }
+        }
+    }
+    let cells: Vec<ValidationCell> = crate::runner::run_parallel(crate::runner::jobs(), tasks)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| panic!("fig8 cell failed: {e}"));
+    let mut worst_case = Vec::new();
+    for &machine in machines {
+        let mut table = Table::new(["workload", "load", "#1", "#2", "#3"]);
+        let mut worst = [0.0f64; 3];
+        for cell in cells.iter().filter(|c| c.machine == machine) {
+            for (w, e) in worst.iter_mut().zip(cell.errors) {
+                *w = w.max(e);
+            }
+            table.row([
+                cell.workload.clone(),
+                cell.load.clone(),
+                pct(cell.errors[0]),
+                pct(cell.errors[1]),
+                pct(cell.errors[2]),
+            ]);
         }
         println!("machine: {machine}");
         println!("{table}");

@@ -57,6 +57,7 @@ pub mod fig14;
 pub mod mix;
 pub mod output;
 pub mod overhead;
+pub mod runner;
 pub mod table1;
 
 use hwsim::MachineSpec;
@@ -141,5 +142,16 @@ impl Lab {
 impl Default for Lab {
     fn default() -> Lab {
         Lab::new()
+    }
+}
+
+/// Ensures every machine's calibration cache file exists, calibrating
+/// serially on a miss. Run this before fanning experiments out across
+/// workers: each experiment builds its own [`Lab`], so without a warm
+/// cache several workers would redundantly re-run the expensive §4.1
+/// procedure for the same machine at once.
+pub fn prewarm_calibrations() {
+    for spec in MachineSpec::all_machines() {
+        let _ = cache::calibration_for(&spec, SEED);
     }
 }

@@ -84,8 +84,15 @@ pub fn banner(id: &str, title: &str) {
     println!("== {id}: {title} ==");
 }
 
-/// The directory experiment JSON records are written to.
+/// The directory experiment JSON records are written to: the
+/// `PC_RESULTS_DIR` environment variable when set (used by tests to
+/// sandbox runs), otherwise `results/` at the repository root.
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PC_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| PathBuf::from(d).join("../.."))
         .unwrap_or_else(|_| PathBuf::from("."));

@@ -1,0 +1,150 @@
+//! Work-stealing parallel execution for independent experiment tasks.
+//!
+//! Every experiment (and every cell of the workload × machine sweeps) is
+//! an independent simulation that owns its seed, so tasks can run on any
+//! worker in any order without changing a single output byte: results are
+//! returned in input order and each task's RNG state is self-contained.
+//! The scheduler is the simplest correct one — a shared atomic index that
+//! idle workers bump to claim the next unstarted task — which is exactly
+//! work stealing for identical queues.
+//!
+//! Determinism argument: parallelism affects only *when* a task runs and
+//! on which thread, never what it computes (no shared mutable state, no
+//! time- or thread-dependent inputs), and assembly order is the input
+//! order, so `run_all --jobs N` must produce byte-identical
+//! `results/*.json` for every N. An integration test enforces this.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker count used by sweep experiments (fig. 5, fig. 8,
+/// the fault sweep) when fanning out their cells.
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide worker count (clamped to at least 1).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The process-wide worker count (default 1: serial).
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::SeqCst)
+}
+
+/// Parses `--jobs N` / `--jobs=N` from process args (default 1).
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut jobs = 1usize;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = v.parse().unwrap_or(1);
+        } else if a == "--jobs" {
+            if let Some(v) = args.get(i + 1) {
+                jobs = v.parse().unwrap_or(1);
+            }
+        }
+    }
+    jobs.max(1)
+}
+
+/// Runs `tasks` on up to `jobs` scoped worker threads and returns each
+/// task's output **in input order**. A panicking task yields
+/// `Err(panic message)` in its slot; the other tasks keep running. With
+/// `jobs <= 1` the tasks run inline on the caller's thread, in order.
+pub fn run_parallel<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<F>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::SeqCst);
+        if i >= n {
+            break;
+        }
+        let task = slots[i]
+            .lock()
+            .expect("task slot unpoisoned")
+            .take()
+            .expect("each index is claimed exactly once");
+        // `&*e`, not `&e`: coercing `&Box<dyn Any>` would wrap the box
+        // itself as the `dyn Any` and every payload downcast would miss.
+        let out = catch_unwind(AssertUnwindSafe(task)).map_err(|e| panic_message(&*e));
+        *results[i].lock().expect("result slot unpoisoned") = Some(out);
+    };
+    let workers = jobs.min(n).max(1);
+    if workers <= 1 {
+        work();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(work);
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot unpoisoned")
+                .expect("every task ran to completion")
+        })
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let tasks: Vec<_> = (0..32).map(|i| move || i * 10).collect();
+        for jobs in [1, 2, 7] {
+            let out = run_parallel(jobs, tasks.clone());
+            let values: Vec<i32> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_sink_the_rest() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task two exploded")),
+            Box::new(|| 3),
+        ];
+        let out = run_parallel(2, tasks);
+        assert_eq!(out[0], Ok(1));
+        assert!(out[1].as_ref().unwrap_err().contains("exploded"));
+        assert_eq!(out[2], Ok(3));
+    }
+
+    #[test]
+    fn zero_jobs_behaves_like_one() {
+        let out = run_parallel(0, vec![|| 7]);
+        assert_eq!(out, vec![Ok(7)]);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out: Vec<Result<(), String>> = run_parallel(4, Vec::<fn()>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -305,10 +305,7 @@ impl Kernel {
     pub fn run_until(&mut self, t_end: SimTime) {
         let mut last_t = SimTime::MAX;
         let mut same_t: u64 = 0;
-        while let Some(t) = self.events.peek_time() {
-            if t > t_end {
-                break;
-            }
+        while let Some((t, ev)) = self.events.pop_if_at_or_before(t_end) {
             if t == last_t {
                 same_t += 1;
                 assert!(
@@ -321,7 +318,6 @@ impl Kernel {
                 last_t = t;
                 same_t = 0;
             }
-            let (t, ev) = self.events.pop().expect("peeked event");
             self.machine.advance_to(t);
             self.handle(ev);
         }
@@ -331,11 +327,7 @@ impl Kernel {
     /// Runs until either no events remain or `t_limit` is reached.
     /// Returns the time at which the loop stopped.
     pub fn run_until_quiescent(&mut self, t_limit: SimTime) -> SimTime {
-        while let Some(t) = self.events.peek_time() {
-            if t > t_limit {
-                break;
-            }
-            let (t, ev) = self.events.pop().expect("peeked event");
+        while let Some((t, ev)) = self.events.pop_if_at_or_before(t_limit) {
             self.machine.advance_to(t);
             self.handle(ev);
         }

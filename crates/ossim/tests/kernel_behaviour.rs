@@ -146,7 +146,8 @@ fn persistent_connection_segments_keep_their_own_tags() {
         ])),
         None,
     );
-    let seen: Rc<RefCell<Vec<(u64, Option<ContextId>)>>> = Rc::new(RefCell::new(Vec::new()));
+    type Seen = Rc<RefCell<Vec<(u64, Option<ContextId>)>>>;
+    let seen: Seen = Rc::new(RefCell::new(Vec::new()));
     let seen2 = Rc::clone(&seen);
     let mut step = 0;
     k.spawn(

@@ -1,7 +1,15 @@
 //! A stable timestamped event queue.
+//!
+//! Discrete-event simulations spend much of their time pushing and popping
+//! events that share one timestamp: a core tick fires, its handler schedules
+//! follow-up work *at the same instant*, that work schedules more, and so
+//! on. A plain binary heap pays `O(log n)` per operation for what is really
+//! FIFO traffic, so the queue keeps a dedicated FIFO *bucket* for the
+//! instant currently being drained and only falls back to the heap for
+//! events at other timestamps.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::SimTime;
 
@@ -11,6 +19,12 @@ use crate::SimTime;
 /// Events that share a timestamp are popped in the order they were pushed
 /// (FIFO), which keeps discrete-event simulations deterministic even when
 /// many subsystems schedule work for the same instant.
+///
+/// Internally, events at the timestamp currently being drained live in a
+/// FIFO ring (`O(1)` push and pop); all other events live in a binary heap
+/// ordered by `(timestamp, push sequence)`. Same-instant cascades — a
+/// handler scheduling follow-up work at the instant being processed — never
+/// touch the heap.
 ///
 /// # Example
 ///
@@ -31,6 +45,12 @@ use crate::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Timestamp of the FIFO bucket, when one is active. While active, the
+    /// heap holds no events at this timestamp (they were either drained
+    /// into the bucket or pushed straight to it), so bucket order is
+    /// globally FIFO for that instant.
+    front_at: Option<SimTime>,
+    front: VecDeque<E>,
 }
 
 #[derive(Debug, Clone)]
@@ -68,11 +88,23 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            front_at: None,
+            front: VecDeque::new(),
+        }
     }
 
     /// Schedules `event` to fire at `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
+        if self.front_at == Some(at) {
+            // Same-instant cascade: join the FIFO bucket directly. Every
+            // event already in the bucket was pushed earlier, so FIFO
+            // order is preserved without a sequence number.
+            self.front.push_back(event);
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -81,27 +113,80 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        if let Some(at) = self.front_at {
+            // The bucket is only bypassed when strictly earlier events
+            // were pushed after it formed.
+            let heap_earlier = self.heap.peek().is_some_and(|e| e.at < at);
+            if !heap_earlier {
+                let event = self.front.pop_front()?;
+                if self.front.is_empty() {
+                    self.front_at = None;
+                }
+                return Some((at, event));
+            }
+        }
+        let entry = self.heap.pop()?;
+        // Form a FIFO bucket for this instant so the rest of the cascade
+        // is O(1): drain equal-time heap entries (the heap yields them in
+        // sequence order) and route future same-instant pushes here.
+        if self.front_at.is_none() && self.heap.peek().is_some_and(|e| e.at == entry.at) {
+            while let Some(next) = self.heap.peek() {
+                if next.at != entry.at {
+                    break;
+                }
+                let next = self.heap.pop().expect("peeked entry");
+                self.front.push_back(next.event);
+            }
+            self.front_at = Some(entry.at);
+        }
+        Some((entry.at, entry.event))
+    }
+
+    /// Removes and returns the earliest event if its timestamp is at or
+    /// before `t_end`. A fused `peek_time` + `pop` for simulation run
+    /// loops, avoiding a second ordering pass over the heap.
+    pub fn pop_if_at_or_before(&mut self, t_end: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? > t_end {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Removes and returns every event with a timestamp at or before `t`,
+    /// in pop order. Batched variant of [`EventQueue::pop`] for callers
+    /// that advance simulated time in strides.
+    pub fn pop_until(&mut self, t: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop_if_at_or_before(t) {
+            out.push(ev);
+        }
+        out
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        let heap_t = self.heap.peek().map(|e| e.at);
+        match (self.front_at, heap_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.front.len()
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.front.is_empty()
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.front.clear();
+        self.front_at = None;
     }
 }
 
@@ -181,5 +266,95 @@ mod tests {
         q.push(SimTime::from_nanos(5), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn same_instant_cascade_stays_fifo() {
+        // A handler that pushes follow-up work at the instant being
+        // drained must see it pop after everything already queued there.
+        let t = SimTime::from_millis(4);
+        let mut q = EventQueue::new();
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop(), Some((t, 0))); // bucket forms here
+        q.push(t, 2); // cascade push joins the bucket
+        q.push(SimTime::from_millis(9), 9);
+        q.push(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn earlier_push_preempts_active_bucket() {
+        let t = SimTime::from_millis(4);
+        let mut q = EventQueue::new();
+        q.push(t, "x");
+        q.push(t, "y");
+        assert_eq!(q.pop(), Some((t, "x")));
+        // A straggler scheduled before the bucket's instant must still
+        // pop first.
+        q.push(SimTime::from_millis(1), "early");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "early")));
+        assert_eq!(q.pop(), Some((t, "y")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn bucket_reforms_after_draining() {
+        let mut q = EventQueue::new();
+        for round in 0..3u64 {
+            let t = SimTime::from_millis(round);
+            for i in 0..10 {
+                q.push(t, (round, i));
+            }
+        }
+        for round in 0..3u64 {
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some((SimTime::from_millis(round), (round, i))));
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(2), "late");
+        q.push(SimTime::from_millis(1), "ok");
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(1)), Some((SimTime::from_millis(1), "ok")));
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(1)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(2)), Some((SimTime::from_millis(2), "late")));
+    }
+
+    #[test]
+    fn pop_until_drains_in_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), 3);
+        q.push(SimTime::from_millis(1), 1);
+        q.push(SimTime::from_millis(1), 10);
+        q.push(SimTime::from_millis(2), 2);
+        q.push(SimTime::from_millis(5), 5);
+        let drained = q.pop_until(SimTime::from_millis(3));
+        let events: Vec<i32> = drained.iter().map(|&(_, e)| e).collect();
+        assert_eq!(events, vec![1, 10, 2, 3]);
+        assert!(drained.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_counts_bucket_and_heap() {
+        let t = SimTime::from_millis(1);
+        let mut q = EventQueue::new();
+        q.push(t, 0);
+        q.push(t, 1);
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 0))); // two left, now bucketed
+        q.push(SimTime::from_millis(2), 3);
+        assert_eq!(q.len(), 3);
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
     }
 }
