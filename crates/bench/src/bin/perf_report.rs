@@ -44,6 +44,21 @@ struct RefitScaling {
     refit_ns: u64,
 }
 
+/// Telemetry tax on one hot kernel: the same loop measured bare, with
+/// disabled-handle instrumentation at the emission sites (the production
+/// default), and with a recording handle. The disabled overhead is the
+/// number that must stay under 2%: every simulation pays it whether or
+/// not anyone asked for a trace.
+#[derive(Serialize)]
+struct TelemetryTax {
+    name: String,
+    baseline_ns: u64,
+    disabled_ns: u64,
+    enabled_ns: u64,
+    disabled_overhead: f64,
+    enabled_overhead: f64,
+}
+
 /// Wall times for the experiment harness, from real `run_all` runs.
 #[derive(Serialize)]
 struct Harness {
@@ -61,6 +76,7 @@ struct Report {
     samples_per_measurement: usize,
     kernels: Vec<KernelPair>,
     refit_cost_vs_samples_seen: Vec<RefitScaling>,
+    telemetry_tax: Vec<TelemetryTax>,
     harness: Harness,
 }
 
@@ -238,6 +254,86 @@ fn trace_pair() -> KernelPair {
     )
 }
 
+fn tax(name: &str, baseline_ns: u64, disabled_ns: u64, enabled_ns: u64) -> TelemetryTax {
+    let over = |ns: u64| ns as f64 / baseline_ns.max(1) as f64 - 1.0;
+    TelemetryTax {
+        name: name.to_string(),
+        baseline_ns,
+        disabled_ns,
+        enabled_ns,
+        disabled_overhead: over(disabled_ns),
+        enabled_overhead: over(enabled_ns),
+    }
+}
+
+/// Alignment-scan loop instrumented exactly like
+/// `PowerContainerFacility::poll_meter`: an enabled-guard around the
+/// scan event, score histogram and counter.
+fn alignment_tax() -> TelemetryTax {
+    let (measure, model) = alignment_signals(5000, 500, 137);
+    let scan = |tele: &telemetry::Telemetry| {
+        let (peak, curve) =
+            find_alignment(black_box(&measure), black_box(&model), 500).expect("peak");
+        if tele.enabled() {
+            tele.instant(
+                SimTime::from_millis(peak.lag as u64),
+                "align",
+                "scan",
+                &[("delay_ms", (peak.lag as u64).into()), ("score", peak.score.into())],
+            );
+            tele.observe("align.score", peak.score);
+            tele.add_count("align.scans", 1);
+        }
+        black_box(curve);
+    };
+    let baseline = median_ns(1, || {
+        black_box(find_alignment(black_box(&measure), black_box(&model), 500));
+    });
+    let disabled_handle = telemetry::Telemetry::disabled();
+    let disabled = median_ns(1, || scan(&disabled_handle));
+    let enabled_handle = telemetry::Telemetry::recording();
+    enabled_handle.register_histogram("align.score", &[0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]);
+    let enabled = median_ns(1, || scan(&enabled_handle));
+    tax("alignment_n5000_l500", baseline, disabled, enabled)
+}
+
+/// Incremental-refit loop instrumented like the facility's refit path:
+/// an enabled-guard around the refit event and counter.
+fn refit_tax() -> TelemetryTax {
+    let rows = refit_rows(4096);
+    let mut loops: Vec<(RollingLeastSquares, usize)> =
+        (0..3).map(|_| (RollingLeastSquares::new(8, 256), 0usize)).collect();
+    for (win, _) in &mut loops {
+        for (row, y) in &rows {
+            win.push(row, *y, 1.0);
+        }
+    }
+    let mut step = |li: usize, tele: Option<&telemetry::Telemetry>| {
+        let (win, i) = &mut loops[li];
+        let (row, y) = &rows[*i % rows.len()];
+        *i += 1;
+        win.push(row, *y, 1.0);
+        black_box(win.solve().expect("fit"));
+        if let Some(tele) = tele {
+            if tele.enabled() {
+                tele.instant(
+                    SimTime::from_micros(*i as u64),
+                    "recal",
+                    "refit",
+                    &[("n", (*i as u64).into())],
+                );
+                tele.add_count("recal.refits", 1);
+            }
+        }
+    };
+    let baseline = median_ns(64, || step(0, None));
+    let disabled_handle = telemetry::Telemetry::disabled();
+    let disabled = median_ns(64, || step(1, Some(&disabled_handle)));
+    let enabled_handle = telemetry::Telemetry::recording();
+    let enabled = median_ns(64, || step(2, Some(&enabled_handle)));
+    tax("refit_incremental_n4096", baseline, disabled, enabled)
+}
+
 fn arg_secs(args: &[String], flag: &str) -> Option<f64> {
     args.iter()
         .position(|a| a == flag)
@@ -262,6 +358,7 @@ fn main() {
         samples_per_measurement: SAMPLES,
         kernels: vec![alignment_pair(), refit_pair(), queue_pair(), trace_pair()],
         refit_cost_vs_samples_seen: refit_scaling(),
+        telemetry_tax: vec![alignment_tax(), refit_tax()],
         harness: Harness {
             run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
             run_all_serial_after_s: arg_secs(&args, "--run-all-after"),
@@ -281,6 +378,14 @@ fn main() {
     }
     for r in &report.refit_cost_vs_samples_seen {
         eprintln!("  refit after {:>6} samples seen: {:>8} ns", r.samples_seen, r.refit_ns);
+    }
+    for t in &report.telemetry_tax {
+        eprintln!(
+            "  telemetry tax {:<26} disabled {:>+6.2}%  enabled {:>+6.2}%",
+            t.name,
+            t.disabled_overhead * 100.0,
+            t.enabled_overhead * 100.0
+        );
     }
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write report");

@@ -39,6 +39,10 @@ pub struct ClusterConfig {
     /// node-level slowdown/blackout rates drive a precomputed window
     /// plan the dispatcher must ride out.
     pub faults: FaultConfig,
+    /// Trace sink; dispatcher events land on track 3, node `n`'s
+    /// fault windows and per-node facility events on track `10 + n`.
+    /// Disabled by default.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl ClusterConfig {
@@ -53,8 +57,17 @@ impl ClusterConfig {
             workers_per_core: 4,
             volume: 1.0,
             faults: FaultConfig::none(),
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
+}
+
+/// The dispatcher's trace track.
+const DISPATCHER_TRACK: u32 = 3;
+
+/// The trace track of node `n` (fault windows, per-node markers).
+fn node_track(n: usize) -> u32 {
+    10 + n as u32
 }
 
 /// Health-check period of the dispatcher's degraded-node detector.
@@ -87,6 +100,10 @@ struct Node {
     penalty: SimDuration,
     last_health_check: SimTime,
     completions_at_check: usize,
+    /// Trace sink shared with the dispatcher and this node's facility.
+    tele: telemetry::Telemetry,
+    /// This node's trace track (`10 + node index`).
+    track: u32,
 }
 
 impl Node {
@@ -134,6 +151,7 @@ impl Node {
                     }
                     // A blackout held the kernel frozen; the run_until
                     // below (or the next call) replays the backlog.
+                    self.tele.end_span(w.end, self.track);
                 }
                 None => {
                     let w = self.fault_windows[self.next_window];
@@ -141,6 +159,15 @@ impl Node {
                     self.kernel.run_until(w.start);
                     if w.kind == hwsim::FaultKind::NodeSlowdown {
                         self.set_all_duty(DutyCycle::at_most(w.factor));
+                        self.tele.begin_span(
+                            w.start,
+                            "cluster",
+                            "slowdown",
+                            self.track,
+                            &[("factor", w.factor.into())],
+                        );
+                    } else {
+                        self.tele.begin_span(w.start, "cluster", "blackout", self.track, &[]);
                     }
                     self.active_window = Some(w);
                 }
@@ -292,6 +319,12 @@ pub fn run_cluster(
                 // request's cumulative energy flows back to the
                 // dispatcher for comprehensive accounting.
                 retain_records: true,
+                // Context ids are unique cluster-wide, so every node can
+                // share one sink and attribution samples stay
+                // per-container. (Kernel-level tracing stays off here:
+                // per-tick switch events across N nodes would dwarf the
+                // facility signal.)
+                telemetry: cfg.telemetry.clone(),
                 ..FacilityConfig::default()
             },
         );
@@ -339,6 +372,8 @@ pub fn run_cluster(
             penalty: PENALTY_BASE,
             last_health_check: SimTime::ZERO,
             completions_at_check: 0,
+            tele: cfg.telemetry.clone(),
+            track: node_track(n),
         });
     }
     for w in plan_node_faults(&cfg.faults, nodes.len(), cfg.duration) {
@@ -369,11 +404,20 @@ pub fn run_cluster(
             break;
         }
         next_arrival[app_idx] = t + SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
-        for node in &mut nodes {
+        for (n, node) in nodes.iter_mut().enumerate() {
             node.advance_to(t);
             node.settle_completions();
             if node.health_check(t) {
                 degradations_detected += 1;
+                let penalty_ms = node.penalty_until.duration_since(t).as_secs_f64() * 1e3;
+                cfg.telemetry.instant_on(
+                    t,
+                    "cluster",
+                    "degraded",
+                    DISPATCHER_TRACK,
+                    &[("node", (n as u64).into()), ("penalty_ms", penalty_ms.into())],
+                );
+                cfg.telemetry.add_count("cluster.degradations", 1);
             }
         }
         let label = apps[app_idx].pick_label(&mut rng);
@@ -394,10 +438,26 @@ pub fn run_cluster(
                 });
             match alt {
                 Some(i) => {
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "reroute",
+                        DISPATCHER_TRACK,
+                        &[("from", (chosen as u64).into()), ("to", (i as u64).into())],
+                    );
+                    cfg.telemetry.add_count("cluster.rerouted", 1);
                     chosen = i;
                     rerouted += 1;
                 }
                 None => {
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "drop",
+                        DISPATCHER_TRACK,
+                        &[("node", (chosen as u64).into())],
+                    );
+                    cfg.telemetry.add_count("cluster.dropped", 1);
                     dropped += 1;
                     continue;
                 }
@@ -407,6 +467,7 @@ pub fn run_cluster(
         let ctx = ContextId(next_ctx);
         next_ctx += 1;
         dispatched += 1;
+        cfg.telemetry.add_count("cluster.dispatched", 1);
         ctx_app.insert(ctx, app_idx);
         node.stats.borrow_mut().record_arrival(ctx, label, t);
         node.facility
@@ -426,10 +487,17 @@ pub fn run_cluster(
         node.advance_to(end);
         // Let a node frozen right up to the end replay its backlog so
         // energy accounting covers the whole run.
-        node.active_window = None;
+        if node.active_window.take().is_some() {
+            node.tele.end_span(end, node.track);
+        }
         node.kernel.run_until(end);
         node.settle_completions();
     }
+    let cluster_degrade = nodes
+        .iter()
+        .map(|n| n.facility.borrow().degrade_stats())
+        .fold(power_containers::DegradeStats::default(), |acc, d| acc + d);
+    workloads::note_degrade(cluster_degrade);
 
     let secs = cfg.duration.as_secs_f64();
     let per_node: Vec<NodeOutcome> = nodes

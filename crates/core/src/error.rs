@@ -72,6 +72,25 @@ pub enum FacilityError {
     },
 }
 
+impl FacilityError {
+    /// A stable machine-readable tag for this error variant, used as the
+    /// `kind` field of degradation telemetry events (the trace schema
+    /// golden file pins these strings).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FacilityError::CalibrationMissing => "calibration_missing",
+            FacilityError::MeterMissing => "meter_missing",
+            FacilityError::Solve(_) => "solve",
+            FacilityError::IllConditioned { .. } => "ill_conditioned",
+            FacilityError::OutlierContaminated { .. } => "outlier_contaminated",
+            FacilityError::InsufficientReadings { .. } => "insufficient_readings",
+            FacilityError::AlignmentLowScore { .. } => "alignment_low_score",
+            FacilityError::AlignmentAmbiguous { .. } => "alignment_ambiguous",
+            FacilityError::CounterAnomaly { .. } => "counter_anomaly",
+        }
+    }
+}
+
 impl fmt::Display for FacilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -151,6 +170,8 @@ mod tests {
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e} missing {needle}");
+            assert!(!e.kind().is_empty());
+            assert!(e.kind().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
     }
 

@@ -30,6 +30,7 @@ use ossim::{ContextId, KernelApi, KernelHooks, TaskId};
 use simkern::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+use telemetry::FieldValue;
 
 /// The event cost of one container-maintenance operation (§3.5): counter
 /// reads, model evaluation, and statistics updates perturb the very
@@ -122,6 +123,10 @@ pub struct FacilityConfig {
     pub trace_slot: SimDuration,
     /// History trace capacity in slots.
     pub trace_capacity: usize,
+    /// Trace recorder for attribution, alignment, recalibration,
+    /// conditioning and degradation events. Disabled by default; every
+    /// emission site is guarded so the disabled path costs one branch.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl Default for FacilityConfig {
@@ -145,6 +150,7 @@ impl Default for FacilityConfig {
             track_per_task: false,
             trace_slot: SimDuration::from_millis(1),
             trace_capacity: 8192,
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -319,6 +325,15 @@ impl FacilityState {
             // energy (and keep it out of the alignment traces).
             self.degrade.samples_rejected += 1;
             self.last_degradation = Some(FacilityError::CounterAnomaly { core: core.0 });
+            if self.config.telemetry.enabled() {
+                self.config.telemetry.instant(
+                    now,
+                    "degrade",
+                    "counter_anomaly",
+                    &[("core", FieldValue::U64(core.0 as u64))],
+                );
+                self.config.telemetry.add_count("degrade.samples_rejected", 1);
+            }
             return;
         }
         if self.config.compensate_observer && pending > 0 {
@@ -341,6 +356,26 @@ impl FacilityState {
         let watts = self.model.active_power(&metrics);
         let duty = api.machine.duty_cycle(core).fraction();
         self.containers.attribute(ctx, watts, duty, dt_secs, &delta, now);
+        if self.config.telemetry.enabled() {
+            let energy_j = match ctx {
+                Some(c) => self.containers.get(c).map_or(0.0, |p| p.energy_j()),
+                None => self.containers.background().energy_j(),
+            };
+            self.config.telemetry.instant(
+                now,
+                "attr",
+                "sample",
+                &[
+                    ("core", FieldValue::U64(core.0 as u64)),
+                    ("ctx", FieldValue::I64(ctx.map_or(-1, |c| c.0 as i64))),
+                    ("watts", FieldValue::F64(watts)),
+                    ("dt_ms", FieldValue::F64(dt_secs * 1e3)),
+                    ("energy_j", FieldValue::F64(energy_j)),
+                ],
+            );
+            self.config.telemetry.observe("attr.watts", watts);
+            self.config.telemetry.add_count("attr.samples", 1);
+        }
         if self.config.track_per_task {
             if let Some(t) = task {
                 let e = self.per_task_energy.entry(t).or_insert((0.0, 0.0));
@@ -391,6 +426,21 @@ impl FacilityState {
         } else {
             policy.duty_for(unthrottled, busy, cap)
         };
+        if duty != hwsim::DutyCycle::FULL && self.config.telemetry.enabled() {
+            self.config.telemetry.instant_on(
+                api.now,
+                "cond",
+                "throttle",
+                2,
+                &[
+                    ("core", FieldValue::U64(core.0 as u64)),
+                    ("ctx", FieldValue::I64(ctx.map_or(-1, |c| c.0 as i64))),
+                    ("eighths", FieldValue::U64(u64::from(duty.eighths()))),
+                    ("budget_exhausted", FieldValue::Str(if exhausted { "yes" } else { "no" })),
+                ],
+            );
+            self.config.telemetry.add_count("cond.throttles", 1);
+        }
         api.machine.set_duty_cycle(core, duty);
     }
 
@@ -419,6 +469,16 @@ impl FacilityState {
             if let Some(end) = self.last_window_end {
                 if r.window_start > end {
                     self.degrade.meter_gaps += 1;
+                    if self.config.telemetry.enabled() {
+                        let gap = r.window_start.duration_since(end);
+                        self.config.telemetry.instant(
+                            r.visible_at,
+                            "degrade",
+                            "meter_gap",
+                            &[("gap_ms", FieldValue::F64(gap.as_millis_f64()))],
+                        );
+                        self.config.telemetry.add_count("degrade.meter_gaps", 1);
+                    }
                 }
             }
             self.last_window_end = Some(r.window_end);
@@ -438,12 +498,34 @@ impl FacilityState {
                     self.config.align_ambiguity_margin,
                 ) {
                     Ok(result) => {
+                        if self.config.telemetry.enabled() {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "align",
+                                "scan",
+                                &[
+                                    ("delay_ms", FieldValue::F64(result.delay.as_millis_f64())),
+                                    ("score", FieldValue::F64(result.score)),
+                                ],
+                            );
+                            self.config.telemetry.observe("align.score", result.score);
+                            self.config.telemetry.add_count("align.scans", 1);
+                        }
                         self.aligned_delay = Some(result.delay);
                         self.last_alignment = Some(result);
                     }
                     Err(e) => {
                         // Keep the previous delay estimate (if any).
                         self.degrade.align_fallbacks += 1;
+                        if self.config.telemetry.enabled() {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "degrade",
+                                "align_fallback",
+                                &[("kind", FieldValue::Str(e.kind()))],
+                            );
+                            self.config.telemetry.add_count("degrade.align_fallbacks", 1);
+                        }
                         self.last_degradation = Some(e);
                     }
                 }
@@ -470,13 +552,39 @@ impl FacilityState {
                 Ok(model) => {
                     self.model = model;
                     self.refits += 1;
+                    if self.config.telemetry.enabled() {
+                        self.config.telemetry.instant(
+                            api.now,
+                            "recal",
+                            "refit",
+                            &[("n", FieldValue::U64(self.refits))],
+                        );
+                        self.config.telemetry.add_count("recal.refits", 1);
+                    }
                 }
                 Err(e) => {
                     // The served model is whatever was accepted last, so
                     // rejecting the candidate *is* the fallback.
                     self.degrade.refits_rejected += 1;
+                    if self.config.telemetry.enabled() {
+                        self.config.telemetry.instant(
+                            api.now,
+                            "degrade",
+                            "refit_rejected",
+                            &[("kind", FieldValue::Str(e.kind()))],
+                        );
+                        self.config.telemetry.add_count("degrade.refits_rejected", 1);
+                    }
                     if recal.last_good().is_some() {
                         self.degrade.refit_fallbacks += 1;
+                        if self.config.telemetry.enabled() {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "degrade",
+                                "refit_fallback",
+                                &[],
+                            );
+                        }
                     }
                     if recal.is_stale() {
                         // Bounded staleness: the online accumulator is
@@ -484,6 +592,15 @@ impl FacilityState {
                         // clean window.
                         recal.reset_online();
                         self.degrade.stale_model_resets += 1;
+                        if self.config.telemetry.enabled() {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "degrade",
+                                "stale_reset",
+                                &[],
+                            );
+                            self.config.telemetry.add_count("degrade.stale_resets", 1);
+                        }
                     }
                     self.last_degradation = Some(e);
                 }
@@ -612,6 +729,14 @@ impl PowerContainerFacility {
 impl KernelHooks for PowerContainerFacility {
     fn on_boot(&mut self, api: &mut KernelApi<'_>) {
         let mut s = self.state.borrow_mut();
+        if s.config.telemetry.enabled() {
+            s.config
+                .telemetry
+                .register_histogram("attr.watts", &[1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0]);
+            s.config
+                .telemetry
+                .register_histogram("align.score", &[0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]);
+        }
         for c in 0..api.core_count() {
             s.cores[c].last = api.machine.counters(CoreId(c));
             s.arm_pmu(api, CoreId(c));
@@ -657,6 +782,20 @@ impl KernelHooks for PowerContainerFacility {
         s.arm_pmu(api, core);
         s.condition(api, core, ctx, 0);
         s.poll_meter(api);
+        if s.config.telemetry.enabled() {
+            // Satellite of §10 telemetry: kernel and facility activity
+            // counters are queryable mid-run (not only at teardown), so
+            // each PMU interrupt refreshes the live gauges.
+            let ks = api.kernel_stats();
+            let tele = &s.config.telemetry;
+            tele.set_gauge("kernel.context_switches", ks.context_switches as f64);
+            tele.set_gauge("kernel.pmu_interrupts", ks.pmu_interrupts as f64);
+            tele.set_gauge("kernel.messages", ks.messages as f64);
+            tele.set_gauge("facility.maintenance_ops", s.maintenance_ops as f64);
+            tele.set_gauge("facility.live_containers", s.containers.live_count() as f64);
+            tele.set_gauge("facility.refits", s.refits as f64);
+            tele.set_gauge("facility.degrade_total", s.degrade.total() as f64);
+        }
     }
 
     fn on_context_bound(

@@ -182,6 +182,26 @@ impl DegradeStats {
     }
 }
 
+impl Add for DegradeStats {
+    type Output = DegradeStats;
+    fn add(self, o: DegradeStats) -> DegradeStats {
+        DegradeStats {
+            samples_rejected: self.samples_rejected + o.samples_rejected,
+            meter_gaps: self.meter_gaps + o.meter_gaps,
+            align_fallbacks: self.align_fallbacks + o.align_fallbacks,
+            refits_rejected: self.refits_rejected + o.refits_rejected,
+            refit_fallbacks: self.refit_fallbacks + o.refit_fallbacks,
+            stale_model_resets: self.stale_model_resets + o.stale_model_resets,
+        }
+    }
+}
+
+impl AddAssign for DegradeStats {
+    fn add_assign(&mut self, o: DegradeStats) {
+        *self = *self + o;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +214,18 @@ mod tests {
         d.align_fallbacks = 1;
         assert_eq!(d.total(), 3);
         assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn degrade_stats_sum_fieldwise() {
+        let a = DegradeStats { samples_rejected: 1, meter_gaps: 2, ..DegradeStats::default() };
+        let b = DegradeStats { meter_gaps: 3, stale_model_resets: 4, ..DegradeStats::default() };
+        let mut sum = a;
+        sum += b;
+        assert_eq!(sum.samples_rejected, 1);
+        assert_eq!(sum.meter_gaps, 5);
+        assert_eq!(sum.stale_model_resets, 4);
+        assert_eq!(sum.total(), a.total() + b.total());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use hwsim::{ActivityProfile, Machine, MachineSpec};
 use ossim::{FnProgram, Kernel, KernelConfig, Op, ScriptProgram};
 use power_containers::{
     Approach, CalibrationSample, CalibrationSet, ConditioningPolicy, FacilityConfig,
-    MetricVector, ModelKind, PowerContainerFacility,
+    MetricVector, ModelKind, PowerContainerFacility, PowerModel,
 };
 use simkern::{SimDuration, SimTime};
 
@@ -402,4 +402,106 @@ fn facility_degrades_gracefully_under_injected_faults() {
         faulty_err < (clean_err * 2.0).max(0.05) + 0.02,
         "faulty {faulty_err:.3} vs clean {clean_err:.3}"
     );
+}
+
+#[test]
+fn telemetry_traces_the_whole_pipeline_deterministically() {
+    let run = || {
+        let tele = telemetry::Telemetry::recording();
+        let spec = MachineSpec::sandybridge();
+        let set = skewed_calibration();
+        let model = set.fit(ModelKind::WithChipShare).expect("fit");
+        let facility = PowerContainerFacility::new(
+            model,
+            Some(&set),
+            &spec,
+            FacilityConfig {
+                approach: Approach::Recalibrated,
+                meter: Some("on-chip"),
+                meter_idle_w: 1.5,
+                max_meter_delay: SimDuration::from_millis(20),
+                conditioning: Some(ConditioningPolicy { system_target_w: 8.0 }),
+                telemetry: tele.clone(),
+                ..FacilityConfig::default()
+            },
+        );
+        let mut kernel = Kernel::new(
+            Machine::new(spec, 3),
+            KernelConfig { telemetry: tele.clone(), ..KernelConfig::default() },
+        );
+        kernel.install_hooks(Box::new(facility));
+        let mut phase = 0u32;
+        kernel.spawn(
+            Box::new(FnProgram::new(move |_pc| {
+                phase += 1;
+                if phase.is_multiple_of(2) {
+                    Op::Compute { cycles: 3.1e6 * 40.0, profile: ActivityProfile::stress() }
+                } else {
+                    Op::Sleep { duration: SimDuration::from_millis(35) }
+                }
+            })),
+            None,
+        );
+        // Tagged spinners so conditioning has containers to throttle.
+        for _ in 0..2 {
+            let ctx = kernel.alloc_context();
+            kernel.spawn(
+                Box::new(FnProgram::new(move |_pc| Op::Compute {
+                    cycles: 3.1e6,
+                    profile: ActivityProfile::cpu_spin(),
+                })),
+                Some(ctx),
+            );
+        }
+        kernel.run_until(SimTime::from_secs(2));
+        tele.to_jsonl()
+    };
+    let jsonl = run();
+    // Every instrumented layer shows up in one trace.
+    for needle in [
+        "\"cat\":\"kernel\",\"name\":\"ctx_switch\"",
+        "\"cat\":\"kernel\",\"name\":\"pmu_irq\"",
+        "\"cat\":\"attr\",\"name\":\"sample\"",
+        "\"cat\":\"align\",\"name\":\"scan\"",
+        "\"cat\":\"cond\",\"name\":\"throttle\"",
+        "{\"metric\":\"gauge\",\"name\":\"kernel.context_switches\"",
+        "{\"metric\":\"gauge\",\"name\":\"facility.maintenance_ops\"",
+        "{\"metric\":\"histogram\",\"name\":\"attr.watts\"",
+    ] {
+        assert!(jsonl.contains(needle), "trace missing {needle}");
+    }
+    // Sim-clock determinism: an identical run renders byte-identical.
+    assert_eq!(jsonl, run(), "telemetry must be deterministic across runs");
+    // And the summarizer agrees with the instrumentation.
+    let summary = telemetry::summary::summarize(&jsonl);
+    assert_eq!(summary.unparsed_lines, 0);
+    assert!(!summary.containers.is_empty(), "attr samples fold into containers");
+}
+
+#[test]
+fn disabled_telemetry_changes_no_simulation_output() {
+    let run = |tele: telemetry::Telemetry| {
+        let spec = MachineSpec::sandybridge();
+        let model = PowerModel::new(ModelKind::WithChipShare, 26.1, [8.0; 8]);
+        let facility = PowerContainerFacility::new(
+            model,
+            None,
+            &spec,
+            FacilityConfig { telemetry: tele.clone(), ..FacilityConfig::default() },
+        );
+        let state = facility.state();
+        let mut kernel = Kernel::new(
+            Machine::new(spec, 7),
+            KernelConfig { telemetry: tele, ..KernelConfig::default() },
+        );
+        kernel.install_hooks(Box::new(facility));
+        spawn_spinners(&mut kernel, 3, ActivityProfile::cache_heavy());
+        kernel.run_until(SimTime::from_secs(1));
+        let energy = state.borrow().containers().total_energy_with_background_j();
+        (energy, kernel.stats())
+    };
+    let (e_off, stats_off) = run(telemetry::Telemetry::disabled());
+    let (e_on, stats_on) = run(telemetry::Telemetry::recording());
+    assert_eq!(e_off, e_on, "tracing must be a pure observer");
+    assert_eq!(stats_off, stats_on);
 }

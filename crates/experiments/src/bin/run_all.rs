@@ -6,9 +6,15 @@
 //!   concurrently. Every experiment owns its seed, so `results/*.json`
 //!   are byte-identical at any job count.
 //! * `--only a,b,c` — run only the named experiments.
+//! * `--trace DIR` — export deterministic telemetry traces from the
+//!   instrumented experiments (fig05, fault_sweep) under `DIR`, one
+//!   `.jsonl` + Perfetto-loadable `.trace.json` pair per sweep cell.
+//!   Traces carry only simulated timestamps, so they too are
+//!   byte-identical at any job count.
 //!
-//! Per-experiment status and wall time are collected into a summary
-//! table; the process exits non-zero if any experiment failed.
+//! Per-experiment status, wall time and graceful-degradation decisions
+//! are collected into a summary table; the process exits non-zero if any
+//! experiment failed.
 
 use experiments::output::Table;
 use experiments::{runner, Scale};
@@ -109,6 +115,8 @@ fn main() {
     let scale = Scale::from_args();
     let jobs = runner::jobs_from_args();
     runner::set_jobs(jobs);
+    runner::set_trace_dir(runner::trace_dir_from_args());
+    workloads::reset_degrade_ledger();
     let only = only_from_args();
     if let Some(names) = &only {
         for name in names {
@@ -132,9 +140,14 @@ fn main() {
     let t0 = Instant::now();
     let tasks: Vec<_> = selected
         .iter()
-        .map(|(_, f)| {
+        .map(|(name, f)| {
             let f = *f;
             move || -> Duration {
+                // Harness runs on this worker thread (and any sweep cells
+                // it fans out further report through their own scopes
+                // only if they re-enter; serial cells inherit this one)
+                // fold their DegradeStats under the experiment's name.
+                let _scope = workloads::DegradeScope::enter(name);
                 let t = Instant::now();
                 f(scale);
                 t.elapsed()
@@ -143,18 +156,29 @@ fn main() {
         .collect();
     let outcomes = runner::run_parallel(jobs, tasks);
     let total = t0.elapsed();
-    let mut table = Table::new(["experiment", "status", "wall time"]);
+    // Graceful-degradation decisions per experiment, harvested from the
+    // ledger every harness run reports into (satellite of the telemetry
+    // work: DegradeStats surface in the status table, not only in
+    // individual experiment records).
+    let degraded: std::collections::BTreeMap<String, power_containers::DegradeStats> =
+        workloads::degrade_ledger().into_iter().collect();
+    let mut table = Table::new(["experiment", "status", "wall time", "degraded"]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
+        let deg = match degraded.get(*name) {
+            None => "-".to_string(),
+            Some(d) if d.is_clean() => "clean".to_string(),
+            Some(d) => format!("{} decisions", d.total()),
+        };
         match outcome {
             Ok(wall) => {
-                table.row([name.to_string(), "ok".to_string(), format!("{wall:.2?}")]);
+                table.row([name.to_string(), "ok".to_string(), format!("{wall:.2?}"), deg]);
             }
             Err(msg) => {
                 failed += 1;
                 let mut msg = msg.replace('\n', " ");
                 msg.truncate(60);
-                table.row([name.to_string(), "FAILED".to_string(), msg]);
+                table.row([name.to_string(), "FAILED".to_string(), msg, deg]);
             }
         }
     }

@@ -56,7 +56,16 @@ fn sweep_point(
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     let dropout = faults.meter_dropout;
     cfg.faults = faults;
+    cfg.telemetry = crate::runner::trace_handle();
     let outcome = run_app(WorkloadKind::RsaCrypto, &cfg, cal);
+    // Dropout rate keeps same-named scenarios (the meter-dropout rows)
+    // from clobbering each other's trace files.
+    let stem = format!(
+        "{}-{}",
+        crate::runner::slug(scenario),
+        crate::runner::slug(&format!("{:04.1}pct", dropout * 100.0))
+    );
+    crate::runner::write_trace("fault_sweep", &stem, &cfg.telemetry);
     let completions = outcome.stats.borrow().completions().len();
     FaultSweepRow {
         scenario: scenario.to_string(),

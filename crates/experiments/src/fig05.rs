@@ -49,7 +49,14 @@ pub fn run(scale: Scale) -> Fig5 {
                     let mut cfg = RunConfig::new(spec);
                     cfg.load = load;
                     cfg.duration = SimDuration::from_secs(scale.run_secs() / 2 + 2);
+                    cfg.telemetry = crate::runner::trace_handle();
                     let outcome = run_app(kind, &cfg, &cal);
+                    let stem = format!(
+                        "{machine}-{}-{}",
+                        crate::runner::slug(kind.name()),
+                        crate::runner::slug(load.name())
+                    );
+                    crate::runner::write_trace("fig05", &stem, &cfg.telemetry);
                     PowerCell {
                         machine: machine.to_string(),
                         workload: kind.name().to_string(),

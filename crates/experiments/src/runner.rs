@@ -15,12 +15,93 @@
 //! `results/*.json` for every N. An integration test enforces this.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Process-wide worker count used by sweep experiments (fig. 5, fig. 8,
 /// the fault sweep) when fanning out their cells.
 static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Process-wide trace output directory (`--trace <dir>`); `None`
+/// disables tracing everywhere.
+static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets the process-wide trace output directory.
+pub fn set_trace_dir(dir: Option<PathBuf>) {
+    *TRACE_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// The trace output directory, if tracing is enabled.
+pub fn trace_dir() -> Option<PathBuf> {
+    TRACE_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Parses `--trace DIR` / `--trace=DIR` from process args.
+pub fn trace_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut dir = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--trace=") {
+            dir = Some(PathBuf::from(v));
+        } else if a == "--trace" {
+            if let Some(v) = args.get(i + 1) {
+                dir = Some(PathBuf::from(v));
+            }
+        }
+    }
+    dir
+}
+
+/// A recording telemetry handle when `--trace` is active, else a
+/// disabled one — experiments clone this into their [`workloads::RunConfig`]
+/// (or [`cluster::ClusterConfig`]) without caring whether tracing is on.
+pub fn trace_handle() -> telemetry::Telemetry {
+    if trace_dir().is_some() {
+        telemetry::Telemetry::recording()
+    } else {
+        telemetry::Telemetry::disabled()
+    }
+}
+
+/// Lowercases `s` and maps every non-alphanumeric run to a single `-`
+/// (file-name-safe slugs for trace cell names).
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Writes one traced cell under `<trace dir>/<experiment>/<stem>.jsonl`
+/// plus the Perfetto-loadable `<stem>.trace.json`; a no-op when tracing
+/// is disabled or the handle recorded nothing. Failures warn but never
+/// sink the experiment.
+pub fn write_trace(experiment: &str, stem: &str, tele: &telemetry::Telemetry) {
+    if !tele.enabled() {
+        return;
+    }
+    let Some(root) = trace_dir() else { return };
+    let dir = root.join(experiment);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let write = |path: &Path, res: std::io::Result<()>| {
+        if let Err(e) = res {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    };
+    let jsonl = dir.join(format!("{stem}.jsonl"));
+    write(&jsonl, tele.write_jsonl(&jsonl));
+    let chrome = dir.join(format!("{stem}.trace.json"));
+    write(&chrome, tele.write_chrome_trace(&chrome));
+}
 
 /// Sets the process-wide worker count (clamped to at least 1).
 pub fn set_jobs(n: usize) {
@@ -63,20 +144,28 @@ where
     let results: Vec<Mutex<Option<Result<T, String>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let work = || loop {
-        let i = next.fetch_add(1, Ordering::SeqCst);
-        if i >= n {
-            break;
+    // Worker threads inherit the caller's degrade-ledger scope, so a
+    // sweep experiment's cells report under the experiment's name no
+    // matter which thread runs them.
+    let scope = workloads::current_degrade_scope();
+    let work = || {
+        let _guard = scope.as_deref().map(workloads::DegradeScope::enter);
+        loop {
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= n {
+                break;
+            }
+            let task = slots[i]
+                .lock()
+                .expect("task slot unpoisoned")
+                .take()
+                .expect("each index is claimed exactly once");
+            // `&*e`, not `&e`: coercing `&Box<dyn Any>` would wrap the
+            // box itself as the `dyn Any` and every payload downcast
+            // would miss.
+            let out = catch_unwind(AssertUnwindSafe(task)).map_err(|e| panic_message(&*e));
+            *results[i].lock().expect("result slot unpoisoned") = Some(out);
         }
-        let task = slots[i]
-            .lock()
-            .expect("task slot unpoisoned")
-            .take()
-            .expect("each index is claimed exactly once");
-        // `&*e`, not `&e`: coercing `&Box<dyn Any>` would wrap the box
-        // itself as the `dyn Any` and every payload downcast would miss.
-        let out = catch_unwind(AssertUnwindSafe(task)).map_err(|e| panic_message(&*e));
-        *results[i].lock().expect("result slot unpoisoned") = Some(out);
     };
     let workers = jobs.min(n).max(1);
     if workers <= 1 {
@@ -140,6 +229,14 @@ mod tests {
     fn zero_jobs_behaves_like_one() {
         let out = run_parallel(0, vec![|| 7]);
         assert_eq!(out, vec![Ok(7)]);
+    }
+
+    #[test]
+    fn slugs_are_file_name_safe() {
+        assert_eq!(slug("GAE-Vosao"), "gae-vosao");
+        assert_eq!(slug("peak load"), "peak-load");
+        assert_eq!(slug("dropout + glitches + tag faults"), "dropout-glitches-tag-faults");
+        assert_eq!(slug("5%"), "5");
     }
 
     #[test]

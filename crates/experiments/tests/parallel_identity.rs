@@ -1,10 +1,12 @@
 //! Determinism under parallelism: `run_all --jobs N` must write
-//! byte-identical `results/*.json` for every N, because each experiment
-//! (and each sweep cell) is an independent seeded simulation and results
-//! are assembled in input order. This test runs a representative subset
-//! (including the parallelized sweeps fig05/fig08/fault_sweep) serially
-//! and with 4 workers into sandboxed results directories and compares
-//! every produced file byte for byte.
+//! byte-identical `results/*.json` — and, with `--trace`, byte-identical
+//! telemetry traces — for every N, because each experiment (and each
+//! sweep cell) is an independent seeded simulation, results are
+//! assembled in input order, and traces carry only simulated
+//! timestamps. This test runs a representative subset (including the
+//! parallelized sweeps fig05/fig08/fault_sweep) serially and with 4
+//! workers into sandboxed results + trace directories and compares every
+//! produced file byte for byte.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -34,8 +36,11 @@ fn sandbox(tag: &str) -> PathBuf {
 }
 
 fn run_all(results_dir: &Path, jobs: &str) {
+    let trace_dir = results_dir.join("traces");
     let status = Command::new(env!("CARGO_BIN_EXE_run_all"))
         .args(["--quick", "--only", SUBSET, "--jobs", jobs])
+        .arg("--trace")
+        .arg(&trace_dir)
         .env("PC_RESULTS_DIR", results_dir)
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null())
@@ -52,6 +57,30 @@ fn records(dir: &Path) -> BTreeMap<String, Vec<u8>> {
         let name = entry.file_name().to_string_lossy().to_string();
         if name.ends_with(".json") && !name.starts_with("calibration-") {
             out.insert(name, std::fs::read(entry.path()).expect("read record"));
+        }
+    }
+    out
+}
+
+/// All trace files under `<dir>/traces`, relative path → bytes.
+fn traces(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let root = dir.join("traces");
+    let mut out = BTreeMap::new();
+    let mut stack = vec![root.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("trace dir") {
+            let entry = entry.expect("dir entry");
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("under trace root")
+                    .to_string_lossy()
+                    .to_string();
+                out.insert(rel, std::fs::read(&path).expect("read trace"));
+            }
         }
     }
     out
@@ -75,6 +104,32 @@ fn parallel_run_all_output_is_byte_identical_to_serial() {
         assert_eq!(
             bytes, &parallel[name],
             "{name} differs between serial and --jobs 4"
+        );
+    }
+    // The telemetry traces must be deterministic too: only simulated
+    // timestamps, recorded in dispatch order within each cell's own
+    // sink.
+    let serial_traces = traces(&serial_dir);
+    let parallel_traces = traces(&parallel_dir);
+    assert!(
+        serial_traces.keys().any(|k| k.starts_with("fig05/") && k.ends_with(".jsonl")),
+        "no fig05 .jsonl traces produced"
+    );
+    assert!(
+        serial_traces
+            .keys()
+            .any(|k| k.starts_with("fault_sweep/") && k.ends_with(".trace.json")),
+        "no fault_sweep .trace.json traces produced"
+    );
+    assert_eq!(
+        serial_traces.keys().collect::<Vec<_>>(),
+        parallel_traces.keys().collect::<Vec<_>>(),
+        "trace file sets differ"
+    );
+    for (name, bytes) in &serial_traces {
+        assert_eq!(
+            bytes, &parallel_traces[name],
+            "trace {name} differs between serial and --jobs 4"
         );
     }
     let _ = std::fs::remove_dir_all(&serial_dir);

@@ -15,6 +15,7 @@
 //! takes effect from the present instant onward.
 
 use crate::ids::{ContextId, TaskId};
+use crate::kernel::KernelStats;
 use hwsim::{CoreId, DeviceKind, Machine};
 use simkern::SimTime;
 
@@ -27,6 +28,7 @@ pub struct KernelApi<'a> {
     pub machine: &'a mut Machine,
     pub(crate) running: &'a [Option<TaskId>],
     pub(crate) contexts: &'a [Option<ContextId>],
+    pub(crate) stats: KernelStats,
 }
 
 impl<'a> KernelApi<'a> {
@@ -44,7 +46,15 @@ impl<'a> KernelApi<'a> {
             machine.spec().total_cores(),
             "one running slot per core"
         );
-        KernelApi { now, machine, running, contexts }
+        KernelApi { now, machine, running, contexts, stats: KernelStats::default() }
+    }
+
+    /// A snapshot of the kernel's activity counters **as of this hook
+    /// point** — not only at teardown — so facilities can export live
+    /// gauges (context-switch and interrupt rates) while the simulation
+    /// runs. Standalone views built with [`KernelApi::new`] report zeros.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats
     }
 
     /// The task currently running on `core`, if any.
@@ -170,8 +180,10 @@ mod tests {
             machine: &mut machine,
             running: &running,
             contexts: &contexts,
+            stats: KernelStats::default(),
         };
         assert_eq!(api.running_task(CoreId(0)), Some(TaskId(5)));
+        assert_eq!(api.kernel_stats(), KernelStats::default());
         assert!(api.is_idle(CoreId(1)));
         assert!(!api.is_idle(CoreId(0)));
         assert_eq!(api.context_of(TaskId(5)), Some(ContextId(7)));
@@ -190,6 +202,7 @@ mod tests {
             machine: &mut machine,
             running: &running,
             contexts: &contexts,
+            stats: KernelStats::default(),
         };
         let mut h = NoHooks;
         h.on_boot(&mut api);

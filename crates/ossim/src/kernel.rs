@@ -44,6 +44,10 @@ pub struct KernelConfig {
     /// message's tag instead of each segment carrying its own, which
     /// misattributes requests on persistent connections.
     pub naive_socket_tagging: bool,
+    /// Trace recorder for kernel events (context switches, PMU
+    /// interrupts). Disabled by default; every emission site is guarded
+    /// so the disabled path costs one branch.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl Default for KernelConfig {
@@ -56,6 +60,7 @@ impl Default for KernelConfig {
             net_bandwidth: 1e9,
             net_latency: SimDuration::from_micros(50),
             naive_socket_tagging: false,
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -345,6 +350,7 @@ impl Kernel {
                 machine: &mut self.machine,
                 running: &self.running,
                 contexts: &self.contexts,
+                stats: self.stats,
             };
             f(h.as_mut(), &mut api);
             self.hooks = Some(h);
@@ -480,6 +486,21 @@ impl Kernel {
         let prev = self.running[core.0];
         self.account(core);
         self.stats.context_switches += 1;
+        if self.config.telemetry.enabled() {
+            let as_id = |t: Option<TaskId>| t.map_or(-1, |t| i64::from(t.0));
+            self.config.telemetry.instant_on(
+                self.machine.now(),
+                "kernel",
+                "ctx_switch",
+                1,
+                &[
+                    ("core", telemetry::FieldValue::U64(core.0 as u64)),
+                    ("prev", telemetry::FieldValue::I64(as_id(prev))),
+                    ("next", telemetry::FieldValue::I64(as_id(next))),
+                ],
+            );
+            self.config.telemetry.add_count("kernel.ctx_switches", 1);
+        }
         self.with_hooks(|h, api| h.on_context_switch(api, core, prev, next));
         self.running[core.0] = next;
         match next {
@@ -753,6 +774,19 @@ impl Kernel {
         if self.machine.pmu_expired(core) {
             self.machine.set_pmu_threshold(core, None);
             self.stats.pmu_interrupts += 1;
+            if self.config.telemetry.enabled() {
+                self.config.telemetry.instant_on(
+                    self.machine.now(),
+                    "kernel",
+                    "pmu_irq",
+                    1,
+                    &[
+                        ("core", telemetry::FieldValue::U64(core.0 as u64)),
+                        ("task", telemetry::FieldValue::U64(u64::from(tid.0))),
+                    ],
+                );
+                self.config.telemetry.add_count("kernel.pmu_irqs", 1);
+            }
             self.with_hooks(|h, api| h.on_pmu_interrupt(api, core, tid));
             // The hook may have injected observer-effect cycles.
             self.account(core);

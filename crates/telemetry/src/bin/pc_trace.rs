@@ -1,0 +1,163 @@
+//! Trace inspection CLI for JSONL traces exported by `run_all --trace`.
+//!
+//! ```text
+//! pc-trace summarize <trace.jsonl>...         # event counts, per-container
+//!                                             # energy, degraded intervals
+//! pc-trace perfetto <trace.jsonl> [-o FILE]   # convert to Chrome trace JSON
+//!                                             # (loadable in Perfetto)
+//! pc-trace schema <trace.jsonl>... [--check GOLDEN]
+//!                                             # print the trace schema, or
+//!                                             # diff it against a golden file
+//! ```
+//!
+//! `schema --check` exits 1 on drift — CI runs it against the committed
+//! golden file so instrumentation shape changes must be deliberate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use telemetry::summary;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pc-trace summarize <trace.jsonl>...\n  \
+         pc-trace perfetto <trace.jsonl> [-o <out.json>]\n  \
+         pc-trace schema <trace.jsonl>... [--check <golden.txt>]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &Path) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_summarize(paths: &[PathBuf]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    for path in paths {
+        let jsonl = match read(path) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let s = summary::summarize(&jsonl);
+        println!("== {} ==", path.display());
+        print!("{}", summary::render_summary(&s));
+        if s.unparsed_lines > 0 {
+            eprintln!("error: {} unparsed line(s) in {}", s.unparsed_lines, path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_perfetto(paths: &[PathBuf], out: Option<&Path>) -> ExitCode {
+    let [path] = paths else {
+        return usage();
+    };
+    let jsonl = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let chrome = summary::jsonl_to_chrome(&jsonl);
+    match out {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, chrome) {
+                eprintln!("error: cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", out.display());
+        }
+        None => print!("{chrome}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_schema(paths: &[PathBuf], golden: Option<&Path>) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    // Union the schema across all inputs so one golden file can cover a
+    // whole trace directory.
+    let mut merged = String::new();
+    for path in paths {
+        match read(path) {
+            Ok(jsonl) => merged.push_str(&jsonl),
+            Err(code) => return code,
+        }
+    }
+    let actual = summary::schema(&merged);
+    let Some(golden_path) = golden else {
+        print!("{actual}");
+        return ExitCode::SUCCESS;
+    };
+    let expected = match read(golden_path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    if actual == expected {
+        println!("schema ok ({} shapes)", actual.lines().count());
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("error: trace schema drifted from {}", golden_path.display());
+    let expected_set: std::collections::BTreeSet<&str> = expected.lines().collect();
+    let actual_set: std::collections::BTreeSet<&str> = actual.lines().collect();
+    for gone in expected_set.difference(&actual_set) {
+        eprintln!("  - {gone}");
+    }
+    for new in actual_set.difference(&expected_set) {
+        eprintln!("  + {new}");
+    }
+    eprintln!(
+        "if the change is deliberate, regenerate the golden file with:\n  \
+         pc-trace schema <traces> > {}",
+        golden_path.display()
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut golden: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-o" | "--out" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage();
+                };
+                out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--check" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage();
+                };
+                golden = Some(PathBuf::from(v));
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag `{flag}`");
+                return usage();
+            }
+            path => {
+                paths.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    match cmd.as_str() {
+        "summarize" => cmd_summarize(&paths),
+        "perfetto" => cmd_perfetto(&paths, out.as_deref()),
+        "schema" => cmd_schema(&paths, golden.as_deref()),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,248 @@
+//! Trace exporters: JSONL and Chrome trace-event JSON.
+//!
+//! Both formats are rendered by hand-written formatting (not a generic
+//! serializer) so the byte layout is fully under our control — field
+//! order is fixed, floats use Rust's shortest round-trip `{:?}` form,
+//! and no map iteration order can leak in. That is what makes "traces
+//! are byte-identical across runs and `--jobs` counts" a guarantee
+//! rather than an accident.
+
+use crate::metrics::MetricsSnapshot;
+use crate::{Event, FieldValue, Phase};
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+///
+/// Event categories and names are static identifiers so this is almost
+/// always a pass-through, but the exporter must never emit invalid JSON
+/// no matter what an instrumentation site names things.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes an `f64` deterministically: shortest round-trip form for
+/// finite values, JSON `null` for NaN/±inf (which JSON cannot carry).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(x) => push_f64(out, *x),
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn push_args(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        push_field_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Renders events in record order, one JSON object per line, followed by
+/// one line per metric in sorted name order:
+///
+/// ```text
+/// {"t_ns":N,"cat":"...","name":"...","ph":"I","track":0,"args":{...}}
+/// {"metric":"counter","name":"...","value":N}
+/// {"metric":"gauge","name":"...","value":X}
+/// {"metric":"histogram","name":"...","bounds":[...],"counts":[...],"total":N,"sum":X}
+/// ```
+pub fn to_jsonl(events: &[Event], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    for e in events {
+        let _ = write!(out, "{{\"t_ns\":{},\"cat\":\"", e.t_ns);
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, e.name);
+        let _ = write!(out, "\",\"ph\":\"{}\",\"track\":{},\"args\":", e.ph.code(), e.track);
+        push_args(&mut out, &e.fields);
+        out.push_str("}\n");
+    }
+    for (name, value) in &metrics.counters {
+        out.push_str("{\"metric\":\"counter\",\"name\":\"");
+        escape_into(&mut out, name);
+        let _ = write!(out, "\",\"value\":{value}}}");
+        out.push('\n');
+    }
+    for (name, value) in &metrics.gauges {
+        out.push_str("{\"metric\":\"gauge\",\"name\":\"");
+        escape_into(&mut out, name);
+        out.push_str("\",\"value\":");
+        push_f64(&mut out, *value);
+        out.push_str("}\n");
+    }
+    for (name, h) in &metrics.histograms {
+        out.push_str("{\"metric\":\"histogram\",\"name\":\"");
+        escape_into(&mut out, name);
+        out.push_str("\",\"bounds\":[");
+        for (i, b) in h.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, *b);
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in h.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "],\"total\":{},\"sum\":", h.total);
+        push_f64(&mut out, h.sum);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Writes `t_ns` as the microsecond value Chrome's `ts` field expects,
+/// with exactly three fractional digits (nanosecond precision preserved,
+/// fixed width for byte determinism).
+pub(crate) fn push_ts_micros(out: &mut String, t_ns: u64) {
+    let _ = write!(out, "{}.{:03}", t_ns / 1_000, t_ns % 1_000);
+}
+
+/// Renders the events as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), loadable in Perfetto and
+/// `chrome://tracing`. Tracks map to `tid` under a single `pid` 0;
+/// instants use the thread-scoped `"i"` phase.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_into(&mut out, e.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"ph\":\"");
+        let ph = match e.ph {
+            Phase::Instant => "i",
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Counter => "C",
+        };
+        out.push_str(ph);
+        out.push_str("\",\"ts\":");
+        push_ts_micros(&mut out, e.t_ns);
+        let _ = write!(out, ",\"pid\":0,\"tid\":{}", e.track);
+        if e.ph == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.fields.is_empty() {
+            out.push_str(",\"args\":");
+            push_args(&mut out, &e.fields);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn ev(t_ns: u64, ph: Phase, fields: Vec<(&'static str, FieldValue)>) -> Event {
+        Event { t_ns, cat: "c", name: "n", ph, track: 3, fields }
+    }
+
+    #[test]
+    fn jsonl_field_order_is_fixed() {
+        let events = vec![ev(7, Phase::Instant, vec![("a", FieldValue::U64(1))])];
+        let line = to_jsonl(&events, &MetricsSnapshot::default());
+        assert_eq!(
+            line,
+            "{\"t_ns\":7,\"cat\":\"c\",\"name\":\"n\",\"ph\":\"I\",\"track\":3,\"args\":{\"a\":1}}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_metric_lines_follow_events() {
+        let mut reg = MetricsRegistry::default();
+        reg.add_count("n.total", 4);
+        reg.register_histogram("h", &[1.0]);
+        reg.observe("h", 0.25);
+        let out = to_jsonl(&[], &reg.snapshot());
+        assert_eq!(
+            out,
+            "{\"metric\":\"counter\",\"name\":\"n.total\",\"value\":4}\n\
+             {\"metric\":\"histogram\",\"name\":\"h\",\"bounds\":[1.0],\"counts\":[1,0],\
+             \"total\":1,\"sum\":0.25}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_ts_has_fixed_width_nanos() {
+        let events = vec![ev(1_500_042, Phase::Begin, vec![])];
+        let out = to_chrome_trace(&events);
+        assert!(out.contains("\"ts\":1500.042"), "{out}");
+        let events = vec![ev(2_000_000, Phase::End, vec![])];
+        assert!(to_chrome_trace(&events).contains("\"ts\":2000.000"));
+    }
+
+    #[test]
+    fn chrome_instants_are_thread_scoped() {
+        let out = to_chrome_trace(&[ev(1, Phase::Instant, vec![])]);
+        assert!(out.contains("\"s\":\"t\""));
+        let out = to_chrome_trace(&[ev(1, Phase::Begin, vec![])]);
+        assert!(!out.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn chrome_trace_parses_as_json() {
+        let events = vec![
+            ev(1, Phase::Begin, vec![("why", FieldValue::Str("a \"quoted\" reason"))]),
+            ev(2, Phase::End, vec![]),
+            ev(3, Phase::Counter, vec![("value", FieldValue::F64(0.5))]),
+        ];
+        let out = to_chrome_trace(&events);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert!(v.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\nb\u{1}c");
+        assert_eq!(s, "a\\nb\\u0001c");
+    }
+}

@@ -1,0 +1,388 @@
+//! Trace analysis behind the `pc-trace` binary.
+//!
+//! Works on the JSONL export (the schema-stable format): summarizes a
+//! trace into event counts, per-container energy timelines, and degraded
+//! intervals, and extracts the trace *schema* — the sorted set of
+//! (category, name, phase, argument keys) shapes plus metric kinds —
+//! which CI diffs against a committed golden file to catch silent drift.
+
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Two `cat:"degrade"` events closer than this merge into one degraded
+/// interval (100 ms of simulated time).
+pub const DEGRADE_MERGE_GAP_NS: u64 = 100_000_000;
+
+/// Energy accounting for one container, folded from `attr/sample` events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerEnergy {
+    /// Container (context) id; `-1` is the background container.
+    pub ctx: i64,
+    /// Number of attribution samples that charged this container.
+    pub samples: u64,
+    /// Sim time of the first sample, nanoseconds.
+    pub first_t_ns: u64,
+    /// Sim time of the last sample, nanoseconds.
+    pub last_t_ns: u64,
+    /// Cumulative attributed energy at the last sample, joules.
+    pub energy_j: f64,
+}
+
+/// A contiguous degraded interval on the sim clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedInterval {
+    /// Interval start (first degrade event), nanoseconds.
+    pub start_ns: u64,
+    /// Interval end (last merged degrade event), nanoseconds.
+    pub end_ns: u64,
+    /// Number of degrade events merged into this interval.
+    pub events: u64,
+}
+
+/// Everything `pc-trace summarize` reports about one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total event lines parsed.
+    pub total_events: u64,
+    /// `(category, name)` → occurrence count, in sorted key order.
+    pub event_counts: Vec<(String, String, u64)>,
+    /// Per-container energy, in container-id order.
+    pub containers: Vec<ContainerEnergy>,
+    /// Merged degraded intervals in time order.
+    pub degraded: Vec<DegradedInterval>,
+    /// Metric lines parsed (counters + gauges + histograms).
+    pub metric_lines: u64,
+    /// Lines that were not valid JSON or had no recognised shape.
+    pub unparsed_lines: u64,
+    /// Last event timestamp seen, nanoseconds.
+    pub span_ns: u64,
+}
+
+/// Parses a JSONL trace into a [`TraceSummary`].
+pub fn summarize(jsonl: &str) -> TraceSummary {
+    let mut out = TraceSummary::default();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut containers: BTreeMap<i64, ContainerEnergy> = BTreeMap::new();
+    let mut degrade_times: Vec<u64> = Vec::new();
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            out.unparsed_lines += 1;
+            continue;
+        };
+        if v.get("metric").is_some() {
+            out.metric_lines += 1;
+            continue;
+        }
+        let (Some(t_ns), Some(cat), Some(name)) = (
+            v.get("t_ns").and_then(Value::as_u64),
+            v.get("cat").and_then(Value::as_str),
+            v.get("name").and_then(Value::as_str),
+        ) else {
+            out.unparsed_lines += 1;
+            continue;
+        };
+        out.total_events += 1;
+        out.span_ns = out.span_ns.max(t_ns);
+        *counts.entry((cat.to_string(), name.to_string())).or_insert(0) += 1;
+        if cat == "degrade" {
+            degrade_times.push(t_ns);
+        }
+        if cat == "attr" && name == "sample" {
+            if let Some(args) = v.get("args") {
+                let ctx = args.get("ctx").and_then(Value::as_i64).unwrap_or(-1);
+                let energy = args.get("energy_j").and_then(Value::as_f64).unwrap_or(0.0);
+                let entry = containers.entry(ctx).or_insert(ContainerEnergy {
+                    ctx,
+                    samples: 0,
+                    first_t_ns: t_ns,
+                    last_t_ns: t_ns,
+                    energy_j: 0.0,
+                });
+                entry.samples += 1;
+                entry.first_t_ns = entry.first_t_ns.min(t_ns);
+                entry.last_t_ns = entry.last_t_ns.max(t_ns);
+                // Samples arrive in time order per trace, so the last
+                // cumulative value is the container's final energy.
+                if t_ns >= entry.last_t_ns {
+                    entry.energy_j = energy;
+                } else {
+                    entry.energy_j = entry.energy_j.max(energy);
+                }
+            }
+        }
+    }
+    out.event_counts = counts.into_iter().map(|((c, n), k)| (c, n, k)).collect();
+    out.containers = containers.into_values().collect();
+    out.degraded = merge_degraded(&degrade_times);
+    out
+}
+
+/// Merges sorted-or-unsorted degrade timestamps into intervals, joining
+/// neighbours closer than [`DEGRADE_MERGE_GAP_NS`].
+fn merge_degraded(times: &[u64]) -> Vec<DegradedInterval> {
+    let mut times = times.to_vec();
+    times.sort_unstable();
+    let mut out: Vec<DegradedInterval> = Vec::new();
+    for t in times {
+        match out.last_mut() {
+            Some(iv) if t.saturating_sub(iv.end_ns) <= DEGRADE_MERGE_GAP_NS => {
+                iv.end_ns = t;
+                iv.events += 1;
+            }
+            _ => out.push(DegradedInterval { start_ns: t, end_ns: t, events: 1 }),
+        }
+    }
+    out
+}
+
+/// Renders a [`TraceSummary`] as the deterministic text `pc-trace
+/// summarize` prints.
+pub fn render_summary(s: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events, {} metric lines, span {:.3} ms",
+        s.total_events,
+        s.metric_lines,
+        s.span_ns as f64 / 1e6
+    );
+    if s.unparsed_lines > 0 {
+        let _ = writeln!(out, "  ({} unparsed lines)", s.unparsed_lines);
+    }
+    let _ = writeln!(out, "event counts:");
+    for (cat, name, n) in &s.event_counts {
+        let _ = writeln!(out, "  {cat:<10} {name:<20} {n:>8}");
+    }
+    let _ = writeln!(out, "per-container energy timeline:");
+    if s.containers.is_empty() {
+        let _ = writeln!(out, "  (no attr/sample events)");
+    }
+    for c in &s.containers {
+        let label = if c.ctx < 0 { "background".to_string() } else { format!("ctx {}", c.ctx) };
+        let _ = writeln!(
+            out,
+            "  {label:<12} {:>7} samples  [{:.3} ms .. {:.3} ms]  {:.6} J",
+            c.samples,
+            c.first_t_ns as f64 / 1e6,
+            c.last_t_ns as f64 / 1e6,
+            c.energy_j
+        );
+    }
+    let _ = writeln!(out, "degraded intervals:");
+    if s.degraded.is_empty() {
+        let _ = writeln!(out, "  (none — clean run)");
+    }
+    for iv in &s.degraded {
+        let _ = writeln!(
+            out,
+            "  [{:.3} ms .. {:.3} ms]  {} event(s)",
+            iv.start_ns as f64 / 1e6,
+            iv.end_ns as f64 / 1e6,
+            iv.events
+        );
+    }
+    out
+}
+
+/// Extracts the trace *schema*: one sorted line per distinct event shape
+/// (`event <cat> <name> ph=<P> keys=<k1,k2>`) and per metric
+/// (`metric <kind> <name>`). Counts and values are deliberately absent,
+/// so the schema is stable across scales, seeds, and fault settings —
+/// any diff against the golden file means the instrumentation itself
+/// changed shape.
+pub fn schema(jsonl: &str) -> String {
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            lines.insert("unparsed".to_string());
+            continue;
+        };
+        if let Some(kind) = v.get("metric").and_then(Value::as_str) {
+            let name = v.get("name").and_then(Value::as_str).unwrap_or("?");
+            lines.insert(format!("metric {kind} {name}"));
+            continue;
+        }
+        let cat = v.get("cat").and_then(Value::as_str).unwrap_or("?");
+        let name = v.get("name").and_then(Value::as_str).unwrap_or("?");
+        let ph = v.get("ph").and_then(Value::as_str).unwrap_or("?");
+        let mut keys: Vec<&str> = v
+            .get("args")
+            .and_then(Value::as_object)
+            .map(|o| o.iter().map(|(k, _)| k.as_str()).collect())
+            .unwrap_or_default();
+        keys.sort_unstable();
+        lines.insert(format!("event {cat} {name} ph={ph} keys={}", keys.join(",")));
+    }
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts a JSONL trace read from disk into Chrome trace-event JSON.
+///
+/// For a trace produced by this crate, the output matches what the live
+/// [`crate::Telemetry::to_chrome_trace`] would have rendered (metric
+/// lines have no Chrome representation and are dropped; float fields
+/// re-render through JSON `Display`, which can normalize exponent
+/// notation); lines that fail to parse are skipped.
+pub fn jsonl_to_chrome(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len() + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for line in jsonl.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        if v.get("metric").is_some() {
+            continue;
+        }
+        let (Some(t_ns), Some(cat), Some(name), Some(ph)) = (
+            v.get("t_ns").and_then(Value::as_u64),
+            v.get("cat").and_then(Value::as_str),
+            v.get("name").and_then(Value::as_str),
+            v.get("ph").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        let track = v.get("track").and_then(Value::as_u64).unwrap_or(0);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":\"");
+        crate::export::escape_into(&mut out, name);
+        out.push_str("\",\"cat\":\"");
+        crate::export::escape_into(&mut out, cat);
+        out.push_str("\",\"ph\":\"");
+        // JSONL uses "I" for instants; Chrome wants lowercase "i".
+        out.push_str(if ph == "I" { "i" } else { ph });
+        out.push_str("\",\"ts\":");
+        crate::export::push_ts_micros(&mut out, t_ns);
+        let _ = write!(out, ",\"pid\":0,\"tid\":{track}");
+        if ph == "I" {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if let Some(args) = v.get("args").filter(|a| a.as_object().is_some_and(|o| !o.is_empty())) {
+            let _ = write!(out, ",\"args\":{args}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldValue, Telemetry};
+    use simkern::SimTime;
+
+    fn sample_trace() -> String {
+        let tele = Telemetry::recording();
+        let t = SimTime::from_millis;
+        for (ms, ctx, e) in [(1, 0i64, 0.5), (2, 1, 0.25), (3, 0, 1.1), (9, -1, 0.05)] {
+            tele.instant(
+                t(ms),
+                "attr",
+                "sample",
+                &[
+                    ("core", FieldValue::U64(0)),
+                    ("ctx", FieldValue::I64(ctx)),
+                    ("watts", FieldValue::F64(10.0)),
+                    ("energy_j", FieldValue::F64(e)),
+                ],
+            );
+        }
+        tele.instant(t(50), "degrade", "meter_gap", &[]);
+        tele.instant(t(120), "degrade", "refit_rejected", &[("reason", "residual".into())]);
+        tele.instant(t(400), "degrade", "meter_gap", &[]);
+        tele.add_count("kernel.pmu_irqs", 12);
+        tele.to_jsonl()
+    }
+
+    #[test]
+    fn summarize_folds_containers_and_degrades() {
+        let s = summarize(&sample_trace());
+        assert_eq!(s.total_events, 7);
+        assert_eq!(s.metric_lines, 1);
+        assert_eq!(s.unparsed_lines, 0);
+        assert_eq!(s.containers.len(), 3);
+        let ctx0 = s.containers.iter().find(|c| c.ctx == 0).expect("ctx 0");
+        assert_eq!(ctx0.samples, 2);
+        assert_eq!(ctx0.energy_j, 1.1);
+        assert_eq!(ctx0.first_t_ns, 1_000_000);
+        assert_eq!(ctx0.last_t_ns, 3_000_000);
+        // 50ms and 120ms merge (70ms gap < 100ms); 400ms stands alone.
+        assert_eq!(s.degraded.len(), 2);
+        assert_eq!(s.degraded[0].events, 2);
+        assert_eq!(s.degraded[1].start_ns, 400_000_000);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_everything() {
+        let s = summarize(&sample_trace());
+        let a = render_summary(&s);
+        assert_eq!(a, render_summary(&s));
+        assert!(a.contains("background"));
+        assert!(a.contains("degraded intervals:"));
+        assert!(a.contains("attr"));
+    }
+
+    #[test]
+    fn schema_is_count_free_and_sorted() {
+        let sch = schema(&sample_trace());
+        assert!(sch.contains("event attr sample ph=I keys=core,ctx,energy_j,watts\n"));
+        assert!(sch.contains("event degrade meter_gap ph=I keys=\n"));
+        assert!(sch.contains("metric counter kernel.pmu_irqs\n"));
+        // Doubling every event must not change the schema.
+        let doubled = format!("{}{}", sample_trace(), sample_trace());
+        assert_eq!(sch, schema(&doubled));
+        let mut sorted: Vec<&str> = sch.lines().collect();
+        sorted.sort_unstable();
+        assert_eq!(sch.lines().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn jsonl_to_chrome_matches_live_render() {
+        let tele = Telemetry::recording();
+        tele.begin_span(
+            SimTime::from_millis(1),
+            "cluster",
+            "blackout",
+            11,
+            &[("node", FieldValue::U64(1))],
+        );
+        tele.instant(SimTime::from_micros(1500), "align", "scan", &[("score", 0.5f64.into())]);
+        tele.end_span(SimTime::from_millis(2), 11);
+        tele.counter_sample(SimTime::from_millis(3), "core_power_w", 1, 2.5);
+        tele.add_count("kernel.pmu_irqs", 1);
+        assert_eq!(jsonl_to_chrome(&tele.to_jsonl()), tele.to_chrome_trace());
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_not_fatal() {
+        let s = summarize("not json\n{\"t_ns\":1}\n");
+        assert_eq!(s.unparsed_lines, 2);
+        assert_eq!(s.total_events, 0);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_cleanly() {
+        let s = summarize("");
+        assert_eq!(s, TraceSummary::default());
+        assert!(render_summary(&s).contains("clean run"));
+    }
+}

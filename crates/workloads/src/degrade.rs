@@ -1,0 +1,110 @@
+//! A process-wide ledger of graceful-degradation decisions, keyed by
+//! experiment scope.
+//!
+//! Every harness run ends by folding its facility's
+//! [`DegradeStats`](power_containers::DegradeStats) into the ledger under
+//! the scope the calling thread entered with [`DegradeScope::enter`].
+//! The experiment driver enters one scope per experiment inside its
+//! worker closure, then reads the whole ledger back with
+//! [`degrade_ledger`] to render a status column — without threading a
+//! side channel through every experiment's return type.
+//!
+//! Runs on threads that never entered a scope (unit tests, ad-hoc
+//! callers) are deliberately not recorded.
+
+use power_containers::DegradeStats;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static LEDGER: Mutex<BTreeMap<String, DegradeStats>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static CURRENT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard naming the degrade-ledger scope for the current thread;
+/// dropping it restores the previous scope (scopes nest).
+#[derive(Debug)]
+pub struct DegradeScope {
+    prev: Option<String>,
+}
+
+impl DegradeScope {
+    /// Makes `name` the current thread's ledger scope until the guard
+    /// drops.
+    pub fn enter(name: &str) -> DegradeScope {
+        let prev = CURRENT.with(|c| c.replace(Some(name.to_string())));
+        DegradeScope { prev }
+    }
+}
+
+impl Drop for DegradeScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The current thread's ledger scope, if any — lets a thread pool
+/// re-enter the scope of the thread that spawned its tasks.
+pub fn current_degrade_scope() -> Option<String> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Folds `stats` into the ledger under the current thread's scope; a
+/// no-op when no [`DegradeScope`] is active.
+pub fn note_degrade(stats: DegradeStats) {
+    let Some(scope) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut ledger = LEDGER.lock().unwrap_or_else(|e| e.into_inner());
+    *ledger.entry(scope).or_default() += stats;
+}
+
+/// A snapshot of the ledger, sorted by scope name.
+pub fn degrade_ledger() -> Vec<(String, DegradeStats)> {
+    let ledger = LEDGER.lock().unwrap_or_else(|e| e.into_inner());
+    ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Clears the ledger (start of a fresh experiment batch).
+pub fn reset_degrade_ledger() {
+    LEDGER.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole module: the ledger is process-global,
+    // so independent #[test]s would race each other's resets.
+    #[test]
+    fn scopes_accumulate_nest_and_reset() {
+        reset_degrade_ledger();
+        let hit = DegradeStats { meter_gaps: 1, ..DegradeStats::default() };
+
+        // No scope: dropped.
+        note_degrade(hit);
+        assert!(degrade_ledger().is_empty());
+
+        {
+            let _outer = DegradeScope::enter("outer");
+            note_degrade(hit);
+            note_degrade(hit);
+            {
+                let _inner = DegradeScope::enter("inner");
+                note_degrade(hit);
+            }
+            // Back to the outer scope after the inner guard drops.
+            note_degrade(hit);
+        }
+        let ledger = degrade_ledger();
+        assert_eq!(
+            ledger.iter().map(|(k, v)| (k.as_str(), v.meter_gaps)).collect::<Vec<_>>(),
+            vec![("inner", 1), ("outer", 3)]
+        );
+
+        reset_degrade_ledger();
+        assert!(degrade_ledger().is_empty());
+    }
+}

@@ -90,6 +90,10 @@ pub struct RunConfig {
     /// Hardware fault injection for robustness sweeps;
     /// [`hwsim::FaultConfig::none`] leaves the machine pristine.
     pub faults: hwsim::FaultConfig,
+    /// Trace sink shared by the kernel and the facility; disabled by
+    /// default. Clone one [`telemetry::Telemetry::recording`] handle
+    /// into several configs to merge their runs into a single trace.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl RunConfig {
@@ -114,6 +118,7 @@ impl RunConfig {
             naive_socket_tagging: false,
             closed_loop: None,
             faults: hwsim::FaultConfig::none(),
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 }
@@ -219,26 +224,30 @@ impl PreparedRun {
     pub fn run(mut self) -> RunOutcome {
         let end = SimTime::ZERO + self.duration;
         self.kernel.run_until(end);
-        RunOutcome {
+        let outcome = RunOutcome {
             kernel: self.kernel,
             facility: self.facility,
             stats: self.stats,
             end,
             offered_rate: self.offered_rate,
-        }
+        };
+        crate::degrade::note_degrade(outcome.degrade_stats());
+        outcome
     }
 
     /// Converts an already-stepped run into an outcome at its current
     /// time.
     pub fn finish(self) -> RunOutcome {
         let end = self.kernel.now();
-        RunOutcome {
+        let outcome = RunOutcome {
             kernel: self.kernel,
             facility: self.facility,
             stats: self.stats,
             end,
             offered_rate: self.offered_rate,
-        }
+        };
+        crate::degrade::note_degrade(outcome.degrade_stats());
+        outcome
     }
 }
 
@@ -283,6 +292,7 @@ pub fn prepare_app(
         track_per_task: cfg.track_per_task,
         sibling_idle_check: cfg.sibling_idle_check,
         compensate_observer: cfg.compensate_observer,
+        telemetry: cfg.telemetry.clone(),
         ..FacilityConfig::default()
     };
     if let Some(period) = cfg.sample_period {
@@ -305,6 +315,7 @@ pub fn prepare_app(
     }
     let kernel_config = KernelConfig {
         naive_socket_tagging: cfg.naive_socket_tagging,
+        telemetry: cfg.telemetry.clone(),
         ..KernelConfig::default()
     };
     let mut kernel = Kernel::new(machine, kernel_config);

@@ -33,6 +33,7 @@
 
 pub mod apps;
 pub mod calibration;
+pub mod degrade;
 pub mod driver;
 pub mod harness;
 pub mod stats;
@@ -40,6 +41,9 @@ pub mod trace;
 
 pub use apps::{AppEnv, ServerApp, WorkloadKind, POWER_VIRUS_LABEL};
 pub use calibration::{calibrate_machine, MachineCalibration, Microbench};
+pub use degrade::{
+    current_degrade_scope, degrade_ledger, note_degrade, reset_degrade_ledger, DegradeScope,
+};
 pub use driver::{
     scaled_compute, spawn_driver, spawn_pool, ClosedLoopDriver, CtxAlloc, DriverEnv, PoolWorker,
 };
