@@ -9,8 +9,14 @@
 //! * [`policy`] — the three dispatch policies compared in Fig. 14 and
 //!   Table 1 (simple balance, machine heterogeneity-aware, workload
 //!   heterogeneity-aware);
-//! * [`sim`] — the lockstep two-kernel cluster simulation with an
-//!   energy- and latency-instrumented dispatcher.
+//! * [`topology`] — heterogeneous fleet construction: arbitrary machine
+//!   mixes arranged into multi-stage serving tiers (web → app → db);
+//! * [`sim`] — the sharded N-node serving simulation: a tick-batched
+//!   dispatcher drives a deterministic open-loop load through the
+//!   pipeline, request tags propagate across node boundaries on the
+//!   socket path (and degrade under tag faults exactly as on one
+//!   machine), and a cluster-wide power cap decomposes into per-node
+//!   conditioning shares.
 //!
 //! # Example
 //!
@@ -31,10 +37,15 @@
 pub mod policy;
 pub mod profile;
 pub mod sim;
+pub mod topology;
 
 pub use policy::{
     ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
     WorkloadHeterogeneityAware,
 };
 pub use profile::{energy_affinity, mean_request_energy_j, AffinityRow};
-pub use sim::{run_cluster, ClusterConfig, ClusterOutcome, NodeOutcome};
+pub use sim::{
+    offered_cluster_rate, run_cluster, run_pipeline, ClusterConfig, ClusterOutcome, CtxEnergy,
+    NodeOutcome,
+};
+pub use topology::{generation_rank, Tier, Topology};

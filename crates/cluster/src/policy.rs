@@ -1,20 +1,25 @@
 //! Request-distribution policies (paper §4.4).
 //!
-//! Three dispatchers over a two-machine heterogeneous cluster:
+//! Three dispatchers over a heterogeneous cluster of any size:
 //!
-//! * **Simple load balance** — equal request streams to both machines,
+//! * **Simple load balance** — equal request streams to every machine,
 //!   oblivious to heterogeneity.
-//! * **Machine heterogeneity-aware** — fills the newer, more
-//!   energy-efficient machine to a healthy high utilization (~70%)
-//!   before spilling to the older one; same request mix everywhere.
+//! * **Machine heterogeneity-aware** — fills machines in efficiency
+//!   order (newest generation first) to a healthy high utilization
+//!   (~70%) before spilling to older ones; same request mix everywhere.
 //! * **Workload heterogeneity-aware** — additionally uses per-workload
 //!   cross-machine energy profiles (from power containers) to decide
 //!   *which* requests spill: those with high relative energy efficiency
-//!   on the old machine go there; the rest stay on the new machine.
+//!   on the old machines go there; the rest stay on the new ones.
+//!
+//! Policies are pure functions of their own state and the per-arrival
+//! [`NodeView`]s: equal inputs give equal choices, which is what keeps
+//! cluster runs byte-identical at any `--jobs` count.
 
 use workloads::WorkloadKind;
 
-/// Dispatcher-visible state of one cluster node.
+/// Dispatcher-visible state of one cluster node (tier-local: a policy
+/// instance sees only the nodes of the tier it routes for).
 #[derive(Debug, Clone, Copy)]
 pub struct NodeView {
     /// Estimated outstanding work, in "standard requests" (service time
@@ -22,6 +27,10 @@ pub struct NodeView {
     pub outstanding: f64,
     /// Core count.
     pub cores: usize,
+    /// Machine-generation rank: lower is newer/more efficient. Nodes at
+    /// the minimum rank present form the "new machine" set the aware
+    /// policies fill first.
+    pub rank: u8,
 }
 
 impl NodeView {
@@ -40,13 +49,32 @@ pub struct ArrivalView {
     pub label: u32,
 }
 
-/// A request-distribution policy. Node 0 is the newer/more efficient
-/// machine by convention.
+/// A request-distribution policy. Views arrive in efficiency order by
+/// convention (newest machines at the lowest indices), but the aware
+/// policies order by [`NodeView::rank`] explicitly.
 pub trait DistributionPolicy {
     /// The policy's display name (matches the paper's terminology).
     fn name(&self) -> &'static str;
     /// Chooses the node for one arriving request.
     fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize;
+}
+
+/// Node indices sorted by (rank, index): the order in which the aware
+/// policies consider filling machines.
+fn efficiency_order(nodes: &[NodeView]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| (nodes[i].rank, i));
+    order
+}
+
+/// The least-loaded node (by load fraction, ties to the lowest index).
+fn least_loaded<'a>(ix: impl Iterator<Item = &'a usize>, nodes: &[NodeView]) -> Option<usize> {
+    ix.copied().min_by(|&a, &b| {
+        nodes[a]
+            .load_fraction()
+            .total_cmp(&nodes[b].load_fraction())
+            .then(a.cmp(&b))
+    })
 }
 
 /// Equal request streams to every node.
@@ -74,12 +102,14 @@ impl DistributionPolicy for SimpleBalance {
     }
 }
 
-/// Fills node 0 to `threshold` of its cores before using the others.
+/// Fills machines in efficiency order to `threshold` of their cores
+/// before using older ones; falls back to the least-loaded node when the
+/// whole fleet is saturated.
 #[derive(Debug)]
 pub struct MachineHeterogeneityAware {
-    /// Utilization up to which node 0 absorbs all load.
+    /// Utilization up to which a machine absorbs load before the policy
+    /// moves on to the next one in efficiency order.
     pub threshold: f64,
-    spill: usize,
 }
 
 impl MachineHeterogeneityAware {
@@ -88,7 +118,7 @@ impl MachineHeterogeneityAware {
     /// utilization because requests also block on I/O, so the threshold
     /// sits above the ~70% utilization it produces).
     pub fn new() -> MachineHeterogeneityAware {
-        MachineHeterogeneityAware { threshold: 0.85, spill: 0 }
+        MachineHeterogeneityAware { threshold: 0.85 }
     }
 }
 
@@ -104,26 +134,30 @@ impl DistributionPolicy for MachineHeterogeneityAware {
     }
 
     fn choose(&mut self, _req: ArrivalView, nodes: &[NodeView]) -> usize {
-        if nodes[0].load_fraction() < self.threshold {
-            return 0;
+        let order = efficiency_order(nodes);
+        if let Some(&i) = order
+            .iter()
+            .find(|&&i| nodes[i].load_fraction() < self.threshold)
+        {
+            return i;
         }
-        // Spill round-robin over the remaining nodes.
-        let others = nodes.len() - 1;
-        let n = 1 + self.spill % others;
-        self.spill += 1;
-        n
+        least_loaded(order.iter(), nodes).expect("nodes nonempty")
     }
 }
 
 /// Like [`MachineHeterogeneityAware`], but spills preferentially the
-/// requests whose cross-machine energy ratio (node 0 energy over node 1
-/// energy) is *highest* — they lose the least by running on the old
-/// machine.
+/// requests whose cross-machine energy ratio (new-machine energy over
+/// old-machine energy) is *highest* — they lose the least by running on
+/// an old machine.
 #[derive(Debug)]
 pub struct WorkloadHeterogeneityAware {
-    /// Fill threshold for node 0.
+    /// Fill threshold for the efficient (newest-generation) machines.
     pub threshold: f64,
-    /// Per-app energy ratio (node 0 / node 1), from container profiling.
+    /// Load fraction up to which a low-ratio (strong-affinity) request
+    /// still crowds onto an efficient machine over the threshold.
+    pub hard_cap: f64,
+    /// Per-app energy ratio (new machine / old machine), from container
+    /// profiling.
     ratios: Vec<(WorkloadKind, f64)>,
     /// Apps with ratio above this spill first.
     cutoff: f64,
@@ -132,13 +166,18 @@ pub struct WorkloadHeterogeneityAware {
 impl WorkloadHeterogeneityAware {
     /// Creates the policy from profiled cross-machine energy ratios
     /// (Fig. 13's values). The cutoff splits apps into "keep on the new
-    /// machine" (low ratio) and "fine to spill" (high ratio) at the
+    /// machines" (low ratio) and "fine to spill" (high ratio) at the
     /// midpoint of the observed ratios.
     pub fn new(ratios: Vec<(WorkloadKind, f64)>) -> WorkloadHeterogeneityAware {
         assert!(!ratios.is_empty(), "need at least one profiled app");
         let min = ratios.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         let max = ratios.iter().map(|r| r.1).fold(0.0, f64::max);
-        WorkloadHeterogeneityAware { threshold: 0.85, ratios, cutoff: (min + max) / 2.0 }
+        WorkloadHeterogeneityAware {
+            threshold: 0.85,
+            hard_cap: 1.25,
+            ratios,
+            cutoff: (min + max) / 2.0,
+        }
     }
 
     fn ratio_of(&self, app: WorkloadKind) -> f64 {
@@ -156,20 +195,51 @@ impl DistributionPolicy for WorkloadHeterogeneityAware {
     }
 
     fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize {
-        let node0_free = nodes[0].load_fraction() < self.threshold;
-        if node0_free {
-            return 0;
+        let best_rank = nodes.iter().map(|n| n.rank).min().expect("nodes nonempty");
+        let order = efficiency_order(nodes);
+        // Fill the efficient set to the threshold first, like the
+        // machine-aware policy.
+        if let Some(&i) = order.iter().find(|&&i| {
+            nodes[i].rank == best_rank && nodes[i].load_fraction() < self.threshold
+        }) {
+            return i;
         }
         let spillable = self.ratio_of(req.app) >= self.cutoff;
         if spillable {
-            // This request runs nearly as efficiently on the old machine.
-            1
-        } else if nodes[0].load_fraction() < 1.25 {
-            // Strong affinity for node 0: tolerate higher fill there.
-            0
+            // This request runs nearly as efficiently on an old machine:
+            // pack the old generations in efficiency order (newest
+            // first), exactly like the machine-aware fill — spreading
+            // would keep every old machine active and waste their
+            // overheads.
+            if let Some(&i) = order.iter().find(|&&i| {
+                nodes[i].rank != best_rank && nodes[i].load_fraction() < self.threshold
+            }) {
+                return i;
+            }
+            // Every old machine is over threshold: least-loaded old one.
+            if let Some(i) = least_loaded(
+                order.iter().filter(|&&i| nodes[i].rank != best_rank),
+                nodes,
+            ) {
+                return i;
+            }
         } else {
-            1
+            // Strong affinity for the new machines: tolerate higher fill
+            // there before giving up.
+            if let Some(&i) = order.iter().find(|&&i| {
+                nodes[i].rank == best_rank && nodes[i].load_fraction() < self.hard_cap
+            }) {
+                return i;
+            }
+            // The new set is beyond even the hard cap: fall back to the
+            // efficiency-order fill over the rest of the fleet.
+            if let Some(&i) =
+                order.iter().find(|&&i| nodes[i].load_fraction() < self.threshold)
+            {
+                return i;
+            }
         }
+        least_loaded(order.iter(), nodes).expect("nodes nonempty")
     }
 }
 
@@ -179,8 +249,8 @@ mod tests {
 
     fn nodes(load0: f64, load1: f64) -> Vec<NodeView> {
         vec![
-            NodeView { outstanding: load0 * 4.0, cores: 4 },
-            NodeView { outstanding: load1 * 4.0, cores: 4 },
+            NodeView { outstanding: load0 * 4.0, cores: 4, rank: 0 },
+            NodeView { outstanding: load1 * 4.0, cores: 4, rank: 2 },
         ]
     }
 
@@ -209,6 +279,28 @@ mod tests {
     }
 
     #[test]
+    fn machine_aware_fills_in_efficiency_order_not_index_order() {
+        let mut p = MachineHeterogeneityAware::new();
+        // The efficient machine sits at index 2 here; it must fill first.
+        let views = vec![
+            NodeView { outstanding: 0.0, cores: 4, rank: 2 },
+            NodeView { outstanding: 0.0, cores: 4, rank: 1 },
+            NodeView { outstanding: 0.0, cores: 4, rank: 0 },
+        ];
+        assert_eq!(p.choose(rsa(), &views), 2);
+    }
+
+    #[test]
+    fn machine_aware_saturated_fleet_goes_least_loaded() {
+        let mut p = MachineHeterogeneityAware::new();
+        let views = vec![
+            NodeView { outstanding: 4.0, cores: 4, rank: 0 },
+            NodeView { outstanding: 3.6, cores: 4, rank: 2 },
+        ];
+        assert_eq!(p.choose(rsa(), &views), 1);
+    }
+
+    #[test]
     fn workload_aware_spills_high_ratio_apps() {
         let mut p = WorkloadHeterogeneityAware::new(vec![
             (WorkloadKind::RsaCrypto, 0.25),
@@ -223,6 +315,26 @@ mod tests {
         assert_eq!(p.choose(gae(), &nodes(0.3, 0.0)), 0);
         // Node 0 completely saturated: even RSA spills.
         assert_eq!(p.choose(rsa(), &nodes(1.3, 0.2)), 1);
+    }
+
+    #[test]
+    fn workload_aware_packs_spill_in_efficiency_order() {
+        let mut p = WorkloadHeterogeneityAware::new(vec![
+            (WorkloadKind::RsaCrypto, 0.25),
+            (WorkloadKind::GaeVosao, 0.75),
+        ]);
+        let views = vec![
+            NodeView { outstanding: 3.8, cores: 4, rank: 0 },
+            NodeView { outstanding: 2.0, cores: 4, rank: 1 },
+            NodeView { outstanding: 0.4, cores: 4, rank: 2 },
+        ];
+        // The spill packs the newest old machine that still has room,
+        // not the least-loaded one.
+        assert_eq!(p.choose(gae(), &views), 1);
+        // Once that one is full, the next generation takes over.
+        let mut full1 = views.clone();
+        full1[1].outstanding = 3.6;
+        assert_eq!(p.choose(gae(), &full1), 2);
     }
 
     #[test]

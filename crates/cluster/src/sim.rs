@@ -1,28 +1,47 @@
-//! The two-machine cluster simulation (paper §4.4).
+//! The sharded N-node serving simulation (paper §3.4, §4.4, scaled).
 //!
 //! Each node is a full machine + kernel + facility running the worker
-//! pools of every application; a dispatcher advances the nodes in
-//! lockstep, generates a Poisson arrival stream mixing the applications
-//! 50/50 by load, and routes each request according to the configured
-//! [`DistributionPolicy`]. Request contexts propagate across the machine
-//! boundary in the message tag, as in §3.4.
+//! pools of every application. Nodes are arranged into serving tiers
+//! (web → app → db); a dispatcher drives a deterministic open-loop
+//! arrival process ([`workloads::OpenLoopGen`]) and routes every request
+//! through the pipeline according to the per-tier
+//! [`DistributionPolicy`]. Request contexts propagate across node
+//! boundaries in the socket-message tag, as in §3.4: a node's reply
+//! carries the tag back out, and the dispatcher forwards the *observed*
+//! tag to the next tier — so a tag lost or corrupted in transit degrades
+//! attribution exactly as it would on real hardware, while request flow
+//! itself stays intact via a serial number in the message payload.
+//!
+//! Dispatcher decisions are batched per tick: the engine advances every
+//! node to the tick boundary once, drains stage completions, runs
+//! health checks, and only then routes the tick's batch of arrivals
+//! against incrementally maintained load views. Per-request dispatcher
+//! work is therefore O(policy) — independent of node count — which is
+//! what keeps throughput flat as the fleet grows.
 
 use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
+use crate::topology::{generation_rank, Topology};
 use analysis::stats::Summary;
 use hwsim::{plan_node_faults, DutyCycle, FaultConfig, Machine, MachineSpec, NodeFaultWindow};
 use ossim::{ContextId, Kernel, KernelConfig, SocketId};
-use power_containers::{Approach, FacilityConfig, FacilityState, PowerContainerFacility};
-use simkern::{SimDuration, SimRng, SimTime};
+use power_containers::{
+    Approach, ConditioningPolicy, FacilityConfig, FacilityState, PowerContainerFacility,
+};
+use simkern::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use workloads::{AppEnv, MachineCalibration, RunStats, ServerApp, WorkloadKind};
+use workloads::{AppEnv, MachineCalibration, OpenLoopGen, RunStats, ServerApp, WorkloadKind};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Node machine specs; node 0 should be the newest machine.
+    /// Node machine specs, flat across tiers; within a tier, newer
+    /// machines should come first (use [`Topology`] to build this).
     pub nodes: Vec<MachineSpec>,
+    /// Tier membership: `tiers[t]` lists the flat node indices serving
+    /// pipeline stage `t`. The tiers must partition `0..nodes.len()`.
+    pub tiers: Vec<Vec<usize>>,
     /// Applications in the combined workload (equal load shares).
     pub apps: Vec<WorkloadKind>,
     /// Run length.
@@ -34,6 +53,17 @@ pub struct ClusterConfig {
     /// Offered volume as a fraction of the maximum the *simple balance*
     /// policy can support (the paper's experiment runs at that maximum).
     pub volume: f64,
+    /// Cluster-wide active-power cap, enforced through per-request
+    /// duty-cycle conditioning of each node's proportional share
+    /// ([`ConditioningPolicy::node_share`]). `None` disables capping.
+    pub power_cap_w: Option<f64>,
+    /// Dispatcher batching quantum: nodes advance and decisions are
+    /// made once per tick.
+    pub tick: SimDuration,
+    /// Retain per-request energy totals in
+    /// [`ClusterOutcome::energy_by_ctx`] (costs memory proportional to
+    /// the request count; off by default).
+    pub retain_request_energy: bool,
     /// Fault injection: machine-level faults (meters, counters, tags)
     /// are applied to every node with a node-specific seed; the
     /// node-level slowdown/blackout rates drive a precomputed window
@@ -46,18 +76,32 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
-    /// The paper's setup: SandyBridge + Woodcrest, GAE-Vosao + RSA-crypto
-    /// at the simple-balance maximum volume.
+    /// The paper's setup: SandyBridge + Woodcrest in a single tier,
+    /// GAE-Vosao + RSA-crypto at the simple-balance maximum volume.
     pub fn paper_setup() -> ClusterConfig {
         ClusterConfig {
             nodes: vec![MachineSpec::sandybridge(), MachineSpec::woodcrest()],
+            tiers: vec![vec![0, 1]],
             apps: vec![WorkloadKind::GaeVosao, WorkloadKind::RsaCrypto],
             duration: SimDuration::from_secs(10),
             seed: 42,
             workers_per_core: 4,
             volume: 1.0,
+            power_cap_w: None,
+            tick: SimDuration::from_millis(1),
+            retain_request_energy: false,
             faults: FaultConfig::none(),
             telemetry: telemetry::Telemetry::disabled(),
+        }
+    }
+
+    /// A config serving the paper's GAE-Vosao + RSA-crypto mix on an
+    /// arbitrary [`Topology`].
+    pub fn sharded(topology: &Topology) -> ClusterConfig {
+        ClusterConfig {
+            nodes: topology.flat_specs(),
+            tiers: topology.tier_indices(),
+            ..ClusterConfig::paper_setup()
         }
     }
 }
@@ -83,12 +127,23 @@ struct Node {
     stats: Rc<RefCell<RunStats>>,
     /// Per-app worker inboxes, with a round-robin cursor each.
     inboxes: Vec<(Vec<SocketId>, usize)>,
-    /// Expected service seconds of each outstanding request.
-    outstanding: HashMap<ContextId, f64>,
+    /// Dispatcher-side endpoint of this node's completion channel; the
+    /// worker pools respond here while still bound, so replies carry
+    /// the request tag back across the node boundary (§3.4).
+    reply_rx: SocketId,
+    /// Expected service seconds of each outstanding request, by serial.
+    outstanding: HashMap<u64, f64>,
     outstanding_std: f64,
     /// Mean service seconds across the offered mix on this node.
     mean_service: f64,
-    completions_seen: usize,
+    /// Requests injected into this node (initial dispatches + hops).
+    injected: u64,
+    /// Stage completions drained from this node.
+    responses: u64,
+    /// Machine-generation rank (lower = newer), for the policies.
+    rank: u8,
+    /// Which tier this node serves.
+    tier: usize,
     /// This node's slowdown/blackout windows, in start order.
     fault_windows: Vec<NodeFaultWindow>,
     next_window: usize,
@@ -99,7 +154,7 @@ struct Node {
     penalty_until: SimTime,
     penalty: SimDuration,
     last_health_check: SimTime,
-    completions_at_check: usize,
+    responses_at_check: u64,
     /// Trace sink shared with the dispatcher and this node's facility.
     tele: telemetry::Telemetry,
     /// This node's trace track (`10 + node index`).
@@ -111,19 +166,24 @@ impl Node {
         NodeView {
             outstanding: self.outstanding_std,
             cores: self.kernel.machine().spec().total_cores(),
+            rank: self.rank,
         }
     }
 
-    /// Folds newly finished requests into the outstanding estimate.
-    fn settle_completions(&mut self) {
-        let stats = self.stats.borrow();
-        let completions = stats.completions();
-        for c in &completions[self.completions_seen..] {
-            if let Some(secs) = self.outstanding.remove(&c.ctx) {
-                self.outstanding_std -= secs / self.mean_service;
-            }
+    /// Removes `serial` from the outstanding estimate.
+    fn settle(&mut self, serial: u64) {
+        if let Some(secs) = self.outstanding.remove(&serial) {
+            self.outstanding_std -= secs / self.mean_service;
         }
-        self.completions_seen = completions.len();
+        self.responses += 1;
+    }
+
+    /// Adds `serial` (with service estimate `secs`) to the outstanding
+    /// estimate.
+    fn assign(&mut self, serial: u64, secs: f64) {
+        self.outstanding.insert(serial, secs);
+        self.outstanding_std += secs / self.mean_service;
+        self.injected += 1;
     }
 
     /// Advances the node's kernel to `t`, applying any fault-window
@@ -193,9 +253,9 @@ impl Node {
         now < self.penalty_until
     }
 
-    /// Periodic liveness probe: outstanding work with no completion
-    /// progress since the last check marks the node degraded and extends
-    /// its penalty with exponential backoff (bounded by
+    /// Periodic liveness probe: outstanding work with no stage
+    /// completions since the last check marks the node degraded and
+    /// extends its penalty with exponential backoff (bounded by
     /// [`PENALTY_MAX`]); progress resets the backoff. Returns `true`
     /// when a new degradation was detected.
     fn health_check(&mut self, now: SimTime) -> bool {
@@ -203,9 +263,9 @@ impl Node {
             return false;
         }
         let stalled =
-            !self.outstanding.is_empty() && self.completions_seen == self.completions_at_check;
+            !self.outstanding.is_empty() && self.responses == self.responses_at_check;
         self.last_health_check = now;
-        self.completions_at_check = self.completions_seen;
+        self.responses_at_check = self.responses;
         if stalled {
             self.penalty_until = now + self.penalty;
             self.penalty = (self.penalty + self.penalty).min(PENALTY_MAX);
@@ -215,6 +275,17 @@ impl Node {
             false
         }
     }
+
+    /// Energy the facility attributed on this node (requests +
+    /// background, CPU + I/O) — mirrors
+    /// `workloads::RunOutcome::attributed_energy_j`.
+    fn attributed_energy_j(&self) -> f64 {
+        let f = self.facility.borrow();
+        let c = f.containers();
+        c.total_energy_with_background_j()
+            + c.total_request_io_energy_j()
+            + c.background().io_energy_j()
+    }
 }
 
 /// Per-node results of a cluster run.
@@ -222,41 +293,77 @@ impl Node {
 pub struct NodeOutcome {
     /// Machine name.
     pub machine: &'static str,
+    /// Which pipeline tier the node served.
+    pub tier: usize,
     /// Active energy drawn over the run, Joules.
     pub active_energy_j: f64,
+    /// Energy the node's facility attributed (requests + background,
+    /// CPU + I/O), Joules — compare against `active_energy_j` for the
+    /// per-node conservation invariant.
+    pub attributed_energy_j: f64,
     /// Active energy usage rate, Watts (the paper's Fig. 14 metric).
     pub energy_rate_w: f64,
-    /// Requests completed on this node.
+    /// Requests injected into this node (dispatches + pipeline hops).
+    pub dispatched: u64,
+    /// Stage completions this node served.
     pub completions: usize,
+    /// Requests still queued or running on this node at the end.
+    pub in_flight: u64,
     /// Mean utilization over the run.
     pub utilization: f64,
+}
+
+/// Cumulative attributed energy of one request across every node it
+/// touched (only populated with
+/// [`ClusterConfig::retain_request_energy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CtxEnergy {
+    /// The request's true context id (as allocated at dispatch).
+    pub ctx: u64,
+    /// Energy attributed to that identity across the fleet, Joules.
+    pub energy_j: f64,
+    /// How many distinct nodes attributed energy to it.
+    pub nodes: u32,
 }
 
 /// Results of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterOutcome {
-    /// The policy that produced this outcome.
+    /// The tier-0 policy that produced this outcome.
     pub policy: &'static str,
     /// Per-node breakdown (same order as the config).
     pub per_node: Vec<NodeOutcome>,
-    /// Response-time summary per application, seconds.
+    /// End-to-end response-time summary per application, seconds.
     pub response_by_app: Vec<(WorkloadKind, Summary)>,
     /// Per-application attributed energy, Joules — the dispatcher's
-    /// comprehensive accounting assembled from the per-request statistics
-    /// that ride response messages across the machine boundary (§3.4).
+    /// comprehensive accounting assembled from the per-request container
+    /// records on every node, resolved through the true request identity
+    /// (§3.4). Tag loss or corruption in transit makes energy fall out
+    /// of this accounting, exactly as it would on real hardware.
     pub energy_by_app_j: Vec<(WorkloadKind, f64)>,
-    /// Requests dispatched.
+    /// Per-request attributed energy across nodes (empty unless
+    /// [`ClusterConfig::retain_request_energy`] is set).
+    pub energy_by_ctx: Vec<CtxEnergy>,
+    /// Requests the load generator offered to the dispatcher.
     pub dispatched: u64,
-    /// Requests completed cluster-wide.
+    /// Requests that completed the full pipeline.
     pub completed: usize,
     /// Requests the dispatcher steered away from a degraded (penalized)
     /// node to a healthy one.
     pub rerouted: u64,
-    /// Requests dropped because every node was penalized at dispatch
-    /// time (the bounded-retry give-up path).
+    /// Requests dropped because every node of the target tier was
+    /// penalized (at dispatch or at a pipeline hop).
     pub dropped: u64,
+    /// Requests still inside the pipeline when the run ended.
+    pub in_flight: u64,
+    /// Routing decisions the dispatcher made (dispatches + hops).
+    pub decisions: u64,
     /// Health-check degradation detections across the run.
     pub degradations_detected: u64,
+    /// Context tags stripped in transit across all nodes.
+    pub tags_lost: u64,
+    /// Context tags corrupted in transit across all nodes.
+    pub tags_corrupted: u64,
     /// Machine-level faults injected across all nodes, by kind (indexed
     /// like [`hwsim::FaultKind::ALL`]).
     pub fault_counts: [u64; hwsim::FaultKind::ALL.len()],
@@ -275,38 +382,183 @@ fn service_secs(app: &dyn ServerApp, spec: &MachineSpec) -> f64 {
     app.mean_request_cycles() * scale / (spec.freq_ghz * 1e9)
 }
 
-/// The per-app arrival rate giving a 50/50 cycle split at the maximum
-/// volume the simple-balance policy sustains (its constrained node is
-/// the slowest one receiving half of each stream).
+/// The per-app arrival rate giving an equal cycle split at the maximum
+/// volume the simple-balance policy sustains: the bottleneck node —
+/// across every tier, since each request visits each tier once — is the
+/// slowest one receiving its tier's equal share of every stream.
 fn per_app_rate(cfg: &ClusterConfig) -> f64 {
     let apps: Vec<Box<dyn ServerApp>> = cfg.apps.iter().map(|k| k.app()).collect();
-    // For each node: utilization per unit of per-app rate when it
-    // receives 1/nodes of every stream.
-    let share = 1.0 / cfg.nodes.len() as f64;
     let mut worst = 0.0_f64;
-    for spec in &cfg.nodes {
-        let cores = spec.total_cores() as f64;
-        let util_per_rate: f64 = apps
-            .iter()
-            .map(|a| share * service_secs(a.as_ref(), spec) / cores)
-            .sum();
-        worst = worst.max(util_per_rate);
+    for tier in &cfg.tiers {
+        let share = 1.0 / tier.len() as f64;
+        for &ni in tier {
+            let spec = &cfg.nodes[ni];
+            let cores = spec.total_cores() as f64;
+            let util_per_rate: f64 = apps
+                .iter()
+                .map(|a| share * service_secs(a.as_ref(), spec) / cores)
+                .sum();
+            worst = worst.max(util_per_rate);
+        }
     }
     // Target ~88% utilization on the constrained node at volume 1.0.
     0.88 * cfg.volume / worst
 }
 
-/// Runs the cluster under `policy`.
+/// Total request arrivals per simulated second the configuration offers
+/// (all apps combined) — what experiments use to size run durations for
+/// a target request count.
+pub fn offered_cluster_rate(cfg: &ClusterConfig) -> f64 {
+    per_app_rate(cfg) * cfg.apps.len() as f64
+}
+
+/// One live request's dispatcher-side state.
+struct InFlight {
+    app: usize,
+    label: u32,
+    arrived: SimTime,
+    /// Tier currently serving the request.
+    stage: usize,
+}
+
+/// Runs the cluster under a single `policy` (requires a single-tier
+/// configuration — the paper's §4.4 shape).
 ///
-/// `cals` supplies per-node calibrations (same order as
-/// `cfg.nodes`).
+/// `cals` supplies per-node calibrations (same order as `cfg.nodes`).
 pub fn run_cluster(
     policy: &mut dyn DistributionPolicy,
     cfg: &ClusterConfig,
     cals: &[MachineCalibration],
 ) -> ClusterOutcome {
+    assert_eq!(
+        cfg.tiers.len(),
+        1,
+        "run_cluster drives a single-tier cluster; use run_pipeline for multi-stage"
+    );
+    run_engine(&mut [policy], cfg, cals)
+}
+
+/// Runs a multi-stage cluster, one policy per tier (`policies[t]`
+/// routes stage `t`).
+pub fn run_pipeline(
+    policies: &mut [Box<dyn DistributionPolicy>],
+    cfg: &ClusterConfig,
+    cals: &[MachineCalibration],
+) -> ClusterOutcome {
+    let mut refs: Vec<&mut dyn DistributionPolicy> =
+        policies.iter_mut().map(|p| p.as_mut() as &mut dyn DistributionPolicy).collect();
+    run_engine(&mut refs, cfg, cals)
+}
+
+/// Chooses a node of `tier` for `req` via `policy`, applying the
+/// penalty/reroute/drop machinery. Returns the flat node index, or
+/// `None` when every node of the tier is penalized (the bounded-retry
+/// give-up path).
+#[allow(clippy::too_many_arguments)]
+fn route(
+    policy: &mut dyn DistributionPolicy,
+    tier: &[usize],
+    nodes: &[Node],
+    req: ArrivalView,
+    t: SimTime,
+    tele: &telemetry::Telemetry,
+    rerouted: &mut u64,
+    decisions: &mut u64,
+) -> Option<usize> {
+    let views: Vec<NodeView> = tier.iter().map(|&i| nodes[i].view()).collect();
+    *decisions += 1;
+    let mut chosen = tier[policy.choose(req, &views)];
+    if nodes[chosen].penalized(t) {
+        // Bounded retry: probe the tier's remaining nodes for the
+        // healthy one with the least outstanding work; if every node is
+        // penalized, give the request up rather than pile onto a
+        // degraded machine.
+        let alt = tier
+            .iter()
+            .copied()
+            .filter(|&i| i != chosen && !nodes[i].penalized(t))
+            .min_by(|&a, &b| nodes[a].outstanding_std.total_cmp(&nodes[b].outstanding_std));
+        match alt {
+            Some(i) => {
+                tele.instant_on(
+                    t,
+                    "cluster",
+                    "reroute",
+                    DISPATCHER_TRACK,
+                    &[("from", (chosen as u64).into()), ("to", (i as u64).into())],
+                );
+                tele.add_count("cluster.rerouted", 1);
+                chosen = i;
+                *rerouted += 1;
+            }
+            None => {
+                tele.instant_on(
+                    t,
+                    "cluster",
+                    "drop",
+                    DISPATCHER_TRACK,
+                    &[("node", (chosen as u64).into())],
+                );
+                tele.add_count("cluster.dropped", 1);
+                return None;
+            }
+        }
+    }
+    Some(chosen)
+}
+
+/// Injects one stage of `serial` into `node`, with the given context
+/// tag on the wire (`Some` true identity at dispatch; whatever tag the
+/// previous stage's reply carried at a hop).
+fn inject_stage(
+    node: &mut Node,
+    app_idx: usize,
+    serial: u64,
+    label: u32,
+    wire_ctx: Option<ContextId>,
+    secs: f64,
+    t: SimTime,
+) {
+    if let Some(ctx) = wire_ctx {
+        node.stats.borrow_mut().record_arrival(ctx, label, t);
+        node.facility.borrow_mut().containers_mut().set_label(ctx, label, t);
+    }
+    node.assign(serial, secs);
+    let (inbox_list, cursor) = &mut node.inboxes[app_idx];
+    let inbox = inbox_list[*cursor % inbox_list.len()];
+    *cursor += 1;
+    let payload = (serial << 32) | label as u64;
+    node.kernel.inject_message(inbox, 512, wire_ctx, payload);
+}
+
+fn run_engine(
+    policies: &mut [&mut dyn DistributionPolicy],
+    cfg: &ClusterConfig,
+    cals: &[MachineCalibration],
+) -> ClusterOutcome {
     assert_eq!(cals.len(), cfg.nodes.len(), "one calibration per node");
+    assert_eq!(policies.len(), cfg.tiers.len(), "one policy per tier");
+    assert!(!cfg.tick.is_zero(), "dispatcher tick must be positive");
+    {
+        // The tiers must partition the flat node list.
+        let mut seen = vec![false; cfg.nodes.len()];
+        for &i in cfg.tiers.iter().flatten() {
+            assert!(i < cfg.nodes.len(), "tier references unknown node {i}");
+            assert!(!seen[i], "node {i} appears in two tiers");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every node must belong to a tier");
+        assert!(cfg.tiers.iter().all(|t| !t.is_empty()), "tiers must be nonempty");
+    }
     let apps: Vec<Box<dyn ServerApp>> = cfg.apps.iter().map(|k| k.app()).collect();
+    let total_cores: usize = cfg.nodes.iter().map(MachineSpec::total_cores).sum();
+    let tier_of: HashMap<usize, usize> = cfg
+        .tiers
+        .iter()
+        .enumerate()
+        .flat_map(|(t, ix)| ix.iter().map(move |&i| (i, t)))
+        .collect();
+
     let mut nodes: Vec<Node> = Vec::new();
     for (n, spec) in cfg.nodes.iter().enumerate() {
         let facility = PowerContainerFacility::new(
@@ -319,6 +571,11 @@ pub fn run_cluster(
                 // request's cumulative energy flows back to the
                 // dispatcher for comprehensive accounting.
                 retain_records: true,
+                // A cluster-wide cap decomposes into per-node shares
+                // enforced by ordinary per-request conditioning.
+                conditioning: cfg
+                    .power_cap_w
+                    .map(|cap| ConditioningPolicy::node_share(cap, spec.total_cores(), total_cores)),
                 // Context ids are unique cluster-wide, so every node can
                 // share one sink and attribution samples stay
                 // per-container. (Kernel-level tracing stays off here:
@@ -340,6 +597,7 @@ pub fn run_cluster(
         let mut kernel = Kernel::new(machine, KernelConfig::default());
         kernel.install_hooks(Box::new(facility));
         let stats = Rc::new(RefCell::new(RunStats::new()));
+        let (notify_tx, reply_rx) = kernel.new_socket_pair();
         let mut inboxes = Vec::new();
         for app in &apps {
             let env = AppEnv {
@@ -347,7 +605,7 @@ pub fn run_cluster(
                 workers: cfg.workers_per_core * spec.total_cores(),
                 spec: spec.clone(),
                 seed: cfg.seed.wrapping_add(1000 + n as u64),
-                notify: None,
+                notify: Some(notify_tx),
             };
             inboxes.push((app.setup(&mut kernel, &env), 0usize));
         }
@@ -361,17 +619,21 @@ pub fn run_cluster(
             facility: state,
             stats,
             inboxes,
+            reply_rx,
             outstanding: HashMap::new(),
             outstanding_std: 0.0,
             mean_service,
-            completions_seen: 0,
+            injected: 0,
+            responses: 0,
+            rank: generation_rank(spec),
+            tier: tier_of[&n],
             fault_windows: Vec::new(),
             next_window: 0,
             active_window: None,
             penalty_until: SimTime::ZERO,
             penalty: PENALTY_BASE,
             last_health_check: SimTime::ZERO,
-            completions_at_check: 0,
+            responses_at_check: 0,
             tele: cfg.telemetry.clone(),
             track: node_track(n),
         });
@@ -380,33 +642,100 @@ pub fn run_cluster(
         nodes[w.node].fault_windows.push(w);
     }
 
-    let rate = per_app_rate(cfg);
-    let mut rng = SimRng::new(cfg.seed).split(0xC1A5);
-    let end = SimTime::ZERO + cfg.duration;
-    let mut next_ctx = 1u64;
-    let mut dispatched = 0u64;
-    let mut rerouted = 0u64;
-    let mut dropped = 0u64;
-    let mut degradations_detected = 0u64;
-    let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
-    // Independent Poisson streams per app, merged.
-    let mut next_arrival: Vec<SimTime> = (0..apps.len())
-        .map(|_| SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(1.0 / rate)))
+    // Per-node service estimate per app, so dispatch does not clone
+    // machine specs on the hot path.
+    let service: Vec<Vec<f64>> = cfg
+        .nodes
+        .iter()
+        .map(|spec| apps.iter().map(|a| service_secs(a.as_ref(), spec)).collect())
         .collect();
 
+    let rate = per_app_rate(cfg);
+    let end = SimTime::ZERO + cfg.duration;
+    let mut gen = OpenLoopGen::new(cfg.seed, &vec![rate; apps.len()], end);
+    let mut pending = gen.next(&apps);
+
+    let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+    let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
+    let mut summaries: Vec<Summary> = vec![Summary::new(); apps.len()];
+    let mut next_serial = 0u64;
+    let mut next_ctx = 1u64;
+    let mut dispatched = 0u64;
+    let mut completed = 0usize;
+    let mut rerouted = 0u64;
+    let mut dropped = 0u64;
+    let mut decisions = 0u64;
+    let mut degradations_detected = 0u64;
+
+    let mut t = SimTime::ZERO;
     loop {
-        let (app_idx, &t) = next_arrival
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .expect("apps nonempty");
-        if t >= end {
-            break;
-        }
-        next_arrival[app_idx] = t + SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
-        for (n, node) in nodes.iter_mut().enumerate() {
+        t = (t + cfg.tick).min(end);
+        // 1. Advance every node to the tick boundary (once per tick, not
+        //    once per arrival — the batching that keeps dispatcher work
+        //    flat as the fleet grows).
+        for node in nodes.iter_mut() {
             node.advance_to(t);
-            node.settle_completions();
+        }
+        // 2. Drain stage completions; forward mid-pipeline requests to
+        //    the next tier (carrying the tag observed on the wire) and
+        //    finalize requests leaving the last tier.
+        for n in 0..nodes.len() {
+            let rx = nodes[n].reply_rx;
+            let segs = nodes[n].kernel.drain_messages(rx);
+            for seg in segs {
+                let serial = seg.payload >> 32;
+                let Some(fl) = inflight.get_mut(&serial) else { continue };
+                nodes[n].settle(serial);
+                let next_stage = fl.stage + 1;
+                if next_stage < cfg.tiers.len() {
+                    let (app_idx, label) = (fl.app, fl.label);
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "hop",
+                        DISPATCHER_TRACK,
+                        &[("to_tier", (next_stage as u64).into())],
+                    );
+                    let req = ArrivalView { app: cfg.apps[app_idx], label };
+                    match route(
+                        policies[next_stage],
+                        &cfg.tiers[next_stage],
+                        &nodes,
+                        req,
+                        t,
+                        &cfg.telemetry,
+                        &mut rerouted,
+                        &mut decisions,
+                    ) {
+                        Some(target) => {
+                            fl.stage = next_stage;
+                            // Propagate the identity as observed on the
+                            // wire: a lost tag stays lost, a corrupted
+                            // one misattributes downstream stages.
+                            inject_stage(
+                                &mut nodes[target],
+                                app_idx,
+                                serial,
+                                label,
+                                seg.ctx,
+                                service[target][app_idx],
+                                t,
+                            );
+                        }
+                        None => {
+                            inflight.remove(&serial);
+                            dropped += 1;
+                        }
+                    }
+                } else {
+                    summaries[fl.app].record(t.duration_since(fl.arrived).as_secs_f64());
+                    completed += 1;
+                    inflight.remove(&serial);
+                }
+            }
+        }
+        // 3. Health checks.
+        for (n, node) in nodes.iter_mut().enumerate() {
             if node.health_check(t) {
                 degradations_detected += 1;
                 let penalty_ms = node.penalty_until.duration_since(t).as_secs_f64() * 1e3;
@@ -420,78 +749,78 @@ pub fn run_cluster(
                 cfg.telemetry.add_count("cluster.degradations", 1);
             }
         }
-        let label = apps[app_idx].pick_label(&mut rng);
-        let views: Vec<NodeView> = nodes.iter().map(Node::view).collect();
-        let mut chosen = policy.choose(
-            ArrivalView { app: cfg.apps[app_idx], label },
-            &views,
-        );
-        if nodes[chosen].penalized(t) {
-            // Bounded retry: probe the remaining nodes for the healthy
-            // one with the least outstanding work; if every node is
-            // penalized, give the request up rather than pile onto a
-            // degraded machine.
-            let alt = (0..nodes.len())
-                .filter(|&i| i != chosen && !nodes[i].penalized(t))
-                .min_by(|&a, &b| {
-                    nodes[a].outstanding_std.total_cmp(&nodes[b].outstanding_std)
-                });
-            match alt {
-                Some(i) => {
-                    cfg.telemetry.instant_on(
-                        t,
-                        "cluster",
-                        "reroute",
-                        DISPATCHER_TRACK,
-                        &[("from", (chosen as u64).into()), ("to", (i as u64).into())],
-                    );
-                    cfg.telemetry.add_count("cluster.rerouted", 1);
-                    chosen = i;
-                    rerouted += 1;
-                }
-                None => {
-                    cfg.telemetry.instant_on(
-                        t,
-                        "cluster",
-                        "drop",
-                        DISPATCHER_TRACK,
-                        &[("node", (chosen as u64).into())],
-                    );
-                    cfg.telemetry.add_count("cluster.dropped", 1);
-                    dropped += 1;
-                    continue;
-                }
+        // 4. Dispatch the tick's batch of arrivals into tier 0.
+        while let Some(a) = pending {
+            if a.at > t {
+                break;
             }
+            pending = gen.next(&apps);
+            dispatched += 1;
+            cfg.telemetry.add_count("cluster.dispatched", 1);
+            let req = ArrivalView { app: cfg.apps[a.app], label: a.label };
+            let Some(target) = route(
+                policies[0],
+                &cfg.tiers[0],
+                &nodes,
+                req,
+                a.at,
+                &cfg.telemetry,
+                &mut rerouted,
+                &mut decisions,
+            ) else {
+                dropped += 1;
+                continue;
+            };
+            let serial = next_serial;
+            next_serial += 1;
+            debug_assert!(serial < u32::MAX as u64, "serial space exhausted");
+            let ctx = ContextId(next_ctx);
+            next_ctx += 1;
+            ctx_app.insert(ctx, a.app);
+            inflight.insert(
+                serial,
+                InFlight { app: a.app, label: a.label, arrived: a.at, stage: 0 },
+            );
+            inject_stage(
+                &mut nodes[target],
+                a.app,
+                serial,
+                a.label,
+                Some(ctx),
+                service[target][a.app],
+                a.at,
+            );
         }
-        let node = &mut nodes[chosen];
-        let ctx = ContextId(next_ctx);
-        next_ctx += 1;
-        dispatched += 1;
-        cfg.telemetry.add_count("cluster.dispatched", 1);
-        ctx_app.insert(ctx, app_idx);
-        node.stats.borrow_mut().record_arrival(ctx, label, t);
-        node.facility
-            .borrow_mut()
-            .containers_mut()
-            .set_label(ctx, label, t);
-        let spec = node.kernel.machine().spec().clone();
-        let secs = service_secs(apps[app_idx].as_ref(), &spec);
-        node.outstanding.insert(ctx, secs);
-        node.outstanding_std += secs / node.mean_service;
-        let (inbox_list, cursor) = &mut node.inboxes[app_idx];
-        let inbox = inbox_list[*cursor % inbox_list.len()];
-        *cursor += 1;
-        node.kernel.inject_message(inbox, 512, Some(ctx), label as u64);
+        if t >= end {
+            break;
+        }
     }
+    // Final settle: close any window still open, replay frozen backlogs
+    // so energy accounting covers the whole run, and drain the last
+    // responses.
     for node in &mut nodes {
         node.advance_to(end);
-        // Let a node frozen right up to the end replay its backlog so
-        // energy accounting covers the whole run.
         if node.active_window.take().is_some() {
             node.tele.end_span(end, node.track);
         }
         node.kernel.run_until(end);
-        node.settle_completions();
+    }
+    for node in &mut nodes {
+        let rx = node.reply_rx;
+        let segs = node.kernel.drain_messages(rx);
+        for seg in segs {
+            let serial = seg.payload >> 32;
+            let Some(fl) = inflight.get(&serial) else { continue };
+            node.settle(serial);
+            if fl.stage + 1 < cfg.tiers.len() {
+                // The next stage can no longer run; the request stays
+                // accounted as in flight.
+                continue;
+            }
+            summaries[fl.app].record(end.duration_since(fl.arrived).as_secs_f64());
+            completed += 1;
+            inflight.remove(&serial);
+        }
     }
     let cluster_degrade = nodes
         .iter()
@@ -511,56 +840,85 @@ pub fn run_cluster(
                 / cores as f64;
             NodeOutcome {
                 machine: m.spec().name,
+                tier: n.tier,
                 active_energy_j: m.true_active_energy_j(),
+                attributed_energy_j: n.attributed_energy_j(),
                 energy_rate_w: m.true_active_energy_j() / secs,
-                completions: n.stats.borrow().completions().len(),
+                dispatched: n.injected,
+                completions: n.responses as usize,
+                in_flight: n.outstanding.len() as u64,
                 utilization: util,
             }
         })
         .collect();
 
-    // Per-app response-time summaries and the comprehensive per-app
-    // energy accounting, resolved through the dispatcher's ctx→app map
-    // (labels are app-local and may collide across apps). The energy per
-    // request is exactly what the §3.4 response-message tag carries back
-    // from the serving machine.
-    let mut summaries: Vec<Summary> = vec![Summary::new(); apps.len()];
+    // The comprehensive per-app energy accounting, resolved through the
+    // dispatcher's ctx→app map over every node's container records and
+    // still-live containers (labels are app-local and may collide across
+    // apps). The energy per identity is exactly what the §3.4 response
+    // tag carries back from each serving machine; records created under
+    // lost or corrupted identities simply fall out of the per-app sums.
     let mut energies = vec![0.0f64; apps.len()];
+    let mut by_ctx: HashMap<u64, (f64, u32)> = HashMap::new();
     for node in &nodes {
-        let stats = node.stats.borrow();
-        for c in stats.completions() {
-            if let Some(&app_idx) = ctx_app.get(&c.ctx) {
-                summaries[app_idx].record(c.response_secs());
-            }
-        }
         let facility = node.facility.borrow();
+        let mut seen_here: HashMap<u64, f64> = HashMap::new();
         for r in facility.containers().records() {
             if let Some(&app_idx) = ctx_app.get(&r.ctx) {
                 energies[app_idx] += r.energy_j + r.io_energy_j;
+                *seen_here.entry(r.ctx.0).or_default() += r.energy_j + r.io_energy_j;
+            }
+        }
+        for (ctx, c) in facility.containers().iter_live() {
+            if let Some(&app_idx) = ctx_app.get(ctx) {
+                energies[app_idx] += c.total_energy_j();
+                *seen_here.entry(ctx.0).or_default() += c.total_energy_j();
+            }
+        }
+        if cfg.retain_request_energy {
+            for (ctx, e) in seen_here {
+                let entry = by_ctx.entry(ctx).or_insert((0.0, 0));
+                entry.0 += e;
+                entry.1 += 1;
             }
         }
     }
+    let mut energy_by_ctx: Vec<CtxEnergy> = by_ctx
+        .into_iter()
+        .map(|(ctx, (energy_j, nodes))| CtxEnergy { ctx, energy_j, nodes })
+        .collect();
+    energy_by_ctx.sort_by_key(|c| c.ctx);
+
     let response_by_app = cfg.apps.iter().copied().zip(summaries).collect();
     let energy_by_app_j = cfg.apps.iter().copied().zip(energies).collect();
-    let completed = per_node.iter().map(|n| n.completions).sum();
     let mut fault_counts = [0u64; hwsim::FaultKind::ALL.len()];
+    let mut tags_lost = 0u64;
+    let mut tags_corrupted = 0u64;
     for node in &nodes {
         for (total, n) in
             fault_counts.iter_mut().zip(node.kernel.machine().fault_log().counts())
         {
             *total += n;
         }
+        let ks = node.kernel.stats();
+        tags_lost += ks.tags_lost;
+        tags_corrupted += ks.tags_corrupted;
     }
     ClusterOutcome {
-        policy: policy.name(),
+        policy: policies[0].name(),
         per_node,
         response_by_app,
         energy_by_app_j,
+        energy_by_ctx,
         dispatched,
         completed,
         rerouted,
         dropped,
+        in_flight: inflight.len() as u64,
+        decisions,
         degradations_detected,
+        tags_lost,
+        tags_corrupted,
         fault_counts,
     }
 }

@@ -1,0 +1,194 @@
+//! Fleet topologies: heterogeneous machine sets arranged into serving
+//! tiers.
+//!
+//! The paper's §4.4 study uses a fixed two-machine cluster; production
+//! serving runs **sharded fleets** of mixed machine generations arranged
+//! in multi-stage pipelines (web → app → db). A [`Topology`] describes
+//! such a fleet: an ordered list of [`Tier`]s, each holding the
+//! [`MachineSpec`]s of its member nodes. Nodes are numbered flat across
+//! tiers (tier 0 first), and within each tier members are sorted
+//! newest-generation-first so that index order is efficiency order — the
+//! convention the heterogeneity-aware dispatch policies rely on.
+
+use hwsim::MachineSpec;
+
+/// One serving stage of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Tier {
+    /// Display name ("web", "app", "db", ...).
+    pub name: &'static str,
+    /// Member machines, newest generation first.
+    pub specs: Vec<MachineSpec>,
+}
+
+/// A fleet of machines arranged into one or more serving tiers.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The pipeline stages, in request-flow order.
+    pub tiers: Vec<Tier>,
+}
+
+/// Machine-generation rank: lower is newer (more energy-efficient per
+/// unit of work). Unknown machines rank oldest.
+pub fn generation_rank(spec: &MachineSpec) -> u8 {
+    match spec.name {
+        "sandybridge" => 0,
+        "westmere" => 1,
+        _ => 2,
+    }
+}
+
+/// Sorts specs newest-generation-first, stably.
+fn efficiency_order(mut specs: Vec<MachineSpec>) -> Vec<MachineSpec> {
+    specs.sort_by_key(generation_rank);
+    specs
+}
+
+impl Topology {
+    /// A single-tier fleet (the paper's flat-cluster shape).
+    pub fn single_tier(specs: Vec<MachineSpec>) -> Topology {
+        assert!(!specs.is_empty(), "topology needs at least one node");
+        Topology { tiers: vec![Tier { name: "web", specs: efficiency_order(specs) }] }
+    }
+
+    /// A three-stage web → app → db pipeline from explicit member lists.
+    pub fn three_tier(
+        web: Vec<MachineSpec>,
+        app: Vec<MachineSpec>,
+        db: Vec<MachineSpec>,
+    ) -> Topology {
+        assert!(
+            !web.is_empty() && !app.is_empty() && !db.is_empty(),
+            "every pipeline tier needs at least one node"
+        );
+        Topology {
+            tiers: vec![
+                Tier { name: "web", specs: efficiency_order(web) },
+                Tier { name: "app", specs: efficiency_order(app) },
+                Tier { name: "db", specs: efficiency_order(db) },
+            ],
+        }
+    }
+
+    /// A heterogeneous fleet of `n` machines mixing the three calibrated
+    /// generations (half SandyBridge, the rest alternating Westmere and
+    /// Woodcrest — a data center mid-refresh), as a flat single tier.
+    pub fn scaled_fleet(n: usize) -> Topology {
+        Topology::single_tier(heterogeneous_specs(n))
+    }
+
+    /// A heterogeneous fleet of `n` machines split into a web → app → db
+    /// pipeline (roughly equal tier sizes; the db tier absorbs the
+    /// remainder). Requires `n >= 3` so every tier has a node.
+    pub fn serving_pipeline(n: usize) -> Topology {
+        assert!(n >= 3, "a three-tier pipeline needs at least 3 nodes, got {n}");
+        let specs = heterogeneous_specs(n);
+        let per = n / 3;
+        Topology::three_tier(
+            specs[..per].to_vec(),
+            specs[per..2 * per].to_vec(),
+            specs[2 * per..].to_vec(),
+        )
+    }
+
+    /// All member machines, flat, tier 0 first (the cluster node order).
+    pub fn flat_specs(&self) -> Vec<MachineSpec> {
+        self.tiers.iter().flat_map(|t| t.specs.iter().cloned()).collect()
+    }
+
+    /// Flat node indices of each tier, in tier order.
+    pub fn tier_indices(&self) -> Vec<Vec<usize>> {
+        let mut next = 0usize;
+        self.tiers
+            .iter()
+            .map(|t| {
+                let ix: Vec<usize> = (next..next + t.specs.len()).collect();
+                next += t.specs.len();
+                ix
+            })
+            .collect()
+    }
+
+    /// Total node count across tiers.
+    pub fn total_nodes(&self) -> usize {
+        self.tiers.iter().map(|t| t.specs.len()).sum()
+    }
+
+    /// Total core count across tiers.
+    pub fn total_cores(&self) -> usize {
+        self.tiers
+            .iter()
+            .flat_map(|t| t.specs.iter())
+            .map(MachineSpec::total_cores)
+            .sum()
+    }
+}
+
+/// The standard mixed-generation machine list used by the scaled fleets:
+/// even slots are SandyBridge, odd slots alternate Westmere/Woodcrest.
+fn heterogeneous_specs(n: usize) -> Vec<MachineSpec> {
+    assert!(n >= 1, "fleet needs at least one machine");
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                MachineSpec::sandybridge()
+            } else if i % 4 == 1 {
+                MachineSpec::westmere()
+            } else {
+                MachineSpec::woodcrest()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tier_sorts_newest_first() {
+        let t = Topology::single_tier(vec![
+            MachineSpec::woodcrest(),
+            MachineSpec::sandybridge(),
+            MachineSpec::westmere(),
+        ]);
+        let names: Vec<&str> = t.flat_specs().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["sandybridge", "westmere", "woodcrest"]);
+        assert_eq!(t.tier_indices(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn serving_pipeline_covers_all_nodes_once() {
+        for n in [3, 7, 16] {
+            let t = Topology::serving_pipeline(n);
+            assert_eq!(t.tiers.len(), 3);
+            assert_eq!(t.total_nodes(), n);
+            let ix: Vec<usize> = t.tier_indices().into_iter().flatten().collect();
+            assert_eq!(ix, (0..n).collect::<Vec<_>>(), "flat numbering must be dense");
+        }
+    }
+
+    #[test]
+    fn scaled_fleets_are_heterogeneous() {
+        let t = Topology::scaled_fleet(8);
+        let specs = t.flat_specs();
+        assert_eq!(specs.len(), 8);
+        let gens: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.name).collect();
+        assert!(gens.len() >= 3, "expected a mixed fleet, got {gens:?}");
+        // Efficiency order within the tier.
+        let ranks: Vec<u8> = specs.iter().map(generation_rank).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn core_totals_add_up() {
+        let t = Topology::serving_pipeline(4);
+        assert_eq!(
+            t.total_cores(),
+            t.flat_specs().iter().map(|s| s.total_cores()).sum::<usize>()
+        );
+    }
+}

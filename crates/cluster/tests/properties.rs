@@ -1,16 +1,18 @@
-//! Property-based tests for the distribution policies.
+//! Property-based tests for the distribution policies and the sharded
+//! cluster engine's conservation laws.
 
 use cluster::{
-    ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
-    WorkloadHeterogeneityAware,
+    run_pipeline, ArrivalView, ClusterConfig, ClusterOutcome, DistributionPolicy,
+    MachineHeterogeneityAware, NodeView, SimpleBalance, Topology, WorkloadHeterogeneityAware,
 };
 use proptest::prelude::*;
-use workloads::WorkloadKind;
+use simkern::SimDuration;
+use workloads::{calibrate_machine, MachineCalibration, WorkloadKind};
 
 fn arb_nodes() -> impl Strategy<Value = Vec<NodeView>> {
     prop::collection::vec(
-        (0.0f64..20.0, 1usize..16)
-            .prop_map(|(outstanding, cores)| NodeView { outstanding, cores }),
+        (0.0f64..20.0, 1usize..16, 0u8..3)
+            .prop_map(|(outstanding, cores, rank)| NodeView { outstanding, cores, rank }),
         2..5,
     )
 }
@@ -48,6 +50,30 @@ proptest! {
         }
     }
 
+    /// Policies are pure: replaying the same arrival stream against the
+    /// same views from a fresh instance reproduces every choice — the
+    /// property that makes cluster runs independent of `--jobs`.
+    #[test]
+    fn policies_are_deterministic(
+        nodes in arb_nodes(),
+        arrivals in prop::collection::vec(arb_arrival(), 1..50),
+    ) {
+        let make: Vec<fn() -> Box<dyn DistributionPolicy>> = vec![
+            || Box::new(SimpleBalance::new()),
+            || Box::new(MachineHeterogeneityAware::new()),
+            || Box::new(WorkloadHeterogeneityAware::new(vec![
+                (WorkloadKind::RsaCrypto, 0.22),
+                (WorkloadKind::GaeVosao, 0.43),
+            ])),
+        ];
+        for mk in make {
+            let (mut a, mut b) = (mk(), mk());
+            for &req in &arrivals {
+                prop_assert_eq!(a.choose(req, &nodes), b.choose(req, &nodes));
+            }
+        }
+    }
+
     /// Simple balance distributes any stream evenly across nodes.
     #[test]
     fn simple_balance_is_even(
@@ -65,8 +91,9 @@ proptest! {
         prop_assert!(max - min <= 1, "uneven split {hits:?}");
     }
 
-    /// The machine-aware policy never spills while node 0 is below its
-    /// threshold.
+    /// The machine-aware policy never spills while node 0 (the newest
+    /// machine) is below its threshold, and goes least-loaded once the
+    /// whole fleet is saturated.
     #[test]
     fn machine_aware_honours_threshold(
         load0 in 0.0f64..2.0,
@@ -75,8 +102,8 @@ proptest! {
     ) {
         let mut p = MachineHeterogeneityAware::new();
         let nodes = vec![
-            NodeView { outstanding: load0 * 4.0, cores: 4 },
-            NodeView { outstanding: load1 * 4.0, cores: 4 },
+            NodeView { outstanding: load0 * 4.0, cores: 4, rank: 0 },
+            NodeView { outstanding: load1 * 4.0, cores: 4, rank: 2 },
         ];
         let choice = p.choose(
             ArrivalView { app: WorkloadKind::RsaCrypto, label },
@@ -84,8 +111,11 @@ proptest! {
         );
         if load0 < p.threshold {
             prop_assert_eq!(choice, 0);
-        } else {
+        } else if load1 < p.threshold {
             prop_assert_eq!(choice, 1);
+        } else {
+            // Saturated fleet: least-loaded wins, ties to the lowest index.
+            prop_assert_eq!(choice, if load1 < load0 { 1 } else { 0 });
         }
     }
 
@@ -99,8 +129,8 @@ proptest! {
             (WorkloadKind::GaeVosao, 0.8),
         ]);
         let nodes = vec![
-            NodeView { outstanding: load0 * 4.0, cores: 4 },
-            NodeView { outstanding: 0.0, cores: 4 },
+            NodeView { outstanding: load0 * 4.0, cores: 4, rank: 0 },
+            NodeView { outstanding: 0.0, cores: 4, rank: 2 },
         ];
         let rsa = p.choose(ArrivalView { app: WorkloadKind::RsaCrypto, label: 0 }, &nodes);
         let gae = p.choose(ArrivalView { app: WorkloadKind::GaeVosao, label: 0 }, &nodes);
@@ -115,6 +145,112 @@ proptest! {
             } else {
                 prop_assert_eq!(rsa, 1);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine conservation laws. Each case is a full (small, short) cluster
+// run, so the suites run few cases with tight topologies.
+
+fn small_config(n: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::sharded(&Topology::serving_pipeline(n));
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_millis(800);
+    cfg.workers_per_core = 2;
+    cfg
+}
+
+fn cals_for(cfg: &ClusterConfig) -> Vec<MachineCalibration> {
+    // Calibrations depend only on the spec; reuse per distinct machine.
+    let mut cache: Vec<(&'static str, MachineCalibration)> = Vec::new();
+    cfg.nodes
+        .iter()
+        .map(|spec| {
+            if let Some((_, c)) = cache.iter().find(|(n, _)| *n == spec.name) {
+                return c.clone();
+            }
+            let c = calibrate_machine(spec, 7);
+            cache.push((spec.name, c.clone()));
+            c
+        })
+        .collect()
+}
+
+fn run_small(n: usize, seed: u64) -> ClusterOutcome {
+    let cfg = small_config(n, seed);
+    let cals = cals_for(&cfg);
+    let mut policies: Vec<Box<dyn DistributionPolicy>> = (0..cfg.tiers.len())
+        .map(|_| Box::new(SimpleBalance::new()) as Box<dyn DistributionPolicy>)
+        .collect();
+    run_pipeline(&mut policies, &cfg, &cals)
+}
+
+fn assert_conservation(o: &ClusterOutcome) {
+    // Cluster-wide: every offered request is completed, dropped, or
+    // still in flight — exactly.
+    assert_eq!(
+        o.dispatched,
+        o.completed as u64 + o.dropped + o.in_flight,
+        "dispatched must equal completed + dropped + in_flight"
+    );
+    // Per shard: every injection is either served or still queued; no
+    // request is counted on two shards at once.
+    let mut stage_injections = 0u64;
+    let mut stage_completions = 0u64;
+    let mut still_queued = 0u64;
+    for n in &o.per_node {
+        assert_eq!(
+            n.dispatched,
+            n.completions as u64 + n.in_flight,
+            "node conservation violated on {} (tier {})",
+            n.machine,
+            n.tier
+        );
+        stage_injections += n.dispatched;
+        stage_completions += n.completions as u64;
+        still_queued += n.in_flight;
+    }
+    // Stage totals tie out against the dispatcher's request ledger: a
+    // request contributes one injection per stage it reached, and the
+    // requests still inside the pipeline are queued on exactly one shard.
+    assert_eq!(stage_injections, stage_completions + still_queued);
+    assert!(
+        o.in_flight <= still_queued + o.in_flight,
+        "sanity: dispatcher in-flight ledger"
+    );
+    assert!(o.completed > 0, "a healthy small run must complete requests");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// dispatched = completed + dropped (+ in flight), cluster-wide and
+    /// per shard, for any seed and small pipeline size.
+    #[test]
+    fn engine_conserves_requests(seed in 0u64..1000, n in 3usize..6) {
+        assert_conservation(&run_small(n, seed));
+    }
+
+    /// Equal seeds give identical outcomes — full structural equality of
+    /// every counter and energy figure.
+    #[test]
+    fn engine_is_deterministic_for_equal_seeds(seed in 0u64..1000) {
+        let (a, b) = (run_small(4, seed), run_small(4, seed));
+        prop_assert_eq!(a.dispatched, b.dispatched);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.in_flight, b.in_flight);
+        prop_assert_eq!(a.decisions, b.decisions);
+        for (x, y) in a.per_node.iter().zip(&b.per_node) {
+            prop_assert_eq!(x.dispatched, y.dispatched);
+            prop_assert_eq!(x.completions, y.completions);
+            prop_assert!(x.active_energy_j == y.active_energy_j, "energy must match bit-for-bit");
+            prop_assert!(x.attributed_energy_j == y.attributed_energy_j);
+        }
+        for ((ka, va), (kb, vb)) in a.energy_by_app_j.iter().zip(&b.energy_by_app_j) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!(va == vb);
         }
     }
 }

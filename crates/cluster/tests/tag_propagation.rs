@@ -1,0 +1,111 @@
+//! Cross-node tag propagation through the serving pipeline (§3.4).
+//!
+//! A request's power-container tag rides the socket messages from the
+//! dispatcher through every tier; each hop forwards the identity *as
+//! observed on the wire*. These tests pin the three regimes: with no
+//! faults the tag survives the full pipeline and every stage's energy
+//! lands on the request; under total tag loss the requests themselves
+//! still flow (routing is serial-based) but the energy falls out of the
+//! per-request accounting; under total corruption the tags arrive
+//! scrambled and the true identities collect (almost) nothing.
+
+use cluster::{run_pipeline, ClusterConfig, ClusterOutcome, DistributionPolicy, SimpleBalance, Topology};
+use hwsim::FaultConfig;
+use simkern::SimDuration;
+use workloads::{calibrate_machine, MachineCalibration};
+
+fn pipeline_config(faults: FaultConfig) -> ClusterConfig {
+    let mut cfg = ClusterConfig::sharded(&Topology::serving_pipeline(3));
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.workers_per_core = 2;
+    cfg.retain_request_energy = true;
+    cfg.faults = faults;
+    cfg
+}
+
+fn run(cfg: &ClusterConfig) -> ClusterOutcome {
+    let cals: Vec<MachineCalibration> =
+        cfg.nodes.iter().map(|s| calibrate_machine(s, 7)).collect();
+    let mut policies: Vec<Box<dyn DistributionPolicy>> = (0..cfg.tiers.len())
+        .map(|_| Box::new(SimpleBalance::new()) as Box<dyn DistributionPolicy>)
+        .collect();
+    run_pipeline(&mut policies, cfg, &cals)
+}
+
+fn total_app_energy(o: &ClusterOutcome) -> f64 {
+    o.energy_by_app_j.iter().map(|(_, e)| e).sum()
+}
+
+#[test]
+fn tags_cross_node_boundaries_when_transit_is_clean() {
+    let o = run(&pipeline_config(FaultConfig::none()));
+    assert_eq!(o.tags_lost, 0);
+    assert_eq!(o.tags_corrupted, 0);
+    assert!(o.completed > 200, "pipeline should serve load, got {}", o.completed);
+    assert!(total_app_energy(&o) > 1.0, "clean tags must attribute energy");
+    // Every completed request visited all three tiers under its own tag,
+    // so its energy is spread over multiple nodes.
+    let multi_node = o.energy_by_ctx.iter().filter(|c| c.nodes >= 2).count();
+    assert!(
+        multi_node * 2 > o.energy_by_ctx.len(),
+        "most requests should carry energy on >= 2 nodes ({multi_node} of {})",
+        o.energy_by_ctx.len()
+    );
+    assert!(
+        o.energy_by_ctx.iter().any(|c| c.nodes == 3),
+        "some requests should be attributed on every tier"
+    );
+}
+
+#[test]
+fn tag_loss_breaks_attribution_but_not_request_flow() {
+    let clean = run(&pipeline_config(FaultConfig::none()));
+    let lossy = run(&pipeline_config(FaultConfig {
+        seed: 99,
+        tag_loss: 1.0,
+        ..FaultConfig::none()
+    }));
+    assert!(lossy.tags_lost > 0, "every tagged delivery should drop its tag");
+    assert_eq!(lossy.tags_corrupted, 0);
+    // Requests still complete: the pipeline routes on the message serial,
+    // not the tag — losing attribution must not lose work.
+    assert!(
+        lossy.completed as f64 > 0.7 * clean.completed as f64,
+        "request flow should survive total tag loss ({} vs {} clean)",
+        lossy.completed,
+        clean.completed
+    );
+    // But the energy accounting collapses: no stage runs under the
+    // request's identity any more.
+    assert!(
+        total_app_energy(&lossy) < 0.2 * total_app_energy(&clean),
+        "lost tags must drop energy out of the per-app accounting ({:.2} J vs {:.2} J clean)",
+        total_app_energy(&lossy),
+        total_app_energy(&clean)
+    );
+}
+
+#[test]
+fn tag_corruption_misattributes_without_losing_requests() {
+    let clean = run(&pipeline_config(FaultConfig::none()));
+    let corrupt = run(&pipeline_config(FaultConfig {
+        seed: 99,
+        tag_corrupt: 1.0,
+        ..FaultConfig::none()
+    }));
+    assert!(corrupt.tags_corrupted > 0);
+    assert_eq!(corrupt.tags_lost, 0);
+    assert!(
+        corrupt.completed as f64 > 0.7 * clean.completed as f64,
+        "request flow should survive total corruption ({} vs {} clean)",
+        corrupt.completed,
+        clean.completed
+    );
+    // Corrupted identities are scrambled 64-bit values that (all but
+    // never) collide with a real dispatch context, so the true
+    // identities accumulate almost nothing.
+    assert!(
+        total_app_energy(&corrupt) < 0.2 * total_app_energy(&clean),
+        "corrupted tags must divert energy away from the true identities"
+    );
+}

@@ -39,6 +39,30 @@ impl ConditioningPolicy {
         ConditioningPolicy { system_target_w }
     }
 
+    /// A node's slice of a *cluster-wide* active-power cap: the cap is
+    /// divided across the fleet proportionally to core count, and each
+    /// node conditions its own requests against its share using the
+    /// ordinary per-request duty-cycle mechanism. No cross-node
+    /// coordination is needed at enforcement time — the global cap holds
+    /// whenever every node holds its share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap is not positive, `node_cores` is zero, or
+    /// `node_cores > total_cores`.
+    pub fn node_share(
+        cluster_cap_w: f64,
+        node_cores: usize,
+        total_cores: usize,
+    ) -> ConditioningPolicy {
+        assert!(cluster_cap_w > 0.0, "cluster power cap must be positive");
+        assert!(
+            node_cores > 0 && node_cores <= total_cores,
+            "node cores {node_cores} must be within the fleet total {total_cores}"
+        );
+        ConditioningPolicy::new(cluster_cap_w * node_cores as f64 / total_cores as f64)
+    }
+
     /// The per-request power budget when `busy_cores` cores are in use:
     /// the system target divided evenly among running requests. With idle
     /// cores present each running request inherits a larger budget — the
@@ -115,5 +139,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_non_positive_target() {
         let _ = ConditioningPolicy::new(0.0);
+    }
+
+    #[test]
+    fn node_share_splits_a_cluster_cap_by_cores() {
+        // 12-core fleet under a 120 W cap: a 4-core node gets 40 W.
+        let p = ConditioningPolicy::node_share(120.0, 4, 12);
+        assert!((p.system_target_w - 40.0).abs() < 1e-12);
+        // Shares over the fleet sum exactly to the cap.
+        let total: f64 = [4, 4, 4]
+            .iter()
+            .map(|&c| ConditioningPolicy::node_share(120.0, c, 12).system_target_w)
+            .sum();
+        assert!((total - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the fleet total")]
+    fn node_share_rejects_oversized_nodes() {
+        let _ = ConditioningPolicy::node_share(100.0, 8, 4);
     }
 }

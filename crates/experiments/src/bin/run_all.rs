@@ -88,6 +88,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fault_sweep", |s| {
         experiments::fault_sweep::run(s);
     }),
+    ("scale_sweep", |s| {
+        experiments::scale_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.

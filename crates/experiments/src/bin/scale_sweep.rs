@@ -1,0 +1,5 @@
+//! Regenerates the fleet scale sweep (nodes × policy × cap). Pass
+//! `--quick` for a fast run.
+fn main() {
+    let _ = experiments::scale_sweep::run(experiments::Scale::from_args());
+}

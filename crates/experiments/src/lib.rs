@@ -58,6 +58,7 @@ pub mod mix;
 pub mod output;
 pub mod overhead;
 pub mod runner;
+pub mod scale_sweep;
 pub mod table1;
 
 use hwsim::MachineSpec;

@@ -4,15 +4,15 @@
 //! sweep cell) is an independent seeded simulation, results are
 //! assembled in input order, and traces carry only simulated
 //! timestamps. This test runs a representative subset (including the
-//! parallelized sweeps fig05/fig08/fault_sweep) serially and with 4
-//! workers into sandboxed results + trace directories and compares every
-//! produced file byte for byte.
+//! parallelized sweeps fig05/fig08/fault_sweep/scale_sweep) serially and
+//! with 4 workers into sandboxed results + trace directories and
+//! compares every produced file byte for byte.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const SUBSET: &str = "fig02,fig05,fig08,fault_sweep";
+const SUBSET: &str = "fig02,fig05,fig08,fault_sweep,scale_sweep";
 
 fn repo_results() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
@@ -120,6 +120,12 @@ fn parallel_run_all_output_is_byte_identical_to_serial() {
             .keys()
             .any(|k| k.starts_with("fault_sweep/") && k.ends_with(".trace.json")),
         "no fault_sweep .trace.json traces produced"
+    );
+    assert!(
+        serial_traces
+            .keys()
+            .any(|k| k.starts_with("scale_sweep/") && k.ends_with(".jsonl")),
+        "no scale_sweep traces produced"
     );
     assert_eq!(
         serial_traces.keys().collect::<Vec<_>>(),

@@ -246,6 +246,18 @@ impl Kernel {
         self.sockets.get(socket).buffer.len()
     }
 
+    /// Drains every buffered, unread segment from `socket`, in delivery
+    /// order — the read side of a cross-node connection held by an
+    /// external party (a remote dispatcher, a peer machine). Each
+    /// returned [`Segment`] carries the context tag it *arrived* with:
+    /// tag faults strike at delivery, so a segment observed here may
+    /// already have lost or corrupted its tag (§3.3). Draining does not
+    /// wake any in-kernel reader; external and in-kernel readers are not
+    /// meant to share an endpoint.
+    pub fn drain_messages(&mut self, socket: SocketId) -> Vec<Segment> {
+        self.sockets.get_mut(socket).buffer.drain(..).collect()
+    }
+
     /// The tag of the most recently *delivered* tagged message on
     /// `socket` — the per-endpoint state the naive §3.3 tagging ablation
     /// reads. A tag becomes visible here only once its segment's

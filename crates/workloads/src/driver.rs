@@ -116,6 +116,12 @@ pub struct PoolWorker {
     phase: WorkerPhase,
     stats: Rc<RefCell<RunStats>>,
     notify: Option<SocketId>,
+    /// Payload of the request being served, echoed verbatim in the
+    /// completion message. The low 32 bits are the app-local label; a
+    /// cluster dispatcher packs a request serial into the high 32 bits
+    /// so responses stay identifiable even when the context tag is lost
+    /// or corrupted in transit.
+    req_payload: u64,
 }
 
 impl PoolWorker {
@@ -135,6 +141,7 @@ impl PoolWorker {
             phase: WorkerPhase::AwaitRequest,
             stats,
             notify,
+            req_payload: 0,
         }
     }
 }
@@ -148,7 +155,8 @@ impl Program for PoolWorker {
             WorkerPhase::AwaitRequest => {
                 if pc.resume == Resume::Received {
                     // A request arrived; build and start its op sequence.
-                    let label = pc.last_msg.map(|m| m.payload as u32).unwrap_or(0);
+                    self.req_payload = pc.last_msg.map(|m| m.payload).unwrap_or(0);
+                    let label = self.req_payload as u32;
                     self.queue = (self.make_ops)(label, pc).into();
                     self.phase = WorkerPhase::Working;
                     self.queue.pop_front().unwrap_or(Op::Exit)
@@ -158,26 +166,24 @@ impl Program for PoolWorker {
             }
             WorkerPhase::Working => {
                 // Op sequence exhausted: the request is complete.
-                let label = pc
-                    .context
-                    .and_then(|ctx| {
-                        let mut stats = self.stats.borrow_mut();
-                        stats.record_completion(ctx, pc.now);
-                        stats.label_of(ctx)
-                    })
-                    .unwrap_or(0);
+                if let Some(ctx) = pc.context {
+                    self.stats.borrow_mut().record_completion(ctx, pc.now);
+                }
                 self.phase = WorkerPhase::AwaitRequest;
                 if let Some(notify) = self.notify {
-                    // Respond while still bound so the message carries the
-                    // request context back to the client.
-                    self.queue.push_back(Op::Send {
-                        socket: notify,
-                        bytes: 256,
-                        payload: label as u64,
-                    });
+                    // Respond *while still bound* so the message carries
+                    // the request context back to the client (§3.4's
+                    // response tagging); the payload is the request's own
+                    // payload echoed back, which keeps the response
+                    // routable (via the serial in its high bits) even if
+                    // the tag was lost in transit. Unbind only afterwards.
+                    self.queue.push_back(Op::BindContext(None));
+                    self.queue.push_back(Op::Recv { socket: self.rx });
+                    Op::Send { socket: notify, bytes: 256, payload: self.req_payload }
+                } else {
+                    self.queue.push_back(Op::Recv { socket: self.rx });
+                    Op::BindContext(None)
                 }
-                self.queue.push_back(Op::Recv { socket: self.rx });
-                Op::BindContext(None)
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod calibration;
 pub mod degrade;
 pub mod driver;
 pub mod harness;
+pub mod loadgen;
 pub mod stats;
 pub mod trace;
 
@@ -51,5 +52,6 @@ pub use harness::{
     offered_rate, prepare_app, run_app, run_server_app, LoadLevel, PreparedRun, RunConfig,
     RunOutcome,
 };
+pub use loadgen::{Arrival, OpenLoopGen};
 pub use stats::{Completion, RunStats};
 pub use trace::{spawn_trace_driver, RequestTrace, TraceEntry};

@@ -1,0 +1,27 @@
+//! Shared helpers for the integration-test tree.
+
+/// Asserts the end-to-end energy-conservation invariant: the energy the
+/// facility *attributed* (requests + background, CPU + I/O) must match
+/// the machine's *measured* active energy within `tol` relative error.
+/// This is the paper's Fig. 8 validation, promoted to an invariant every
+/// experiment cell must satisfy — attribution may split energy wrongly
+/// under faults, but it must never create or destroy it beyond model
+/// error.
+pub fn assert_energy_conserved(label: &str, attributed_j: f64, measured_j: f64, tol: f64) {
+    assert!(
+        measured_j > 0.0,
+        "{label}: measured active energy must be positive, got {measured_j}"
+    );
+    assert!(
+        attributed_j > 0.0,
+        "{label}: attributed energy must be positive, got {attributed_j}"
+    );
+    let err = analysis::stats::relative_error(attributed_j, measured_j);
+    assert!(
+        err <= tol,
+        "{label}: energy not conserved — attributed {attributed_j:.2} J vs measured \
+         {measured_j:.2} J ({:.1}% > {:.1}% tolerance)",
+        err * 100.0,
+        tol * 100.0
+    );
+}
