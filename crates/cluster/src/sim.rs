@@ -18,6 +18,34 @@
 //! against incrementally maintained load views. Per-request dispatcher
 //! work is therefore O(policy) — independent of node count — which is
 //! what keeps throughput flat as the fleet grows.
+//!
+//! # Failure recovery
+//!
+//! Beyond the passive fault riding of the degraded-node detector, the
+//! engine models full crash/restart cycles and active request recovery:
+//!
+//! * **Node lifecycle** — a [`hwsim::FaultKind::NodeCrash`] window
+//!   kills the node's kernel outright (Down), then restarts it through
+//!   a WarmingUp phase back to Healthy. The facility journals its
+//!   container state to a periodic [`ManagerCheckpoint`]; on restart
+//!   the journal is restored, so cumulative attribution survives the
+//!   crash with an explicitly accounted loss window
+//!   ([`NodeOutcome::lost_energy_j`], [`CrashRecord`]).
+//! * **Request recovery** ([`RecoveryConfig`]) — per-hop timeouts with
+//!   seeded exponential backoff + jitter, bounded retries keyed by a
+//!   stable request id (each send uses a fresh wire serial, so a late
+//!   reply from a superseded attempt is recognized as stale and can
+//!   never double-complete a request), and optional hedged sends after
+//!   a tail timeout.
+//! * **Circuit breaker** — the flat health-check penalty is replaced by
+//!   a per-node closed/open/half-open breaker with the same detection
+//!   signal and backoff constants.
+//! * **Admission control** ([`AdmissionConfig`]) — queue-depth and
+//!   power-headroom load shedding at the dispatcher front door, with
+//!   typed [`ShedReason`]s.
+//!
+//! All recovery knobs default to *off*: a configuration that does not
+//! opt in behaves byte-identically to the pre-recovery engine.
 
 use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
 use crate::topology::{generation_rank, Topology};
@@ -25,11 +53,12 @@ use analysis::stats::Summary;
 use hwsim::{plan_node_faults, DutyCycle, FaultConfig, Machine, MachineSpec, NodeFaultWindow};
 use ossim::{ContextId, Kernel, KernelConfig, SocketId};
 use power_containers::{
-    Approach, ConditioningPolicy, FacilityConfig, FacilityState, PowerContainerFacility,
+    Approach, ConditioningPolicy, FacilityConfig, FacilityState, ManagerCheckpoint,
+    PowerContainerFacility,
 };
-use simkern::{SimDuration, SimTime};
+use simkern::{SimDuration, SimRng, SimTime};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use workloads::{AppEnv, MachineCalibration, OpenLoopGen, RunStats, ServerApp, WorkloadKind};
 
@@ -66,9 +95,15 @@ pub struct ClusterConfig {
     pub retain_request_energy: bool,
     /// Fault injection: machine-level faults (meters, counters, tags)
     /// are applied to every node with a node-specific seed; the
-    /// node-level slowdown/blackout rates drive a precomputed window
-    /// plan the dispatcher must ride out.
+    /// node-level slowdown/blackout/crash rates drive a precomputed
+    /// window plan the dispatcher must ride out.
     pub faults: FaultConfig,
+    /// Request-recovery machinery (timeouts, retries, hedging,
+    /// checkpoint cadence). `None` (the default) disables all of it.
+    pub recovery: Option<RecoveryConfig>,
+    /// Front-door admission control. `None` (the default) admits
+    /// every arrival.
+    pub admission: Option<AdmissionConfig>,
     /// Trace sink; dispatcher events land on track 3, node `n`'s
     /// fault windows and per-node facility events on track `10 + n`.
     /// Disabled by default.
@@ -91,6 +126,8 @@ impl ClusterConfig {
             tick: SimDuration::from_millis(1),
             retain_request_energy: false,
             faults: FaultConfig::none(),
+            recovery: None,
+            admission: None,
             telemetry: telemetry::Telemetry::disabled(),
         }
     }
@@ -106,6 +143,155 @@ impl ClusterConfig {
     }
 }
 
+/// Per-hop timeout, retry, hedging, and checkpoint-cadence knobs of the
+/// dispatcher's request-recovery machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// A hop's deadline is `hop_timeout_mult ×` its expected service
+    /// seconds on the chosen node (floored by
+    /// [`RecoveryConfig::min_timeout`]).
+    pub hop_timeout_mult: f64,
+    /// Deadline floor, so sub-millisecond services do not time out on
+    /// ordinary queueing.
+    pub min_timeout: SimDuration,
+    /// Re-dispatch budget per hop; a request that exhausts it is shed
+    /// with [`ShedReason::RetriesExhausted`] (or counted
+    /// [`ClusterOutcome::lost_in_crash`] when a crash killed it).
+    pub max_retries: u32,
+    /// First-retry backoff; attempt `k` waits `2^(k-1) ×` this plus a
+    /// seeded jitter below one base unit.
+    pub backoff_base: SimDuration,
+    /// Send a hedged duplicate to a second node once a hop has waited
+    /// this long without reply. `None` disables hedging.
+    pub hedge_after: Option<SimDuration>,
+    /// Cadence of the per-node container-state checkpoint journal
+    /// (only taken when crash faults are configured).
+    pub checkpoint_every: SimDuration,
+}
+
+impl RecoveryConfig {
+    /// Defaults tuned for the chaos sweep: generous per-hop deadlines,
+    /// three retries, ~20 ms first backoff, hedging off.
+    pub fn standard() -> RecoveryConfig {
+        RecoveryConfig {
+            hop_timeout_mult: 60.0,
+            min_timeout: SimDuration::from_millis(250),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(20),
+            hedge_after: None,
+            checkpoint_every: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig::standard()
+    }
+}
+
+/// Front-door load-shedding thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Shed new arrivals while tier 0's summed outstanding-work
+    /// estimate exceeds this many requests per tier-0 core.
+    pub max_queue_per_core: f64,
+    /// With a power cap configured, shed new arrivals while the
+    /// fleet's instantaneous active power exceeds this fraction of the
+    /// cap.
+    pub power_headroom: f64,
+}
+
+impl AdmissionConfig {
+    /// Defaults: eight queued requests per core, 97 % of the cap.
+    pub fn standard() -> AdmissionConfig {
+        AdmissionConfig { max_queue_per_core: 8.0, power_headroom: 0.97 }
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig::standard()
+    }
+}
+
+/// Why the dispatcher gave up on (or refused) a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every node of the target tier was unavailable (down, tripped
+    /// breaker, or inside a blackout/crash window) and no retry budget
+    /// remained.
+    NoHealthyNode,
+    /// Admission control: tier-0 queue depth above the configured
+    /// bound.
+    QueueDepth,
+    /// Admission control: fleet active power above the configured
+    /// fraction of the cap.
+    PowerHeadroom,
+    /// The per-hop retry budget ran out without a reply.
+    RetriesExhausted,
+}
+
+impl ShedReason {
+    /// Every reason, in [`ClusterOutcome::shed`] index order.
+    pub const ALL: [ShedReason; 4] = [
+        ShedReason::NoHealthyNode,
+        ShedReason::QueueDepth,
+        ShedReason::PowerHeadroom,
+        ShedReason::RetriesExhausted,
+    ];
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::NoHealthyNode => "no-healthy-node",
+            ShedReason::QueueDepth => "queue-depth",
+            ShedReason::PowerHeadroom => "power-headroom",
+            ShedReason::RetriesExhausted => "retries-exhausted",
+        }
+    }
+
+    /// Index into [`ClusterOutcome::shed`].
+    pub fn index(self) -> usize {
+        match self {
+            ShedReason::NoHealthyNode => 0,
+            ShedReason::QueueDepth => 1,
+            ShedReason::PowerHeadroom => 2,
+            ShedReason::RetriesExhausted => 3,
+        }
+    }
+
+    /// The pc-telemetry counter this reason increments.
+    fn counter(self) -> &'static str {
+        match self {
+            ShedReason::NoHealthyNode => "cluster.shed.no-healthy-node",
+            ShedReason::QueueDepth => "cluster.shed.queue-depth",
+            ShedReason::PowerHeadroom => "cluster.shed.power-headroom",
+            ShedReason::RetriesExhausted => "cluster.shed.retries-exhausted",
+        }
+    }
+}
+
+/// One node crash/restart cycle, as journaled by the engine.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// Flat node index.
+    pub node: usize,
+    /// When the crash window started (the kernel died here).
+    pub at: SimTime,
+    /// When the node's kernel came back (warm-up starts here).
+    pub restarted_at: SimTime,
+    /// Attributed energy accumulated since the last checkpoint —
+    /// irrecoverably lost with the crash (the loss window).
+    pub lost_energy_j: f64,
+    /// In-flight requests on the node when it died.
+    pub lost_requests: u64,
+    /// Live containers force-released from the restored checkpoint.
+    pub restored_containers: u64,
+    /// Age of the restored checkpoint at the moment of the crash.
+    pub checkpoint_age: SimDuration,
+}
+
 /// The dispatcher's trace track.
 const DISPATCHER_TRACK: u32 = 3;
 
@@ -116,10 +302,71 @@ fn node_track(n: usize) -> u32 {
 
 /// Health-check period of the dispatcher's degraded-node detector.
 const HEALTH_CHECK_EVERY: SimDuration = SimDuration::from_millis(100);
-/// Initial penalty a node receives when detected degraded.
+/// Initial breaker-open duration when a node is detected degraded.
 const PENALTY_BASE: SimDuration = SimDuration::from_millis(200);
-/// Penalty ceiling under exponential backoff.
+/// Breaker-open ceiling under exponential backoff.
 const PENALTY_MAX: SimDuration = SimDuration::from_millis(1600);
+/// Checkpoint cadence when crash faults are on but no
+/// [`RecoveryConfig`] overrides it.
+const DEFAULT_CHECKPOINT_EVERY: SimDuration = SimDuration::from_millis(50);
+
+/// Per-node circuit breaker. Closed admits; a detected stall trips it
+/// Open for an exponentially backed-off window; once the window
+/// passes it half-opens (admitting probes) and the next clean health
+/// check closes it again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until: SimTime },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    backoff: SimDuration,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker { state: BreakerState::Closed, backoff: PENALTY_BASE }
+    }
+
+    fn admits(&self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Open { until } => now >= until,
+            _ => true,
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    fn trip(&mut self, now: SimTime) {
+        self.state = BreakerState::Open { until: now + self.backoff };
+        self.backoff = (self.backoff + self.backoff).min(PENALTY_MAX);
+    }
+
+    fn note_progress(&mut self) {
+        self.state = BreakerState::Closed;
+        self.backoff = PENALTY_BASE;
+    }
+}
+
+/// Crash/restart state machine of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Lifecycle {
+    Healthy,
+    /// The kernel is dead; nothing runs until `until`.
+    Down { until: SimTime },
+    /// Restarted, admitting a bounded probe load until `until`.
+    WarmingUp { until: SimTime },
+}
 
 struct Node {
     kernel: Kernel,
@@ -136,7 +383,8 @@ struct Node {
     outstanding_std: f64,
     /// Mean service seconds across the offered mix on this node.
     mean_service: f64,
-    /// Requests injected into this node (initial dispatches + hops).
+    /// Requests injected into this node (initial dispatches + hops +
+    /// retries + hedges).
     injected: u64,
     /// Stage completions drained from this node.
     responses: u64,
@@ -144,15 +392,39 @@ struct Node {
     rank: u8,
     /// Which tier this node serves.
     tier: usize,
-    /// This node's slowdown/blackout windows, in start order.
+    /// This node's slowdown/blackout/crash windows, in start order.
     fault_windows: Vec<NodeFaultWindow>,
     next_window: usize,
     /// The window currently in force, if any.
     active_window: Option<NodeFaultWindow>,
-    /// Dispatcher-side health state: the node is avoided until
-    /// `penalty_until` once the detector sees it stall.
-    penalty_until: SimTime,
-    penalty: SimDuration,
+    /// Dispatcher-side health state.
+    breaker: Breaker,
+    lifecycle: Lifecycle,
+    /// Warm-up length applied after each restart.
+    warmup: SimDuration,
+    /// Set when `advance_to` hits a crash-window start; the engine
+    /// rebuilds the node (journaling the loss) before anything else
+    /// touches it.
+    pending_crash: bool,
+    /// Restart count; salts the rebuilt kernel's seeds so incarnations
+    /// draw decorrelated randomness (incarnation 0 reduces to the
+    /// legacy seeds exactly).
+    incarnation: u32,
+    crashes: u32,
+    /// Active energy of dead incarnations, Joules.
+    carried_energy_j: f64,
+    /// Machine-fault counts of dead incarnations.
+    carried_fault_counts: [u64; hwsim::FaultKind::ALL.len()],
+    carried_tags_lost: u64,
+    carried_tags_corrupted: u64,
+    /// Attributed energy lost in crash loss windows, Joules.
+    lost_energy_j: f64,
+    /// In-flight requests killed by crashes on this node.
+    lost_requests: u64,
+    /// Latest container-state journal entry.
+    last_checkpoint: ManagerCheckpoint,
+    next_checkpoint_at: SimTime,
+    checkpoints: u64,
     last_health_check: SimTime,
     responses_at_check: u64,
     /// Trace sink shared with the dispatcher and this node's facility.
@@ -191,8 +463,14 @@ impl Node {
     /// core's duty cycle at the window's DVFS fraction; a blackout
     /// freezes the node outright — its kernel does not advance (so no
     /// request completes and no message is processed) until the window
-    /// passes, after which it works through the backlog.
+    /// passes, after which it works through the backlog. A crash stops
+    /// the advance at the window start with [`Node::pending_crash`]
+    /// set; the engine journals the loss and rebuilds the node before
+    /// calling again.
     fn advance_to(&mut self, t: SimTime) {
+        if self.pending_crash {
+            return;
+        }
         loop {
             let boundary = match (&self.active_window, self.fault_windows.get(self.next_window))
             {
@@ -205,37 +483,66 @@ impl Node {
             }
             match self.active_window.take() {
                 Some(w) => {
-                    if w.kind == hwsim::FaultKind::NodeSlowdown {
-                        self.kernel.run_until(boundary);
-                        self.set_all_duty(DutyCycle::FULL);
+                    match w.kind {
+                        hwsim::FaultKind::NodeSlowdown => {
+                            self.kernel.run_until(boundary);
+                            self.set_all_duty(DutyCycle::FULL);
+                        }
+                        hwsim::FaultKind::NodeCrash => {
+                            // The rebuilt kernel comes back here and
+                            // warms up before taking full load.
+                            self.lifecycle =
+                                Lifecycle::WarmingUp { until: w.end + self.warmup };
+                            self.breaker.state = BreakerState::HalfOpen;
+                        }
+                        // A blackout held the kernel frozen; the
+                        // run_until below (or the next call) replays
+                        // the backlog.
+                        _ => {}
                     }
-                    // A blackout held the kernel frozen; the run_until
-                    // below (or the next call) replays the backlog.
                     self.tele.end_span(w.end, self.track);
                 }
                 None => {
                     let w = self.fault_windows[self.next_window];
                     self.next_window += 1;
                     self.kernel.run_until(w.start);
-                    if w.kind == hwsim::FaultKind::NodeSlowdown {
-                        self.set_all_duty(DutyCycle::at_most(w.factor));
-                        self.tele.begin_span(
-                            w.start,
-                            "cluster",
-                            "slowdown",
-                            self.track,
-                            &[("factor", w.factor.into())],
-                        );
-                    } else {
-                        self.tele.begin_span(w.start, "cluster", "blackout", self.track, &[]);
+                    match w.kind {
+                        hwsim::FaultKind::NodeSlowdown => {
+                            self.set_all_duty(DutyCycle::at_most(w.factor));
+                            self.tele.begin_span(
+                                w.start,
+                                "cluster",
+                                "slowdown",
+                                self.track,
+                                &[("factor", w.factor.into())],
+                            );
+                        }
+                        hwsim::FaultKind::NodeCrash => {
+                            self.tele.begin_span(w.start, "cluster", "crash", self.track, &[]);
+                            self.lifecycle = Lifecycle::Down { until: w.end };
+                            self.pending_crash = true;
+                            self.active_window = Some(w);
+                            return;
+                        }
+                        _ => {
+                            self.tele.begin_span(
+                                w.start,
+                                "cluster",
+                                "blackout",
+                                self.track,
+                                &[],
+                            );
+                        }
                     }
                     self.active_window = Some(w);
                 }
             }
         }
+        // Blackout and (post-rebuild) crash windows both hold the
+        // kernel frozen until the window passes.
         let frozen = matches!(
             &self.active_window,
-            Some(w) if w.kind == hwsim::FaultKind::NodeBlackout
+            Some(w) if w.kind != hwsim::FaultKind::NodeSlowdown
         );
         if !frozen {
             self.kernel.run_until(t);
@@ -248,37 +555,68 @@ impl Node {
         }
     }
 
-    /// `true` while the dispatcher is steering load away from this node.
-    fn penalized(&self, now: SimTime) -> bool {
-        now < self.penalty_until
+    /// `true` when the dispatcher may send this node work: not down,
+    /// not inside a blackout/crash window (a connection attempt would
+    /// observably fail), breaker admitting, and — while warming up —
+    /// below a one-request-per-core probe load.
+    fn available(&self, now: SimTime) -> bool {
+        if self.pending_crash {
+            return false;
+        }
+        if let Some(w) = &self.active_window {
+            if w.kind != hwsim::FaultKind::NodeSlowdown {
+                return false;
+            }
+        }
+        match self.lifecycle {
+            Lifecycle::Down { .. } => false,
+            Lifecycle::WarmingUp { .. } => {
+                self.outstanding_std < self.kernel.machine().spec().total_cores() as f64
+                    && self.breaker.admits(now)
+            }
+            Lifecycle::Healthy => self.breaker.admits(now),
+        }
+    }
+
+    /// Restart-aware timers: warm-up expiry and breaker half-opening.
+    fn lifecycle_tick(&mut self, now: SimTime) {
+        if let Lifecycle::WarmingUp { until } = self.lifecycle {
+            if now >= until {
+                self.lifecycle = Lifecycle::Healthy;
+            }
+        }
+        self.breaker.tick(now);
     }
 
     /// Periodic liveness probe: outstanding work with no stage
-    /// completions since the last check marks the node degraded and
-    /// extends its penalty with exponential backoff (bounded by
-    /// [`PENALTY_MAX`]); progress resets the backoff. Returns `true`
-    /// when a new degradation was detected.
+    /// completions since the last check trips the breaker (open window
+    /// doubles up to [`PENALTY_MAX`]); progress closes it. Returns
+    /// `true` when a new degradation was detected.
     fn health_check(&mut self, now: SimTime) -> bool {
         if now.duration_since(self.last_health_check) < HEALTH_CHECK_EVERY {
             return false;
         }
-        let stalled =
-            !self.outstanding.is_empty() && self.responses == self.responses_at_check;
+        let down = matches!(self.lifecycle, Lifecycle::Down { .. });
+        let stalled = !down
+            && !self.outstanding.is_empty()
+            && self.responses == self.responses_at_check;
         self.last_health_check = now;
         self.responses_at_check = self.responses;
         if stalled {
-            self.penalty_until = now + self.penalty;
-            self.penalty = (self.penalty + self.penalty).min(PENALTY_MAX);
+            self.breaker.trip(now);
             true
         } else {
-            self.penalty = PENALTY_BASE;
+            if !down {
+                self.breaker.note_progress();
+            }
             false
         }
     }
 
     /// Energy the facility attributed on this node (requests +
     /// background, CPU + I/O) — mirrors
-    /// `workloads::RunOutcome::attributed_energy_j`.
+    /// `workloads::RunOutcome::attributed_energy_j`. After a restart
+    /// this reads the restored-checkpoint totals plus everything since.
     fn attributed_energy_j(&self) -> f64 {
         let f = self.facility.borrow();
         let c = f.containers();
@@ -295,21 +633,33 @@ pub struct NodeOutcome {
     pub machine: &'static str,
     /// Which pipeline tier the node served.
     pub tier: usize,
-    /// Active energy drawn over the run, Joules.
+    /// Active energy drawn over the run, Joules (every incarnation).
     pub active_energy_j: f64,
     /// Energy the node's facility attributed (requests + background,
     /// CPU + I/O), Joules — compare against `active_energy_j` for the
-    /// per-node conservation invariant.
+    /// per-node conservation invariant. After crashes this is conserved
+    /// only modulo [`NodeOutcome::lost_energy_j`].
     pub attributed_energy_j: f64,
     /// Active energy usage rate, Watts (the paper's Fig. 14 metric).
     pub energy_rate_w: f64,
-    /// Requests injected into this node (dispatches + pipeline hops).
+    /// Requests injected into this node (dispatches + pipeline hops +
+    /// retries + hedges).
     pub dispatched: u64,
     /// Stage completions this node served.
     pub completions: usize,
     /// Requests still queued or running on this node at the end.
     pub in_flight: u64,
-    /// Mean utilization over the run.
+    /// In-flight requests killed by crashes of this node. The exact
+    /// per-node identity is
+    /// `dispatched == completions + in_flight + lost_requests`.
+    pub lost_requests: u64,
+    /// Attributed energy lost in this node's crash loss windows,
+    /// Joules (work done since the last checkpoint).
+    pub lost_energy_j: f64,
+    /// Crash/restart cycles this node went through.
+    pub crashes: u64,
+    /// Mean utilization over the run (the final incarnation's counters
+    /// after a crash).
     pub utilization: f64,
 }
 
@@ -348,15 +698,37 @@ pub struct ClusterOutcome {
     pub dispatched: u64,
     /// Requests that completed the full pipeline.
     pub completed: usize,
-    /// Requests the dispatcher steered away from a degraded (penalized)
-    /// node to a healthy one.
+    /// Requests the dispatcher steered away from an unavailable node
+    /// to a healthy one.
     pub rerouted: u64,
-    /// Requests dropped because every node of the target tier was
-    /// penalized (at dispatch or at a pipeline hop).
+    /// Requests the dispatcher gave up on, for any reason: the exact
+    /// identity is `dropped == shed.iter().sum() + lost_in_crash`, and
+    /// the conservation invariant is
+    /// `dispatched == completed + dropped + in_flight`.
     pub dropped: u64,
-    /// Requests still inside the pipeline when the run ended.
+    /// Typed shed counts, indexed by [`ShedReason::index`].
+    pub shed: [u64; ShedReason::ALL.len()],
+    /// Requests killed by a node crash after their retry budget (if
+    /// any) was exhausted.
+    pub lost_in_crash: u64,
+    /// Re-dispatch attempts after a hop timeout or a crash.
+    pub retried: u64,
+    /// Hedged duplicate sends.
+    pub hedged: u64,
+    /// Replies from superseded attempts, recognized by their stale
+    /// wire serial and dropped without effect (the dedup guarantee).
+    pub stale_replies: u64,
+    /// Node crash/restart cycles across the fleet.
+    pub crashes: u64,
+    /// Container-state checkpoints journaled across the fleet.
+    pub checkpoints: u64,
+    /// One entry per crash/restart cycle, in processing order.
+    pub crash_log: Vec<CrashRecord>,
+    /// Requests still inside the pipeline when the run ended
+    /// (including any waiting in the retry queue).
     pub in_flight: u64,
-    /// Routing decisions the dispatcher made (dispatches + hops).
+    /// Routing decisions the dispatcher made (dispatches + hops +
+    /// retries).
     pub decisions: u64,
     /// Health-check degradation detections across the run.
     pub degradations_detected: u64,
@@ -365,7 +737,8 @@ pub struct ClusterOutcome {
     /// Context tags corrupted in transit across all nodes.
     pub tags_corrupted: u64,
     /// Machine-level faults injected across all nodes, by kind (indexed
-    /// like [`hwsim::FaultKind::ALL`]).
+    /// like [`hwsim::FaultKind::ALL`]; node crashes land in the
+    /// [`hwsim::FaultKind::NodeCrash`] slot).
     pub fault_counts: [u64; hwsim::FaultKind::ALL.len()],
 }
 
@@ -373,6 +746,11 @@ impl ClusterOutcome {
     /// Combined active energy usage rate across nodes, Watts.
     pub fn total_energy_rate_w(&self) -> f64 {
         self.per_node.iter().map(|n| n.energy_rate_w).sum()
+    }
+
+    /// Total shed requests across every [`ShedReason`].
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
     }
 }
 
@@ -412,13 +790,33 @@ pub fn offered_cluster_rate(cfg: &ClusterConfig) -> f64 {
     per_app_rate(cfg) * cfg.apps.len() as f64
 }
 
-/// One live request's dispatcher-side state.
+/// One live request's dispatcher-side state, keyed by a stable request
+/// id. Every send (dispatch, hop, retry, hedge) uses a fresh wire
+/// serial, so the dispatcher can tell a live attempt's reply from a
+/// superseded one.
 struct InFlight {
     app: usize,
     label: u32,
     arrived: SimTime,
     /// Tier currently serving the request.
     stage: usize,
+    /// Tag to put on the wire for (re)sends of the current stage: the
+    /// true identity at stage 0, the tag observed on the previous
+    /// stage's reply afterwards (§3.4 — loss and corruption propagate).
+    wire: Option<ContextId>,
+    /// Node serving the primary attempt.
+    node: usize,
+    /// Wire serial of the primary attempt.
+    serial: u64,
+    /// Re-dispatches consumed on the current hop.
+    attempt: u32,
+    sent_at: SimTime,
+    /// Primary attempt's deadline ([`SimTime::MAX`] with recovery off).
+    deadline: SimTime,
+    /// Outstanding hedge, as `(node, serial)`.
+    hedge: Option<(usize, u64)>,
+    /// Parked in the retry queue (no live attempt on any node).
+    waiting: bool,
 }
 
 /// Runs the cluster under a single `policy` (requires a single-tier
@@ -451,9 +849,9 @@ pub fn run_pipeline(
 }
 
 /// Chooses a node of `tier` for `req` via `policy`, applying the
-/// penalty/reroute/drop machinery. Returns the flat node index, or
-/// `None` when every node of the tier is penalized (the bounded-retry
-/// give-up path).
+/// availability/reroute machinery. Returns the flat node index, or
+/// `None` when every node of the tier is unavailable (the caller sheds
+/// or retries).
 #[allow(clippy::too_many_arguments)]
 fn route(
     policy: &mut dyn DistributionPolicy,
@@ -468,15 +866,15 @@ fn route(
     let views: Vec<NodeView> = tier.iter().map(|&i| nodes[i].view()).collect();
     *decisions += 1;
     let mut chosen = tier[policy.choose(req, &views)];
-    if nodes[chosen].penalized(t) {
+    if !nodes[chosen].available(t) {
         // Bounded retry: probe the tier's remaining nodes for the
-        // healthy one with the least outstanding work; if every node is
-        // penalized, give the request up rather than pile onto a
-        // degraded machine.
+        // available one with the least outstanding work; if every node
+        // is unavailable, hand the request back to the caller rather
+        // than pile onto a degraded machine.
         let alt = tier
             .iter()
             .copied()
-            .filter(|&i| i != chosen && !nodes[i].penalized(t))
+            .filter(|&i| i != chosen && nodes[i].available(t))
             .min_by(|&a, &b| nodes[a].outstanding_std.total_cmp(&nodes[b].outstanding_std));
         match alt {
             Some(i) => {
@@ -491,17 +889,7 @@ fn route(
                 chosen = i;
                 *rerouted += 1;
             }
-            None => {
-                tele.instant_on(
-                    t,
-                    "cluster",
-                    "drop",
-                    DISPATCHER_TRACK,
-                    &[("node", (chosen as u64).into())],
-                );
-                tele.add_count("cluster.dropped", 1);
-                return None;
-            }
+            None => return None,
         }
     }
     Some(chosen)
@@ -531,6 +919,181 @@ fn inject_stage(
     node.kernel.inject_message(inbox, 512, wire_ctx, payload);
 }
 
+/// Sends `fl`'s current stage to `node` as the primary attempt with a
+/// fresh wire `serial`, arming the per-hop deadline.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_attempt(
+    target: usize,
+    node: &mut Node,
+    fl: &mut InFlight,
+    serial_req: &mut HashMap<u64, u64>,
+    req_id: u64,
+    serial: u64,
+    secs: f64,
+    recovery: Option<&RecoveryConfig>,
+    t: SimTime,
+) {
+    fl.node = target;
+    fl.serial = serial;
+    fl.sent_at = t;
+    fl.waiting = false;
+    fl.deadline = match recovery {
+        Some(rec) => t + hop_deadline(rec, secs),
+        None => SimTime::MAX,
+    };
+    serial_req.insert(serial, req_id);
+    inject_stage(node, fl.app, serial, fl.label, fl.wire, secs, t);
+}
+
+/// Deadline of one hop with expected service time `secs`.
+fn hop_deadline(rec: &RecoveryConfig, secs: f64) -> SimDuration {
+    SimDuration::from_secs_f64(secs * rec.hop_timeout_mult).max(rec.min_timeout)
+}
+
+/// Seeded exponential backoff with jitter for retry `attempt` of
+/// `req_id` (deterministic in the root seed, the request and the
+/// attempt — independent of scheduling order).
+fn retry_backoff(rec: &RecoveryConfig, seed: u64, req_id: u64, attempt: u32) -> SimDuration {
+    let base = rec.backoff_base.as_nanos().max(1);
+    let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(6));
+    let mut rng = SimRng::new(
+        seed ^ req_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempt as u64) << 48),
+    );
+    SimDuration::from_nanos(exp.saturating_add(rng.next_below(base)))
+}
+
+/// Counts and traces one typed shed.
+fn note_shed(
+    tele: &telemetry::Telemetry,
+    shed: &mut [u64; ShedReason::ALL.len()],
+    dropped: &mut u64,
+    t: SimTime,
+    reason: ShedReason,
+) {
+    shed[reason.index()] += 1;
+    *dropped += 1;
+    tele.instant_on(
+        t,
+        "cluster",
+        "shed",
+        DISPATCHER_TRACK,
+        &[("reason", (reason.index() as u64).into())],
+    );
+    tele.add_count("cluster.dropped", 1);
+    tele.add_count(reason.counter(), 1);
+}
+
+/// Parks `fl` in the retry queue with backoff + jitter.
+#[allow(clippy::too_many_arguments)]
+fn schedule_retry(
+    tele: &telemetry::Telemetry,
+    retry_queue: &mut BTreeMap<(SimTime, u64), ()>,
+    rec: &RecoveryConfig,
+    seed: u64,
+    req_id: u64,
+    fl: &mut InFlight,
+    retried: &mut u64,
+    t: SimTime,
+) {
+    fl.attempt += 1;
+    *retried += 1;
+    fl.waiting = true;
+    let delay = retry_backoff(rec, seed, req_id, fl.attempt);
+    retry_queue.insert((t + delay, req_id), ());
+    tele.instant_on(
+        t,
+        "cluster",
+        "retry",
+        DISPATCHER_TRACK,
+        &[("attempt", (fl.attempt as u64).into())],
+    );
+    tele.add_count("cluster.retried", 1);
+}
+
+/// Builds (or rebuilds, after a crash) node `n`'s kernel, facility and
+/// worker pools. `incarnation` salts every seed; incarnation 0 reduces
+/// exactly to the legacy seed derivation, so crash-free runs are
+/// byte-identical to the pre-recovery engine.
+/// Everything `build_node_runtime` hands back: the kernel, its
+/// facility state, the per-app worker inboxes, and the reply socket.
+type NodeRuntime = (Kernel, Rc<RefCell<FacilityState>>, Vec<(Vec<SocketId>, usize)>, SocketId);
+
+#[allow(clippy::too_many_arguments)]
+fn build_node_runtime(
+    n: usize,
+    incarnation: u32,
+    start: SimTime,
+    cfg: &ClusterConfig,
+    cal: &MachineCalibration,
+    apps: &[Box<dyn ServerApp>],
+    total_cores: usize,
+    stats: Rc<RefCell<RunStats>>,
+) -> NodeRuntime {
+    let spec = &cfg.nodes[n];
+    let inc = incarnation as u64;
+    let facility = PowerContainerFacility::new(
+        cal.model_for(Approach::ChipShare),
+        None,
+        spec,
+        FacilityConfig {
+            approach: Approach::ChipShare,
+            // Records feed the §3.4 response tagging: each completed
+            // request's cumulative energy flows back to the
+            // dispatcher for comprehensive accounting.
+            retain_records: true,
+            // A cluster-wide cap decomposes into per-node shares
+            // enforced by ordinary per-request conditioning.
+            conditioning: cfg
+                .power_cap_w
+                .map(|cap| ConditioningPolicy::node_share(cap, spec.total_cores(), total_cores)),
+            // Context ids are unique cluster-wide, so every node can
+            // share one sink and attribution samples stay
+            // per-container. (Kernel-level tracing stays off here:
+            // per-tick switch events across N nodes would dwarf the
+            // facility signal.)
+            telemetry: cfg.telemetry.clone(),
+            ..FacilityConfig::default()
+        },
+    );
+    let state = facility.state();
+    let mut machine = Machine::new(
+        spec.clone(),
+        cfg.seed.wrapping_add(n as u64).wrapping_add(inc.wrapping_mul(0xA076_1D64_78BD_642F)),
+    );
+    if cfg.faults.is_active() {
+        // Same fault profile on every node, decorrelated by seed.
+        machine.set_fault_config(FaultConfig {
+            seed: (cfg.faults.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(inc.wrapping_mul(0xE703_7ED1_A0B4_28DB)),
+            ..cfg.faults.clone()
+        });
+    }
+    let mut kernel = Kernel::new(machine, KernelConfig::default());
+    // A restarted incarnation boots at the crash instant: the empty
+    // kernel fast-forwards to `start` *before* the facility or any app
+    // task exists, so no incarnation ever replays (or re-accrues energy
+    // for) the interval it was dead. Incarnation 0 starts at zero and
+    // this is a no-op.
+    kernel.run_until(start);
+    kernel.install_hooks(Box::new(facility));
+    let (notify_tx, reply_rx) = kernel.new_socket_pair();
+    let mut inboxes = Vec::new();
+    for app in apps {
+        let env = AppEnv {
+            stats: Rc::clone(&stats),
+            workers: cfg.workers_per_core * spec.total_cores(),
+            spec: spec.clone(),
+            seed: cfg
+                .seed
+                .wrapping_add(1000 + n as u64)
+                .wrapping_add(inc.wrapping_mul(0x2545_F491_4F6C_DD1D)),
+            notify: Some(notify_tx),
+        };
+        inboxes.push((app.setup(&mut kernel, &env), 0usize));
+    }
+    (kernel, state, inboxes, reply_rx)
+}
+
 fn run_engine(
     policies: &mut [&mut dyn DistributionPolicy],
     cfg: &ClusterConfig,
@@ -558,57 +1121,18 @@ fn run_engine(
         .enumerate()
         .flat_map(|(t, ix)| ix.iter().map(move |&i| (i, t)))
         .collect();
+    let checkpoint_every = cfg
+        .recovery
+        .as_ref()
+        .map(|r| r.checkpoint_every)
+        .unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+    let crashes_possible = cfg.faults.node_crash_hz > 0.0;
 
     let mut nodes: Vec<Node> = Vec::new();
     for (n, spec) in cfg.nodes.iter().enumerate() {
-        let facility = PowerContainerFacility::new(
-            cals[n].model_for(Approach::ChipShare),
-            None,
-            spec,
-            FacilityConfig {
-                approach: Approach::ChipShare,
-                // Records feed the §3.4 response tagging: each completed
-                // request's cumulative energy flows back to the
-                // dispatcher for comprehensive accounting.
-                retain_records: true,
-                // A cluster-wide cap decomposes into per-node shares
-                // enforced by ordinary per-request conditioning.
-                conditioning: cfg
-                    .power_cap_w
-                    .map(|cap| ConditioningPolicy::node_share(cap, spec.total_cores(), total_cores)),
-                // Context ids are unique cluster-wide, so every node can
-                // share one sink and attribution samples stay
-                // per-container. (Kernel-level tracing stays off here:
-                // per-tick switch events across N nodes would dwarf the
-                // facility signal.)
-                telemetry: cfg.telemetry.clone(),
-                ..FacilityConfig::default()
-            },
-        );
-        let state = facility.state();
-        let mut machine = Machine::new(spec.clone(), cfg.seed.wrapping_add(n as u64));
-        if cfg.faults.is_active() {
-            // Same fault profile on every node, decorrelated by seed.
-            machine.set_fault_config(FaultConfig {
-                seed: cfg.faults.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..cfg.faults.clone()
-            });
-        }
-        let mut kernel = Kernel::new(machine, KernelConfig::default());
-        kernel.install_hooks(Box::new(facility));
         let stats = Rc::new(RefCell::new(RunStats::new()));
-        let (notify_tx, reply_rx) = kernel.new_socket_pair();
-        let mut inboxes = Vec::new();
-        for app in &apps {
-            let env = AppEnv {
-                stats: Rc::clone(&stats),
-                workers: cfg.workers_per_core * spec.total_cores(),
-                spec: spec.clone(),
-                seed: cfg.seed.wrapping_add(1000 + n as u64),
-                notify: Some(notify_tx),
-            };
-            inboxes.push((app.setup(&mut kernel, &env), 0usize));
-        }
+        let (kernel, facility, inboxes, reply_rx) =
+            build_node_runtime(n, 0, SimTime::ZERO, cfg, &cals[n], &apps, total_cores, Rc::clone(&stats));
         let mean_service = apps
             .iter()
             .map(|a| service_secs(a.as_ref(), spec))
@@ -616,7 +1140,7 @@ fn run_engine(
             / apps.len() as f64;
         nodes.push(Node {
             kernel,
-            facility: state,
+            facility,
             stats,
             inboxes,
             reply_rx,
@@ -630,8 +1154,25 @@ fn run_engine(
             fault_windows: Vec::new(),
             next_window: 0,
             active_window: None,
-            penalty_until: SimTime::ZERO,
-            penalty: PENALTY_BASE,
+            breaker: Breaker::new(),
+            lifecycle: Lifecycle::Healthy,
+            warmup: cfg.faults.node_warmup_len,
+            pending_crash: false,
+            incarnation: 0,
+            crashes: 0,
+            carried_energy_j: 0.0,
+            carried_fault_counts: [0; hwsim::FaultKind::ALL.len()],
+            carried_tags_lost: 0,
+            carried_tags_corrupted: 0,
+            lost_energy_j: 0.0,
+            lost_requests: 0,
+            last_checkpoint: ManagerCheckpoint::empty(),
+            next_checkpoint_at: if crashes_possible {
+                SimTime::ZERO + checkpoint_every
+            } else {
+                SimTime::MAX
+            },
+            checkpoints: 0,
             last_health_check: SimTime::ZERO,
             responses_at_check: 0,
             tele: cfg.telemetry.clone(),
@@ -649,21 +1190,33 @@ fn run_engine(
         .iter()
         .map(|spec| apps.iter().map(|a| service_secs(a.as_ref(), spec)).collect())
         .collect();
+    let tier0_cores: usize = cfg.tiers[0].iter().map(|&i| cfg.nodes[i].total_cores()).sum();
 
     let rate = per_app_rate(cfg);
     let end = SimTime::ZERO + cfg.duration;
     let mut gen = OpenLoopGen::new(cfg.seed, &vec![rate; apps.len()], end);
     let mut pending = gen.next(&apps);
 
+    // Live requests by stable request id; `serial_req` resolves a wire
+    // serial back to its request (a serial absent here is stale).
     let mut inflight: HashMap<u64, InFlight> = HashMap::new();
+    let mut serial_req: HashMap<u64, u64> = HashMap::new();
+    let mut retry_queue: BTreeMap<(SimTime, u64), ()> = BTreeMap::new();
     let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
     let mut summaries: Vec<Summary> = vec![Summary::new(); apps.len()];
     let mut next_serial = 0u64;
+    let mut next_req = 0u64;
     let mut next_ctx = 1u64;
     let mut dispatched = 0u64;
     let mut completed = 0usize;
     let mut rerouted = 0u64;
     let mut dropped = 0u64;
+    let mut shed = [0u64; ShedReason::ALL.len()];
+    let mut lost_in_crash = 0u64;
+    let mut retried = 0u64;
+    let mut hedged = 0u64;
+    let mut stale_replies = 0u64;
+    let mut crash_log: Vec<CrashRecord> = Vec::new();
     let mut decisions = 0u64;
     let mut degradations_detected = 0u64;
 
@@ -672,20 +1225,177 @@ fn run_engine(
         t = (t + cfg.tick).min(end);
         // 1. Advance every node to the tick boundary (once per tick, not
         //    once per arrival — the batching that keeps dispatcher work
-        //    flat as the fleet grows).
+        //    flat as the fleet grows). A node hitting a crash-window
+        //    start stops there with `pending_crash` set.
         for node in nodes.iter_mut() {
             node.advance_to(t);
         }
+        // 1.5 Crash processing: journal the loss window, carry the dead
+        //     incarnation's counters, rebuild the node, restore the
+        //     checkpoint, and requeue (or lose) the killed in-flights.
+        if crashes_possible {
+            for n in 0..nodes.len() {
+                if !nodes[n].pending_crash {
+                    continue;
+                }
+                let Some(w) = nodes[n].active_window else { continue };
+                let (killed, lost_e, restored, cp_age) = {
+                    let node = &mut nodes[n];
+                    let cp_age = w.start.duration_since(node.last_checkpoint.taken_at);
+                    let lost_e = (node.attributed_energy_j()
+                        - node.last_checkpoint.attributed_energy_j())
+                    .max(0.0);
+                    node.lost_energy_j += lost_e;
+                    let m = node.kernel.machine();
+                    node.carried_energy_j += m.true_active_energy_j();
+                    for (tot, c) in
+                        node.carried_fault_counts.iter_mut().zip(m.fault_log().counts())
+                    {
+                        *tot += c;
+                    }
+                    let ks = node.kernel.stats();
+                    node.carried_tags_lost += ks.tags_lost;
+                    node.carried_tags_corrupted += ks.tags_corrupted;
+                    let mut killed: Vec<u64> = node.outstanding.keys().copied().collect();
+                    killed.sort_unstable();
+                    node.outstanding.clear();
+                    node.outstanding_std = 0.0;
+                    node.lost_requests += killed.len() as u64;
+                    node.crashes += 1;
+                    node.incarnation += 1;
+                    let (kernel, facility, inboxes, reply_rx) = build_node_runtime(
+                        n,
+                        node.incarnation,
+                        w.start,
+                        cfg,
+                        &cals[n],
+                        &apps,
+                        total_cores,
+                        Rc::clone(&node.stats),
+                    );
+                    node.kernel = kernel;
+                    node.facility = facility;
+                    node.inboxes = inboxes;
+                    node.reply_rx = reply_rx;
+                    let restored = node
+                        .facility
+                        .borrow_mut()
+                        .containers_mut()
+                        .restore(&node.last_checkpoint, w.start);
+                    // Re-journal the restored state immediately so a
+                    // back-to-back crash cannot lose the same window
+                    // twice.
+                    node.last_checkpoint =
+                        node.facility.borrow().containers().checkpoint(w.start);
+                    node.checkpoints += 1;
+                    node.next_checkpoint_at = t + checkpoint_every;
+                    node.breaker =
+                        Breaker { state: BreakerState::Open { until: w.end }, backoff: PENALTY_BASE };
+                    node.responses_at_check = node.responses;
+                    node.last_health_check = t;
+                    node.pending_crash = false;
+                    (killed, lost_e, restored, cp_age)
+                };
+                crash_log.push(CrashRecord {
+                    node: n,
+                    at: w.start,
+                    restarted_at: w.end,
+                    lost_energy_j: lost_e,
+                    lost_requests: killed.len() as u64,
+                    restored_containers: restored,
+                    checkpoint_age: cp_age,
+                });
+                cfg.telemetry.instant_on(
+                    t,
+                    "cluster",
+                    "restore",
+                    nodes[n].track,
+                    &[("restored", restored.into()), ("lost_j", lost_e.into())],
+                );
+                cfg.telemetry.add_count("cluster.crashes", 1);
+                // Requeue the killed in-flights: a hedge copy dies
+                // silently, a primary promotes its hedge or retries,
+                // and a request out of budget is lost to the crash.
+                for serial in killed {
+                    let Some(req_id) = serial_req.remove(&serial) else { continue };
+                    let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                    if fl.serial != serial {
+                        if fl.hedge.map(|(_, s)| s) == Some(serial) {
+                            fl.hedge = None;
+                        }
+                        continue;
+                    }
+                    if let Some((hn, hs)) = fl.hedge.take() {
+                        fl.node = hn;
+                        fl.serial = hs;
+                        continue;
+                    }
+                    match cfg.recovery.as_ref() {
+                        Some(rec) if fl.attempt < rec.max_retries => {
+                            schedule_retry(
+                                &cfg.telemetry,
+                                &mut retry_queue,
+                                rec,
+                                cfg.seed,
+                                req_id,
+                                fl,
+                                &mut retried,
+                                t,
+                            );
+                        }
+                        _ => {
+                            inflight.remove(&req_id);
+                            dropped += 1;
+                            lost_in_crash += 1;
+                            cfg.telemetry.add_count("cluster.lost_in_crash", 1);
+                        }
+                    }
+                }
+            }
+            // 1.75 Checkpoint journal: periodically snapshot every live
+            //      node's container state.
+            for node in nodes.iter_mut() {
+                if t < node.next_checkpoint_at
+                    || matches!(node.lifecycle, Lifecycle::Down { .. })
+                {
+                    continue;
+                }
+                node.last_checkpoint = node.facility.borrow().containers().checkpoint(t);
+                node.checkpoints += 1;
+                node.next_checkpoint_at = t + checkpoint_every;
+            }
+        }
         // 2. Drain stage completions; forward mid-pipeline requests to
         //    the next tier (carrying the tag observed on the wire) and
-        //    finalize requests leaving the last tier.
+        //    finalize requests leaving the last tier. Replies from
+        //    superseded attempts are recognized by their stale serial
+        //    and dropped (still settling the serving node's books).
         for n in 0..nodes.len() {
             let rx = nodes[n].reply_rx;
             let segs = nodes[n].kernel.drain_messages(rx);
             for seg in segs {
                 let serial = seg.payload >> 32;
-                let Some(fl) = inflight.get_mut(&serial) else { continue };
                 nodes[n].settle(serial);
+                let Some(&req_id) = serial_req.get(&serial) else {
+                    stale_replies += 1;
+                    continue;
+                };
+                serial_req.remove(&serial);
+                let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                if fl.serial == serial {
+                    // Primary won; a hedge still out becomes stale.
+                    if let Some((_, hs)) = fl.hedge.take() {
+                        serial_req.remove(&hs);
+                    }
+                } else if fl.hedge.map(|(_, s)| s) == Some(serial) {
+                    // Hedge won; the primary's late reply becomes stale.
+                    serial_req.remove(&fl.serial);
+                    fl.hedge = None;
+                } else {
+                    stale_replies += 1;
+                    continue;
+                }
+                fl.waiting = false;
                 let next_stage = fl.stage + 1;
                 if next_stage < cfg.tiers.len() {
                     let (app_idx, label) = (fl.app, fl.label);
@@ -709,47 +1419,243 @@ fn run_engine(
                     ) {
                         Some(target) => {
                             fl.stage = next_stage;
+                            fl.attempt = 0;
                             // Propagate the identity as observed on the
                             // wire: a lost tag stays lost, a corrupted
                             // one misattributes downstream stages.
-                            inject_stage(
+                            fl.wire = seg.ctx;
+                            let serial2 = next_serial;
+                            next_serial += 1;
+                            dispatch_attempt(
+                                target,
                                 &mut nodes[target],
-                                app_idx,
-                                serial,
-                                label,
-                                seg.ctx,
+                                fl,
+                                &mut serial_req,
+                                req_id,
+                                serial2,
                                 service[target][app_idx],
+                                cfg.recovery.as_ref(),
                                 t,
                             );
                         }
-                        None => {
-                            inflight.remove(&serial);
-                            dropped += 1;
-                        }
+                        None => match cfg.recovery.as_ref() {
+                            Some(rec) if fl.attempt < rec.max_retries => {
+                                fl.stage = next_stage;
+                                fl.wire = seg.ctx;
+                                schedule_retry(
+                                    &cfg.telemetry,
+                                    &mut retry_queue,
+                                    rec,
+                                    cfg.seed,
+                                    req_id,
+                                    fl,
+                                    &mut retried,
+                                    t,
+                                );
+                            }
+                            _ => {
+                                inflight.remove(&req_id);
+                                note_shed(
+                                    &cfg.telemetry,
+                                    &mut shed,
+                                    &mut dropped,
+                                    t,
+                                    ShedReason::NoHealthyNode,
+                                );
+                            }
+                        },
                     }
                 } else {
                     summaries[fl.app].record(t.duration_since(fl.arrived).as_secs_f64());
                     completed += 1;
-                    inflight.remove(&serial);
+                    inflight.remove(&req_id);
                 }
             }
         }
-        // 3. Health checks.
+        // 2.5 Timeouts: a primary past its deadline invalidates its
+        //     live serials (late replies become stale — the dedup
+        //     guarantee) and retries or sheds.
+        if let Some(rec) = cfg.recovery.as_ref() {
+            let mut due: Vec<u64> = inflight
+                .iter()
+                .filter(|(_, fl)| !fl.waiting && fl.deadline <= t)
+                .map(|(&id, _)| id)
+                .collect();
+            due.sort_unstable();
+            for req_id in due {
+                let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                serial_req.remove(&fl.serial);
+                if let Some((_, hs)) = fl.hedge.take() {
+                    serial_req.remove(&hs);
+                }
+                if fl.attempt >= rec.max_retries {
+                    inflight.remove(&req_id);
+                    note_shed(
+                        &cfg.telemetry,
+                        &mut shed,
+                        &mut dropped,
+                        t,
+                        ShedReason::RetriesExhausted,
+                    );
+                } else {
+                    schedule_retry(
+                        &cfg.telemetry,
+                        &mut retry_queue,
+                        rec,
+                        cfg.seed,
+                        req_id,
+                        fl,
+                        &mut retried,
+                        t,
+                    );
+                }
+            }
+            // 2.6 Hedged sends: duplicate a slow hop onto the least
+            //     loaded other node of its tier; first reply wins.
+            if let Some(h) = rec.hedge_after {
+                let mut due: Vec<u64> = inflight
+                    .iter()
+                    .filter(|(_, fl)| {
+                        !fl.waiting
+                            && fl.hedge.is_none()
+                            && fl.deadline > t
+                            && t.duration_since(fl.sent_at) >= h
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                due.sort_unstable();
+                for req_id in due {
+                    let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                    let alt = cfg.tiers[fl.stage]
+                        .iter()
+                        .copied()
+                        .filter(|&i| i != fl.node && nodes[i].available(t))
+                        .min_by(|&a, &b| {
+                            nodes[a].outstanding_std.total_cmp(&nodes[b].outstanding_std)
+                        });
+                    let Some(alt) = alt else { continue };
+                    let serial2 = next_serial;
+                    next_serial += 1;
+                    fl.hedge = Some((alt, serial2));
+                    serial_req.insert(serial2, req_id);
+                    inject_stage(
+                        &mut nodes[alt],
+                        fl.app,
+                        serial2,
+                        fl.label,
+                        fl.wire,
+                        service[alt][fl.app],
+                        t,
+                    );
+                    hedged += 1;
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "hedge",
+                        DISPATCHER_TRACK,
+                        &[("to", (alt as u64).into())],
+                    );
+                    cfg.telemetry.add_count("cluster.hedged", 1);
+                }
+            }
+        }
+        // 3. Health checks and lifecycle timers.
         for (n, node) in nodes.iter_mut().enumerate() {
+            node.lifecycle_tick(t);
             if node.health_check(t) {
                 degradations_detected += 1;
-                let penalty_ms = node.penalty_until.duration_since(t).as_secs_f64() * 1e3;
+                let open_ms = match node.breaker.state {
+                    BreakerState::Open { until } => {
+                        until.duration_since(t).as_secs_f64() * 1e3
+                    }
+                    _ => 0.0,
+                };
                 cfg.telemetry.instant_on(
                     t,
                     "cluster",
                     "degraded",
                     DISPATCHER_TRACK,
-                    &[("node", (n as u64).into()), ("penalty_ms", penalty_ms.into())],
+                    &[("node", (n as u64).into()), ("penalty_ms", open_ms.into())],
                 );
                 cfg.telemetry.add_count("cluster.degradations", 1);
             }
         }
-        // 4. Dispatch the tick's batch of arrivals into tier 0.
+        // 3.5 Re-dispatch requests whose backoff expired.
+        if let Some(rec) = cfg.recovery.as_ref() {
+            // Not a `while let`: under edition 2021 the scrutinee's
+            // borrow of `retry_queue` would live through the body,
+            // which removes from it.
+            #[allow(clippy::while_let_loop)]
+            loop {
+                let Some((&(at, req_id), _)) = retry_queue.iter().next() else { break };
+                if at > t {
+                    break;
+                }
+                retry_queue.remove(&(at, req_id));
+                let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                if !fl.waiting {
+                    continue;
+                }
+                let req = ArrivalView { app: cfg.apps[fl.app], label: fl.label };
+                match route(
+                    policies[fl.stage],
+                    &cfg.tiers[fl.stage],
+                    &nodes,
+                    req,
+                    t,
+                    &cfg.telemetry,
+                    &mut rerouted,
+                    &mut decisions,
+                ) {
+                    Some(target) => {
+                        let serial = next_serial;
+                        next_serial += 1;
+                        dispatch_attempt(
+                            target,
+                            &mut nodes[target],
+                            fl,
+                            &mut serial_req,
+                            req_id,
+                            serial,
+                            service[target][fl.app],
+                            Some(rec),
+                            t,
+                        );
+                    }
+                    None if fl.attempt < rec.max_retries => {
+                        schedule_retry(
+                            &cfg.telemetry,
+                            &mut retry_queue,
+                            rec,
+                            cfg.seed,
+                            req_id,
+                            fl,
+                            &mut retried,
+                            t,
+                        );
+                    }
+                    None => {
+                        inflight.remove(&req_id);
+                        note_shed(
+                            &cfg.telemetry,
+                            &mut shed,
+                            &mut dropped,
+                            t,
+                            ShedReason::NoHealthyNode,
+                        );
+                    }
+                }
+            }
+        }
+        // 4. Admission control, then dispatch the tick's batch of
+        //    arrivals into tier 0.
+        let fleet_power_w: f64 = match (cfg.admission.as_ref(), cfg.power_cap_w) {
+            (Some(_), Some(_)) => nodes
+                .iter()
+                .map(|nd| nd.kernel.machine().true_active_power_watts())
+                .sum(),
+            _ => 0.0,
+        };
         while let Some(a) = pending {
             if a.at > t {
                 break;
@@ -757,6 +1663,26 @@ fn run_engine(
             pending = gen.next(&apps);
             dispatched += 1;
             cfg.telemetry.add_count("cluster.dispatched", 1);
+            if let Some(adm) = cfg.admission.as_ref() {
+                let depth: f64 =
+                    cfg.tiers[0].iter().map(|&i| nodes[i].outstanding_std).sum();
+                if depth > adm.max_queue_per_core * tier0_cores as f64 {
+                    note_shed(&cfg.telemetry, &mut shed, &mut dropped, a.at, ShedReason::QueueDepth);
+                    continue;
+                }
+                if let Some(cap) = cfg.power_cap_w {
+                    if fleet_power_w > adm.power_headroom * cap {
+                        note_shed(
+                            &cfg.telemetry,
+                            &mut shed,
+                            &mut dropped,
+                            a.at,
+                            ShedReason::PowerHeadroom,
+                        );
+                        continue;
+                    }
+                }
+            }
             let req = ArrivalView { app: cfg.apps[a.app], label: a.label };
             let Some(target) = route(
                 policies[0],
@@ -768,28 +1694,43 @@ fn run_engine(
                 &mut rerouted,
                 &mut decisions,
             ) else {
-                dropped += 1;
+                note_shed(&cfg.telemetry, &mut shed, &mut dropped, a.at, ShedReason::NoHealthyNode);
                 continue;
             };
             let serial = next_serial;
             next_serial += 1;
             debug_assert!(serial < u32::MAX as u64, "serial space exhausted");
+            let req_id = next_req;
+            next_req += 1;
             let ctx = ContextId(next_ctx);
             next_ctx += 1;
             ctx_app.insert(ctx, a.app);
-            inflight.insert(
+            let mut fl = InFlight {
+                app: a.app,
+                label: a.label,
+                arrived: a.at,
+                stage: 0,
+                wire: Some(ctx),
+                node: target,
                 serial,
-                InFlight { app: a.app, label: a.label, arrived: a.at, stage: 0 },
-            );
-            inject_stage(
+                attempt: 0,
+                sent_at: a.at,
+                deadline: SimTime::MAX,
+                hedge: None,
+                waiting: false,
+            };
+            dispatch_attempt(
+                target,
                 &mut nodes[target],
-                a.app,
+                &mut fl,
+                &mut serial_req,
+                req_id,
                 serial,
-                a.label,
-                Some(ctx),
                 service[target][a.app],
+                cfg.recovery.as_ref(),
                 a.at,
             );
+            inflight.insert(req_id, fl);
         }
         if t >= end {
             break;
@@ -800,18 +1741,30 @@ fn run_engine(
     // responses.
     for node in &mut nodes {
         node.advance_to(end);
-        if node.active_window.take().is_some() {
+        if let Some(w) = node.active_window.take() {
+            let _ = w;
             node.tele.end_span(end, node.track);
         }
         node.kernel.run_until(end);
     }
-    for node in &mut nodes {
+    for node in nodes.iter_mut() {
         let rx = node.reply_rx;
         let segs = node.kernel.drain_messages(rx);
         for seg in segs {
             let serial = seg.payload >> 32;
-            let Some(fl) = inflight.get(&serial) else { continue };
             node.settle(serial);
+            let Some(&req_id) = serial_req.get(&serial) else {
+                stale_replies += 1;
+                continue;
+            };
+            let Some(fl) = inflight.get(&req_id) else { continue };
+            let is_primary = fl.serial == serial;
+            let is_hedge = fl.hedge.map(|(_, s)| s) == Some(serial);
+            if !is_primary && !is_hedge {
+                stale_replies += 1;
+                continue;
+            }
+            serial_req.remove(&serial);
             if fl.stage + 1 < cfg.tiers.len() {
                 // The next stage can no longer run; the request stays
                 // accounted as in flight.
@@ -819,13 +1772,20 @@ fn run_engine(
             }
             summaries[fl.app].record(end.duration_since(fl.arrived).as_secs_f64());
             completed += 1;
-            inflight.remove(&serial);
+            if let Some(fl) = inflight.remove(&req_id) {
+                serial_req.remove(&fl.serial);
+                if let Some((_, hs)) = fl.hedge {
+                    serial_req.remove(&hs);
+                }
+            }
         }
     }
-    let cluster_degrade = nodes
+    let mut cluster_degrade = nodes
         .iter()
         .map(|n| n.facility.borrow().degrade_stats())
         .fold(power_containers::DegradeStats::default(), |acc, d| acc + d);
+    cluster_degrade.requests_retried += retried;
+    cluster_degrade.requests_shed += dropped;
     workloads::note_degrade(cluster_degrade);
 
     let secs = cfg.duration.as_secs_f64();
@@ -838,15 +1798,19 @@ fn run_engine(
                 .map(|c| m.counters(hwsim::CoreId(c)).core_utilization())
                 .sum::<f64>()
                 / cores as f64;
+            let active_energy_j = n.carried_energy_j + m.true_active_energy_j();
             NodeOutcome {
                 machine: m.spec().name,
                 tier: n.tier,
-                active_energy_j: m.true_active_energy_j(),
+                active_energy_j,
                 attributed_energy_j: n.attributed_energy_j(),
-                energy_rate_w: m.true_active_energy_j() / secs,
+                energy_rate_w: active_energy_j / secs,
                 dispatched: n.injected,
                 completions: n.responses as usize,
                 in_flight: n.outstanding.len() as u64,
+                lost_requests: n.lost_requests,
+                lost_energy_j: n.lost_energy_j,
+                crashes: n.crashes as u64,
                 utilization: util,
             }
         })
@@ -894,15 +1858,27 @@ fn run_engine(
     let mut fault_counts = [0u64; hwsim::FaultKind::ALL.len()];
     let mut tags_lost = 0u64;
     let mut tags_corrupted = 0u64;
+    let mut crashes = 0u64;
+    let mut checkpoints = 0u64;
     for node in &nodes {
         for (total, n) in
             fault_counts.iter_mut().zip(node.kernel.machine().fault_log().counts())
         {
             *total += n;
         }
+        for (total, n) in fault_counts.iter_mut().zip(node.carried_fault_counts) {
+            *total += n;
+        }
         let ks = node.kernel.stats();
-        tags_lost += ks.tags_lost;
-        tags_corrupted += ks.tags_corrupted;
+        tags_lost += ks.tags_lost + node.carried_tags_lost;
+        tags_corrupted += ks.tags_corrupted + node.carried_tags_corrupted;
+        crashes += node.crashes as u64;
+        checkpoints += node.checkpoints;
+    }
+    if let Some(ix) =
+        hwsim::FaultKind::ALL.iter().position(|k| *k == hwsim::FaultKind::NodeCrash)
+    {
+        fault_counts[ix] += crashes;
     }
     ClusterOutcome {
         policy: policies[0].name(),
@@ -914,6 +1890,14 @@ fn run_engine(
         completed,
         rerouted,
         dropped,
+        shed,
+        lost_in_crash,
+        retried,
+        hedged,
+        stale_replies,
+        crashes,
+        checkpoints,
+        crash_log,
         in_flight: inflight.len() as u64,
         decisions,
         degradations_detected,

@@ -372,6 +372,194 @@ impl ContainerManager {
     }
 }
 
+/// A point-in-time snapshot of one live container, as journaled into a
+/// [`ManagerCheckpoint`] before a node crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerSnapshot {
+    /// The request context the container tracks.
+    pub ctx: ContextId,
+    /// Workload-assigned label, if any.
+    pub label: Option<u32>,
+    /// Tasks bound at checkpoint time.
+    pub refcount: u32,
+    /// Container creation time.
+    pub created_at: SimTime,
+    /// Cumulative modeled CPU/memory energy at checkpoint time, Joules.
+    pub energy_j: f64,
+    /// Cumulative attributed I/O energy at checkpoint time, Joules.
+    pub io_energy_j: f64,
+    /// Cumulative attributed CPU seconds at checkpoint time.
+    pub busy_seconds: f64,
+}
+
+/// A deterministic checkpoint of a [`ContainerManager`]: everything a
+/// crashing node journals so per-request attribution survives a restart
+/// (§3.3's per-request state, made crash-durable). Restoring a
+/// checkpoint recreates the cumulative totals, the retained records and
+/// the live containers' accumulated energy; only attribution performed
+/// *after* the checkpoint is lost in a crash, and that loss window is
+/// exactly `attributed-at-crash − checkpoint.attributed_energy_j()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerCheckpoint {
+    /// When the checkpoint was taken.
+    pub taken_at: SimTime,
+    /// Live containers at checkpoint time, sorted by context id so the
+    /// journal is byte-stable.
+    pub live: Vec<ContainerSnapshot>,
+    /// Background container's modeled energy, Joules.
+    pub background_energy_j: f64,
+    /// Background container's I/O energy, Joules.
+    pub background_io_energy_j: f64,
+    /// Cumulative request CPU/memory energy total, Joules.
+    pub total_request_energy_j: f64,
+    /// Cumulative request I/O energy total, Joules.
+    pub total_request_io_energy_j: f64,
+    /// Containers released before the checkpoint.
+    pub released: u64,
+    /// Retained records at checkpoint time.
+    pub records: Vec<ContainerRecord>,
+}
+
+impl ManagerCheckpoint {
+    /// An empty checkpoint (a freshly booted node's journal entry).
+    pub fn empty() -> ManagerCheckpoint {
+        ManagerCheckpoint {
+            taken_at: SimTime::ZERO,
+            live: Vec::new(),
+            background_energy_j: 0.0,
+            background_io_energy_j: 0.0,
+            total_request_energy_j: 0.0,
+            total_request_io_energy_j: 0.0,
+            released: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Total attributed energy captured by the checkpoint (requests +
+    /// background, CPU + I/O) — the same quantity the cluster's per-node
+    /// conservation invariant compares against measured active energy.
+    pub fn attributed_energy_j(&self) -> f64 {
+        self.total_request_energy_j
+            + self.total_request_io_energy_j
+            + self.background_energy_j
+            + self.background_io_energy_j
+    }
+
+    /// A canonical, byte-stable rendering of the checkpoint (one header
+    /// line plus one line per live container). Two checkpoints of equal
+    /// state render identically, so crash journals can be compared across
+    /// runs.
+    pub fn digest(&self) -> String {
+        let mut out = format!(
+            "ckpt at={} live={} released={} records={} req={:.9} io={:.9} bg={:.9} bgio={:.9}\n",
+            self.taken_at.as_nanos(),
+            self.live.len(),
+            self.released,
+            self.records.len(),
+            self.total_request_energy_j,
+            self.total_request_io_energy_j,
+            self.background_energy_j,
+            self.background_io_energy_j,
+        );
+        for s in &self.live {
+            out.push_str(&format!(
+                "live ctx={} refs={} label={} e={:.9} io={:.9} busy={:.9}\n",
+                s.ctx.0,
+                s.refcount,
+                s.label.map(i64::from).unwrap_or(-1),
+                s.energy_j,
+                s.io_energy_j,
+                s.busy_seconds,
+            ));
+        }
+        out
+    }
+}
+
+impl ContainerManager {
+    /// Journals the manager's full state into a [`ManagerCheckpoint`]
+    /// (the crash-durable log entry a node writes periodically).
+    pub fn checkpoint(&self, now: SimTime) -> ManagerCheckpoint {
+        let mut live: Vec<ContainerSnapshot> = self
+            .live
+            .iter()
+            .map(|(ctx, c)| ContainerSnapshot {
+                ctx: *ctx,
+                label: c.label,
+                refcount: c.refcount,
+                created_at: c.created_at,
+                energy_j: c.energy_j,
+                io_energy_j: c.io_energy_j,
+                busy_seconds: c.busy_seconds,
+            })
+            .collect();
+        live.sort_by_key(|s| s.ctx.0);
+        ManagerCheckpoint {
+            taken_at: now,
+            live,
+            background_energy_j: self.background.energy_j,
+            background_io_energy_j: self.background.io_energy_j,
+            total_request_energy_j: self.total_request_energy_j,
+            total_request_io_energy_j: self.total_request_io_energy_j,
+            released: self.released,
+            records: self.records.clone(),
+        }
+    }
+
+    /// Restores checkpointed state into this (freshly created) manager
+    /// after a crash/restart at `now`.
+    ///
+    /// Cumulative totals, the background container's energy and the
+    /// retained records come back exactly as journaled. Containers that
+    /// were *live* at checkpoint time are force-released into records:
+    /// the tasks bound to them died with the crashed kernel, so their
+    /// accumulated energy is preserved but their refcounts drop to zero —
+    /// every journaled container is either restored (as a record) or
+    /// dropped, none is double-freed. Returns the number of live
+    /// containers force-released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has already attributed or bound anything —
+    /// restore targets only a fresh post-restart manager.
+    pub fn restore(&mut self, cp: &ManagerCheckpoint, now: SimTime) -> u64 {
+        assert!(
+            self.live.is_empty() && self.released == 0 && self.total_request_energy_j == 0.0,
+            "restore targets a freshly created manager"
+        );
+        self.total_request_energy_j = cp.total_request_energy_j;
+        self.total_request_io_energy_j = cp.total_request_io_energy_j;
+        self.background.energy_j = cp.background_energy_j;
+        self.background.io_energy_j = cp.background_io_energy_j;
+        if self.retain_records {
+            self.records = cp.records.clone();
+        }
+        for s in &cp.live {
+            self.released += 1;
+            if self.retain_records {
+                self.records.push(ContainerRecord {
+                    ctx: s.ctx,
+                    label: s.label,
+                    created_at: s.created_at,
+                    finished_at: now,
+                    energy_j: s.energy_j,
+                    io_energy_j: s.io_energy_j,
+                    busy_seconds: s.busy_seconds,
+                    mean_power_w: if s.busy_seconds > 0.0 {
+                        s.energy_j / s.busy_seconds
+                    } else {
+                        0.0
+                    },
+                    unthrottled_power_w: 0.0,
+                    mean_duty: 1.0,
+                });
+            }
+        }
+        self.released += cp.released;
+        cp.live.len() as u64
+    }
+}
+
 /// Aggregated energy accounting for one request class / client (label).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LabelEnergy {
@@ -548,6 +736,80 @@ mod tests {
         let nine = rollup.iter().find(|e| e.label == 9).unwrap();
         assert_eq!(nine.requests, 1);
         assert!((nine.busy_seconds - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_totals_and_records() {
+        let mut m = ContainerManager::new(true);
+        let done = ContextId(1);
+        m.bind(done, SimTime::ZERO);
+        m.attribute(Some(done), 10.0, 1.0, 0.1, &events(10.0), SimTime::from_millis(1));
+        m.unbind(done, SimTime::from_millis(2));
+        let live = ContextId(2);
+        m.bind(live, SimTime::from_millis(3));
+        m.set_label(live, 7, SimTime::from_millis(3));
+        m.attribute(Some(live), 20.0, 1.0, 0.1, &events(10.0), SimTime::from_millis(4));
+        m.attribute(None, 5.0, 1.0, 0.1, &events(1.0), SimTime::from_millis(4));
+        m.attribute_io(Some(live), 0.25, SimTime::from_millis(4));
+
+        let cp = m.checkpoint(SimTime::from_millis(5));
+        assert_eq!(cp.live.len(), 1);
+        assert_eq!(cp.released, 1);
+        assert_eq!(cp.records.len(), 1);
+        let attributed = m.total_energy_with_background_j()
+            + m.total_request_io_energy_j()
+            + m.background().io_energy_j();
+        assert!((cp.attributed_energy_j() - attributed).abs() < 1e-12);
+
+        let mut fresh = ContainerManager::new(true);
+        let force_released = fresh.restore(&cp, SimTime::from_millis(9));
+        assert_eq!(force_released, 1);
+        // Totals are exactly the journaled ones; the live container came
+        // back as a record (its bound task died with the crash), so
+        // nothing is live and nothing was double-freed.
+        assert_eq!(fresh.live_count(), 0);
+        assert_eq!(fresh.released_count(), 2);
+        assert_eq!(fresh.records().len(), 2);
+        assert!((fresh.total_request_energy_j() - m.total_request_energy_j()).abs() < 1e-12);
+        assert!((fresh.total_request_io_energy_j() - 0.25).abs() < 1e-12);
+        assert!((fresh.background().energy_j() - 0.5).abs() < 1e-12);
+        let restored = fresh.records().iter().find(|r| r.ctx == live).unwrap();
+        assert_eq!(restored.label, Some(7));
+        assert!((restored.energy_j - 2.0).abs() < 1e-12);
+        assert_eq!(restored.finished_at, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn checkpoint_digest_is_stable_and_ordered() {
+        let mut m = ContainerManager::new(false);
+        // Insert in reverse id order; the digest must sort by ctx.
+        for id in [9u64, 3, 5] {
+            m.bind(ContextId(id), SimTime::ZERO);
+            m.attribute(
+                Some(ContextId(id)),
+                id as f64,
+                1.0,
+                0.01,
+                &events(1.0),
+                SimTime::ZERO,
+            );
+        }
+        let a = m.checkpoint(SimTime::from_millis(1));
+        let b = m.checkpoint(SimTime::from_millis(1));
+        assert_eq!(a.digest(), b.digest());
+        let digest = a.digest();
+        let lines: Vec<&str> = digest.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("ctx=3") && lines[3].contains("ctx=9"));
+    }
+
+    #[test]
+    fn empty_checkpoint_restores_to_nothing() {
+        let mut fresh = ContainerManager::new(true);
+        assert_eq!(fresh.restore(&ManagerCheckpoint::empty(), SimTime::ZERO), 0);
+        assert_eq!(fresh.live_count(), 0);
+        assert_eq!(fresh.released_count(), 0);
+        assert_eq!(fresh.total_energy_with_background_j(), 0.0);
     }
 
     #[test]

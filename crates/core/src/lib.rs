@@ -94,7 +94,8 @@ pub use chipshare::{SampleBoard, SampleRecord};
 pub use conditioning::ConditioningPolicy;
 pub use dvfs::DvfsGovernor;
 pub use container::{
-    lifetime_metrics, ContainerManager, ContainerRecord, LabelEnergy, PowerContainer,
+    lifetime_metrics, ContainerManager, ContainerRecord, ContainerSnapshot, LabelEnergy,
+    ManagerCheckpoint, PowerContainer,
 };
 pub use error::FacilityError;
 pub use facility::{

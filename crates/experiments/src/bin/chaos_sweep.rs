@@ -1,0 +1,5 @@
+//! Regenerates the chaos ladder (fault mixes × recovery invariants).
+//! Pass `--quick` for a fast run.
+fn main() {
+    let _ = experiments::chaos_sweep::run(experiments::Scale::from_args());
+}

@@ -91,6 +91,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("scale_sweep", |s| {
         experiments::scale_sweep::run(s);
     }),
+    ("chaos_sweep", |s| {
+        experiments::chaos_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -165,23 +168,33 @@ fn main() {
     // individual experiment records).
     let degraded: std::collections::BTreeMap<String, power_containers::DegradeStats> =
         workloads::degrade_ledger().into_iter().collect();
-    let mut table = Table::new(["experiment", "status", "wall time", "degraded"]);
+    let mut table = Table::new(["experiment", "status", "wall time", "degraded", "retried", "shed"]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
-        let deg = match degraded.get(*name) {
-            None => "-".to_string(),
-            Some(d) if d.is_clean() => "clean".to_string(),
-            Some(d) => format!("{} decisions", d.total()),
+        let (deg, retried, shed) = match degraded.get(*name) {
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            Some(d) => (
+                if d.is_clean() { "clean".to_string() } else { format!("{} decisions", d.total()) },
+                d.requests_retried.to_string(),
+                d.requests_shed.to_string(),
+            ),
         };
         match outcome {
             Ok(wall) => {
-                table.row([name.to_string(), "ok".to_string(), format!("{wall:.2?}"), deg]);
+                table.row([
+                    name.to_string(),
+                    "ok".to_string(),
+                    format!("{wall:.2?}"),
+                    deg,
+                    retried,
+                    shed,
+                ]);
             }
             Err(msg) => {
                 failed += 1;
                 let mut msg = msg.replace('\n', " ");
                 msg.truncate(60);
-                table.row([name.to_string(), "FAILED".to_string(), msg, deg]);
+                table.row([name.to_string(), "FAILED".to_string(), msg, deg, retried, shed]);
             }
         }
     }

@@ -30,6 +30,8 @@
 //! | [`dvfs`] | extension: per-request conditioning vs whole-machine DVFS |
 //! | [`anomaly`] | extension: online power-anomaly detection from reports |
 //! | [`fault_sweep`] | extension: attribution accuracy under injected faults |
+//! | [`scale_sweep`] | extension: the serving pipeline across fleet sizes and caps |
+//! | [`chaos_sweep`] | extension: recovery invariants under randomized fault schedules |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@
 pub mod ablations;
 pub mod anomaly;
 pub mod cache;
+pub mod chaos_sweep;
 pub mod coefficients;
 pub mod dvfs;
 pub mod fault_sweep;

@@ -16,8 +16,9 @@
 //! * **Tag faults** — per-delivered-segment loss (the context tag is
 //!   stripped) or corruption (the tag is replaced with a different,
 //!   plausible-looking id), consulted by the OS layer at delivery time.
-//! * **Node faults** — per-node slowdown and blackout windows for the
-//!   cluster dispatcher, precomputed by [`plan_node_faults`].
+//! * **Node faults** — per-node slowdown, blackout and crash/restart
+//!   windows for the cluster dispatcher, precomputed by
+//!   [`plan_node_faults`].
 //!
 //! All randomness derives from [`FaultConfig::seed`] through dedicated
 //! [`SimRng`] streams, *separate* from the machine's measurement-noise
@@ -67,6 +68,17 @@ pub struct FaultConfig {
     pub node_blackout_hz: f64,
     /// Length of one blackout window.
     pub node_blackout_len: SimDuration,
+    /// Poisson rate (per second, per node) of cluster-node crashes: the
+    /// node loses all volatile state (kernel, in-flight requests, live
+    /// container state past its last checkpoint) and restarts after
+    /// [`FaultConfig::node_crash_len`].
+    pub node_crash_hz: f64,
+    /// Down time of one crash (from crash to restart).
+    pub node_crash_len: SimDuration,
+    /// Warm-up period after a restart, during which the dispatcher's
+    /// circuit breaker treats the node as half-open (probe traffic only
+    /// counts toward closing it).
+    pub node_warmup_len: SimDuration,
 }
 
 /// How far a wrapped event counter jumps backwards (a 2⁴⁰-count wrap,
@@ -91,6 +103,9 @@ impl FaultConfig {
             node_slowdown_len: SimDuration::from_millis(500),
             node_blackout_hz: 0.0,
             node_blackout_len: SimDuration::from_millis(500),
+            node_crash_hz: 0.0,
+            node_crash_len: SimDuration::from_millis(400),
+            node_warmup_len: SimDuration::from_millis(300),
         }
     }
 
@@ -128,7 +143,7 @@ impl FaultConfig {
 
     /// `true` when any node fault can fire.
     pub fn node_faults_active(&self) -> bool {
-        self.node_slowdown_hz > 0.0 || self.node_blackout_hz > 0.0
+        self.node_slowdown_hz > 0.0 || self.node_blackout_hz > 0.0 || self.node_crash_hz > 0.0
     }
 
     /// `true` when any fault at all can fire.
@@ -165,12 +180,15 @@ pub enum FaultKind {
     NodeSlowdown,
     /// A cluster node entered a blackout window.
     NodeBlackout,
+    /// A cluster node crashed, losing volatile state, and later
+    /// restarted.
+    NodeCrash,
 }
 
 impl FaultKind {
     /// Every fault kind, in a fixed order (also the [`FaultLog`] counter
     /// order).
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::MeterDropout,
         FaultKind::MeterExtraLag,
         FaultKind::CounterGlitch,
@@ -179,6 +197,7 @@ impl FaultKind {
         FaultKind::TagCorrupted,
         FaultKind::NodeSlowdown,
         FaultKind::NodeBlackout,
+        FaultKind::NodeCrash,
     ];
 
     /// A stable display/digest name.
@@ -192,6 +211,7 @@ impl FaultKind {
             FaultKind::TagCorrupted => "tag-corrupted",
             FaultKind::NodeSlowdown => "node-slowdown",
             FaultKind::NodeBlackout => "node-blackout",
+            FaultKind::NodeCrash => "node-crash",
         }
     }
 
@@ -486,7 +506,8 @@ pub struct NodeFaultWindow {
     pub start: SimTime,
     /// Window end.
     pub end: SimTime,
-    /// [`FaultKind::NodeSlowdown`] or [`FaultKind::NodeBlackout`].
+    /// [`FaultKind::NodeSlowdown`], [`FaultKind::NodeBlackout`] or
+    /// [`FaultKind::NodeCrash`].
     pub kind: FaultKind,
     /// DVFS fraction during a slowdown (1.0 for blackouts).
     pub factor: f64,
@@ -523,10 +544,20 @@ pub fn plan_node_faults(
             } else {
                 SimDuration::MAX
             };
-            let (gap, kind, len, f) = if t_slow <= t_black {
-                (t_slow, FaultKind::NodeSlowdown, config.node_slowdown_len, factor)
+            // The crash clock is drawn only when crashes are enabled, so
+            // crash-free configs keep the byte-identical schedule they
+            // had before crashes existed.
+            let t_crash = if config.node_crash_hz > 0.0 {
+                SimDuration::from_secs_f64(rng.exponential(1.0 / config.node_crash_hz))
             } else {
+                SimDuration::MAX
+            };
+            let (gap, kind, len, f) = if t_slow <= t_black && t_slow <= t_crash {
+                (t_slow, FaultKind::NodeSlowdown, config.node_slowdown_len, factor)
+            } else if t_black <= t_crash {
                 (t_black, FaultKind::NodeBlackout, config.node_blackout_len, 1.0)
+            } else {
+                (t_crash, FaultKind::NodeCrash, config.node_crash_len, 1.0)
             };
             let start = cursor + gap;
             if start >= end_of_run {
@@ -683,6 +714,36 @@ mod tests {
         }
         assert!(plan_node_faults(&FaultConfig::none(), 3, SimDuration::from_secs(20))
             .is_empty());
+    }
+
+    #[test]
+    fn crash_clock_does_not_perturb_existing_plans() {
+        // Enabling crashes must not change the slowdown/blackout windows
+        // an existing config draws (the crash clock is a separate draw),
+        // and a crash-free config must plan zero crash windows.
+        let base = FaultConfig {
+            seed: 33,
+            node_slowdown_hz: 0.8,
+            node_blackout_hz: 0.4,
+            ..FaultConfig::none()
+        };
+        let before = plan_node_faults(&base, 4, SimDuration::from_secs(10));
+        assert!(before.iter().all(|w| w.kind != FaultKind::NodeCrash));
+        let with_crash = FaultConfig { node_crash_hz: 0.5, ..base.clone() };
+        let after = plan_node_faults(&with_crash, 4, SimDuration::from_secs(10));
+        assert!(
+            after.iter().any(|w| w.kind == FaultKind::NodeCrash),
+            "crash windows must be planned at a 0.5 Hz rate over 40 node-seconds"
+        );
+        // Replanning is deterministic.
+        assert_eq!(after, plan_node_faults(&with_crash, 4, SimDuration::from_secs(10)));
+        for node in 0..4 {
+            let mut last_end = SimTime::ZERO;
+            for w in after.iter().filter(|w| w.node == node) {
+                assert!(w.start >= last_end, "overlapping windows on node {node}");
+                last_end = w.end;
+            }
+        }
     }
 
     #[test]

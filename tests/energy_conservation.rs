@@ -131,3 +131,32 @@ fn scale_sweep_cell_conserves_energy_on_every_node() {
         }
     }
 }
+
+#[test]
+fn chaos_sweep_cells_conserve_energy_modulo_loss_windows() {
+    // Crash-bearing chaos cells: each node's attributed energy plus the
+    // crash-journaled loss windows must cover its measured active
+    // energy — crashes may *lose* attribution (the window since the
+    // last checkpoint), but only the journaled amount.
+    let mut lab = Lab::new();
+    for sc in experiments::chaos_sweep::SCENARIOS {
+        if sc.crash_hz == 0.0 {
+            continue;
+        }
+        let cfg = experiments::chaos_sweep::cell_config(Scale::Quick, sc);
+        let cals = experiments::chaos_sweep::cell_calibrations(&mut lab, &cfg);
+        let mut policies: Vec<Box<dyn cluster::DistributionPolicy>> = (0..cfg.tiers.len())
+            .map(|_| Box::new(cluster::SimpleBalance::new()) as Box<dyn cluster::DistributionPolicy>)
+            .collect();
+        let outcome = cluster::run_pipeline(&mut policies, &cfg, &cals);
+        assert!(outcome.crashes > 0, "chaos cell `{}` must crash", sc.name);
+        for (i, node) in outcome.per_node.iter().enumerate() {
+            assert_energy_conserved(
+                &format!("chaos_sweep {} node {i} ({}, tier {})", sc.name, node.machine, node.tier),
+                node.attributed_energy_j + node.lost_energy_j,
+                node.active_energy_j,
+                FAULT_TOL,
+            );
+        }
+    }
+}
