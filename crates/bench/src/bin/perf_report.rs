@@ -18,7 +18,10 @@
 use analysis::linreg::{LeastSquares, RollingLeastSquares};
 use analysis::xcorr::{find_alignment, find_alignment_naive};
 use pc_bench::{alignment_signals, refit_rows, HeapQueue, NaiveTrace};
-use power_containers::TraceRing;
+use power_containers::{
+    BankConfig, CalibrationSample, CalibrationSet, MetricVector, ModelBank, ModelKind, PowerModel,
+    Recalibrator, RegimeKey, TraceRing, FEATURES,
+};
 use serde::Serialize;
 use simkern::{EventQueue, SimDuration, SimTime};
 use std::hint::black_box;
@@ -42,6 +45,21 @@ struct KernelPair {
 struct RefitScaling {
     samples_seen: usize,
     refit_ns: u64,
+}
+
+/// Per-window metering cost of the model bank at one live-slot count,
+/// next to the single-recalibrator baseline measured with the same
+/// loop shape. Flat `bank_ns` across rows is the acceptance criterion:
+/// slot selection is one lookup in a capacity-capped map plus an O(1)
+/// CUSUM update, so the hot path must not scale with bank occupancy,
+/// and the constant overhead over `single_ns` is the whole price of
+/// regime awareness.
+#[derive(Serialize)]
+struct BankSelection {
+    live_slots: usize,
+    single_ns: u64,
+    bank_ns: u64,
+    overhead_ns: i64,
 }
 
 /// Telemetry tax on one hot kernel: the same loop measured bare, with
@@ -76,6 +94,7 @@ struct Report {
     samples_per_measurement: usize,
     kernels: Vec<KernelPair>,
     refit_cost_vs_samples_seen: Vec<RefitScaling>,
+    bank_selection_vs_live_slots: Vec<BankSelection>,
     telemetry_tax: Vec<TelemetryTax>,
     harness: Harness,
 }
@@ -174,6 +193,90 @@ fn refit_scaling() -> Vec<RefitScaling> {
                 black_box(win.solve().expect("fit"));
             });
             RefitScaling { samples_seen: n, refit_ns }
+        })
+        .collect()
+}
+
+/// Synthetic offline calibration under an exact linear law, so steady
+/// feeding at the law's power keeps residuals (and the drift CUSUM) at
+/// zero and the measured loops stay on the no-drift hot path.
+fn metering_calibration() -> CalibrationSet {
+    let mut set = CalibrationSet::new(26.1);
+    let truth = [8.0, 3.0, 1.5, 3.5, 2.0, 5.6, 0.0, 0.0];
+    for level in [0.25, 0.5, 0.75, 1.0f64] {
+        for f in 0..6 {
+            let mut a = [0.0; FEATURES];
+            a[0] = level;
+            a[f] = level;
+            a[5] = 1.0;
+            let watts: f64 = a.iter().zip(truth).map(|(x, c)| x * c).sum();
+            set.push(CalibrationSample {
+                metrics: MetricVector::from_slice(&a),
+                active_watts: watts,
+            });
+        }
+    }
+    set
+}
+
+fn bank_selection() -> Vec<BankSelection> {
+    const KIND: ModelKind = ModelKind::WithChipShare;
+    let set = metering_calibration();
+    let initial = set.fit(KIND).expect("offline fit");
+    let busy = MetricVector { core: 1.0, ins: 2.0, chipshare: 1.0, ..Default::default() };
+    let watts = 8.0 + 2.0 * 3.0 + 5.6; // the law's power for `busy`
+    let cadence = BankConfig::default().recalibrate_every;
+
+    // Single-model baseline: the facility's per-window path without the
+    // bank — mask, predict, accumulate, periodic refit.
+    let mut recal = Recalibrator::new(&set, KIND);
+    let single_ns = median_ns(64, || {
+        let masked = PowerModel::mask_metrics(KIND, busy);
+        let model = recal.last_good().unwrap_or(&initial);
+        black_box(model.active_power(&masked));
+        recal.add_online_sample(busy, watts);
+        if recal.samples_since_fit() >= cadence {
+            black_box(recal.refit().is_ok());
+        }
+    });
+
+    // The measured key must stay the regime the bank already serves, so
+    // every iteration exercises selection without ever switching.
+    [1usize, 4, 16]
+        .into_iter()
+        .map(|live_slots| {
+            let mut bank = ModelBank::new(&set, KIND, initial.clone(), BankConfig::default());
+            let mut now = 0u64;
+            let mut feed = |bank: &mut ModelBank, key: RegimeKey| {
+                now += 1;
+                bank.observe(key, busy, watts, SimTime::from_micros(now));
+            };
+            let served = RegimeKey { generation: 0, dvfs: 20, mix: 0 };
+            feed(&mut bank, served); // first observation adopts the key
+            for d in 0..(live_slots as u8 - 1) {
+                // One observation creates a slot; alternating keys never
+                // persist long enough for hysteresis to switch away.
+                feed(&mut bank, RegimeKey { generation: 0, dvfs: 19 - d, mix: 0 });
+                feed(&mut bank, served);
+            }
+            for _ in 0..40 {
+                feed(&mut bank, served); // train the served slot to steady state
+            }
+            assert_eq!(bank.slot_count(), live_slots);
+            assert_eq!(bank.active(), Some(served));
+            let bank_ns = median_ns(64, || {
+                now += 1;
+                let key = bank.classify(0, 1.0, &busy);
+                bank.observe(key, busy, watts, SimTime::from_micros(now));
+                let masked = PowerModel::mask_metrics(KIND, busy);
+                black_box(bank.current_model().active_power(&masked));
+            });
+            BankSelection {
+                live_slots,
+                single_ns,
+                bank_ns,
+                overhead_ns: bank_ns as i64 - single_ns as i64,
+            }
         })
         .collect()
 }
@@ -358,6 +461,7 @@ fn main() {
         samples_per_measurement: SAMPLES,
         kernels: vec![alignment_pair(), refit_pair(), queue_pair(), trace_pair()],
         refit_cost_vs_samples_seen: refit_scaling(),
+        bank_selection_vs_live_slots: bank_selection(),
         telemetry_tax: vec![alignment_tax(), refit_tax()],
         harness: Harness {
             run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
@@ -378,6 +482,12 @@ fn main() {
     }
     for r in &report.refit_cost_vs_samples_seen {
         eprintln!("  refit after {:>6} samples seen: {:>8} ns", r.samples_seen, r.refit_ns);
+    }
+    for b in &report.bank_selection_vs_live_slots {
+        eprintln!(
+            "  bank window at {:>2} live slots: {:>6} ns (single {:>6} ns, {:+} ns)",
+            b.live_slots, b.bank_ns, b.single_ns, b.overhead_ns
+        );
     }
     for t in &report.telemetry_tax {
         eprintln!(

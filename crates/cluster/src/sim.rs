@@ -108,6 +108,14 @@ pub struct ClusterConfig {
     /// fault windows and per-node facility events on track `10 + n`.
     /// Disabled by default.
     pub telemetry: telemetry::Telemetry,
+    /// Self-calibrating model bank. When set, every node runs the
+    /// `Recalibrated` approach with a per-regime [`ModelBank`]
+    /// (keyed by machine generation × DVFS level × workload mix)
+    /// instead of a single fixed `ChipShare` model; drift counters
+    /// flow into [`ClusterOutcome::degrade`].
+    ///
+    /// [`ModelBank`]: power_containers::ModelBank
+    pub model_bank: Option<power_containers::BankConfig>,
 }
 
 impl ClusterConfig {
@@ -129,6 +137,7 @@ impl ClusterConfig {
             recovery: None,
             admission: None,
             telemetry: telemetry::Telemetry::disabled(),
+            model_bank: None,
         }
     }
 
@@ -1031,12 +1040,32 @@ fn build_node_runtime(
 ) -> NodeRuntime {
     let spec = &cfg.nodes[n];
     let inc = incarnation as u64;
+    // With a model bank the node runs the full recalibration loop
+    // (meter alignment + per-regime refits); otherwise the legacy
+    // fixed ChipShare model, byte-identical to pre-bank runs.
+    let approach =
+        if cfg.model_bank.is_some() { Approach::Recalibrated } else { Approach::ChipShare };
+    let meter = (approach == Approach::Recalibrated).then(|| {
+        if spec.meters.iter().any(|m| m.name == "on-chip") { "on-chip" } else { "wattsup" }
+    });
+    let recalibrate_every = if meter == Some("wattsup") { 2 } else { 16 };
+    let model_bank = cfg.model_bank.clone().map(|mut bank| {
+        // Keep the bank's per-slot refit cadence in lockstep with the
+        // facility's per-meter cadence, as the workloads harness does.
+        bank.recalibrate_every = recalibrate_every;
+        bank
+    });
     let facility = PowerContainerFacility::new(
-        cal.model_for(Approach::ChipShare),
-        None,
+        cal.model_for(approach),
+        (approach == Approach::Recalibrated).then_some(&cal.set),
         spec,
         FacilityConfig {
-            approach: Approach::ChipShare,
+            approach,
+            meter,
+            meter_idle_w: meter.map(|m| cal.meter_idle(m)).unwrap_or(0.0),
+            align_every: if meter == Some("wattsup") { 4 } else { 16 },
+            recalibrate_every,
+            model_bank,
             // Records feed the §3.4 response tagging: each completed
             // request's cumulative energy flows back to the
             // dispatcher for comprehensive accounting.

@@ -29,13 +29,11 @@ pub struct Topology {
 }
 
 /// Machine-generation rank: lower is newer (more energy-efficient per
-/// unit of work). Unknown machines rank oldest.
+/// unit of work). Unknown machines rank oldest. Delegates to
+/// [`MachineSpec::generation_rank`] so the dispatcher and the metering
+/// layer's regime keys agree on ranks.
 pub fn generation_rank(spec: &MachineSpec) -> u8 {
-    match spec.name {
-        "sandybridge" => 0,
-        "westmere" => 1,
-        _ => 2,
-    }
+    spec.generation_rank() as u8
 }
 
 /// Sorts specs newest-generation-first, stably.

@@ -23,6 +23,7 @@ use crate::container::ContainerManager;
 use crate::error::FacilityError;
 use crate::metrics::{DegradeStats, MetricVector};
 use crate::model::{ModelKind, PowerModel};
+use crate::modelbank::{BankConfig, ModelBank};
 use crate::recalibrate::Recalibrator;
 use crate::trace::TraceRing;
 use hwsim::{CoreId, CounterBlock, DeviceKind, MachineSpec, MeterId};
@@ -106,6 +107,11 @@ pub struct FacilityConfig {
     pub align_step: SimDuration,
     /// Online samples between model refits.
     pub recalibrate_every: usize,
+    /// Self-calibrating model bank: when set (and the approach is
+    /// [`Approach::Recalibrated`]), online samples train one model per
+    /// operating regime with drift detection instead of the single
+    /// rolling recalibrator. See [`crate::ModelBank`].
+    pub model_bank: Option<BankConfig>,
     /// Minimum correlation an alignment scan must reach; weaker scans
     /// keep the previous delay estimate (see
     /// [`crate::FacilityError::AlignmentLowScore`]).
@@ -144,6 +150,7 @@ impl Default for FacilityConfig {
             max_meter_delay: SimDuration::from_millis(2000),
             align_step: SimDuration::from_millis(1),
             recalibrate_every: 8,
+            model_bank: None,
             min_align_score: 0.4,
             align_ambiguity_margin: 0.02,
             retain_records: true,
@@ -159,6 +166,15 @@ impl Default for FacilityConfig {
 struct CoreSampler {
     last: CounterBlock,
     pending_maint: u32,
+}
+
+/// The online-recalibration engine behind [`Approach::Recalibrated`]:
+/// either the paper's single rolling recalibrator, or the
+/// regime-keyed model bank with drift detection.
+#[derive(Debug, Clone)]
+enum RecalEngine {
+    Single(Recalibrator),
+    Bank(ModelBank),
 }
 
 /// `true` when a counter delta is physically impossible: negative event
@@ -194,7 +210,7 @@ pub struct FacilityState {
     model_trace: TraceRing<f64>,
     metrics_trace: TraceRing<MetricVector>,
     estimator: Option<DelayEstimator>,
-    recalibrator: Option<Recalibrator>,
+    recalibrator: Option<RecalEngine>,
     meter_id: Option<MeterId>,
     meter_period: SimDuration,
     aligned_delay: Option<SimDuration>,
@@ -266,6 +282,15 @@ impl FacilityState {
     /// Counters of every graceful-degradation decision taken so far.
     pub fn degrade_stats(&self) -> DegradeStats {
         self.degrade
+    }
+
+    /// The self-calibrating model bank, when
+    /// [`FacilityConfig::model_bank`] selected the bank engine.
+    pub fn model_bank(&self) -> Option<&ModelBank> {
+        match &self.recalibrator {
+            Some(RecalEngine::Bank(b)) => Some(b),
+            _ => None,
+        }
     }
 
     /// The most recent recoverable failure the facility degraded around.
@@ -531,79 +556,244 @@ impl FacilityState {
                 }
             }
         }
-        let (Some(delay), Some(recal)) = (self.aligned_delay, self.recalibrator.as_mut())
+        let (Some(delay), Some(engine)) = (self.aligned_delay, self.recalibrator.as_mut())
         else {
             self.pending_readings.clear();
             return;
         };
-        let mut refit_due = false;
-        for r in self.pending_readings.drain(..) {
-            let end = r.arrived_at - delay;
-            let start = end - self.meter_period;
-            if let Some(metrics) = self.metrics_trace.mean_over_wall(start, end) {
-                recal.add_online_sample(metrics, r.watts - self.config.meter_idle_w);
-                if recal.samples_since_fit() >= self.config.recalibrate_every {
-                    refit_due = true;
-                }
-            }
-        }
-        if refit_due {
-            match recal.refit() {
-                Ok(model) => {
-                    self.model = model;
-                    self.refits += 1;
-                    if self.config.telemetry.enabled() {
-                        self.config.telemetry.instant(
-                            api.now,
-                            "recal",
-                            "refit",
-                            &[("n", FieldValue::U64(self.refits))],
-                        );
-                        self.config.telemetry.add_count("recal.refits", 1);
+        match engine {
+            RecalEngine::Single(recal) => {
+                let mut refit_due = false;
+                for r in self.pending_readings.drain(..) {
+                    let end = r.arrived_at - delay;
+                    let start = end - self.meter_period;
+                    if let Some(metrics) = self.metrics_trace.mean_over_wall(start, end) {
+                        recal.add_online_sample(metrics, r.watts - self.config.meter_idle_w);
+                        if recal.samples_since_fit() >= self.config.recalibrate_every {
+                            refit_due = true;
+                        }
                     }
                 }
-                Err(e) => {
-                    // The served model is whatever was accepted last, so
-                    // rejecting the candidate *is* the fallback.
-                    self.degrade.refits_rejected += 1;
-                    if self.config.telemetry.enabled() {
-                        self.config.telemetry.instant(
-                            api.now,
-                            "degrade",
-                            "refit_rejected",
-                            &[("kind", FieldValue::Str(e.kind()))],
-                        );
-                        self.config.telemetry.add_count("degrade.refits_rejected", 1);
+                if !refit_due {
+                    return;
+                }
+                match recal.refit() {
+                    Ok(model) => {
+                        self.model = model;
+                        self.refits += 1;
+                        if self.config.telemetry.enabled() {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "recal",
+                                "refit",
+                                &[("n", FieldValue::U64(self.refits))],
+                            );
+                            self.config.telemetry.add_count("recal.refits", 1);
+                        }
                     }
-                    if recal.last_good().is_some() {
-                        self.degrade.refit_fallbacks += 1;
+                    Err(e) => {
+                        // The served model is whatever was accepted last, so
+                        // rejecting the candidate *is* the fallback.
+                        self.degrade.refits_rejected += 1;
                         if self.config.telemetry.enabled() {
                             self.config.telemetry.instant(
                                 api.now,
                                 "degrade",
-                                "refit_fallback",
-                                &[],
+                                "refit_rejected",
+                                &[("kind", FieldValue::Str(e.kind()))],
                             );
+                            self.config.telemetry.add_count("degrade.refits_rejected", 1);
+                        }
+                        if recal.last_good().is_some() {
+                            self.degrade.refit_fallbacks += 1;
+                            if self.config.telemetry.enabled() {
+                                self.config.telemetry.instant(
+                                    api.now,
+                                    "degrade",
+                                    "refit_fallback",
+                                    &[],
+                                );
+                            }
+                        }
+                        if recal.is_stale() {
+                            // Bounded staleness: the online accumulator is
+                            // poisoned beyond recovery — rebuild it from a
+                            // clean window.
+                            let discarded = recal.reset_online();
+                            self.degrade.stale_model_resets += 1;
+                            if self.config.telemetry.enabled() {
+                                self.config.telemetry.instant(
+                                    api.now,
+                                    "degrade",
+                                    "stale_reset",
+                                    &[("discarded", FieldValue::U64(discarded as u64))],
+                                );
+                                self.config.telemetry.add_count("degrade.stale_resets", 1);
+                            }
+                        }
+                        self.last_degradation = Some(e);
+                    }
+                }
+            }
+            RecalEngine::Bank(bank) => {
+                // Regime signals: generation and DVFS come from the
+                // machine at poll time, the workload-mix bucket from each
+                // window's own metrics inside `classify`.
+                let generation = api.machine.generation();
+                let freq = api.machine.mean_freq_fraction();
+                let tele_on = self.config.telemetry.enabled();
+                for r in self.pending_readings.drain(..) {
+                    let end = r.arrived_at - delay;
+                    let start = end - self.meter_period;
+                    let Some(metrics) = self.metrics_trace.mean_over_wall(start, end)
+                    else {
+                        continue;
+                    };
+                    let key = bank.classify(generation, freq, &metrics);
+                    let out = bank.observe(
+                        key,
+                        metrics,
+                        r.watts - self.config.meter_idle_w,
+                        api.now,
+                    );
+                    if let Some(sw) = out.switched {
+                        self.degrade.model_switches += 1;
+                        if tele_on {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "bank",
+                                "switch",
+                                &[
+                                    ("from_gen", FieldValue::U64(u64::from(sw.from.generation))),
+                                    ("from_dvfs", FieldValue::U64(u64::from(sw.from.dvfs))),
+                                    ("from_mix", FieldValue::U64(u64::from(sw.from.mix))),
+                                    ("to_gen", FieldValue::U64(u64::from(sw.to.generation))),
+                                    ("to_dvfs", FieldValue::U64(u64::from(sw.to.dvfs))),
+                                    ("to_mix", FieldValue::U64(u64::from(sw.to.mix))),
+                                    ("fresh", FieldValue::Str(if sw.to_fresh { "yes" } else { "no" })),
+                                ],
+                            );
+                            self.config.telemetry.add_count("bank.switches", 1);
                         }
                     }
-                    if recal.is_stale() {
-                        // Bounded staleness: the online accumulator is
-                        // poisoned beyond recovery — rebuild it from a
-                        // clean window.
-                        recal.reset_online();
+                    if let Some(ev) = out.drift {
+                        self.degrade.drift_events += 1;
+                        if tele_on {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "drift",
+                                "detect",
+                                &[
+                                    ("gen", FieldValue::U64(u64::from(ev.slot.generation))),
+                                    ("dvfs", FieldValue::U64(u64::from(ev.slot.dvfs))),
+                                    ("mix", FieldValue::U64(u64::from(ev.slot.mix))),
+                                    ("cusum_w", FieldValue::F64(ev.cusum_w)),
+                                    ("retrained", FieldValue::Str(if ev.retrained { "yes" } else { "no" })),
+                                ],
+                            );
+                            self.config.telemetry.add_count("drift.detects", 1);
+                        }
+                        if ev.retrained {
+                            if ev.accepted {
+                                self.degrade.drift_retrains += 1;
+                            }
+                            if tele_on {
+                                self.config.telemetry.instant(
+                                    api.now,
+                                    "drift",
+                                    "retrain",
+                                    &[
+                                        ("gen", FieldValue::U64(u64::from(ev.slot.generation))),
+                                        ("dvfs", FieldValue::U64(u64::from(ev.slot.dvfs))),
+                                        ("mix", FieldValue::U64(u64::from(ev.slot.mix))),
+                                        ("accepted", FieldValue::Str(if ev.accepted { "yes" } else { "no" })),
+                                    ],
+                                );
+                                self.config.telemetry.add_count("drift.retrains", 1);
+                            }
+                        }
+                    }
+                    if out.refit_accepted {
+                        self.refits += 1;
+                        if tele_on {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "recal",
+                                "refit",
+                                &[("n", FieldValue::U64(self.refits))],
+                            );
+                            self.config.telemetry.add_count("recal.refits", 1);
+                        }
+                    }
+                    if let Some(e) = out.refit_error {
+                        self.degrade.refits_rejected += 1;
+                        if tele_on {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "degrade",
+                                "refit_rejected",
+                                &[("kind", FieldValue::Str(e.kind()))],
+                            );
+                            self.config.telemetry.add_count("degrade.refits_rejected", 1);
+                        }
+                        if out.refit_fallback {
+                            self.degrade.refit_fallbacks += 1;
+                            if tele_on {
+                                self.config.telemetry.instant(
+                                    api.now,
+                                    "degrade",
+                                    "refit_fallback",
+                                    &[],
+                                );
+                            }
+                        }
+                        self.last_degradation = Some(e);
+                    }
+                    if out.quarantined {
+                        self.degrade.models_quarantined += 1;
+                        if tele_on {
+                            self.config.telemetry.instant(
+                                api.now,
+                                "bank",
+                                "quarantine",
+                                &[
+                                    ("gen", FieldValue::U64(u64::from(key.generation))),
+                                    ("dvfs", FieldValue::U64(u64::from(key.dvfs))),
+                                    ("mix", FieldValue::U64(u64::from(key.mix))),
+                                ],
+                            );
+                            self.config.telemetry.add_count("bank.quarantines", 1);
+                        }
+                    }
+                    if out.restored && tele_on {
+                        self.config.telemetry.instant(
+                            api.now,
+                            "bank",
+                            "restore",
+                            &[
+                                ("gen", FieldValue::U64(u64::from(key.generation))),
+                                ("dvfs", FieldValue::U64(u64::from(key.dvfs))),
+                                ("mix", FieldValue::U64(u64::from(key.mix))),
+                            ],
+                        );
+                        self.config.telemetry.add_count("bank.restores", 1);
+                    }
+                    if let Some(discarded) = out.stale_reset_discarded {
                         self.degrade.stale_model_resets += 1;
-                        if self.config.telemetry.enabled() {
+                        if tele_on {
                             self.config.telemetry.instant(
                                 api.now,
                                 "degrade",
                                 "stale_reset",
-                                &[],
+                                &[("discarded", FieldValue::U64(discarded as u64))],
                             );
                             self.config.telemetry.add_count("degrade.stale_resets", 1);
                         }
                     }
-                    self.last_degradation = Some(e);
                 }
+                // Serve whatever the bank now holds for the active regime
+                // (slot fit, last-good fallback, or the offline model).
+                self.model = bank.current_model().clone();
             }
         }
     }
@@ -688,7 +878,16 @@ impl PowerContainerFacility {
             if config.meter.is_none() {
                 return Err(FacilityError::MeterMissing);
             }
-            Some(Recalibrator::new(cal, config.approach.model_kind()))
+            let kind = config.approach.model_kind();
+            Some(match &config.model_bank {
+                Some(bank_cfg) => RecalEngine::Bank(ModelBank::new(
+                    cal,
+                    kind,
+                    model.clone(),
+                    bank_cfg.clone(),
+                )),
+                None => RecalEngine::Single(Recalibrator::new(cal, kind)),
+            })
         } else {
             None
         };

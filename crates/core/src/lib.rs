@@ -84,6 +84,7 @@ mod error;
 mod facility;
 mod metrics;
 mod model;
+mod modelbank;
 mod recalibrate;
 mod report;
 mod trace;
@@ -103,6 +104,10 @@ pub use facility::{
 };
 pub use metrics::{DegradeStats, MetricVector, FEATURES};
 pub use model::{ModelKind, PowerModel};
+pub use modelbank::{
+    BankConfig, BankOutcome, BankStats, DriftEvent, DriftPolicy, ModelBank, ModelSwitch,
+    RegimeKey,
+};
 pub use recalibrate::{Recalibrator, RefitPolicy};
 pub use report::{ConsumerLine, PowerReport};
 pub use trace::TraceRing;

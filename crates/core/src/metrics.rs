@@ -171,6 +171,20 @@ pub struct DegradeStats {
     /// exhausting their retry budget (also excluded from
     /// [`DegradeStats::total`]).
     pub requests_shed: u64,
+    /// Model-drift detections: the estimate-vs-meter CUSUM tripped its
+    /// threshold (adaptation triggers, not degradations — excluded from
+    /// [`DegradeStats::total`]).
+    pub drift_events: u64,
+    /// Drift-triggered targeted retrains that produced an accepted fit
+    /// (also excluded from [`DegradeStats::total`]).
+    pub drift_retrains: u64,
+    /// Model-bank slot switches after hysteresis confirmed a regime
+    /// change (also excluded from [`DegradeStats::total`]).
+    pub model_switches: u64,
+    /// Bank slots quarantined after persistently diverging; quarantined
+    /// slots serve the last-good fallback until a retrain is accepted
+    /// (also excluded from [`DegradeStats::total`]).
+    pub models_quarantined: u64,
 }
 
 impl DegradeStats {
@@ -191,6 +205,45 @@ impl DegradeStats {
     pub fn is_clean(&self) -> bool {
         self.total() == 0
     }
+
+    /// Total model-drift activity: refit rejections and fallbacks,
+    /// staleness resets, and the bank's drift/switch/quarantine actions.
+    /// Non-zero means the metering model was adapting (or failing to)
+    /// during the run.
+    pub fn drift_total(&self) -> u64 {
+        self.refits_rejected
+            + self.refit_fallbacks
+            + self.stale_model_resets
+            + self.drift_events
+            + self.drift_retrains
+            + self.model_switches
+            + self.models_quarantined
+    }
+
+    /// Compact one-line rendering of the drift counters for status
+    /// tables: `"-"` when nothing drifted, otherwise only the non-zero
+    /// counters, e.g. `"rej:2 rst:1 det:4 sw:3"`.
+    pub fn drift_column(&self) -> String {
+        let parts = [
+            ("rej", self.refits_rejected),
+            ("fb", self.refit_fallbacks),
+            ("rst", self.stale_model_resets),
+            ("det", self.drift_events),
+            ("ret", self.drift_retrains),
+            ("sw", self.model_switches),
+            ("q", self.models_quarantined),
+        ];
+        let s: Vec<String> = parts
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect();
+        if s.is_empty() {
+            "-".to_string()
+        } else {
+            s.join(" ")
+        }
+    }
 }
 
 impl Add for DegradeStats {
@@ -205,6 +258,10 @@ impl Add for DegradeStats {
             stale_model_resets: self.stale_model_resets + o.stale_model_resets,
             requests_retried: self.requests_retried + o.requests_retried,
             requests_shed: self.requests_shed + o.requests_shed,
+            drift_events: self.drift_events + o.drift_events,
+            drift_retrains: self.drift_retrains + o.drift_retrains,
+            model_switches: self.model_switches + o.model_switches,
+            models_quarantined: self.models_quarantined + o.models_quarantined,
         }
     }
 }
@@ -252,6 +309,45 @@ mod tests {
         // degradations: a run that only retried/shed still reads clean.
         assert_eq!(sum.total(), 1);
         assert!(DegradeStats { requests_shed: 9, ..DegradeStats::default() }.is_clean());
+    }
+
+    #[test]
+    fn drift_counters_sum_and_stay_out_of_total() {
+        let a = DegradeStats {
+            drift_events: 2,
+            model_switches: 1,
+            refits_rejected: 1,
+            ..DegradeStats::default()
+        };
+        let b = DegradeStats {
+            drift_retrains: 3,
+            models_quarantined: 1,
+            ..DegradeStats::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.drift_events, 2);
+        assert_eq!(sum.drift_retrains, 3);
+        assert_eq!(sum.model_switches, 1);
+        assert_eq!(sum.models_quarantined, 1);
+        // Only the refit rejection is an attribution degradation.
+        assert_eq!(sum.total(), 1);
+        assert_eq!(sum.drift_total(), 8);
+    }
+
+    #[test]
+    fn drift_column_renders_non_zero_counters() {
+        assert_eq!(DegradeStats::default().drift_column(), "-");
+        let d = DegradeStats {
+            refits_rejected: 2,
+            stale_model_resets: 1,
+            drift_events: 4,
+            model_switches: 3,
+            ..DegradeStats::default()
+        };
+        assert_eq!(d.drift_column(), "rej:2 rst:1 det:4 sw:3");
+        // Plain degradations (meter gaps) don't leak into the column.
+        let gaps = DegradeStats { meter_gaps: 7, ..DegradeStats::default() };
+        assert_eq!(gaps.drift_column(), "-");
     }
 
     #[test]

@@ -179,10 +179,20 @@ impl Recalibrator {
     /// good model. The staleness recovery path: contaminated samples
     /// live in the accumulator forever, so once refits keep failing the
     /// only way back is a clean window.
-    pub fn reset_online(&mut self) {
+    ///
+    /// Returns the number of window samples discarded, so the caller can
+    /// surface the reset in traces instead of losing the window silently.
+    pub fn reset_online(&mut self) -> usize {
+        let discarded = self.window.len();
         self.window.clear();
         self.samples_since_fit = 0;
         self.rejected_streak = 0;
+        discarded
+    }
+
+    /// Number of samples currently in the rolling online window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
     }
 
     /// Refits coefficients over the offline set plus the recent online
@@ -465,8 +475,11 @@ mod tests {
             let _ = r.refit().expect_err("poisoned accumulator");
         }
         assert!(r.is_stale(), "streak of 3 > bound of 2");
-        // Bounded-staleness recovery: rebuild from a clean window.
-        r.reset_online();
+        // Bounded-staleness recovery: rebuild from a clean window. The
+        // discard count reports the whole poisoned window.
+        let discarded = r.reset_online();
+        assert_eq!(discarded, 150.min(super::RECENT_CAP));
+        assert_eq!(r.window_len(), 0);
         assert!(!r.is_stale());
         assert_eq!(r.samples_since_fit(), 0);
         for _ in 0..50 {

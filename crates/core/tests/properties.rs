@@ -3,11 +3,40 @@
 use hwsim::{CoreId, MachineSpec};
 use ossim::ContextId;
 use power_containers::{
-    ConditioningPolicy, ContainerManager, MetricVector, ModelKind, PowerModel, SampleBoard,
-    TraceRing,
+    BankConfig, CalibrationSample, CalibrationSet, ConditioningPolicy, ContainerManager,
+    MetricVector, ModelBank, ModelKind, PowerModel, SampleBoard, TraceRing,
 };
 use proptest::prelude::*;
 use simkern::{SimDuration, SimTime};
+
+/// A small offline calibration set under a fixed linear power law, for
+/// the model-bank properties.
+fn bank_offline_set() -> CalibrationSet {
+    let mut set = CalibrationSet::new(26.1);
+    for level in [0.25, 0.5, 0.75, 1.0f64] {
+        for f in 0..6 {
+            let mut a = [0.0; 8];
+            a[0] = level;
+            a[f] = level;
+            a[5] = 1.0;
+            let truth = [8.0, 3.0, 1.5, 3.5, 2.0, 5.6, 0.0, 0.0];
+            let watts: f64 = a.iter().zip(truth).map(|(x, c)| x * c).sum();
+            set.push(CalibrationSample {
+                metrics: MetricVector::from_slice(&a),
+                active_watts: watts,
+            });
+        }
+    }
+    set
+}
+
+/// The reference window the bank properties observe and predict on.
+fn bank_busy() -> MetricVector {
+    MetricVector { core: 1.0, ins: 2.0, chipshare: 1.0, ..Default::default() }
+}
+
+/// True active power of [`bank_busy`] under the calibration-time law.
+const BANK_BUSY_W: f64 = 8.0 + 2.0 * 3.0 + 5.6;
 
 proptest! {
     /// Eq. 3 chip shares are in [0, 1] and sum to at most ~1 per chip for
@@ -248,6 +277,88 @@ proptest! {
             "cumulative energy {} must survive every crash/restart cycle (want {})",
             mgr.total_request_energy_j(),
             expected
+        );
+    }
+}
+
+proptest! {
+    /// A quarantined slot's fit is never served, no matter what its
+    /// window accumulates afterwards: once persistent rejection
+    /// quarantines the slot, arbitrary further samples leave the served
+    /// model pinned to the bank-wide fallback, and only an accepted
+    /// retrain (impossible here — the acceptance screen rejects every
+    /// fit) could lift the quarantine.
+    #[test]
+    fn quarantined_slot_never_serves(
+        garbage in prop::collection::vec(0.0f64..500.0, 20..120),
+    ) {
+        let set = bank_offline_set();
+        let initial = set.fit(ModelKind::WithChipShare).unwrap();
+        let mut cfg = BankConfig::default();
+        cfg.refit_policy.max_condition = 1.0; // every refit rejects
+        cfg.drift.quarantine_after = 1;
+        let mut bank = ModelBank::new(&set, ModelKind::WithChipShare, initial, cfg);
+        let key = bank.classify(0, 1.0, &bank_busy());
+        // Wild residual oscillation trips the CUSUM until the rejected
+        // drift retrain quarantines the slot.
+        let mut quarantined = false;
+        for i in 0..400u64 {
+            let w = if i % 2 == 0 { 0.0 } else { 300.0 };
+            if bank.observe(key, bank_busy(), w, SimTime::from_millis(1 + i)).quarantined {
+                quarantined = true;
+                break;
+            }
+        }
+        prop_assert!(quarantined, "persistent rejection must quarantine");
+        let masked = PowerModel::mask_metrics(ModelKind::WithChipShare, bank_busy());
+        let fallback = bank.current_model().active_power(&masked);
+        for (i, w) in garbage.iter().enumerate() {
+            bank.observe(key, bank_busy(), *w, SimTime::from_millis(1000 + i as u64));
+            prop_assert!(bank.is_quarantined(key), "nothing may lift the quarantine");
+            let served = bank.current_model().active_power(&masked);
+            prop_assert!(
+                (served - fallback).abs() < 1e-9,
+                "quarantined window leaked into serving: {served} vs {fallback}"
+            );
+        }
+    }
+
+    /// The bank reconverges after a fault burst clears: an arbitrary
+    /// stretch of corrupt meter readings (any length, any values) may
+    /// trip drift retrains, rejections, staleness resets, even
+    /// quarantine — but once clean readings resume, the served model
+    /// returns to within 5% of the true law.
+    #[test]
+    fn bank_reconverges_after_fault_burst(
+        burst in prop::collection::vec(0.0f64..200.0, 10..100),
+    ) {
+        let set = bank_offline_set();
+        let initial = set.fit(ModelKind::WithChipShare).unwrap();
+        let mut bank =
+            ModelBank::new(&set, ModelKind::WithChipShare, initial, BankConfig::default());
+        let key = bank.classify(0, 1.0, &bank_busy());
+        let mut t = 1u64;
+        let mut feed = |bank: &mut ModelBank, w: f64| {
+            let now = SimTime::from_millis(t);
+            t += 1;
+            bank.observe(key, bank_busy(), w, now);
+        };
+        for _ in 0..50 {
+            feed(&mut bank, BANK_BUSY_W);
+        }
+        for w in &burst {
+            feed(&mut bank, *w);
+        }
+        // Clean readings resume for two window lengths.
+        for _ in 0..600 {
+            feed(&mut bank, BANK_BUSY_W);
+        }
+        prop_assert!(!bank.is_quarantined(key), "accepted retrain must restore");
+        let masked = PowerModel::mask_metrics(ModelKind::WithChipShare, bank_busy());
+        let served = bank.current_model().active_power(&masked);
+        prop_assert!(
+            (served - BANK_BUSY_W).abs() / BANK_BUSY_W < 0.05,
+            "served {served} must reconverge to {BANK_BUSY_W}"
         );
     }
 }

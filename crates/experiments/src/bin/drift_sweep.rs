@@ -1,0 +1,10 @@
+//! Runs the drift study: the self-calibrating model bank vs the single
+//! rolling model across a seeded ladder of regime shifts.
+
+use experiments::{drift_sweep, runner, Scale};
+
+fn main() {
+    runner::set_jobs(runner::jobs_from_args());
+    runner::set_trace_dir(runner::trace_dir_from_args());
+    drift_sweep::run(Scale::from_args());
+}

@@ -94,6 +94,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("chaos_sweep", |s| {
         experiments::chaos_sweep::run(s);
     }),
+    ("drift_sweep", |s| {
+        experiments::drift_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -168,15 +171,17 @@ fn main() {
     // individual experiment records).
     let degraded: std::collections::BTreeMap<String, power_containers::DegradeStats> =
         workloads::degrade_ledger().into_iter().collect();
-    let mut table = Table::new(["experiment", "status", "wall time", "degraded", "retried", "shed"]);
+    let mut table =
+        Table::new(["experiment", "status", "wall time", "degraded", "retried", "shed", "drift"]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
-        let (deg, retried, shed) = match degraded.get(*name) {
-            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+        let (deg, retried, shed, drift) = match degraded.get(*name) {
+            None => ("-".to_string(), "-".to_string(), "-".to_string(), "-".to_string()),
             Some(d) => (
                 if d.is_clean() { "clean".to_string() } else { format!("{} decisions", d.total()) },
                 d.requests_retried.to_string(),
                 d.requests_shed.to_string(),
+                d.drift_column(),
             ),
         };
         match outcome {
@@ -188,13 +193,14 @@ fn main() {
                     deg,
                     retried,
                     shed,
+                    drift,
                 ]);
             }
             Err(msg) => {
                 failed += 1;
                 let mut msg = msg.replace('\n', " ");
                 msg.truncate(60);
-                table.row([name.to_string(), "FAILED".to_string(), msg, deg, retried, shed]);
+                table.row([name.to_string(), "FAILED".to_string(), msg, deg, retried, shed, drift]);
             }
         }
     }

@@ -32,6 +32,7 @@
 //! | [`fault_sweep`] | extension: attribution accuracy under injected faults |
 //! | [`scale_sweep`] | extension: the serving pipeline across fleet sizes and caps |
 //! | [`chaos_sweep`] | extension: recovery invariants under randomized fault schedules |
+//! | [`drift_sweep`] | extension: the self-calibrating model bank across a regime-shift ladder |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ pub mod anomaly;
 pub mod cache;
 pub mod chaos_sweep;
 pub mod coefficients;
+pub mod drift_sweep;
 pub mod dvfs;
 pub mod fault_sweep;
 pub mod fig01;

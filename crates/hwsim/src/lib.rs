@@ -58,5 +58,6 @@ pub use faults::{
     NodeFaultWindow, TagFault,
 };
 pub use machine::{CoreId, FreqScale, Machine};
+pub use power::GroundTruthPower;
 pub use meter::{MeterId, MeterReport, MeterScope, MeterSpec};
 pub use spec::{ChipId, MachineSpec};

@@ -117,6 +117,10 @@ pub struct Machine {
     meters: Vec<MeterState>,
     devices: [DeviceState; 2],
     chip_freq: Vec<FreqScale>,
+    /// Hardware generation rank, exposed to the OS as a regime signal
+    /// (think DMI product identification). Starts at the spec's rank and
+    /// is bumped by [`Machine::swap_truth`] on an in-place upgrade.
+    generation: u32,
     now: SimTime,
     rng: SimRng,
     /// Fault injection (inert by default); draws from its own seeded
@@ -143,6 +147,7 @@ impl Machine {
                 DeviceState { active: false, busy_seconds: 0.0 },
             ],
             chip_freq: vec![FreqScale::NOMINAL; spec.chips],
+            generation: spec.generation_rank(),
             now: SimTime::ZERO,
             rng: SimRng::new(seed).split(0x4D45_5452), // "METR"
             faults: FaultInjector::disabled(),
@@ -200,6 +205,37 @@ impl Machine {
     /// A chip's current DVFS operating point.
     pub fn chip_freq(&self, chip: crate::ChipId) -> FreqScale {
         self.chip_freq[chip.0]
+    }
+
+    /// Mean frequency fraction across all chips — the machine-level DVFS
+    /// regime signal the metering layer keys models on.
+    pub fn mean_freq_fraction(&self) -> f64 {
+        let sum: f64 = self.chip_freq.iter().map(|f| f.fraction()).sum();
+        sum / self.chip_freq.len() as f64
+    }
+
+    /// The machine's hardware generation rank (0 = newest preset). The
+    /// OS reads this as a regime signal; it carries no physical behaviour
+    /// by itself.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Overrides the generation rank without touching physical behaviour
+    /// (e.g. a cluster topology assigning fleet-wide ranks).
+    pub fn set_generation(&mut self, generation: u32) {
+        self.generation = generation;
+    }
+
+    /// Replaces the hidden ground-truth power law and generation rank in
+    /// place — a rolling hardware upgrade under an unchanged workload.
+    /// Counters, meters, and accumulated energy are preserved; only
+    /// power drawn after the swap follows the new law. Call between
+    /// [`Machine::advance_to`] segments so the old law is integrated
+    /// exactly up to the swap instant.
+    pub fn swap_truth(&mut self, truth: crate::GroundTruthPower, generation: u32) {
+        self.spec.truth = truth;
+        self.generation = generation;
     }
 
     /// The rate at which `core` executes non-halt cycles, in GHz,

@@ -87,6 +87,17 @@ impl MachineSpec {
         self.compute_scale * (1.0 - w) + self.mem_scale * w
     }
 
+    /// Machine-generation rank: lower is newer (more energy-efficient per
+    /// unit of work). Unknown machines rank oldest. This is the default
+    /// value of the [`crate::Machine::generation`] regime signal.
+    pub fn generation_rank(&self) -> u32 {
+        match self.name {
+            "sandybridge" => 0,
+            "westmere" => 1,
+            _ => 2,
+        }
+    }
+
     /// The quad-core SandyBridge machine (Xeon E31220, 3.1 GHz), with both
     /// an on-chip package meter (1 ms windows, 1 ms delay) and an external
     /// whole-machine meter (1 s windows, 1.2 s delay).

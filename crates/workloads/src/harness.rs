@@ -94,6 +94,10 @@ pub struct RunConfig {
     /// default. Clone one [`telemetry::Telemetry::recording`] handle
     /// into several configs to merge their runs into a single trace.
     pub telemetry: telemetry::Telemetry,
+    /// Self-calibrating model bank configuration; `Some` replaces the
+    /// single rolling recalibrator with one model per operating regime
+    /// (requires [`Approach::Recalibrated`]).
+    pub model_bank: Option<power_containers::BankConfig>,
 }
 
 impl RunConfig {
@@ -119,6 +123,7 @@ impl RunConfig {
             closed_loop: None,
             faults: hwsim::FaultConfig::none(),
             telemetry: telemetry::Telemetry::disabled(),
+            model_bank: None,
         }
     }
 }
@@ -293,8 +298,15 @@ pub fn prepare_app(
         sibling_idle_check: cfg.sibling_idle_check,
         compensate_observer: cfg.compensate_observer,
         telemetry: cfg.telemetry.clone(),
+        model_bank: cfg.model_bank.clone(),
         ..FacilityConfig::default()
     };
+    // The per-meter refit cadence above is the harness-level knob; keep
+    // the bank's per-slot cadence in lockstep with it.
+    let cadence = facility_config.recalibrate_every;
+    if let Some(bank) = &mut facility_config.model_bank {
+        bank.recalibrate_every = cadence;
+    }
     if let Some(period) = cfg.sample_period {
         facility_config.sample_period = period;
     }
