@@ -169,6 +169,103 @@ impl Default for NaiveTrace {
     }
 }
 
+/// Reference ("before") container store: one boxed allocation per
+/// container behind a `std` hash map, released containers freed back to
+/// the allocator — the cost shape `ContainerManager` had before the
+/// slot-parallel SoA rows, LIFO slot recycling and the one-entry lookup
+/// cache. Semantics mirror the manager's bind/attribute/unbind cycle so
+/// the two sides of the kernel pair do identical accounting work.
+pub struct NaiveContainers {
+    map: std::collections::HashMap<u64, Box<NaiveContainer>>,
+    total_request_energy_j: f64,
+    released: u64,
+}
+
+/// Heap-allocated per-container state for [`NaiveContainers`] — the
+/// AoS record the SoA rows replaced.
+pub struct NaiveContainer {
+    /// Tasks currently bound.
+    pub refcount: u32,
+    /// Binding time.
+    pub created_at: SimTime,
+    /// Attributed energy.
+    pub energy_j: f64,
+    /// Attributed busy time.
+    pub busy_seconds: f64,
+    /// Cumulative event counts.
+    pub events: hwsim::CounterBlock,
+}
+
+impl NaiveContainers {
+    /// Creates an empty store.
+    pub fn new() -> NaiveContainers {
+        NaiveContainers {
+            map: std::collections::HashMap::new(),
+            total_request_energy_j: 0.0,
+            released: 0,
+        }
+    }
+
+    /// Binds a task to `ctx`, allocating the container on first sight.
+    pub fn bind(&mut self, ctx: u64, now: SimTime) {
+        self.map
+            .entry(ctx)
+            .or_insert_with(|| {
+                Box::new(NaiveContainer {
+                    refcount: 0,
+                    created_at: now,
+                    energy_j: 0.0,
+                    busy_seconds: 0.0,
+                    events: hwsim::CounterBlock::default(),
+                })
+            })
+            .refcount += 1;
+    }
+
+    /// Attributes one sampled interval to `ctx`.
+    pub fn attribute(
+        &mut self,
+        ctx: u64,
+        watts: f64,
+        dt_secs: f64,
+        events: &hwsim::CounterBlock,
+    ) {
+        if let Some(c) = self.map.get_mut(&ctx) {
+            self.total_request_energy_j += watts * dt_secs;
+            c.energy_j += watts * dt_secs;
+            c.busy_seconds += dt_secs;
+            c.events.accumulate(events);
+        }
+    }
+
+    /// Unbinds one task; the container is freed when the last unbinds.
+    pub fn unbind(&mut self, ctx: u64) {
+        if let Some(c) = self.map.get_mut(&ctx) {
+            c.refcount = c.refcount.saturating_sub(1);
+            if c.refcount == 0 {
+                self.map.remove(&ctx);
+                self.released += 1;
+            }
+        }
+    }
+
+    /// Containers released so far (keeps the accounting observable).
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Total energy attributed so far.
+    pub fn total_request_energy_j(&self) -> f64 {
+        self.total_request_energy_j
+    }
+}
+
+impl Default for NaiveContainers {
+    fn default() -> Self {
+        NaiveContainers::new()
+    }
+}
+
 /// A facility + machine pair with core 0 busy, ready for hook-level
 /// benchmarking.
 pub fn facility_fixture() -> (PowerContainerFacility, Machine) {

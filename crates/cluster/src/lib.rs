@@ -31,7 +31,10 @@
 //! println!("total energy rate: {:.1} W", outcome.total_energy_rate_w());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the sharded engine carries one audited
+// exception (the `Send` bound on its per-node runtime bundle — see
+// `sim::Node`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod policy;

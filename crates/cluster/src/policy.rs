@@ -59,12 +59,32 @@ pub trait DistributionPolicy {
     fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize;
 }
 
-/// Node indices sorted by (rank, index): the order in which the aware
-/// policies consider filling machines.
-fn efficiency_order(nodes: &[NodeView]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..nodes.len()).collect();
-    order.sort_by_key(|&i| (nodes[i].rank, i));
-    order
+/// Cached efficiency order — node indices sorted by (rank, index), the
+/// order in which the aware policies consider filling machines.
+///
+/// Ranks are static for a tier across a run, so the sort (and its
+/// allocation) happens once; subsequent arrivals revalidate with a
+/// linear rank scan. This keeps the per-arrival routing cost flat in
+/// steady state instead of O(n log n) with a fresh `Vec` per request.
+#[derive(Debug, Default)]
+struct OrderCache {
+    ranks: Vec<u8>,
+    order: Vec<usize>,
+}
+
+impl OrderCache {
+    fn order(&mut self, nodes: &[NodeView]) -> &[usize] {
+        let stale = self.ranks.len() != nodes.len()
+            || self.ranks.iter().zip(nodes).any(|(&r, n)| r != n.rank);
+        if stale {
+            self.ranks.clear();
+            self.ranks.extend(nodes.iter().map(|n| n.rank));
+            self.order.clear();
+            self.order.extend(0..nodes.len());
+            self.order.sort_by_key(|&i| (nodes[i].rank, i));
+        }
+        &self.order
+    }
 }
 
 /// The least-loaded node (by load fraction, ties to the lowest index).
@@ -110,6 +130,7 @@ pub struct MachineHeterogeneityAware {
     /// Utilization up to which a machine absorbs load before the policy
     /// moves on to the next one in efficiency order.
     pub threshold: f64,
+    order: OrderCache,
 }
 
 impl MachineHeterogeneityAware {
@@ -118,7 +139,7 @@ impl MachineHeterogeneityAware {
     /// utilization because requests also block on I/O, so the threshold
     /// sits above the ~70% utilization it produces).
     pub fn new() -> MachineHeterogeneityAware {
-        MachineHeterogeneityAware { threshold: 0.85 }
+        MachineHeterogeneityAware { threshold: 0.85, order: OrderCache::default() }
     }
 }
 
@@ -134,10 +155,11 @@ impl DistributionPolicy for MachineHeterogeneityAware {
     }
 
     fn choose(&mut self, _req: ArrivalView, nodes: &[NodeView]) -> usize {
-        let order = efficiency_order(nodes);
+        let threshold = self.threshold;
+        let order = self.order.order(nodes);
         if let Some(&i) = order
             .iter()
-            .find(|&&i| nodes[i].load_fraction() < self.threshold)
+            .find(|&&i| nodes[i].load_fraction() < threshold)
         {
             return i;
         }
@@ -161,6 +183,7 @@ pub struct WorkloadHeterogeneityAware {
     ratios: Vec<(WorkloadKind, f64)>,
     /// Apps with ratio above this spill first.
     cutoff: f64,
+    order: OrderCache,
 }
 
 impl WorkloadHeterogeneityAware {
@@ -177,6 +200,7 @@ impl WorkloadHeterogeneityAware {
             hard_cap: 1.25,
             ratios,
             cutoff: (min + max) / 2.0,
+            order: OrderCache::default(),
         }
     }
 
@@ -196,15 +220,16 @@ impl DistributionPolicy for WorkloadHeterogeneityAware {
 
     fn choose(&mut self, req: ArrivalView, nodes: &[NodeView]) -> usize {
         let best_rank = nodes.iter().map(|n| n.rank).min().expect("nodes nonempty");
-        let order = efficiency_order(nodes);
+        let spillable = self.ratio_of(req.app) >= self.cutoff;
+        let (threshold, hard_cap) = (self.threshold, self.hard_cap);
+        let order = self.order.order(nodes);
         // Fill the efficient set to the threshold first, like the
         // machine-aware policy.
         if let Some(&i) = order.iter().find(|&&i| {
-            nodes[i].rank == best_rank && nodes[i].load_fraction() < self.threshold
+            nodes[i].rank == best_rank && nodes[i].load_fraction() < threshold
         }) {
             return i;
         }
-        let spillable = self.ratio_of(req.app) >= self.cutoff;
         if spillable {
             // This request runs nearly as efficiently on an old machine:
             // pack the old generations in efficiency order (newest
@@ -212,7 +237,7 @@ impl DistributionPolicy for WorkloadHeterogeneityAware {
             // would keep every old machine active and waste their
             // overheads.
             if let Some(&i) = order.iter().find(|&&i| {
-                nodes[i].rank != best_rank && nodes[i].load_fraction() < self.threshold
+                nodes[i].rank != best_rank && nodes[i].load_fraction() < threshold
             }) {
                 return i;
             }
@@ -227,14 +252,14 @@ impl DistributionPolicy for WorkloadHeterogeneityAware {
             // Strong affinity for the new machines: tolerate higher fill
             // there before giving up.
             if let Some(&i) = order.iter().find(|&&i| {
-                nodes[i].rank == best_rank && nodes[i].load_fraction() < self.hard_cap
+                nodes[i].rank == best_rank && nodes[i].load_fraction() < hard_cap
             }) {
                 return i;
             }
             // The new set is beyond even the hard cap: fall back to the
             // efficiency-order fill over the rest of the fleet.
             if let Some(&i) =
-                order.iter().find(|&&i| nodes[i].load_fraction() < self.threshold)
+                order.iter().find(|&&i| nodes[i].load_fraction() < threshold)
             {
                 return i;
             }

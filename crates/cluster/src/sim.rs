@@ -56,7 +56,7 @@ use power_containers::{
     Approach, ConditioningPolicy, FacilityConfig, FacilityState, ManagerCheckpoint,
     PowerContainerFacility,
 };
-use simkern::{SimDuration, SimRng, SimTime};
+use simkern::{FxHashMap, SimDuration, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -108,6 +108,14 @@ pub struct ClusterConfig {
     /// fault windows and per-node facility events on track `10 + n`.
     /// Disabled by default.
     pub telemetry: telemetry::Telemetry,
+    /// Intra-cell worker shards: the node set is partitioned into this
+    /// many contiguous chunks, and each chunk's kernels advance on
+    /// their own thread between tick barriers. Every dispatcher
+    /// decision, all cross-node traffic, and the telemetry/accounting
+    /// merges stay on the driving thread in node order, so records,
+    /// traces, and outcomes are byte-identical at every shard count
+    /// (`1` — the default — runs fully inline).
+    pub shards: usize,
     /// Self-calibrating model bank. When set, every node runs the
     /// `Recalibrated` approach with a per-regime [`ModelBank`]
     /// (keyed by machine generation × DVFS level × workload mix)
@@ -137,6 +145,7 @@ impl ClusterConfig {
             recovery: None,
             admission: None,
             telemetry: telemetry::Telemetry::disabled(),
+            shards: 1,
             model_bank: None,
         }
     }
@@ -388,7 +397,9 @@ struct Node {
     /// the request tag back across the node boundary (§3.4).
     reply_rx: SocketId,
     /// Expected service seconds of each outstanding request, by serial.
-    outstanding: HashMap<u64, f64>,
+    /// Keyed through the deterministic [`FxHashMap`]; every reader that
+    /// iterates it sorts first.
+    outstanding: FxHashMap<u64, f64>,
     outstanding_std: f64,
     /// Mean service seconds across the offered mix on this node.
     mean_service: f64,
@@ -397,8 +408,6 @@ struct Node {
     injected: u64,
     /// Stage completions drained from this node.
     responses: u64,
-    /// Machine-generation rank (lower = newer), for the policies.
-    rank: u8,
     /// Which tier this node serves.
     tier: usize,
     /// This node's slowdown/blackout/crash windows, in start order.
@@ -436,21 +445,28 @@ struct Node {
     checkpoints: u64,
     last_health_check: SimTime,
     responses_at_check: u64,
-    /// Trace sink shared with the dispatcher and this node's facility.
+    /// This node's private trace sink, shared only with this node's
+    /// facility. The engine drains it into the main sink in node order
+    /// at every tick barrier and folds the metrics registry in at the
+    /// end, so the exported trace is identical at every shard count.
     tele: telemetry::Telemetry,
     /// This node's trace track (`10 + node index`).
     track: u32,
 }
 
-impl Node {
-    fn view(&self) -> NodeView {
-        NodeView {
-            outstanding: self.outstanding_std,
-            cores: self.kernel.machine().spec().total_cores(),
-            rank: self.rank,
-        }
-    }
+// SAFETY: a `Node` is a self-contained simulation: its kernel, the app
+// tasks inside it, the facility hooks, and the `stats`/`facility`
+// handles all point into one object graph built by
+// `build_node_runtime` for this node alone (the non-`Send` `Rc`s never
+// cross a node boundary), and `tele` is its private `Arc`-backed sink.
+// The engine moves whole nodes across shard threads at tick barriers
+// and never lets two threads touch one node concurrently: shards own
+// disjoint `&mut [Node]` chunks and the scope join is the
+// synchronization point before the driving thread resumes.
+#[allow(unsafe_code)]
+unsafe impl Send for Node {}
 
+impl Node {
     /// Removes `serial` from the outstanding estimate.
     fn settle(&mut self, serial: u64) {
         if let Some(secs) = self.outstanding.remove(&serial) {
@@ -857,14 +873,117 @@ pub fn run_pipeline(
     run_engine(&mut refs, cfg, cals)
 }
 
+/// Incrementally maintained per-tier routing views: one dense
+/// `Vec<NodeView>` per tier, updated in place whenever a node's
+/// outstanding estimate changes, plus a static node → (tier, position)
+/// map. Routing a request therefore reads the tier's ready-made slice
+/// instead of materializing a tier-sized `Vec` per decision — which at
+/// megafleet scale (10³ nodes × 10⁶ requests) was the dominant
+/// dispatcher cost.
+struct TierViews {
+    views: Vec<Vec<NodeView>>,
+    pos: Vec<(usize, usize)>,
+}
+
+impl TierViews {
+    fn new(cfg: &ClusterConfig) -> TierViews {
+        let mut pos = vec![(0usize, 0usize); cfg.nodes.len()];
+        let views = cfg
+            .tiers
+            .iter()
+            .enumerate()
+            .map(|(t, tier)| {
+                tier.iter()
+                    .enumerate()
+                    .map(|(p, &i)| {
+                        pos[i] = (t, p);
+                        NodeView {
+                            outstanding: 0.0,
+                            cores: cfg.nodes[i].total_cores(),
+                            rank: generation_rank(&cfg.nodes[i]),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        TierViews { views, pos }
+    }
+
+    /// Refreshes node `n`'s view after its outstanding estimate changed.
+    #[inline]
+    fn sync(&mut self, n: usize, outstanding_std: f64) {
+        let (t, p) = self.pos[n];
+        self.views[t][p].outstanding = outstanding_std;
+    }
+
+    #[inline]
+    fn tier(&self, t: usize) -> &[NodeView] {
+        &self.views[t]
+    }
+}
+
+/// Wire serial → request id, as a slab indexed by the (sequential)
+/// serial instead of a hash map: O(1) with no hashing or tombstone
+/// churn on the dispatch/settle hot path. `u64::MAX` marks a serial
+/// with no live request (stale).
+struct SerialMap {
+    slots: Vec<u64>,
+}
+
+impl SerialMap {
+    const NONE: u64 = u64::MAX;
+
+    fn new() -> SerialMap {
+        SerialMap { slots: Vec::new() }
+    }
+
+    #[inline]
+    fn insert(&mut self, serial: u64, req_id: u64) {
+        let i = serial as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, Self::NONE);
+        }
+        self.slots[i] = req_id;
+    }
+
+    #[inline]
+    fn get(&self, serial: u64) -> Option<u64> {
+        match self.slots.get(serial as usize) {
+            Some(&r) if r != Self::NONE => Some(r),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, serial: u64) -> Option<u64> {
+        match self.slots.get_mut(serial as usize) {
+            Some(r) if *r != Self::NONE => Some(std::mem::replace(r, Self::NONE)),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up the app index for a request context in the sequential
+/// context→app slab (contexts are allocated from 1, so slot `ctx-1`).
+/// Out-of-range (corrupted or background) contexts miss, exactly as
+/// the old hash-map lookup did.
+#[inline]
+fn app_of(ctx_app: &[u8], ctx: ossim::ContextId) -> Option<usize> {
+    ctx_app
+        .get((ctx.0 as usize).wrapping_sub(1))
+        .map(|&a| a as usize)
+}
+
 /// Chooses a node of `tier` for `req` via `policy`, applying the
-/// availability/reroute machinery. Returns the flat node index, or
-/// `None` when every node of the tier is unavailable (the caller sheds
-/// or retries).
+/// availability/reroute machinery. `views` is the tier's incrementally
+/// maintained routing slice (same order as `tier`). Returns the flat
+/// node index, or `None` when every node of the tier is unavailable
+/// (the caller sheds or retries).
 #[allow(clippy::too_many_arguments)]
 fn route(
     policy: &mut dyn DistributionPolicy,
     tier: &[usize],
+    views: &[NodeView],
     nodes: &[Node],
     req: ArrivalView,
     t: SimTime,
@@ -872,9 +991,8 @@ fn route(
     rerouted: &mut u64,
     decisions: &mut u64,
 ) -> Option<usize> {
-    let views: Vec<NodeView> = tier.iter().map(|&i| nodes[i].view()).collect();
     *decisions += 1;
-    let mut chosen = tier[policy.choose(req, &views)];
+    let mut chosen = tier[policy.choose(req, views)];
     if !nodes[chosen].available(t) {
         // Bounded retry: probe the tier's remaining nodes for the
         // available one with the least outstanding work; if every node
@@ -929,13 +1047,15 @@ fn inject_stage(
 }
 
 /// Sends `fl`'s current stage to `node` as the primary attempt with a
-/// fresh wire `serial`, arming the per-hop deadline.
+/// fresh wire `serial`, arming the per-hop deadline and refreshing the
+/// node's routing view.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_attempt(
     target: usize,
     node: &mut Node,
+    views: &mut TierViews,
     fl: &mut InFlight,
-    serial_req: &mut HashMap<u64, u64>,
+    serial_req: &mut SerialMap,
     req_id: u64,
     serial: u64,
     secs: f64,
@@ -952,6 +1072,7 @@ fn dispatch_attempt(
     };
     serial_req.insert(serial, req_id);
     inject_stage(node, fl.app, serial, fl.label, fl.wire, secs, t);
+    views.sync(target, node.outstanding_std);
 }
 
 /// Deadline of one hop with expected service time `secs`.
@@ -1037,6 +1158,7 @@ fn build_node_runtime(
     apps: &[Box<dyn ServerApp>],
     total_cores: usize,
     stats: Rc<RefCell<RunStats>>,
+    tele: &telemetry::Telemetry,
 ) -> NodeRuntime {
     let spec = &cfg.nodes[n];
     let inc = incarnation as u64;
@@ -1075,12 +1197,12 @@ fn build_node_runtime(
             conditioning: cfg
                 .power_cap_w
                 .map(|cap| ConditioningPolicy::node_share(cap, spec.total_cores(), total_cores)),
-            // Context ids are unique cluster-wide, so every node can
-            // share one sink and attribution samples stay
-            // per-container. (Kernel-level tracing stays off here:
+            // The node's private sink: shard threads record into it
+            // race-free, and the engine merges in node order at each
+            // tick barrier. (Kernel-level tracing stays off here:
             // per-tick switch events across N nodes would dwarf the
             // facility signal.)
-            telemetry: cfg.telemetry.clone(),
+            telemetry: tele.clone(),
             ..FacilityConfig::default()
         },
     );
@@ -1123,6 +1245,44 @@ fn build_node_runtime(
     (kernel, state, inboxes, reply_rx)
 }
 
+/// Advances every node's kernel to the tick boundary `t`, splitting
+/// the fleet into `shards` contiguous chunks that run on their own
+/// scoped threads. Nodes never interact inside a tick — cross-node
+/// traffic moves only through the dispatcher at barriers — so each
+/// node computes bit-identical state regardless of which thread hosts
+/// it, and `shards <= 1` runs the very same per-node code inline.
+fn advance_shards(nodes: &mut [Node], t: SimTime, shards: usize) {
+    if shards <= 1 || nodes.len() <= 1 {
+        for node in nodes.iter_mut() {
+            node.advance_to(t);
+        }
+        return;
+    }
+    let chunk = nodes.len().div_ceil(shards.min(nodes.len()));
+    std::thread::scope(|scope| {
+        for part in nodes.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for node in part {
+                    node.advance_to(t);
+                }
+            });
+        }
+    });
+}
+
+/// Drains every node's private event log into the main sink, in node
+/// order — the barrier merge. Serial and sharded runs produce the same
+/// stream: within a tick, node events appear grouped by node index,
+/// followed by the dispatcher's own events for that tick.
+fn merge_node_events(main: &telemetry::Telemetry, nodes: &[Node]) {
+    if !main.enabled() {
+        return;
+    }
+    for node in nodes {
+        main.append_events(node.tele.drain_events());
+    }
+}
+
 fn run_engine(
     policies: &mut [&mut dyn DistributionPolicy],
     cfg: &ClusterConfig,
@@ -1160,8 +1320,22 @@ fn run_engine(
     let mut nodes: Vec<Node> = Vec::new();
     for (n, spec) in cfg.nodes.iter().enumerate() {
         let stats = Rc::new(RefCell::new(RunStats::new()));
-        let (kernel, facility, inboxes, reply_rx) =
-            build_node_runtime(n, 0, SimTime::ZERO, cfg, &cals[n], &apps, total_cores, Rc::clone(&stats));
+        let tele = if cfg.telemetry.enabled() {
+            telemetry::Telemetry::recording()
+        } else {
+            telemetry::Telemetry::disabled()
+        };
+        let (kernel, facility, inboxes, reply_rx) = build_node_runtime(
+            n,
+            0,
+            SimTime::ZERO,
+            cfg,
+            &cals[n],
+            &apps,
+            total_cores,
+            Rc::clone(&stats),
+            &tele,
+        );
         let mean_service = apps
             .iter()
             .map(|a| service_secs(a.as_ref(), spec))
@@ -1173,12 +1347,11 @@ fn run_engine(
             stats,
             inboxes,
             reply_rx,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             outstanding_std: 0.0,
             mean_service,
             injected: 0,
             responses: 0,
-            rank: generation_rank(spec),
             tier: tier_of[&n],
             fault_windows: Vec::new(),
             next_window: 0,
@@ -1204,7 +1377,7 @@ fn run_engine(
             checkpoints: 0,
             last_health_check: SimTime::ZERO,
             responses_at_check: 0,
-            tele: cfg.telemetry.clone(),
+            tele,
             track: node_track(n),
         });
     }
@@ -1228,10 +1401,21 @@ fn run_engine(
 
     // Live requests by stable request id; `serial_req` resolves a wire
     // serial back to its request (a serial absent here is stale).
-    let mut inflight: HashMap<u64, InFlight> = HashMap::new();
-    let mut serial_req: HashMap<u64, u64> = HashMap::new();
+    // `inflight` iterations (timeouts, hedging) sort their harvest, so
+    // the deterministic FxHashMap is safe here.
+    let mut inflight: FxHashMap<u64, InFlight> = FxHashMap::default();
+    let mut serial_req = SerialMap::new();
     let mut retry_queue: BTreeMap<(SimTime, u64), ()> = BTreeMap::new();
-    let mut ctx_app: HashMap<ContextId, usize> = HashMap::new();
+    // Context ids are allocated sequentially from 1, so ctx → app is a
+    // dense slab: `ctx_app[ctx - 1]`. A corrupted wire tag outside the
+    // allocated range simply misses, exactly as with a map.
+    assert!(cfg.apps.len() <= u8::MAX as usize, "app index must fit u8");
+    let mut ctx_app: Vec<u8> = Vec::new();
+    let mut views = TierViews::new(cfg);
+    // Reusable scratch: drained segments and due-request harvests live
+    // across ticks instead of being reallocated per node per tick.
+    let mut seg_buf: Vec<ossim::Segment> = Vec::new();
+    let mut due_buf: Vec<u64> = Vec::new();
     let mut summaries: Vec<Summary> = vec![Summary::new(); apps.len()];
     let mut next_serial = 0u64;
     let mut next_req = 0u64;
@@ -1254,11 +1438,13 @@ fn run_engine(
         t = (t + cfg.tick).min(end);
         // 1. Advance every node to the tick boundary (once per tick, not
         //    once per arrival — the batching that keeps dispatcher work
-        //    flat as the fleet grows). A node hitting a crash-window
-        //    start stops there with `pending_crash` set.
-        for node in nodes.iter_mut() {
-            node.advance_to(t);
-        }
+        //    flat as the fleet grows), in parallel across the shard
+        //    threads. A node hitting a crash-window start stops there
+        //    with `pending_crash` set. The barrier merge then folds the
+        //    shard-local event logs back in node order, so phases 1.5+
+        //    observe exactly the serial engine's state and trace.
+        advance_shards(&mut nodes, t, cfg.shards);
+        merge_node_events(&cfg.telemetry, &nodes);
         // 1.5 Crash processing: journal the loss window, carry the dead
         //     incarnation's counters, rebuild the node, restore the
         //     checkpoint, and requeue (or lose) the killed in-flights.
@@ -1292,6 +1478,7 @@ fn run_engine(
                     node.lost_requests += killed.len() as u64;
                     node.crashes += 1;
                     node.incarnation += 1;
+                    let tele = node.tele.clone();
                     let (kernel, facility, inboxes, reply_rx) = build_node_runtime(
                         n,
                         node.incarnation,
@@ -1301,6 +1488,7 @@ fn run_engine(
                         &apps,
                         total_cores,
                         Rc::clone(&node.stats),
+                        &tele,
                     );
                     node.kernel = kernel;
                     node.facility = facility;
@@ -1325,6 +1513,7 @@ fn run_engine(
                     node.pending_crash = false;
                     (killed, lost_e, restored, cp_age)
                 };
+                views.sync(n, 0.0);
                 crash_log.push(CrashRecord {
                     node: n,
                     at: w.start,
@@ -1346,7 +1535,7 @@ fn run_engine(
                 // silently, a primary promotes its hedge or retries,
                 // and a request out of budget is lost to the crash.
                 for serial in killed {
-                    let Some(req_id) = serial_req.remove(&serial) else { continue };
+                    let Some(req_id) = serial_req.remove(serial) else { continue };
                     let Some(fl) = inflight.get_mut(&req_id) else { continue };
                     if fl.serial != serial {
                         if fl.hedge.map(|(_, s)| s) == Some(serial) {
@@ -1401,24 +1590,26 @@ fn run_engine(
         //    and dropped (still settling the serving node's books).
         for n in 0..nodes.len() {
             let rx = nodes[n].reply_rx;
-            let segs = nodes[n].kernel.drain_messages(rx);
-            for seg in segs {
+            seg_buf.clear();
+            nodes[n].kernel.drain_messages_into(rx, &mut seg_buf);
+            for seg in seg_buf.drain(..) {
                 let serial = seg.payload >> 32;
                 nodes[n].settle(serial);
-                let Some(&req_id) = serial_req.get(&serial) else {
+                views.sync(n, nodes[n].outstanding_std);
+                let Some(req_id) = serial_req.get(serial) else {
                     stale_replies += 1;
                     continue;
                 };
-                serial_req.remove(&serial);
+                serial_req.remove(serial);
                 let Some(fl) = inflight.get_mut(&req_id) else { continue };
                 if fl.serial == serial {
                     // Primary won; a hedge still out becomes stale.
                     if let Some((_, hs)) = fl.hedge.take() {
-                        serial_req.remove(&hs);
+                        serial_req.remove(hs);
                     }
                 } else if fl.hedge.map(|(_, s)| s) == Some(serial) {
                     // Hedge won; the primary's late reply becomes stale.
-                    serial_req.remove(&fl.serial);
+                    serial_req.remove(fl.serial);
                     fl.hedge = None;
                 } else {
                     stale_replies += 1;
@@ -1439,6 +1630,7 @@ fn run_engine(
                     match route(
                         policies[next_stage],
                         &cfg.tiers[next_stage],
+                        views.tier(next_stage),
                         &nodes,
                         req,
                         t,
@@ -1458,6 +1650,7 @@ fn run_engine(
                             dispatch_attempt(
                                 target,
                                 &mut nodes[target],
+                                &mut views,
                                 fl,
                                 &mut serial_req,
                                 req_id,
@@ -1505,17 +1698,19 @@ fn run_engine(
         //     live serials (late replies become stale — the dedup
         //     guarantee) and retries or sheds.
         if let Some(rec) = cfg.recovery.as_ref() {
-            let mut due: Vec<u64> = inflight
-                .iter()
-                .filter(|(_, fl)| !fl.waiting && fl.deadline <= t)
-                .map(|(&id, _)| id)
-                .collect();
-            due.sort_unstable();
-            for req_id in due {
+            due_buf.clear();
+            due_buf.extend(
+                inflight
+                    .iter()
+                    .filter(|(_, fl)| !fl.waiting && fl.deadline <= t)
+                    .map(|(&id, _)| id),
+            );
+            due_buf.sort_unstable();
+            for &req_id in due_buf.iter() {
                 let Some(fl) = inflight.get_mut(&req_id) else { continue };
-                serial_req.remove(&fl.serial);
+                serial_req.remove(fl.serial);
                 if let Some((_, hs)) = fl.hedge.take() {
-                    serial_req.remove(&hs);
+                    serial_req.remove(hs);
                 }
                 if fl.attempt >= rec.max_retries {
                     inflight.remove(&req_id);
@@ -1542,18 +1737,20 @@ fn run_engine(
             // 2.6 Hedged sends: duplicate a slow hop onto the least
             //     loaded other node of its tier; first reply wins.
             if let Some(h) = rec.hedge_after {
-                let mut due: Vec<u64> = inflight
-                    .iter()
-                    .filter(|(_, fl)| {
-                        !fl.waiting
-                            && fl.hedge.is_none()
-                            && fl.deadline > t
-                            && t.duration_since(fl.sent_at) >= h
-                    })
-                    .map(|(&id, _)| id)
-                    .collect();
-                due.sort_unstable();
-                for req_id in due {
+                due_buf.clear();
+                due_buf.extend(
+                    inflight
+                        .iter()
+                        .filter(|(_, fl)| {
+                            !fl.waiting
+                                && fl.hedge.is_none()
+                                && fl.deadline > t
+                                && t.duration_since(fl.sent_at) >= h
+                        })
+                        .map(|(&id, _)| id),
+                );
+                due_buf.sort_unstable();
+                for &req_id in due_buf.iter() {
                     let Some(fl) = inflight.get_mut(&req_id) else { continue };
                     let alt = cfg.tiers[fl.stage]
                         .iter()
@@ -1576,6 +1773,7 @@ fn run_engine(
                         service[alt][fl.app],
                         t,
                     );
+                    views.sync(alt, nodes[alt].outstanding_std);
                     hedged += 1;
                     cfg.telemetry.instant_on(
                         t,
@@ -1629,6 +1827,7 @@ fn run_engine(
                 match route(
                     policies[fl.stage],
                     &cfg.tiers[fl.stage],
+                    views.tier(fl.stage),
                     &nodes,
                     req,
                     t,
@@ -1642,6 +1841,7 @@ fn run_engine(
                         dispatch_attempt(
                             target,
                             &mut nodes[target],
+                            &mut views,
                             fl,
                             &mut serial_req,
                             req_id,
@@ -1716,6 +1916,7 @@ fn run_engine(
             let Some(target) = route(
                 policies[0],
                 &cfg.tiers[0],
+                views.tier(0),
                 &nodes,
                 req,
                 a.at,
@@ -1733,7 +1934,10 @@ fn run_engine(
             next_req += 1;
             let ctx = ContextId(next_ctx);
             next_ctx += 1;
-            ctx_app.insert(ctx, a.app);
+            // `ctx` is exactly `ctx_app.len() + 1`, so a push keeps the
+            // slab aligned with the sequential id space.
+            debug_assert_eq!(next_ctx as usize, ctx_app.len() + 2);
+            ctx_app.push(a.app as u8);
             let mut fl = InFlight {
                 app: a.app,
                 label: a.label,
@@ -1751,6 +1955,7 @@ fn run_engine(
             dispatch_attempt(
                 target,
                 &mut nodes[target],
+                &mut views,
                 &mut fl,
                 &mut serial_req,
                 req_id,
@@ -1768,21 +1973,23 @@ fn run_engine(
     // Final settle: close any window still open, replay frozen backlogs
     // so energy accounting covers the whole run, and drain the last
     // responses.
+    advance_shards(&mut nodes, end, cfg.shards);
     for node in &mut nodes {
-        node.advance_to(end);
         if let Some(w) = node.active_window.take() {
             let _ = w;
             node.tele.end_span(end, node.track);
         }
         node.kernel.run_until(end);
     }
+    merge_node_events(&cfg.telemetry, &nodes);
     for node in nodes.iter_mut() {
         let rx = node.reply_rx;
-        let segs = node.kernel.drain_messages(rx);
-        for seg in segs {
+        seg_buf.clear();
+        node.kernel.drain_messages_into(rx, &mut seg_buf);
+        for seg in seg_buf.drain(..) {
             let serial = seg.payload >> 32;
             node.settle(serial);
-            let Some(&req_id) = serial_req.get(&serial) else {
+            let Some(req_id) = serial_req.get(serial) else {
                 stale_replies += 1;
                 continue;
             };
@@ -1793,7 +2000,7 @@ fn run_engine(
                 stale_replies += 1;
                 continue;
             }
-            serial_req.remove(&serial);
+            serial_req.remove(serial);
             if fl.stage + 1 < cfg.tiers.len() {
                 // The next stage can no longer run; the request stays
                 // accounted as in flight.
@@ -1802,11 +2009,19 @@ fn run_engine(
             summaries[fl.app].record(end.duration_since(fl.arrived).as_secs_f64());
             completed += 1;
             if let Some(fl) = inflight.remove(&req_id) {
-                serial_req.remove(&fl.serial);
+                serial_req.remove(fl.serial);
                 if let Some((_, hs)) = fl.hedge {
-                    serial_req.remove(&hs);
+                    serial_req.remove(hs);
                 }
             }
+        }
+    }
+    // Fold each node's private metrics registry (facility counters,
+    // gauges, histograms, span bookkeeping) into the main sink, in node
+    // order — deterministic at every shard count.
+    if cfg.telemetry.enabled() {
+        for node in &nodes {
+            cfg.telemetry.absorb(&node.tele);
         }
     }
     let mut cluster_degrade = nodes
@@ -1816,6 +2031,7 @@ fn run_engine(
     cluster_degrade.requests_retried += retried;
     cluster_degrade.requests_shed += dropped;
     workloads::note_degrade(cluster_degrade);
+    workloads::note_requests(dispatched);
 
     let secs = cfg.duration.as_secs_f64();
     let per_node: Vec<NodeOutcome> = nodes
@@ -1852,18 +2068,18 @@ fn run_engine(
     // tag carries back from each serving machine; records created under
     // lost or corrupted identities simply fall out of the per-app sums.
     let mut energies = vec![0.0f64; apps.len()];
-    let mut by_ctx: HashMap<u64, (f64, u32)> = HashMap::new();
+    let mut by_ctx: FxHashMap<u64, (f64, u32)> = FxHashMap::default();
     for node in &nodes {
         let facility = node.facility.borrow();
-        let mut seen_here: HashMap<u64, f64> = HashMap::new();
+        let mut seen_here: FxHashMap<u64, f64> = FxHashMap::default();
         for r in facility.containers().records() {
-            if let Some(&app_idx) = ctx_app.get(&r.ctx) {
+            if let Some(app_idx) = app_of(&ctx_app, r.ctx) {
                 energies[app_idx] += r.energy_j + r.io_energy_j;
                 *seen_here.entry(r.ctx.0).or_default() += r.energy_j + r.io_energy_j;
             }
         }
         for (ctx, c) in facility.containers().iter_live() {
-            if let Some(&app_idx) = ctx_app.get(ctx) {
+            if let Some(app_idx) = app_of(&ctx_app, ctx) {
                 energies[app_idx] += c.total_energy_j();
                 *seen_here.entry(ctx.0).or_default() += c.total_energy_j();
             }

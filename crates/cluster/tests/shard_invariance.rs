@@ -1,0 +1,142 @@
+//! Shard-count invariance of the intra-cell sharded engine.
+//!
+//! The engine's contract is exact: partitioning a cell's nodes across
+//! worker threads is a pure execution-layout choice. Outcome records,
+//! the telemetry JSONL stream, and the conservation ledgers must be
+//! byte-identical at every `shards` setting — including shard counts
+//! exceeding the node count — for healthy cells, chaos cells (crashes,
+//! slowdowns, retries, hedges), and megafleet-shaped cells.
+
+use cluster::{
+    run_pipeline, ClusterConfig, ClusterOutcome, DistributionPolicy, RecoveryConfig,
+    SimpleBalance, Topology,
+};
+use hwsim::FaultConfig;
+use proptest::prelude::*;
+use simkern::SimDuration;
+use workloads::{calibrate_machine, MachineCalibration};
+
+fn cals_for(cfg: &ClusterConfig) -> Vec<MachineCalibration> {
+    let mut cache: Vec<(&'static str, MachineCalibration)> = Vec::new();
+    cfg.nodes
+        .iter()
+        .map(|spec| {
+            if let Some((_, c)) = cache.iter().find(|(n, _)| *n == spec.name) {
+                return c.clone();
+            }
+            let c = calibrate_machine(spec, 7);
+            cache.push((spec.name, c.clone()));
+            c
+        })
+        .collect()
+}
+
+/// Runs `cfg` at the given shard count with a recording trace sink;
+/// returns the full outcome rendering and the exported JSONL, the two
+/// artifacts the invariance contract is stated over.
+fn run_traced(cfg: &ClusterConfig, shards: usize) -> (String, String) {
+    let mut cfg = cfg.clone();
+    cfg.shards = shards;
+    cfg.telemetry = telemetry::Telemetry::recording();
+    let cals = cals_for(&cfg);
+    let mut policies: Vec<Box<dyn DistributionPolicy>> = (0..cfg.tiers.len())
+        .map(|_| Box::new(SimpleBalance::new()) as Box<dyn DistributionPolicy>)
+        .collect();
+    let o = run_pipeline(&mut policies, &cfg, &cals);
+    assert_conservation(&o);
+    (format!("{o:?}"), cfg.telemetry.to_jsonl())
+}
+
+fn assert_conservation(o: &ClusterOutcome) {
+    assert_eq!(
+        o.dispatched,
+        o.completed as u64 + o.dropped + o.in_flight,
+        "cluster ledger must balance at every shard count"
+    );
+    for n in &o.per_node {
+        assert_eq!(
+            n.dispatched,
+            n.completions as u64 + n.in_flight + n.lost_requests,
+            "node ledger must balance on {} (tier {})",
+            n.machine,
+            n.tier
+        );
+    }
+}
+
+/// A chaos cell: slowdowns, crashes, tight deadlines, hedging — every
+/// serial phase of the engine active at once.
+fn chaos_config(n: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::sharded(&Topology::serving_pipeline(n));
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_millis(600);
+    cfg.workers_per_core = 2;
+    cfg.faults = FaultConfig {
+        seed: seed ^ 0xD00D,
+        node_slowdown_hz: 4.0,
+        node_slowdown_factor: 0.25,
+        node_slowdown_len: SimDuration::from_millis(150),
+        node_crash_hz: 2.0,
+        node_crash_len: SimDuration::from_millis(100),
+        node_warmup_len: SimDuration::from_millis(60),
+        ..FaultConfig::none()
+    };
+    cfg.recovery = Some(RecoveryConfig {
+        hop_timeout_mult: 2.0,
+        min_timeout: SimDuration::from_millis(8),
+        max_retries: 2,
+        backoff_base: SimDuration::from_millis(4),
+        hedge_after: Some(SimDuration::from_millis(6)),
+        checkpoint_every: SimDuration::from_millis(40),
+    });
+    cfg
+}
+
+/// A megafleet-shaped cell: a wide single-tier fleet with per-request
+/// energy retention on, exercising the accounting merge at scale.
+fn megafleet_config(nodes: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::sharded(&Topology::scaled_fleet(nodes));
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_millis(350);
+    cfg.workers_per_core = 2;
+    cfg.retain_request_energy = true;
+    cfg
+}
+
+/// Megafleet family: a 24-node fleet is byte-identical at 1, 2, 4, and
+/// 8 shards, per-request energy ledger included.
+#[test]
+fn megafleet_cell_is_shard_invariant() {
+    let cfg = megafleet_config(24, 42);
+    let baseline = run_traced(&cfg, 1);
+    for shards in [2, 4, 8] {
+        let run = run_traced(&cfg, shards);
+        assert_eq!(baseline.0, run.0, "outcome diverged at {shards} shards");
+        assert_eq!(baseline.1, run.1, "trace diverged at {shards} shards");
+    }
+}
+
+/// Degenerate layouts: more shards than nodes, and a single-node cell,
+/// still reduce to the serial result exactly.
+#[test]
+fn oversharded_and_tiny_cells_reduce_to_serial() {
+    let cfg = megafleet_config(3, 7);
+    assert_eq!(run_traced(&cfg, 1), run_traced(&cfg, 64));
+    let one = megafleet_config(1, 7);
+    assert_eq!(run_traced(&one, 1), run_traced(&one, 4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Chaos cells — crashes, retries, hedges, checkpoints all firing —
+    /// stay byte-identical across shard counts for any seed.
+    #[test]
+    fn chaos_cell_is_shard_invariant(seed in 0u64..1000, shards in 2usize..5) {
+        let cfg = chaos_config(4, seed);
+        let a = run_traced(&cfg, 1);
+        let b = run_traced(&cfg, shards);
+        prop_assert_eq!(a.0, b.0, "outcome diverged at {} shards", shards);
+        prop_assert_eq!(a.1, b.1, "trace diverged at {} shards", shards);
+    }
+}

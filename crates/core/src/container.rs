@@ -6,37 +6,46 @@
 //! tasks bound to them and their live state is released when the last
 //! task unbinds (the paper's 784-byte structure with a reference
 //! counter); a compact [`ContainerRecord`] can be retained for analysis.
+//!
+//! # Layout
+//!
+//! Live state is a slab of parallel arrays (struct-of-arrays) rather
+//! than a map of one big struct per container:
+//!
+//! * [`ContainerMeta`] — identity and control fields touched on
+//!   bind/unbind and policy changes,
+//! * [`ContainerAccounting`] — the floats the per-sample attribution
+//!   hot path reads and writes,
+//! * one [`CounterBlock`] row of cumulative event counts.
+//!
+//! Rows live at a stable slot until the container is released; freed
+//! slots are recycled LIFO. A context-id → slot index keyed through the
+//! deterministic [`FxHashMap`] (plus a one-entry cache for the common
+//! consecutive-samples-same-context case) resolves lookups. Attribution
+//! therefore walks three dense arrays instead of chasing one ~800-byte
+//! heap node per container, and [`ContainerManager::iter_live`] yields
+//! containers in slot order — a deterministic order, unlike the
+//! randomized `std` map order, so callers may fold floating-point sums
+//! over it without breaking run-to-run identity.
 
 use crate::metrics::MetricVector;
 use hwsim::CounterBlock;
 use ossim::ContextId;
-use simkern::SimTime;
-use std::collections::HashMap;
+use simkern::{FxHashMap, SimTime};
 
 /// Smoothing factor for the container's recent-power estimate.
 const POWER_EWMA_ALPHA: f64 = 0.5;
 
-/// Live accounting state for one request (or the background principal).
+/// Identity and control state of one container (cold on the attribution
+/// path: touched on bind/unbind, labeling and policy changes).
 #[derive(Debug, Clone)]
-pub struct PowerContainer {
+struct ContainerMeta {
+    /// Raw context id owning this slot (meaningful only while `in_use`).
+    ctx: u64,
     created_at: SimTime,
-    last_active: SimTime,
     refcount: u32,
+    in_use: bool,
     label: Option<u32>,
-    /// Cumulative attributed event counts.
-    events: CounterBlock,
-    /// Cumulative modeled CPU/memory energy in Joules.
-    energy_j: f64,
-    /// Cumulative attributed peripheral I/O energy in Joules.
-    io_energy_j: f64,
-    /// Seconds of CPU time attributed (wall time of sampled intervals).
-    busy_seconds: f64,
-    /// Most recent sampled power (EWMA), Watts.
-    recent_power_w: f64,
-    /// Most recent *unthrottled* power estimate (power ÷ duty fraction).
-    unthrottled_power_w: f64,
-    /// Time-weighted duty-cycle fraction actually applied.
-    duty_weighted: f64,
     /// Explicit per-request power cap, overriding the system policy.
     power_cap_w: Option<f64>,
     /// Cumulative-energy budget; exceeding it forces maximum throttling
@@ -45,59 +54,109 @@ pub struct PowerContainer {
     energy_budget_j: Option<f64>,
 }
 
-impl PowerContainer {
-    fn new(now: SimTime) -> PowerContainer {
-        PowerContainer {
+impl ContainerMeta {
+    fn new(ctx: u64, now: SimTime) -> ContainerMeta {
+        ContainerMeta {
+            ctx,
             created_at: now,
-            last_active: now,
             refcount: 0,
+            in_use: true,
             label: None,
-            events: CounterBlock::default(),
-            energy_j: 0.0,
-            io_energy_j: 0.0,
-            busy_seconds: 0.0,
-            recent_power_w: 0.0,
-            unthrottled_power_w: 0.0,
-            duty_weighted: 0.0,
             power_cap_w: None,
             energy_budget_j: None,
         }
     }
+}
 
+/// The accounting row the per-sample attribution hot path updates.
+#[derive(Debug, Clone)]
+struct ContainerAccounting {
+    last_active: SimTime,
+    /// Cumulative modeled CPU/memory energy in Joules.
+    energy_j: f64,
+    /// Cumulative attributed peripheral I/O energy in Joules.
+    io_energy_j: f64,
+    /// Seconds of CPU time attributed (wall time of sampled intervals).
+    busy_seconds: f64,
+    /// Time-weighted duty-cycle fraction actually applied.
+    duty_weighted: f64,
+    /// Most recent sampled power (EWMA), Watts.
+    recent_power_w: f64,
+    /// Most recent *unthrottled* power estimate (power ÷ duty fraction).
+    unthrottled_power_w: f64,
+}
+
+impl ContainerAccounting {
+    fn new(now: SimTime) -> ContainerAccounting {
+        ContainerAccounting {
+            last_active: now,
+            energy_j: 0.0,
+            io_energy_j: 0.0,
+            busy_seconds: 0.0,
+            duty_weighted: 0.0,
+            recent_power_w: 0.0,
+            unthrottled_power_w: 0.0,
+        }
+    }
+
+    /// Folds one sampled interval into the row.
+    fn apply_sample(&mut self, watts: f64, duty: f64, dt_secs: f64, now: SimTime) {
+        self.energy_j += watts * dt_secs;
+        self.busy_seconds += dt_secs;
+        self.duty_weighted += duty * dt_secs;
+        self.last_active = now;
+        self.recent_power_w =
+            POWER_EWMA_ALPHA * watts + (1.0 - POWER_EWMA_ALPHA) * self.recent_power_w;
+        let unthrottled = if duty > 0.0 { watts / duty } else { watts };
+        self.unthrottled_power_w = POWER_EWMA_ALPHA * unthrottled
+            + (1.0 - POWER_EWMA_ALPHA) * self.unthrottled_power_w;
+    }
+}
+
+/// A read-only view of one live container's state (the public face of
+/// the struct-of-arrays rows).
+#[derive(Debug, Clone, Copy)]
+pub struct ContainerView<'a> {
+    meta: &'a ContainerMeta,
+    acct: &'a ContainerAccounting,
+    events: &'a CounterBlock,
+}
+
+impl ContainerView<'_> {
     /// Cumulative modeled CPU/memory energy in Joules.
     pub fn energy_j(&self) -> f64 {
-        self.energy_j
+        self.acct.energy_j
     }
 
     /// Cumulative attributed I/O energy in Joules.
     pub fn io_energy_j(&self) -> f64 {
-        self.io_energy_j
+        self.acct.io_energy_j
     }
 
     /// Total attributed energy (CPU + I/O).
     pub fn total_energy_j(&self) -> f64 {
-        self.energy_j + self.io_energy_j
+        self.acct.energy_j + self.acct.io_energy_j
     }
 
     /// Seconds of attributed CPU execution.
     pub fn busy_seconds(&self) -> f64 {
-        self.busy_seconds
+        self.acct.busy_seconds
     }
 
     /// Most recent sampled power (EWMA-smoothed), Watts.
     pub fn recent_power_w(&self) -> f64 {
-        self.recent_power_w
+        self.acct.recent_power_w
     }
 
     /// Most recent unthrottled-power estimate, Watts.
     pub fn unthrottled_power_w(&self) -> f64 {
-        self.unthrottled_power_w
+        self.acct.unthrottled_power_w
     }
 
     /// Mean power while executing: energy over attributed CPU seconds.
     pub fn mean_power_w(&self) -> f64 {
-        if self.busy_seconds > 0.0 {
-            self.energy_j / self.busy_seconds
+        if self.acct.busy_seconds > 0.0 {
+            self.acct.energy_j / self.acct.busy_seconds
         } else {
             0.0
         }
@@ -105,8 +164,8 @@ impl PowerContainer {
 
     /// Time-weighted average duty-cycle fraction applied while executing.
     pub fn mean_duty(&self) -> f64 {
-        if self.busy_seconds > 0.0 {
-            self.duty_weighted / self.busy_seconds
+        if self.acct.busy_seconds > 0.0 {
+            self.acct.duty_weighted / self.acct.busy_seconds
         } else {
             1.0
         }
@@ -114,33 +173,34 @@ impl PowerContainer {
 
     /// Number of tasks currently bound.
     pub fn refcount(&self) -> u32 {
-        self.refcount
+        self.meta.refcount
     }
 
     /// The workload-assigned label (request type), if any.
     pub fn label(&self) -> Option<u32> {
-        self.label
+        self.meta.label
     }
 
     /// The per-request power cap, if set.
     pub fn power_cap_w(&self) -> Option<f64> {
-        self.power_cap_w
+        self.meta.power_cap_w
     }
 
     /// The per-request cumulative-energy budget, if set.
     pub fn energy_budget_j(&self) -> Option<f64> {
-        self.energy_budget_j
+        self.meta.energy_budget_j
     }
 
     /// `true` once the request has consumed its entire energy budget.
     pub fn over_energy_budget(&self) -> bool {
-        self.energy_budget_j
-            .is_some_and(|b| self.energy_j + self.io_energy_j >= b)
+        self.meta
+            .energy_budget_j
+            .is_some_and(|b| self.acct.energy_j + self.acct.io_energy_j >= b)
     }
 
     /// Cumulative attributed events.
     pub fn events(&self) -> &CounterBlock {
-        &self.events
+        self.events
     }
 }
 
@@ -174,8 +234,23 @@ pub struct ContainerRecord {
 /// processing).
 #[derive(Debug, Clone)]
 pub struct ContainerManager {
-    live: HashMap<ContextId, PowerContainer>,
-    background: PowerContainer,
+    /// Slot-parallel identity/control rows.
+    meta: Vec<ContainerMeta>,
+    /// Slot-parallel accounting rows (the attribution hot path).
+    acct: Vec<ContainerAccounting>,
+    /// Slot-parallel cumulative event counts.
+    events: Vec<CounterBlock>,
+    /// Freed slots, recycled LIFO.
+    free: Vec<u32>,
+    /// Context id → slot index for live containers.
+    index: FxHashMap<u64, u32>,
+    /// One-entry lookup cache (ctx, slot); hit on consecutive samples
+    /// for the same context, the common case during a scheduling
+    /// quantum. Valid only if `index` still maps `.0` to `.1`.
+    cache: Option<(u64, u32)>,
+    bg_meta: ContainerMeta,
+    bg_acct: ContainerAccounting,
+    bg_events: CounterBlock,
     records: Vec<ContainerRecord>,
     retain_records: bool,
     total_request_energy_j: f64,
@@ -187,9 +262,18 @@ impl ContainerManager {
     /// Creates an empty manager. When `retain_records` is set, completed
     /// containers leave a [`ContainerRecord`] behind for analysis.
     pub fn new(retain_records: bool) -> ContainerManager {
+        let mut bg_meta = ContainerMeta::new(0, SimTime::ZERO);
+        bg_meta.in_use = false;
         ContainerManager {
-            live: HashMap::new(),
-            background: PowerContainer::new(SimTime::ZERO),
+            meta: Vec::new(),
+            acct: Vec::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            cache: None,
+            bg_meta,
+            bg_acct: ContainerAccounting::new(SimTime::ZERO),
+            bg_events: CounterBlock::default(),
             records: Vec::new(),
             retain_records,
             total_request_energy_j: 0.0,
@@ -198,35 +282,100 @@ impl ContainerManager {
         }
     }
 
+    /// Resolves `ctx` to its live slot, if any.
+    #[inline]
+    fn lookup(&self, ctx: u64) -> Option<u32> {
+        if let Some((c, s)) = self.cache {
+            if c == ctx {
+                return Some(s);
+            }
+        }
+        self.index.get(&ctx).copied()
+    }
+
+    /// Resolves `ctx` to its live slot, creating one (recycling a freed
+    /// slot if available) on first sight.
+    fn slot_for(&mut self, ctx: u64, now: SimTime) -> u32 {
+        if let Some((c, s)) = self.cache {
+            if c == ctx {
+                return s;
+            }
+        }
+        if let Some(&s) = self.index.get(&ctx) {
+            self.cache = Some((ctx, s));
+            return s;
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.meta[s as usize] = ContainerMeta::new(ctx, now);
+                self.acct[s as usize] = ContainerAccounting::new(now);
+                self.events[s as usize] = CounterBlock::default();
+                s
+            }
+            None => {
+                let s = self.meta.len() as u32;
+                self.meta.push(ContainerMeta::new(ctx, now));
+                self.acct.push(ContainerAccounting::new(now));
+                self.events.push(CounterBlock::default());
+                s
+            }
+        };
+        self.index.insert(ctx, s);
+        self.cache = Some((ctx, s));
+        s
+    }
+
+    /// Releases the container at `slot` into the record log.
+    fn release(&mut self, slot: u32, now: SimTime) {
+        let s = slot as usize;
+        let ctx = self.meta[s].ctx;
+        self.index.remove(&ctx);
+        if self.cache.is_some_and(|(c, _)| c == ctx) {
+            self.cache = None;
+        }
+        self.meta[s].in_use = false;
+        self.free.push(slot);
+        self.released += 1;
+        if self.retain_records {
+            let (m, a) = (&self.meta[s], &self.acct[s]);
+            self.records.push(ContainerRecord {
+                ctx: ContextId(ctx),
+                label: m.label,
+                created_at: m.created_at,
+                finished_at: now,
+                energy_j: a.energy_j,
+                io_energy_j: a.io_energy_j,
+                busy_seconds: a.busy_seconds,
+                mean_power_w: if a.busy_seconds > 0.0 {
+                    a.energy_j / a.busy_seconds
+                } else {
+                    0.0
+                },
+                unthrottled_power_w: a.unthrottled_power_w,
+                mean_duty: if a.busy_seconds > 0.0 {
+                    a.duty_weighted / a.busy_seconds
+                } else {
+                    1.0
+                },
+            });
+        }
+    }
+
     /// Binds a task to `ctx`, creating the container on first binding.
     pub fn bind(&mut self, ctx: ContextId, now: SimTime) {
-        let c = self.live.entry(ctx).or_insert_with(|| PowerContainer::new(now));
-        c.refcount += 1;
+        let s = self.slot_for(ctx.0, now);
+        self.meta[s as usize].refcount += 1;
     }
 
     /// Unbinds one task from `ctx`; the container is released (and
     /// optionally recorded) when the last task unbinds. A no-op for
     /// unknown contexts.
     pub fn unbind(&mut self, ctx: ContextId, now: SimTime) {
-        let Some(c) = self.live.get_mut(&ctx) else { return };
-        c.refcount = c.refcount.saturating_sub(1);
-        if c.refcount == 0 {
-            let c = self.live.remove(&ctx).expect("container present");
-            self.released += 1;
-            if self.retain_records {
-                self.records.push(ContainerRecord {
-                    ctx,
-                    label: c.label,
-                    created_at: c.created_at,
-                    finished_at: now,
-                    energy_j: c.energy_j,
-                    io_energy_j: c.io_energy_j,
-                    busy_seconds: c.busy_seconds,
-                    mean_power_w: c.mean_power_w(),
-                    unthrottled_power_w: c.unthrottled_power_w,
-                    mean_duty: c.mean_duty(),
-                });
-            }
+        let Some(s) = self.lookup(ctx.0) else { return };
+        let m = &mut self.meta[s as usize];
+        m.refcount = m.refcount.saturating_sub(1);
+        if m.refcount == 0 {
+            self.release(s, now);
         }
     }
 
@@ -242,64 +391,77 @@ impl ContainerManager {
         events: &CounterBlock,
         now: SimTime,
     ) {
-        if ctx.is_some() {
-            self.total_request_energy_j += watts * dt_secs;
+        match ctx {
+            Some(id) => {
+                self.total_request_energy_j += watts * dt_secs;
+                let s = self.slot_for(id.0, now) as usize;
+                self.events[s].accumulate(events);
+                self.acct[s].apply_sample(watts, duty, dt_secs, now);
+            }
+            None => {
+                self.bg_events.accumulate(events);
+                self.bg_acct.apply_sample(watts, duty, dt_secs, now);
+            }
         }
-        let c = self.container_mut(ctx, now);
-        c.events.accumulate(events);
-        c.energy_j += watts * dt_secs;
-        c.busy_seconds += dt_secs;
-        c.duty_weighted += duty * dt_secs;
-        c.last_active = now;
-        c.recent_power_w =
-            POWER_EWMA_ALPHA * watts + (1.0 - POWER_EWMA_ALPHA) * c.recent_power_w;
-        let unthrottled = if duty > 0.0 { watts / duty } else { watts };
-        c.unthrottled_power_w = POWER_EWMA_ALPHA * unthrottled
-            + (1.0 - POWER_EWMA_ALPHA) * c.unthrottled_power_w;
     }
 
     /// Attributes peripheral I/O energy to `ctx` (or the background
     /// container).
     pub fn attribute_io(&mut self, ctx: Option<ContextId>, joules: f64, now: SimTime) {
-        if ctx.is_some() {
-            self.total_request_io_energy_j += joules;
-        }
-        let c = self.container_mut(ctx, now);
-        c.io_energy_j += joules;
-        c.last_active = now;
-    }
-
-    fn container_mut(&mut self, ctx: Option<ContextId>, now: SimTime) -> &mut PowerContainer {
         match ctx {
-            Some(id) => self.live.entry(id).or_insert_with(|| PowerContainer::new(now)),
-            None => &mut self.background,
+            Some(id) => {
+                self.total_request_io_energy_j += joules;
+                let s = self.slot_for(id.0, now) as usize;
+                self.acct[s].io_energy_j += joules;
+                self.acct[s].last_active = now;
+            }
+            None => {
+                self.bg_acct.io_energy_j += joules;
+                self.bg_acct.last_active = now;
+            }
         }
     }
 
     /// Labels `ctx`'s container with a request type (used by workload
     /// drivers so experiments can group per-type energy profiles).
     pub fn set_label(&mut self, ctx: ContextId, label: u32, now: SimTime) {
-        self.container_mut(Some(ctx), now).label = Some(label);
+        let s = self.slot_for(ctx.0, now);
+        self.meta[s as usize].label = Some(label);
     }
 
     /// Sets (or clears) a per-request power cap for `ctx`.
     pub fn set_power_cap(&mut self, ctx: ContextId, cap_w: Option<f64>, now: SimTime) {
-        self.container_mut(Some(ctx), now).power_cap_w = cap_w;
+        let s = self.slot_for(ctx.0, now);
+        self.meta[s as usize].power_cap_w = cap_w;
     }
 
     /// Sets (or clears) a per-request cumulative-energy budget for `ctx`.
     pub fn set_energy_budget(&mut self, ctx: ContextId, budget_j: Option<f64>, now: SimTime) {
-        self.container_mut(Some(ctx), now).energy_budget_j = budget_j;
+        let s = self.slot_for(ctx.0, now);
+        self.meta[s as usize].energy_budget_j = budget_j;
+    }
+
+    #[inline]
+    fn view(&self, s: usize) -> ContainerView<'_> {
+        ContainerView {
+            meta: &self.meta[s],
+            acct: &self.acct[s],
+            events: &self.events[s],
+        }
     }
 
     /// The live container for `ctx`, if any.
-    pub fn get(&self, ctx: ContextId) -> Option<&PowerContainer> {
-        self.live.get(&ctx)
+    pub fn get(&self, ctx: ContextId) -> Option<ContainerView<'_>> {
+        self.lookup(ctx.0).map(|s| self.view(s as usize))
     }
 
     /// The background container (activity with no request context).
-    pub fn background(&self) -> &PowerContainer {
-        &self.background
+    pub fn background(&self) -> ContainerView<'_> {
+        ContainerView {
+            meta: &self.bg_meta,
+            acct: &self.bg_acct,
+            events: &self.bg_events,
+        }
     }
 
     /// Records of completed containers (empty unless retention is on).
@@ -309,7 +471,7 @@ impl ContainerManager {
 
     /// Number of live containers.
     pub fn live_count(&self) -> usize {
-        self.live.len()
+        self.index.len()
     }
 
     /// Number of containers released so far.
@@ -332,18 +494,30 @@ impl ContainerManager {
     /// the quantity the Fig. 8 validation compares against measured
     /// system energy.
     pub fn total_energy_with_background_j(&self) -> f64 {
-        self.total_request_energy_j + self.background.energy_j
+        self.total_request_energy_j + self.bg_acct.energy_j
     }
 
-    /// In-memory size of one live container state in bytes (the paper
-    /// reports 784 bytes for its kernel structure).
+    /// In-memory size of one live container's state in bytes: the sum of
+    /// its three slot-parallel rows (the paper reports 784 bytes for its
+    /// kernel structure).
     pub fn container_state_bytes() -> usize {
-        std::mem::size_of::<PowerContainer>()
+        std::mem::size_of::<ContainerMeta>()
+            + std::mem::size_of::<ContainerAccounting>()
+            + std::mem::size_of::<CounterBlock>()
     }
 
-    /// Iterates over live containers.
-    pub fn iter_live(&self) -> impl Iterator<Item = (&ContextId, &PowerContainer)> {
-        self.live.iter()
+    /// Iterates over live containers in slot order. Slot order is a
+    /// deterministic function of the bind/release history (freed slots
+    /// recycle LIFO), so — unlike a randomized map order — results folded
+    /// over this iterator are identical across runs.
+    pub fn iter_live(&self) -> impl Iterator<Item = (ContextId, ContainerView<'_>)> {
+        (0..self.meta.len()).filter_map(move |s| {
+            if self.meta[s].in_use {
+                Some((ContextId(self.meta[s].ctx), self.view(s)))
+            } else {
+                None
+            }
+        })
     }
 
     /// Rolls completed records up by label — the paper's client-level
@@ -351,7 +525,7 @@ impl ContainerManager {
     /// and their individual requests"): each label plays the role of one
     /// client or request class.
     pub fn energy_by_label(&self) -> Vec<LabelEnergy> {
-        let mut map: HashMap<u32, LabelEnergy> = HashMap::new();
+        let mut map: FxHashMap<u32, LabelEnergy> = FxHashMap::default();
         for r in &self.records {
             let Some(label) = r.label else { continue };
             let e = map.entry(label).or_insert(LabelEnergy {
@@ -480,25 +654,24 @@ impl ContainerManager {
     /// Journals the manager's full state into a [`ManagerCheckpoint`]
     /// (the crash-durable log entry a node writes periodically).
     pub fn checkpoint(&self, now: SimTime) -> ManagerCheckpoint {
-        let mut live: Vec<ContainerSnapshot> = self
-            .live
-            .iter()
-            .map(|(ctx, c)| ContainerSnapshot {
-                ctx: *ctx,
-                label: c.label,
-                refcount: c.refcount,
-                created_at: c.created_at,
-                energy_j: c.energy_j,
-                io_energy_j: c.io_energy_j,
-                busy_seconds: c.busy_seconds,
+        let mut live: Vec<ContainerSnapshot> = (0..self.meta.len())
+            .filter(|&s| self.meta[s].in_use)
+            .map(|s| ContainerSnapshot {
+                ctx: ContextId(self.meta[s].ctx),
+                label: self.meta[s].label,
+                refcount: self.meta[s].refcount,
+                created_at: self.meta[s].created_at,
+                energy_j: self.acct[s].energy_j,
+                io_energy_j: self.acct[s].io_energy_j,
+                busy_seconds: self.acct[s].busy_seconds,
             })
             .collect();
         live.sort_by_key(|s| s.ctx.0);
         ManagerCheckpoint {
             taken_at: now,
             live,
-            background_energy_j: self.background.energy_j,
-            background_io_energy_j: self.background.io_energy_j,
+            background_energy_j: self.bg_acct.energy_j,
+            background_io_energy_j: self.bg_acct.io_energy_j,
             total_request_energy_j: self.total_request_energy_j,
             total_request_io_energy_j: self.total_request_io_energy_j,
             released: self.released,
@@ -524,13 +697,13 @@ impl ContainerManager {
     /// restore targets only a fresh post-restart manager.
     pub fn restore(&mut self, cp: &ManagerCheckpoint, now: SimTime) -> u64 {
         assert!(
-            self.live.is_empty() && self.released == 0 && self.total_request_energy_j == 0.0,
+            self.index.is_empty() && self.released == 0 && self.total_request_energy_j == 0.0,
             "restore targets a freshly created manager"
         );
         self.total_request_energy_j = cp.total_request_energy_j;
         self.total_request_io_energy_j = cp.total_request_io_energy_j;
-        self.background.energy_j = cp.background_energy_j;
-        self.background.io_energy_j = cp.background_io_energy_j;
+        self.bg_acct.energy_j = cp.background_energy_j;
+        self.bg_acct.io_energy_j = cp.background_io_energy_j;
         if self.retain_records {
             self.records = cp.records.clone();
         }
@@ -584,7 +757,7 @@ impl LabelEnergy {
 
 /// Convenience: builds the metric vector of a container's lifetime-average
 /// activity (used in tests and diagnostics).
-pub fn lifetime_metrics(c: &PowerContainer) -> MetricVector {
+pub fn lifetime_metrics(c: ContainerView<'_>) -> MetricVector {
     MetricVector::from_counters(c.events())
 }
 
@@ -713,8 +886,46 @@ mod tests {
     #[test]
     fn container_state_is_compact() {
         // The paper's structure is 784 bytes; ours should be of the same
-        // order (well under 1 KiB).
+        // order (well under 1 KiB across the three slot-parallel rows).
         assert!(ContainerManager::container_state_bytes() < 1024);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_and_iteration_is_slot_ordered() {
+        let mut m = ContainerManager::new(false);
+        for id in [10u64, 20, 30] {
+            m.bind(ContextId(id), SimTime::ZERO);
+        }
+        // Release the middle container; its slot (1) must be reused by
+        // the next container created, so iteration yields 10, 40, 30.
+        m.unbind(ContextId(20), SimTime::from_millis(1));
+        m.bind(ContextId(40), SimTime::from_millis(2));
+        let order: Vec<u64> = m.iter_live().map(|(ctx, _)| ctx.0).collect();
+        assert_eq!(order, vec![10, 40, 30]);
+        assert_eq!(m.live_count(), 3);
+        // A recycled slot starts from zeroed accounting.
+        let c = m.get(ContextId(40)).unwrap();
+        assert_eq!(c.energy_j(), 0.0);
+        assert_eq!(c.refcount(), 1);
+        assert_eq!(c.label(), None);
+    }
+
+    #[test]
+    fn lookup_cache_survives_release_of_other_context() {
+        let mut m = ContainerManager::new(false);
+        let (a, b) = (ContextId(1), ContextId(2));
+        m.bind(a, SimTime::ZERO);
+        m.bind(b, SimTime::ZERO);
+        m.attribute(Some(a), 10.0, 1.0, 0.1, &events(1.0), SimTime::ZERO);
+        // Releasing `b` must not corrupt a cached lookup of `a`, and
+        // releasing `a` itself must invalidate the cache.
+        m.unbind(b, SimTime::ZERO);
+        assert!((m.get(a).unwrap().energy_j() - 1.0).abs() < 1e-12);
+        m.unbind(a, SimTime::ZERO);
+        assert!(m.get(a).is_none());
+        // Re-binding the same ctx lands in a fresh (recycled) slot.
+        m.bind(a, SimTime::from_millis(5));
+        assert_eq!(m.get(a).unwrap().energy_j(), 0.0);
     }
 
     #[test]

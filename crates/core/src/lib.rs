@@ -95,8 +95,8 @@ pub use chipshare::{SampleBoard, SampleRecord};
 pub use conditioning::ConditioningPolicy;
 pub use dvfs::DvfsGovernor;
 pub use container::{
-    lifetime_metrics, ContainerManager, ContainerRecord, ContainerSnapshot, LabelEnergy,
-    ManagerCheckpoint, PowerContainer,
+    lifetime_metrics, ContainerManager, ContainerRecord, ContainerSnapshot, ContainerView,
+    LabelEnergy, ManagerCheckpoint,
 };
 pub use error::FacilityError;
 pub use facility::{

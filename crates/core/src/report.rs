@@ -42,7 +42,7 @@ impl PowerReport {
         let mut consumers: Vec<ConsumerLine> = containers
             .iter_live()
             .map(|(ctx, c)| ConsumerLine {
-                ctx: *ctx,
+                ctx,
                 label: c.label(),
                 recent_power_w: c.recent_power_w(),
                 unthrottled_power_w: c.unthrottled_power_w(),

@@ -5,6 +5,10 @@
 //! * `--jobs N` — run up to N experiments (and their sweep cells)
 //!   concurrently. Every experiment owns its seed, so `results/*.json`
 //!   are byte-identical at any job count.
+//! * `--shards N` — partition each cluster cell's node set across N
+//!   worker threads between dispatcher ticks (intra-cell parallelism,
+//!   orthogonal to `--jobs`). Results are byte-identical at any shard
+//!   count.
 //! * `--only a,b,c` — run only the named experiments.
 //! * `--trace DIR` — export deterministic telemetry traces from the
 //!   instrumented experiments (fig05, fault_sweep) under `DIR`, one
@@ -97,6 +101,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("drift_sweep", |s| {
         experiments::drift_sweep::run(s);
     }),
+    ("megafleet", |s| {
+        experiments::megafleet::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -124,6 +131,7 @@ fn main() {
     let scale = Scale::from_args();
     let jobs = runner::jobs_from_args();
     runner::set_jobs(jobs);
+    runner::set_shards(runner::shards_from_args());
     runner::set_trace_dir(runner::trace_dir_from_args());
     workloads::reset_degrade_ledger();
     let only = only_from_args();
@@ -171,8 +179,18 @@ fn main() {
     // individual experiment records).
     let degraded: std::collections::BTreeMap<String, power_containers::DegradeStats> =
         workloads::degrade_ledger().into_iter().collect();
-    let mut table =
-        Table::new(["experiment", "status", "wall time", "degraded", "retried", "shed", "drift"]);
+    let requests: std::collections::BTreeMap<String, u64> =
+        workloads::request_ledger().into_iter().collect();
+    let mut table = Table::new([
+        "experiment",
+        "status",
+        "wall time",
+        "req/s",
+        "degraded",
+        "retried",
+        "shed",
+        "drift",
+    ]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
         let (deg, retried, shed, drift) = match degraded.get(*name) {
@@ -186,10 +204,21 @@ fn main() {
         };
         match outcome {
             Ok(wall) => {
+                // Simulated requests pushed through per wall-clock
+                // second — the experiment's end-to-end throughput (a
+                // report column only; no wall-clock value enters any
+                // result record).
+                let rps = match requests.get(*name) {
+                    Some(&r) if wall.as_secs_f64() > 0.0 => {
+                        format!("{:.0}", r as f64 / wall.as_secs_f64())
+                    }
+                    _ => "-".to_string(),
+                };
                 table.row([
                     name.to_string(),
                     "ok".to_string(),
                     format!("{wall:.2?}"),
+                    rps,
                     deg,
                     retried,
                     shed,
@@ -200,7 +229,16 @@ fn main() {
                 failed += 1;
                 let mut msg = msg.replace('\n', " ");
                 msg.truncate(60);
-                table.row([name.to_string(), "FAILED".to_string(), msg, deg, retried, shed, drift]);
+                table.row([
+                    name.to_string(),
+                    "FAILED".to_string(),
+                    msg,
+                    "-".to_string(),
+                    deg,
+                    retried,
+                    shed,
+                    drift,
+                ]);
             }
         }
     }

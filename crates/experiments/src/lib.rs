@@ -33,6 +33,7 @@
 //! | [`scale_sweep`] | extension: the serving pipeline across fleet sizes and caps |
 //! | [`chaos_sweep`] | extension: recovery invariants under randomized fault schedules |
 //! | [`drift_sweep`] | extension: the self-calibrating model bank across a regime-shift ladder |
+//! | [`megafleet`] | extension: intra-cell sharded capacity sweep (1000 nodes, 10⁶ requests) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +60,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod megafleet;
 pub mod mix;
 pub mod output;
 pub mod overhead;

@@ -4,15 +4,17 @@
 //! sweep cell) is an independent seeded simulation, results are
 //! assembled in input order, and traces carry only simulated
 //! timestamps. This test runs a representative subset (including the
-//! parallelized sweeps fig05/fig08/fault_sweep/scale_sweep) serially and
-//! with 4 workers into sandboxed results + trace directories and
-//! compares every produced file byte for byte.
+//! parallelized sweeps fig05/fig08/fault_sweep/scale_sweep and the
+//! intra-cell-sharded megafleet) serially and with 4 workers × 2 shards
+//! into sandboxed results + trace directories and compares every
+//! produced file byte for byte — one run covering both axes of
+//! parallelism at once.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const SUBSET: &str = "fig02,fig05,fig08,fault_sweep,scale_sweep";
+const SUBSET: &str = "fig02,fig05,fig08,fault_sweep,scale_sweep,megafleet";
 
 fn repo_results() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
@@ -35,10 +37,10 @@ fn sandbox(tag: &str) -> PathBuf {
     dir
 }
 
-fn run_all(results_dir: &Path, jobs: &str) {
+fn run_all(results_dir: &Path, jobs: &str, shards: &str) {
     let trace_dir = results_dir.join("traces");
     let status = Command::new(env!("CARGO_BIN_EXE_run_all"))
-        .args(["--quick", "--only", SUBSET, "--jobs", jobs])
+        .args(["--quick", "--only", SUBSET, "--jobs", jobs, "--shards", shards])
         .arg("--trace")
         .arg(&trace_dir)
         .env("PC_RESULTS_DIR", results_dir)
@@ -46,7 +48,7 @@ fn run_all(results_dir: &Path, jobs: &str) {
         .stderr(std::process::Stdio::null())
         .status()
         .expect("spawn run_all");
-    assert!(status.success(), "run_all --jobs {jobs} failed: {status}");
+    assert!(status.success(), "run_all --jobs {jobs} --shards {shards} failed: {status}");
 }
 
 /// All non-calibration JSON files in a directory, name → bytes.
@@ -90,8 +92,8 @@ fn traces(dir: &Path) -> BTreeMap<String, Vec<u8>> {
 fn parallel_run_all_output_is_byte_identical_to_serial() {
     let serial_dir = sandbox("serial");
     let parallel_dir = sandbox("parallel");
-    run_all(&serial_dir, "1");
-    run_all(&parallel_dir, "4");
+    run_all(&serial_dir, "1", "1");
+    run_all(&parallel_dir, "4", "2");
     let serial = records(&serial_dir);
     let parallel = records(&parallel_dir);
     assert!(!serial.is_empty(), "serial run produced no records");
@@ -103,7 +105,7 @@ fn parallel_run_all_output_is_byte_identical_to_serial() {
     for (name, bytes) in &serial {
         assert_eq!(
             bytes, &parallel[name],
-            "{name} differs between serial and --jobs 4"
+            "{name} differs between serial and --jobs 4 --shards 2"
         );
     }
     // The telemetry traces must be deterministic too: only simulated
@@ -127,6 +129,12 @@ fn parallel_run_all_output_is_byte_identical_to_serial() {
             .any(|k| k.starts_with("scale_sweep/") && k.ends_with(".jsonl")),
         "no scale_sweep traces produced"
     );
+    assert!(
+        serial_traces
+            .keys()
+            .any(|k| k.starts_with("megafleet/") && k.ends_with(".jsonl")),
+        "no megafleet traces produced"
+    );
     assert_eq!(
         serial_traces.keys().collect::<Vec<_>>(),
         parallel_traces.keys().collect::<Vec<_>>(),
@@ -135,7 +143,7 @@ fn parallel_run_all_output_is_byte_identical_to_serial() {
     for (name, bytes) in &serial_traces {
         assert_eq!(
             bytes, &parallel_traces[name],
-            "trace {name} differs between serial and --jobs 4"
+            "trace {name} differs between serial and --jobs 4 --shards 2"
         );
     }
     let _ = std::fs::remove_dir_all(&serial_dir);

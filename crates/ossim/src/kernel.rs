@@ -258,6 +258,14 @@ impl Kernel {
         self.sockets.get_mut(socket).buffer.drain(..).collect()
     }
 
+    /// Like [`Kernel::drain_messages`], but appends into a caller-owned
+    /// buffer instead of allocating a fresh `Vec` — the hot-loop form
+    /// for dispatchers that drain every node's completion channel each
+    /// tick. Segments arrive in the same delivery order.
+    pub fn drain_messages_into(&mut self, socket: SocketId, out: &mut Vec<Segment>) {
+        out.extend(self.sockets.get_mut(socket).buffer.drain(..));
+    }
+
     /// The tag of the most recently *delivered* tagged message on
     /// `socket` — the per-endpoint state the naive §3.3 tagging ablation
     /// reads. A tag becomes visible here only once its segment's

@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fxhash;
 mod queue;
 mod rng;
 mod time;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

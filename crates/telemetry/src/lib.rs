@@ -346,6 +346,51 @@ impl Telemetry {
         self.with_sink(|s| *s = Sink::default());
     }
 
+    /// Takes all events recorded so far out of the sink, leaving
+    /// metrics and span bookkeeping in place. Paired with
+    /// [`Telemetry::append_events`], this is the shard-merge primitive:
+    /// a sharded engine drains each shard-local sink at every tick
+    /// barrier and appends in a fixed order, so the merged stream is
+    /// byte-identical at any shard count.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.with_sink(|s| std::mem::take(&mut s.events)).unwrap_or_default()
+    }
+
+    /// Appends pre-recorded events to this sink in the given order.
+    pub fn append_events(&self, mut events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        self.with_sink(move |s| s.events.append(&mut events));
+    }
+
+    /// Folds another recorder's remaining state into this one: leftover
+    /// events (appended in order), the metrics registry (counters add,
+    /// gauges overwrite, histograms merge bucket-wise), still-open
+    /// spans, and the span-depth/unmatched-end bookkeeping. `other` is
+    /// left empty. A disabled handle on either side is a no-op, as is
+    /// absorbing a sink into itself.
+    pub fn absorb(&self, other: &Telemetry) {
+        let (Some(a), Some(b)) = (self.sink.as_ref(), other.sink.as_ref()) else {
+            return;
+        };
+        if Arc::ptr_eq(a, b) {
+            return;
+        }
+        // Lock order is caller-fixed (main sink, then donor); the two
+        // Arcs are distinct, so this cannot deadlock against itself.
+        let mut dst = a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut src = b.lock().unwrap_or_else(|e| e.into_inner());
+        dst.events.append(&mut src.events);
+        dst.metrics.absorb(&src.metrics);
+        dst.open_spans.append(&mut src.open_spans);
+        dst.max_depth = dst.max_depth.max(src.max_depth);
+        dst.unmatched_ends += src.unmatched_ends;
+        src.metrics = MetricsRegistry::default();
+        src.max_depth = 0;
+        src.unmatched_ends = 0;
+    }
+
     /// A sorted snapshot of the metrics registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.with_sink(|s| s.metrics.snapshot()).unwrap_or_default()
@@ -479,6 +524,54 @@ mod tests {
         assert!(events.len() >= 3);
         assert!(chrome.contains("\"ph\":\"B\""));
         assert!(chrome.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn drain_and_append_preserve_order_across_sinks() {
+        let node = Telemetry::recording();
+        let main = Telemetry::recording();
+        node.instant(SimTime::from_millis(1), "k", "a", &[]);
+        node.instant(SimTime::from_millis(2), "k", "b", &[]);
+        main.instant(SimTime::from_millis(3), "d", "c", &[]);
+        main.append_events(node.drain_events());
+        assert_eq!(node.event_count(), 0);
+        assert_eq!(main.event_count(), 3);
+        let jsonl = main.to_jsonl();
+        let names: Vec<bool> = ["\"name\":\"c\"", "\"name\":\"a\"", "\"name\":\"b\""]
+            .iter()
+            .zip(jsonl.lines())
+            .map(|(n, l)| l.contains(n))
+            .collect();
+        assert_eq!(names, vec![true, true, true], "{jsonl}");
+    }
+
+    #[test]
+    fn absorb_merges_metrics_and_bookkeeping() {
+        let main = Telemetry::recording();
+        let shard = Telemetry::recording();
+        main.add_count("c", 1);
+        shard.add_count("c", 2);
+        shard.set_gauge("g", 5.0);
+        main.register_histogram("h", &[1.0, 2.0]);
+        shard.register_histogram("h", &[1.0, 2.0]);
+        main.observe("h", 0.5);
+        shard.observe("h", 1.5);
+        shard.end_span(SimTime::ZERO, 7); // unmatched
+        shard.instant(SimTime::from_millis(1), "k", "late", &[]);
+        main.absorb(&shard);
+        let snap = main.snapshot();
+        assert_eq!(snap.counter("c"), Some(3));
+        assert_eq!(snap.gauge("g"), Some(5.0));
+        let h = snap.histogram("h").expect("merged");
+        assert_eq!(h.total, 2);
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(main.unmatched_ends(), 1);
+        assert_eq!(main.event_count(), 1);
+        assert_eq!(shard.event_count(), 0);
+        assert_eq!(shard.snapshot().counter("c"), None);
+        // Absorbing a handle into itself is a no-op.
+        main.absorb(&main.clone());
+        assert_eq!(main.snapshot().counter("c"), Some(3));
     }
 
     #[test]

@@ -58,6 +58,18 @@ impl Histogram {
         self.total += 1;
         self.sum += value;
     }
+
+    /// Folds `other`'s observations into this histogram. Both must use
+    /// the same bounds (merging differently-bucketed histograms under
+    /// one name is always a bug).
+    fn absorb(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch in merge");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
 }
 
 /// Counters, gauges, and histograms keyed by static name.
@@ -91,6 +103,28 @@ impl MetricsRegistry {
     pub fn observe(&mut self, name: &'static str, value: f64) {
         if let Some(h) = self.histograms.get_mut(name) {
             h.observe(value);
+        }
+    }
+
+    /// Folds `other` into this registry: counters add, gauges overwrite
+    /// (`other` wins where both set a name), histograms merge
+    /// bucket-wise (registering `other`'s bounds where absent here).
+    ///
+    /// Used to fold per-shard registries into the run's main registry
+    /// in a caller-fixed order, so the merged snapshot is identical at
+    /// every shard count.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name)
+                .or_insert_with(|| Histogram::new(&h.bounds))
+                .absorb(h);
         }
     }
 

@@ -19,6 +19,9 @@ use std::sync::Mutex;
 
 static LEDGER: Mutex<BTreeMap<String, DegradeStats>> = Mutex::new(BTreeMap::new());
 
+/// Requests served per scope, for the driver's throughput column.
+static REQUESTS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
 thread_local! {
     static CURRENT: RefCell<Option<String>> = const { RefCell::new(None) };
 }
@@ -67,9 +70,33 @@ pub fn degrade_ledger() -> Vec<(String, DegradeStats)> {
     ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
-/// Clears the ledger (start of a fresh experiment batch).
+/// Adds `count` served requests to the current scope's throughput
+/// ledger; a no-op when no [`DegradeScope`] is active. Simulation
+/// engines call this once per run with the number of requests the
+/// load generator offered, so the experiment driver can render a
+/// requests-per-wall-second column without a side channel through
+/// every experiment's return type.
+pub fn note_requests(count: u64) {
+    if count == 0 {
+        return;
+    }
+    let Some(scope) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut ledger = REQUESTS.lock().unwrap_or_else(|e| e.into_inner());
+    *ledger.entry(scope).or_default() += count;
+}
+
+/// A snapshot of the per-scope request counts, sorted by scope name.
+pub fn request_ledger() -> Vec<(String, u64)> {
+    let ledger = REQUESTS.lock().unwrap_or_else(|e| e.into_inner());
+    ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Clears both ledgers (start of a fresh experiment batch).
 pub fn reset_degrade_ledger() {
     LEDGER.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    REQUESTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
@@ -104,7 +131,24 @@ mod tests {
             vec![("inner", 1), ("outer", 3)]
         );
 
+        // The request ledger shares the scope machinery.
+        note_requests(5); // no scope: dropped
+        {
+            let _outer = DegradeScope::enter("outer");
+            note_requests(100);
+            note_requests(0); // zero counts never create entries
+            note_requests(20);
+        }
+        assert_eq!(
+            request_ledger()
+                .iter()
+                .map(|(k, v)| (k.as_str(), *v))
+                .collect::<Vec<_>>(),
+            vec![("outer", 120)]
+        );
+
         reset_degrade_ledger();
         assert!(degrade_ledger().is_empty());
+        assert!(request_ledger().is_empty());
     }
 }

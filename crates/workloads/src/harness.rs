@@ -237,6 +237,7 @@ impl PreparedRun {
             offered_rate: self.offered_rate,
         };
         crate::degrade::note_degrade(outcome.degrade_stats());
+        crate::degrade::note_requests(outcome.stats.borrow().issued());
         outcome
     }
 
@@ -252,6 +253,7 @@ impl PreparedRun {
             offered_rate: self.offered_rate,
         };
         crate::degrade::note_degrade(outcome.degrade_stats());
+        crate::degrade::note_requests(outcome.stats.borrow().issued());
         outcome
     }
 }

@@ -133,6 +133,45 @@ fn scale_sweep_cell_conserves_energy_on_every_node() {
 }
 
 #[test]
+fn megafleet_cell_conserves_energy_on_every_node_at_any_shard_count() {
+    // The smallest megafleet cell, advanced serially and with the node
+    // set sharded across 4 worker threads: per-node attribution must
+    // balance identically either way (the engine's shard barriers move
+    // whole nodes, never samples), and requests must conserve exactly.
+    let mut lab = Lab::new();
+    let mut serial_energy: Option<Vec<f64>> = None;
+    for shards in [1usize, 4] {
+        let mut cfg = experiments::megafleet::cell_config(48, 10_000);
+        cfg.shards = shards;
+        let cals = experiments::megafleet::cell_calibrations(&mut lab, &cfg);
+        let outcome = cluster::run_cluster(&mut cluster::SimpleBalance::new(), &cfg, &cals);
+        experiments::megafleet::assert_cell_conserved(
+            &format!("megafleet 48-node shards={shards}"),
+            &outcome,
+        );
+        for (i, node) in outcome.per_node.iter().enumerate() {
+            assert_energy_conserved(
+                &format!(
+                    "megafleet 48-node shards={shards} node {i} ({}, tier {})",
+                    node.machine, node.tier
+                ),
+                node.attributed_energy_j,
+                node.active_energy_j,
+                CLEAN_TOL,
+            );
+        }
+        let energies: Vec<f64> = outcome.per_node.iter().map(|n| n.attributed_energy_j).collect();
+        match &serial_energy {
+            None => serial_energy = Some(energies),
+            Some(serial) => assert_eq!(
+                serial, &energies,
+                "per-node attributed energy must be bit-identical across shard counts"
+            ),
+        }
+    }
+}
+
+#[test]
 fn chaos_sweep_cells_conserve_energy_modulo_loss_windows() {
     // Crash-bearing chaos cells: each node's attributed energy plus the
     // crash-journaled loss windows must cover its measured active
