@@ -86,6 +86,29 @@ struct TelemetryTax {
     enabled_overhead: f64,
 }
 
+/// Streaming-aggregator cost of the observability plane, per sample.
+#[derive(Serialize)]
+struct ObsAggregatorCost {
+    name: String,
+    ns_per_sample: u64,
+}
+
+/// Price of leaving the observability plane always on: per-sample
+/// aggregator costs, plus the wall-time delta of a megafleet-shaped
+/// cell run with the plane disabled vs enabled. `overhead_frac` under
+/// 3% is the acceptance criterion — the plane must be cheap enough to
+/// never turn off.
+#[derive(Serialize)]
+struct ObsOverhead {
+    aggregators: Vec<ObsAggregatorCost>,
+    megafleet_nodes: usize,
+    megafleet_requests: u64,
+    samples: usize,
+    disabled_wall_ms: u64,
+    always_on_wall_ms: u64,
+    overhead_frac: f64,
+}
+
 /// Wall times for the experiment harness, from real `run_all` runs.
 #[derive(Serialize)]
 struct Harness {
@@ -139,6 +162,7 @@ struct Report {
     bank_selection_vs_live_slots: Vec<BankSelection>,
     intra_cell_shard_scaling: ShardCurve,
     telemetry_tax: Vec<TelemetryTax>,
+    obs_overhead: ObsOverhead,
     harness: Harness,
 }
 
@@ -623,6 +647,96 @@ fn refit_tax() -> TelemetryTax {
     tax("refit_incremental_n4096", baseline, disabled, enabled)
 }
 
+/// Measures the observability plane's price: ns/sample for each
+/// bounded-memory aggregator on its hot path, and the end-to-end wall
+/// delta of a megafleet-shaped cell with the plane off vs always on
+/// (fastest of 9 interleaved rounds each; the enabled run must stay
+/// alert-silent).
+fn obs_overhead() -> ObsOverhead {
+    use telemetry::obs::{BurnRateMonitor, QuantileSketch, Rollup, SloRules, WindowSample};
+    let mut aggregators = Vec::new();
+
+    // Quantile sketch: the per-completion latency/energy path.
+    let mut sketch = QuantileSketch::new();
+    let mut i = 0u64;
+    let sketch_ns = median_ns(1024, || {
+        i += 1;
+        sketch.observe(1e-3 * ((i % 997) + 1) as f64);
+    });
+    black_box(sketch.quantile(0.99));
+    aggregators
+        .push(ObsAggregatorCost { name: "sketch_observe".to_string(), ns_per_sample: sketch_ns });
+
+    // Rollup: the per-window time-series path.
+    let mut rollup = Rollup::new(250_000_000);
+    let mut j = 0u64;
+    let rollup_ns = median_ns(1024, || {
+        j += 1;
+        rollup.observe(j * 1_000_000, (j % 100) as f64);
+    });
+    black_box(rollup.total_count());
+    aggregators
+        .push(ObsAggregatorCost { name: "rollup_observe".to_string(), ns_per_sample: rollup_ns });
+
+    // Burn-rate monitor: all three rules over one window sample.
+    let mut monitor = BurnRateMonitor::new(SloRules::standard(), 250_000_000);
+    let mut k = 0u64;
+    let monitor_ns = median_ns(1024, || {
+        k += 1;
+        monitor.observe_window(&WindowSample {
+            end_ns: k * 250_000_000,
+            active_j: 50.0 + (k % 7) as f64,
+            attributed_j: 49.0 + (k % 5) as f64,
+            completed: 100,
+            cap_w: Some(400.0),
+        });
+    });
+    black_box(monitor.alerts().len());
+    aggregators.push(ObsAggregatorCost {
+        name: "monitor_observe_window".to_string(),
+        ns_per_sample: monitor_ns,
+    });
+
+    // End-to-end: the shard-curve megafleet cell, plane off vs on.
+    // Rounds interleave the two variants and the fastest round wins:
+    // min-of-N discards scheduler noise that a small-sample median would
+    // fold into the ratio.
+    const NODES: usize = 48;
+    const REQUESTS: u64 = 30_000;
+    const RUNS: usize = 9;
+    let mut lab = experiments::Lab::new();
+    let base = experiments::megafleet::cell_config(NODES, REQUESTS);
+    let cals = experiments::megafleet::cell_calibrations(&mut lab, &base);
+    let wall_us = |obs: Option<cluster::ObsConfig>| {
+        let mut cfg = experiments::megafleet::cell_config(NODES, REQUESTS);
+        cfg.obs = obs;
+        let t0 = Instant::now();
+        let outcome = cluster::run_cluster(&mut cluster::SimpleBalance::new(), &cfg, &cals);
+        let wall = t0.elapsed();
+        if let Some(o) = &outcome.obs {
+            assert!(o.report.alerts.is_empty(), "clean cell must stay silent");
+        }
+        wall.as_micros()
+    };
+    let mut disabled_us = u128::MAX;
+    let mut always_on_us = u128::MAX;
+    for _ in 0..RUNS {
+        disabled_us = disabled_us.min(wall_us(None));
+        always_on_us = always_on_us.min(wall_us(Some(cluster::ObsConfig::standard())));
+    }
+    let disabled_wall_ms = (disabled_us / 1000) as u64;
+    let always_on_wall_ms = (always_on_us / 1000) as u64;
+    ObsOverhead {
+        aggregators,
+        megafleet_nodes: NODES,
+        megafleet_requests: REQUESTS,
+        samples: RUNS,
+        disabled_wall_ms,
+        always_on_wall_ms,
+        overhead_frac: always_on_us as f64 / disabled_us.max(1) as f64 - 1.0,
+    }
+}
+
 fn arg_secs(args: &[String], flag: &str) -> Option<f64> {
     args.iter()
         .position(|a| a == flag)
@@ -677,6 +791,7 @@ fn main() {
         bank_selection_vs_live_slots: bank_selection(),
         intra_cell_shard_scaling: shard_curve(),
         telemetry_tax: vec![alignment_tax(), refit_tax()],
+        obs_overhead: obs_overhead(),
         harness: Harness {
             run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
             run_all_serial_after_s: arg_secs(&args, "--run-all-after"),
@@ -724,6 +839,15 @@ fn main() {
             t.enabled_overhead * 100.0
         );
     }
+    for a in &report.obs_overhead.aggregators {
+        eprintln!("  obs aggregator {:<24} {:>6} ns/sample", a.name, a.ns_per_sample);
+    }
+    eprintln!(
+        "  obs always-on megafleet cell: {} ms vs {} ms disabled ({:+.2}%)",
+        report.obs_overhead.always_on_wall_ms,
+        report.obs_overhead.disabled_wall_ms,
+        report.obs_overhead.overhead_frac * 100.0
+    );
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write report");
     eprintln!("wrote {}", out.display());

@@ -37,11 +37,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod policy;
 pub mod profile;
 pub mod sim;
 pub mod topology;
 
+pub use obs::{ObsConfig, ObsOutcome};
 pub use policy::{
     ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
     WorkloadHeterogeneityAware,

@@ -47,6 +47,7 @@
 //! All recovery knobs default to *off*: a configuration that does not
 //! opt in behaves byte-identically to the pre-recovery engine.
 
+use crate::obs::{ObsConfig, ObsOutcome, ObsPlane};
 use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
 use crate::topology::{generation_rank, Topology};
 use analysis::stats::Summary;
@@ -124,6 +125,12 @@ pub struct ClusterConfig {
     ///
     /// [`ModelBank`]: power_containers::ModelBank
     pub model_bank: Option<power_containers::BankConfig>,
+    /// Always-on observability plane: streaming sketches/rollups, the
+    /// energy-SLO burn-rate monitor, and (opt-in) per-request energy
+    /// provenance, delivered in [`ClusterOutcome::obs`]. `None` — the
+    /// default — runs the engine byte-identically to before the plane
+    /// existed.
+    pub obs: Option<ObsConfig>,
 }
 
 impl ClusterConfig {
@@ -147,6 +154,7 @@ impl ClusterConfig {
             telemetry: telemetry::Telemetry::disabled(),
             shards: 1,
             model_bank: None,
+            obs: None,
         }
     }
 
@@ -311,7 +319,7 @@ pub struct CrashRecord {
 }
 
 /// The dispatcher's trace track.
-const DISPATCHER_TRACK: u32 = 3;
+pub(crate) const DISPATCHER_TRACK: u32 = 3;
 
 /// The trace track of node `n` (fault windows, per-node markers).
 fn node_track(n: usize) -> u32 {
@@ -765,6 +773,9 @@ pub struct ClusterOutcome {
     /// like [`hwsim::FaultKind::ALL`]; node crashes land in the
     /// [`hwsim::FaultKind::NodeCrash`] slot).
     pub fault_counts: [u64; hwsim::FaultKind::ALL.len()],
+    /// Observability-plane results (sketches, rollups, typed alerts,
+    /// provenance). `None` unless [`ClusterConfig::obs`] was set.
+    pub obs: Option<Box<ObsOutcome>>,
 }
 
 impl ClusterOutcome {
@@ -1432,6 +1443,19 @@ fn run_engine(
     let mut crash_log: Vec<CrashRecord> = Vec::new();
     let mut decisions = 0u64;
     let mut degradations_detected = 0u64;
+    // The observability plane lives entirely on this (driving) thread;
+    // its window samples are read at tick barriers in node order, so
+    // its output is byte-identical at every shard count.
+    let mut obs: Option<ObsPlane> = cfg.obs.as_ref().map(|oc| {
+        ObsPlane::new(
+            oc,
+            cfg.nodes.len(),
+            cfg.apps.iter().map(|k| k.name()).collect(),
+            cfg.power_cap_w,
+            cfg.duration,
+        )
+    });
+    let mut obs_samples: Vec<(f64, f64)> = Vec::new();
 
     let mut t = SimTime::ZERO;
     loop {
@@ -1688,7 +1712,11 @@ fn run_engine(
                         },
                     }
                 } else {
-                    summaries[fl.app].record(t.duration_since(fl.arrived).as_secs_f64());
+                    let latency_s = t.duration_since(fl.arrived).as_secs_f64();
+                    summaries[fl.app].record(latency_s);
+                    if let Some(o) = obs.as_mut() {
+                        o.note_completion(fl.app, latency_s);
+                    }
                     completed += 1;
                     inflight.remove(&req_id);
                 }
@@ -1966,6 +1994,33 @@ fn run_engine(
             );
             inflight.insert(req_id, fl);
         }
+        // 5. Observability window close: at the first tick at or past a
+        //    window boundary, read every node's cumulative energy in
+        //    node order and feed the rollups + burn-rate monitor. Only
+        //    full windows close; a trailing partial window is dropped.
+        if let Some(o) = obs.as_mut() {
+            if o.due(t) {
+                obs_samples.clear();
+                obs_samples.extend(nodes.iter().map(|n| {
+                    (
+                        n.carried_energy_j + n.kernel.machine().true_active_energy_j(),
+                        n.attributed_energy_j(),
+                    )
+                }));
+                let degrade: u64 = nodes
+                    .iter()
+                    .map(|n| n.facility.borrow().degrade_stats().drift_total())
+                    .sum();
+                o.close_window(
+                    t,
+                    &obs_samples,
+                    completed as u64,
+                    dropped,
+                    degrade,
+                    &cfg.telemetry,
+                );
+            }
+        }
         if t >= end {
             break;
         }
@@ -2006,7 +2061,11 @@ fn run_engine(
                 // accounted as in flight.
                 continue;
             }
-            summaries[fl.app].record(end.duration_since(fl.arrived).as_secs_f64());
+            let latency_s = end.duration_since(fl.arrived).as_secs_f64();
+            summaries[fl.app].record(latency_s);
+            if let Some(o) = obs.as_mut() {
+                o.note_completion(fl.app, latency_s);
+            }
             completed += 1;
             if let Some(fl) = inflight.remove(&req_id) {
                 serial_req.remove(fl.serial);
@@ -2068,35 +2127,61 @@ fn run_engine(
     // tag carries back from each serving machine; records created under
     // lost or corrupted identities simply fall out of the per-app sums.
     let mut energies = vec![0.0f64; apps.len()];
-    let mut by_ctx: FxHashMap<u64, (f64, u32)> = FxHashMap::default();
+    // ctx → (energy, node count, app index) — the app rides along so the
+    // obs feed below needs no second identity lookup per request.
+    let mut by_ctx: FxHashMap<u64, (f64, u32, u32)> = FxHashMap::default();
+    // The obs plane's energy-per-request sketches need the same per-ctx
+    // assembly `retain_request_energy` builds; without either consumer
+    // the per-ctx maps are skipped entirely.
+    let want_ctx = cfg.retain_request_energy || obs.is_some();
+    if want_ctx {
+        by_ctx.reserve(
+            nodes.iter().map(|n| n.facility.borrow().containers().records().len()).sum(),
+        );
+    }
+    let mut seen_here: FxHashMap<u64, (f64, u32)> = FxHashMap::default();
     for node in &nodes {
         let facility = node.facility.borrow();
-        let mut seen_here: FxHashMap<u64, f64> = FxHashMap::default();
+        seen_here.clear();
         for r in facility.containers().records() {
             if let Some(app_idx) = app_of(&ctx_app, r.ctx) {
                 energies[app_idx] += r.energy_j + r.io_energy_j;
-                *seen_here.entry(r.ctx.0).or_default() += r.energy_j + r.io_energy_j;
+                if want_ctx {
+                    seen_here.entry(r.ctx.0).or_insert((0.0, app_idx as u32)).0 +=
+                        r.energy_j + r.io_energy_j;
+                }
             }
         }
         for (ctx, c) in facility.containers().iter_live() {
             if let Some(app_idx) = app_of(&ctx_app, ctx) {
                 energies[app_idx] += c.total_energy_j();
-                *seen_here.entry(ctx.0).or_default() += c.total_energy_j();
+                if want_ctx {
+                    seen_here.entry(ctx.0).or_insert((0.0, app_idx as u32)).0 +=
+                        c.total_energy_j();
+                }
             }
         }
-        if cfg.retain_request_energy {
-            for (ctx, e) in seen_here {
-                let entry = by_ctx.entry(ctx).or_insert((0.0, 0));
-                entry.0 += e;
-                entry.1 += 1;
-            }
+        for (&ctx, &(e, app_idx)) in seen_here.iter() {
+            let entry = by_ctx.entry(ctx).or_insert((0.0, 0, app_idx));
+            entry.0 += e;
+            entry.1 += 1;
         }
     }
-    let mut energy_by_ctx: Vec<CtxEnergy> = by_ctx
-        .into_iter()
-        .map(|(ctx, (energy_j, nodes))| CtxEnergy { ctx, energy_j, nodes })
-        .collect();
-    energy_by_ctx.sort_by_key(|c| c.ctx);
+    if let Some(o) = obs.as_mut() {
+        // Sketch observation is commutative (integer bucket adds), so
+        // the map's iteration order is fine here — no sort needed.
+        for (_, &(energy_j, _, app_idx)) in by_ctx.iter() {
+            o.note_request_energy(Some(app_idx as usize), energy_j);
+        }
+    }
+    let mut energy_by_ctx: Vec<CtxEnergy> = Vec::new();
+    if cfg.retain_request_energy {
+        energy_by_ctx = by_ctx
+            .into_iter()
+            .map(|(ctx, (energy_j, nodes, _))| CtxEnergy { ctx, energy_j, nodes })
+            .collect();
+        energy_by_ctx.sort_by_key(|c| c.ctx);
+    }
 
     let response_by_app = cfg.apps.iter().copied().zip(summaries).collect();
     let energy_by_app_j = cfg.apps.iter().copied().zip(energies).collect();
@@ -2125,6 +2210,63 @@ fn run_engine(
     {
         fault_counts[ix] += crashes;
     }
+    // Per-request energy provenance: every retained container record
+    // (and still-live container) becomes one node → incarnation →
+    // container leaf with cpu/throttled/io segments. A record's
+    // incarnation is the number of this node's crashes at or before its
+    // creation, so records restored from a crash journal keep the
+    // incarnation they accrued in.
+    let provenance: Vec<telemetry::obs::ProvenanceEntry> =
+        if obs.as_ref().is_some_and(ObsPlane::wants_provenance) {
+            let mut crash_times: Vec<Vec<SimTime>> = vec![Vec::new(); nodes.len()];
+            for cr in &crash_log {
+                crash_times[cr.node].push(cr.at);
+            }
+            let mut out = Vec::new();
+            for (n, node) in nodes.iter().enumerate() {
+                let f = node.facility.borrow();
+                let inc_of = |created: SimTime| {
+                    crash_times[n].iter().take_while(|&&ct| ct <= created).count() as u32
+                };
+                for r in f.containers().records() {
+                    out.push(telemetry::obs::ProvenanceEntry {
+                        node: n as u32,
+                        incarnation: inc_of(r.created_at),
+                        ctx: r.ctx.0,
+                        label: r.label.map(i64::from).unwrap_or(-1),
+                        cpu_j: (r.energy_j - r.throttled_j).max(0.0),
+                        throttled_j: r.throttled_j,
+                        io_j: r.io_energy_j,
+                    });
+                }
+                for (ctx, c) in f.containers().iter_live() {
+                    out.push(telemetry::obs::ProvenanceEntry {
+                        node: n as u32,
+                        incarnation: node.crashes,
+                        ctx: ctx.0,
+                        label: c.label().map(i64::from).unwrap_or(-1),
+                        cpu_j: (c.energy_j() - c.throttled_j()).max(0.0),
+                        throttled_j: c.throttled_j(),
+                        io_j: c.io_energy_j(),
+                    });
+                }
+            }
+            out
+        } else {
+            Vec::new()
+        };
+    let obs_outcome = obs.map(|o| Box::new(o.finish(provenance)));
+    if let Some(o) = obs_outcome.as_ref() {
+        workloads::note_obs(workloads::ObsDigest {
+            alerts: o.report.alerts.len() as u64,
+            p99_j_per_req: o
+                .report
+                .sketches
+                .get("energy_j_per_req/fleet")
+                .map(|s| s.quantile(0.99))
+                .unwrap_or(0.0),
+        });
+    }
     ClusterOutcome {
         policy: policies[0].name(),
         per_node,
@@ -2149,5 +2291,6 @@ fn run_engine(
         tags_lost,
         tags_corrupted,
         fault_counts,
+        obs: obs_outcome,
     }
 }

@@ -76,6 +76,10 @@ struct ContainerAccounting {
     energy_j: f64,
     /// Cumulative attributed peripheral I/O energy in Joules.
     io_energy_j: f64,
+    /// Portion of `energy_j` accrued during intervals executed at a duty
+    /// fraction below 1.0 — the "throttled" provenance segment (energy
+    /// spent while the container was under DVFS/duty-cycle control).
+    throttled_j: f64,
     /// Seconds of CPU time attributed (wall time of sampled intervals).
     busy_seconds: f64,
     /// Time-weighted duty-cycle fraction actually applied.
@@ -92,6 +96,7 @@ impl ContainerAccounting {
             last_active: now,
             energy_j: 0.0,
             io_energy_j: 0.0,
+            throttled_j: 0.0,
             busy_seconds: 0.0,
             duty_weighted: 0.0,
             recent_power_w: 0.0,
@@ -102,6 +107,9 @@ impl ContainerAccounting {
     /// Folds one sampled interval into the row.
     fn apply_sample(&mut self, watts: f64, duty: f64, dt_secs: f64, now: SimTime) {
         self.energy_j += watts * dt_secs;
+        if duty < 1.0 {
+            self.throttled_j += watts * dt_secs;
+        }
         self.busy_seconds += dt_secs;
         self.duty_weighted += duty * dt_secs;
         self.last_active = now;
@@ -131,6 +139,12 @@ impl ContainerView<'_> {
     /// Cumulative attributed I/O energy in Joules.
     pub fn io_energy_j(&self) -> f64 {
         self.acct.io_energy_j
+    }
+
+    /// Portion of [`Self::energy_j`] accrued while executing at a duty
+    /// fraction below 1.0 (the throttled provenance segment).
+    pub fn throttled_j(&self) -> f64 {
+        self.acct.throttled_j
     }
 
     /// Total attributed energy (CPU + I/O).
@@ -219,6 +233,8 @@ pub struct ContainerRecord {
     pub energy_j: f64,
     /// Attributed I/O energy, Joules.
     pub io_energy_j: f64,
+    /// Portion of `energy_j` accrued while throttled (duty < 1.0).
+    pub throttled_j: f64,
     /// Attributed CPU seconds.
     pub busy_seconds: f64,
     /// Mean power while executing, Watts.
@@ -345,6 +361,7 @@ impl ContainerManager {
                 finished_at: now,
                 energy_j: a.energy_j,
                 io_energy_j: a.io_energy_j,
+                throttled_j: a.throttled_j,
                 busy_seconds: a.busy_seconds,
                 mean_power_w: if a.busy_seconds > 0.0 {
                     a.energy_j / a.busy_seconds
@@ -562,6 +579,8 @@ pub struct ContainerSnapshot {
     pub energy_j: f64,
     /// Cumulative attributed I/O energy at checkpoint time, Joules.
     pub io_energy_j: f64,
+    /// Portion of `energy_j` accrued while throttled, at checkpoint time.
+    pub throttled_j: f64,
     /// Cumulative attributed CPU seconds at checkpoint time.
     pub busy_seconds: f64,
 }
@@ -663,6 +682,7 @@ impl ContainerManager {
                 created_at: self.meta[s].created_at,
                 energy_j: self.acct[s].energy_j,
                 io_energy_j: self.acct[s].io_energy_j,
+                throttled_j: self.acct[s].throttled_j,
                 busy_seconds: self.acct[s].busy_seconds,
             })
             .collect();
@@ -717,6 +737,7 @@ impl ContainerManager {
                     finished_at: now,
                     energy_j: s.energy_j,
                     io_energy_j: s.io_energy_j,
+                    throttled_j: s.throttled_j,
                     busy_seconds: s.busy_seconds,
                     mean_power_w: if s.busy_seconds > 0.0 {
                         s.energy_j / s.busy_seconds
@@ -823,6 +844,27 @@ mod tests {
         let c = m.get(ctx).unwrap();
         assert!((c.unthrottled_power_w() - 10.0).abs() < 0.1);
         assert!((c.mean_duty() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttled_segment_tracks_duty_limited_energy() {
+        let mut m = ContainerManager::new(true);
+        let ctx = ContextId(6);
+        m.bind(ctx, SimTime::ZERO);
+        // 1 J at full duty, then 0.5 J while duty-limited.
+        m.attribute(Some(ctx), 10.0, 1.0, 0.1, &events(1.0), SimTime::ZERO);
+        m.attribute(Some(ctx), 5.0, 0.5, 0.1, &events(1.0), SimTime::ZERO);
+        let c = m.get(ctx).unwrap();
+        assert!((c.energy_j() - 1.5).abs() < 1e-12);
+        assert!((c.throttled_j() - 0.5).abs() < 1e-12);
+        // The segment survives checkpoint/restore and release-to-record.
+        let cp = m.checkpoint(SimTime::from_millis(1));
+        assert!((cp.live[0].throttled_j - 0.5).abs() < 1e-12);
+        let mut fresh = ContainerManager::new(true);
+        fresh.restore(&cp, SimTime::from_millis(2));
+        assert!((fresh.records()[0].throttled_j - 0.5).abs() < 1e-12);
+        m.unbind(ctx, SimTime::from_millis(1));
+        assert!((m.records()[0].throttled_j - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   `.jsonl` + Perfetto-loadable `.trace.json` pair per sweep cell.
 //!   Traces carry only simulated timestamps, so they too are
 //!   byte-identical at any job count.
+//! * `--obs` — run every cluster experiment with the always-on
+//!   observability plane (streaming sketches + energy-SLO burn-rate
+//!   monitors); the summary table gains p99 energy-per-request and
+//!   alert columns fed from the obs ledger.
 //!
 //! Per-experiment status, wall time and graceful-degradation decisions
 //! are collected into a summary table; the process exits non-zero if any
@@ -104,6 +108,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("megafleet", |s| {
         experiments::megafleet::run(s);
     }),
+    ("obs_sweep", |s| {
+        experiments::obs_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -133,6 +140,7 @@ fn main() {
     runner::set_jobs(jobs);
     runner::set_shards(runner::shards_from_args());
     runner::set_trace_dir(runner::trace_dir_from_args());
+    runner::set_obs(runner::obs_from_args());
     workloads::reset_degrade_ledger();
     let only = only_from_args();
     if let Some(names) = &only {
@@ -181,6 +189,8 @@ fn main() {
         workloads::degrade_ledger().into_iter().collect();
     let requests: std::collections::BTreeMap<String, u64> =
         workloads::request_ledger().into_iter().collect();
+    let obs: std::collections::BTreeMap<String, workloads::ObsDigest> =
+        workloads::obs_ledger().into_iter().collect();
     let mut table = Table::new([
         "experiment",
         "status",
@@ -190,6 +200,8 @@ fn main() {
         "retried",
         "shed",
         "drift",
+        "p99 J/req",
+        "alerts",
     ]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
@@ -201,6 +213,10 @@ fn main() {
                 d.requests_shed.to_string(),
                 d.drift_column(),
             ),
+        };
+        let (p99_j, alerts) = match obs.get(*name) {
+            None => ("-".to_string(), "-".to_string()),
+            Some(o) => (format!("{:.4}", o.p99_j_per_req), o.alerts.to_string()),
         };
         match outcome {
             Ok(wall) => {
@@ -223,6 +239,8 @@ fn main() {
                     retried,
                     shed,
                     drift,
+                    p99_j,
+                    alerts,
                 ]);
             }
             Err(msg) => {
@@ -238,6 +256,8 @@ fn main() {
                     retried,
                     shed,
                     drift,
+                    p99_j,
+                    alerts,
                 ]);
             }
         }

@@ -198,6 +198,7 @@ pub fn cell_config(scale: Scale, scenario: &ChaosScenario) -> ClusterConfig {
         ..RecoveryConfig::standard()
     });
     cfg.admission = Some(AdmissionConfig::standard());
+    cfg.obs = crate::runner::obs_config();
     cfg
 }
 

@@ -63,6 +63,7 @@ pub fn cluster_outcomes(scale: Scale) -> Vec<ClusterOutcome> {
     let mut cfg = ClusterConfig::paper_setup();
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     cfg.seed = crate::SEED;
+    cfg.obs = crate::runner::obs_config();
     let cals = vec![sb_cal, wc_cal];
 
     let mut policies: Vec<Box<dyn DistributionPolicy>> = vec![

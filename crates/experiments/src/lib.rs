@@ -34,6 +34,7 @@
 //! | [`chaos_sweep`] | extension: recovery invariants under randomized fault schedules |
 //! | [`drift_sweep`] | extension: the self-calibrating model bank across a regime-shift ladder |
 //! | [`megafleet`] | extension: intra-cell sharded capacity sweep (1000 nodes, 10⁶ requests) |
+//! | [`obs_sweep`] | extension: energy-SLO burn-rate alerts over injected violations |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod megafleet;
 pub mod mix;
+pub mod obs_sweep;
 pub mod output;
 pub mod overhead;
 pub mod runner;

@@ -93,6 +93,7 @@ pub fn cell_config(nodes: usize, requests: u64) -> ClusterConfig {
     let rate = offered_cluster_rate(&cfg);
     let secs = (requests as f64 / rate).max(0.25);
     cfg.duration = SimDuration::from_millis((secs * 1e3).ceil() as u64);
+    cfg.obs = crate::runner::obs_config();
     cfg
 }
 

@@ -16,7 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Process-wide worker count used by sweep experiments (fig. 5, fig. 8,
@@ -33,6 +33,34 @@ static SHARDS: AtomicUsize = AtomicUsize::new(1);
 /// Process-wide trace output directory (`--trace <dir>`); `None`
 /// disables tracing everywhere.
 static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Process-wide observability-plane switch (`--obs`): when set, every
+/// cluster experiment runs with the always-on [`cluster::ObsConfig`],
+/// feeding the run_all p99-energy and alert columns.
+static OBS: AtomicBool = AtomicBool::new(false);
+
+/// Turns the process-wide observability plane on or off.
+pub fn set_obs(on: bool) {
+    OBS.store(on, Ordering::SeqCst);
+}
+
+/// Whether `--obs` is active for this process.
+pub fn obs() -> bool {
+    OBS.load(Ordering::SeqCst)
+}
+
+/// Parses `--obs` from process args.
+pub fn obs_from_args() -> bool {
+    std::env::args().any(|a| a == "--obs")
+}
+
+/// The observability config cluster experiments should install:
+/// standard always-on settings when `--obs` is active, else `None`.
+/// Experiments that *are about* the obs plane (obs_sweep) build their
+/// own per-rung configs instead.
+pub fn obs_config() -> Option<cluster::ObsConfig> {
+    obs().then(cluster::ObsConfig::standard)
+}
 
 /// Sets the process-wide trace output directory.
 pub fn set_trace_dir(dir: Option<PathBuf>) {
@@ -92,6 +120,19 @@ pub fn slug(s: &str) -> String {
 pub fn write_trace(experiment: &str, stem: &str, tele: &telemetry::Telemetry) {
     if !tele.enabled() {
         return;
+    }
+    // Span-hygiene hard check: a recorded cell with dangling span ends
+    // means some code path closed a span it never opened (or the track
+    // bookkeeping broke). That must fail the experiment loudly, naming
+    // the offender, not ship a silently malformed trace.
+    let unmatched = tele.unmatched_ends_by_track();
+    if !unmatched.is_empty() {
+        let detail: Vec<String> =
+            unmatched.iter().map(|(track, n)| format!("track {track}: {n}")).collect();
+        panic!(
+            "experiment `{experiment}` cell `{stem}`: unmatched span end(s) — {}",
+            detail.join(", ")
+        );
     }
     let Some(root) = trace_dir() else { return };
     let dir = root.join(experiment);

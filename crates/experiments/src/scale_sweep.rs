@@ -124,6 +124,7 @@ pub fn cell_config(scale: Scale, nodes: usize, cap_w: Option<f64>) -> ClusterCon
     let rate = offered_cluster_rate(&cfg);
     let secs = (target_requests(scale) / rate).max(0.25);
     cfg.duration = SimDuration::from_millis((secs * 1e3).ceil() as u64);
+    cfg.obs = crate::runner::obs_config();
     cfg
 }
 

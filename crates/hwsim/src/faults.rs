@@ -79,6 +79,12 @@ pub struct FaultConfig {
     /// circuit breaker treats the node as half-open (probe traffic only
     /// counts toward closing it).
     pub node_warmup_len: SimDuration,
+    /// Quiet period before any node fault can start: the slowdown /
+    /// blackout / crash clocks only begin ticking here. Lets scenarios
+    /// model late-onset regressions (a clean baseline followed by a
+    /// degraded phase). Zero — the default — keeps the legacy schedule
+    /// byte-identical.
+    pub node_fault_start: SimDuration,
 }
 
 /// How far a wrapped event counter jumps backwards (a 2⁴⁰-count wrap,
@@ -106,6 +112,7 @@ impl FaultConfig {
             node_crash_hz: 0.0,
             node_crash_len: SimDuration::from_millis(400),
             node_warmup_len: SimDuration::from_millis(300),
+            node_fault_start: SimDuration::ZERO,
         }
     }
 
@@ -530,7 +537,7 @@ pub fn plan_node_faults(
     let factor = config.node_slowdown_factor.clamp(0.5, 1.0);
     let end_of_run = SimTime::ZERO + duration;
     for node in 0..nodes {
-        let mut cursor = SimTime::ZERO;
+        let mut cursor = SimTime::ZERO + config.node_fault_start;
         loop {
             // Competing exponential clocks: whichever fault arrives first
             // claims the next window.
@@ -744,6 +751,34 @@ mod tests {
                 last_end = w.end;
             }
         }
+    }
+
+    #[test]
+    fn node_fault_start_delays_every_window() {
+        let base = FaultConfig {
+            seed: 7,
+            node_slowdown_hz: 1.5,
+            node_crash_hz: 0.5,
+            ..FaultConfig::none()
+        };
+        let immediate = plan_node_faults(&base, 3, SimDuration::from_secs(12));
+        let delayed_cfg = FaultConfig {
+            node_fault_start: SimDuration::from_secs(5),
+            ..base.clone()
+        };
+        let delayed = plan_node_faults(&delayed_cfg, 3, SimDuration::from_secs(12));
+        assert!(!delayed.is_empty());
+        assert!(
+            delayed.iter().all(|w| w.start >= SimTime::ZERO + SimDuration::from_secs(5)),
+            "no window may start inside the quiet period"
+        );
+        assert!(
+            immediate.iter().any(|w| w.start < SimTime::ZERO + SimDuration::from_secs(5)),
+            "the undelayed plan must actually use the early interval"
+        );
+        // A zero offset is byte-identical to the legacy plan.
+        let zero = FaultConfig { node_fault_start: SimDuration::ZERO, ..base.clone() };
+        assert_eq!(immediate, plan_node_faults(&zero, 3, SimDuration::from_secs(12)));
     }
 
     #[test]

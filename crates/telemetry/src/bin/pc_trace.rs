@@ -8,6 +8,8 @@
 //! pc-trace schema <trace.jsonl>... [--check GOLDEN]
 //!                                             # print the trace schema, or
 //!                                             # diff it against a golden file
+//! pc-trace flame <provenance.folded>          # render a per-request energy
+//!                                             # provenance flamegraph
 //! ```
 //!
 //! `schema --check` exits 1 on drift — CI runs it against the committed
@@ -21,7 +23,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pc-trace summarize <trace.jsonl>...\n  \
          pc-trace perfetto <trace.jsonl> [-o <out.json>]\n  \
-         pc-trace schema <trace.jsonl>... [--check <golden.txt>]"
+         pc-trace schema <trace.jsonl>... [--check <golden.txt>]\n  \
+         pc-trace flame <provenance.folded>"
     );
     ExitCode::from(2)
 }
@@ -118,6 +121,18 @@ fn cmd_schema(paths: &[PathBuf], golden: Option<&Path>) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn cmd_flame(paths: &[PathBuf]) -> ExitCode {
+    let [path] = paths else {
+        return usage();
+    };
+    let folded = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    print!("{}", telemetry::obs::render_flame(&folded));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -158,6 +173,7 @@ fn main() -> ExitCode {
         "summarize" => cmd_summarize(&paths),
         "perfetto" => cmd_perfetto(&paths, out.as_deref()),
         "schema" => cmd_schema(&paths, golden.as_deref()),
+        "flame" => cmd_flame(&paths),
         _ => usage(),
     }
 }

@@ -34,7 +34,7 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 
 /// Writes an `f64` deterministically: shortest round-trip form for
 /// finite values, JSON `null` for NaN/±inf (which JSON cannot carry).
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v:?}");
     } else {

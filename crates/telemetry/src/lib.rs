@@ -48,6 +48,7 @@
 
 mod export;
 mod metrics;
+pub mod obs;
 pub mod summary;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
@@ -149,6 +150,9 @@ struct Sink {
     /// `end_span` calls with no matching open span (always a bug; counted
     /// rather than panicking so the facility never dies on telemetry).
     unmatched_ends: u64,
+    /// Unmatched ends broken down by offending track, so span-hygiene
+    /// failures can name the lane that produced them.
+    unmatched_by_track: std::collections::BTreeMap<u32, u64>,
 }
 
 /// A recorder handle.
@@ -267,6 +271,7 @@ impl Telemetry {
                 .rposition(|(tr, ..)| *tr == track);
             let Some(i) = open else {
                 s.unmatched_ends += 1;
+                *s.unmatched_by_track.entry(track).or_insert(0) += 1;
                 return;
             };
             let (_, name, cat, begin_ns) = s.open_spans.remove(i);
@@ -341,6 +346,13 @@ impl Telemetry {
         self.with_sink(|s| s.unmatched_ends).unwrap_or(0)
     }
 
+    /// Unmatched span ends broken down by track, sorted by track id —
+    /// names the offending lane when span hygiene fails.
+    pub fn unmatched_ends_by_track(&self) -> Vec<(u32, u64)> {
+        self.with_sink(|s| s.unmatched_by_track.iter().map(|(&t, &n)| (t, n)).collect())
+            .unwrap_or_default()
+    }
+
     /// Clears all recorded events and metrics (benchmark reuse).
     pub fn reset(&self) {
         self.with_sink(|s| *s = Sink::default());
@@ -386,9 +398,13 @@ impl Telemetry {
         dst.open_spans.append(&mut src.open_spans);
         dst.max_depth = dst.max_depth.max(src.max_depth);
         dst.unmatched_ends += src.unmatched_ends;
+        for (&track, &n) in &src.unmatched_by_track {
+            *dst.unmatched_by_track.entry(track).or_insert(0) += n;
+        }
         src.metrics = MetricsRegistry::default();
         src.max_depth = 0;
         src.unmatched_ends = 0;
+        src.unmatched_by_track.clear();
     }
 
     /// A sorted snapshot of the metrics registry.

@@ -51,6 +51,10 @@ pub struct TraceSummary {
     pub containers: Vec<ContainerEnergy>,
     /// Merged degraded intervals in time order.
     pub degraded: Vec<DegradedInterval>,
+    /// Metrics snapshot folded from the metric lines: `(kind, name,
+    /// rendered value)` sorted by kind then name. Counters render their
+    /// count, gauges their value, histograms `total=N sum=X`.
+    pub metrics: Vec<(String, String, String)>,
     /// Metric lines parsed (counters + gauges + histograms).
     pub metric_lines: u64,
     /// Lines that were not valid JSON or had no recognised shape.
@@ -73,8 +77,28 @@ pub fn summarize(jsonl: &str) -> TraceSummary {
             out.unparsed_lines += 1;
             continue;
         };
-        if v.get("metric").is_some() {
+        if let Some(kind) = v.get("metric").and_then(Value::as_str) {
             out.metric_lines += 1;
+            let name = v.get("name").and_then(Value::as_str).unwrap_or("?");
+            let rendered = match kind {
+                "counter" => v.get("value").and_then(Value::as_u64).map(|n| n.to_string()),
+                "gauge" => v.get("value").and_then(Value::as_f64).map(|x| format!("{x}")),
+                "histogram" => {
+                    match (
+                        v.get("total").and_then(Value::as_u64),
+                        v.get("sum").and_then(Value::as_f64),
+                    ) {
+                        (Some(t), Some(s)) => Some(format!("total={t} sum={s}")),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            out.metrics.push((
+                kind.to_string(),
+                name.to_string(),
+                rendered.unwrap_or_else(|| "?".to_string()),
+            ));
             continue;
         }
         let (Some(t_ns), Some(cat), Some(name)) = (
@@ -118,6 +142,7 @@ pub fn summarize(jsonl: &str) -> TraceSummary {
     out.event_counts = counts.into_iter().map(|((c, n), k)| (c, n, k)).collect();
     out.containers = containers.into_values().collect();
     out.degraded = merge_degraded(&degrade_times);
+    out.metrics.sort();
     out
 }
 
@@ -184,6 +209,13 @@ pub fn render_summary(s: &TraceSummary) -> String {
             iv.end_ns as f64 / 1e6,
             iv.events
         );
+    }
+    let _ = writeln!(out, "metrics snapshot:");
+    if s.metrics.is_empty() {
+        let _ = writeln!(out, "  (no metric lines)");
+    }
+    for (kind, name, value) in &s.metrics {
+        let _ = writeln!(out, "  {kind:<10} {name:<36} {value}");
     }
     out
 }
@@ -339,6 +371,31 @@ mod tests {
         assert!(a.contains("background"));
         assert!(a.contains("degraded intervals:"));
         assert!(a.contains("attr"));
+        assert!(a.contains("metrics snapshot:"));
+        assert!(a.contains("counter    kernel.pmu_irqs"));
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_all_three_kinds() {
+        let tele = Telemetry::recording();
+        tele.add_count("z.counter", 7);
+        tele.set_gauge("a.gauge", 2.5);
+        tele.register_histogram("m.hist", &[1.0, 10.0]);
+        tele.observe("m.hist", 3.0);
+        tele.observe("m.hist", 0.5);
+        let s = summarize(&tele.to_jsonl());
+        assert_eq!(s.metric_lines, 3);
+        assert_eq!(
+            s.metrics,
+            vec![
+                ("counter".to_string(), "z.counter".to_string(), "7".to_string()),
+                ("gauge".to_string(), "a.gauge".to_string(), "2.5".to_string()),
+                ("histogram".to_string(), "m.hist".to_string(), "total=2 sum=3.5".to_string()),
+            ]
+        );
+        let rendered = render_summary(&s);
+        assert!(rendered.contains("gauge      a.gauge"));
+        assert!(rendered.contains("total=2 sum=3.5"));
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Property tests for the observability-plane aggregators.
+//!
+//! The byte-stability contract is exactly as strong as the merges the
+//! system performs: quantile sketches merge by integer bucket addition,
+//! so *any* partition and *any* merge grouping must encode
+//! byte-identically to a serial build; rollups are either built on a
+//! single driving thread or merged across disjoint time cells (the
+//! `pc-obs report` multi-file fold), where cell insertion is exact.
+//! An arbitrary sample-level split of one rollup cell would reorder
+//! float additions — which is precisely why the engine never does it.
+
+use proptest::prelude::*;
+use telemetry::obs::{
+    BurnRateMonitor, ObsReport, QuantileSketch, Rollup, SloRules, WindowSample,
+};
+
+/// Splits `vals` into non-empty chunks at the (deduped, sorted) cut
+/// points, mimicking an arbitrary shard partition of one node list.
+fn chunks_at<T: Clone>(vals: &[T], cuts: &[usize]) -> Vec<Vec<T>> {
+    let mut idx: Vec<usize> = cuts.iter().map(|c| c % vals.len().max(1)).collect();
+    idx.push(0);
+    idx.push(vals.len());
+    idx.sort_unstable();
+    idx.dedup();
+    idx.windows(2).map(|w| vals[w[0]..w[1]].to_vec()).collect()
+}
+
+/// A report holding one sketch over `vals` — the byte-stability oracle
+/// sketch merges are compared against.
+fn sketch_report_of(vals: &[f64]) -> ObsReport {
+    let mut r = ObsReport::new(250_000_000, 4_000_000_000);
+    for &v in vals {
+        r.sketch("latency_s/fleet").observe(v);
+    }
+    r
+}
+
+/// Folds per-chunk reports left-to-right (the production shard merge:
+/// node order).
+fn fold_left(chunks: &[Vec<f64>]) -> ObsReport {
+    let mut acc = ObsReport::new(250_000_000, 4_000_000_000);
+    for c in chunks {
+        acc.merge(&sketch_report_of(c));
+    }
+    acc
+}
+
+/// Folds per-chunk reports pairwise (a balanced tree merge — a merge
+/// topology the production code never uses, which is the point).
+fn fold_tree(chunks: &[Vec<f64>]) -> ObsReport {
+    let mut layer: Vec<ObsReport> = chunks.iter().map(|c| sketch_report_of(c)).collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                let mut a = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    a.merge(b);
+                }
+                a
+            })
+            .collect();
+    }
+    layer.pop().unwrap_or_else(|| ObsReport::new(250_000_000, 4_000_000_000))
+}
+
+/// A plausible window-sample stream: energy and completion counts with
+/// occasional idle windows, under an optional cap.
+fn window_stream() -> impl Strategy<Value = Vec<WindowSample>> {
+    prop::collection::vec(
+        (0.0f64..200.0, 0.0f64..200.0, 0u64..300, any::<bool>(), 50.0f64..150.0),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (active_j, attributed_j, completed, capped, cap))| WindowSample {
+                end_ns: (i as u64 + 1) * 250_000_000,
+                active_j,
+                attributed_j,
+                completed,
+                cap_w: capped.then_some(cap),
+            })
+            .collect()
+    })
+}
+
+fn rules_strategy() -> impl Strategy<Value = SloRules> {
+    (0.01f64..0.2, 1.1f64..3.0, 0u32..6, 0.05f64..0.5, 1u32..4, 1u32..4).prop_map(
+        |(cap_headroom_frac, regression_mult, baseline_windows, residual_frac, fire_after, clear_after)| {
+            SloRules {
+                cap_headroom_frac,
+                regression_mult,
+                baseline_windows,
+                residual_frac,
+                fire_after,
+                clear_after,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Any partition of a sample stream, merged in node order or as a
+    /// balanced tree, encodes byte-identically to the serial sketch —
+    /// the integer-bucket property the intra-cell shard merge relies
+    /// on.
+    #[test]
+    fn sketch_merge_is_associative_and_matches_serial(
+        vals in prop::collection::vec(-2.0f64..1000.0, 1..150),
+        cuts in prop::collection::vec(0usize..150, 0..6),
+    ) {
+        let serial = sketch_report_of(&vals).to_json();
+        let chunks = chunks_at(&vals, &cuts);
+        prop_assert_eq!(&fold_left(&chunks).to_json(), &serial);
+        prop_assert_eq!(&fold_tree(&chunks).to_json(), &serial);
+    }
+
+    /// Rollups merged across *time-disjoint* shards (each cell owned by
+    /// exactly one side, the `pc-obs` multi-report fold) are
+    /// byte-identical to a serial build under any grouping; an
+    /// arbitrary sample-level split still agrees exactly on counts and
+    /// min/max and within float tolerance on sums.
+    #[test]
+    fn rollup_merge_is_exact_on_disjoint_cells(
+        samples in prop::collection::vec((0u64..4_000_000_000, -2.0f64..1000.0), 1..150),
+        lanes in 2usize..5,
+        cuts in prop::collection::vec(0usize..150, 0..6),
+    ) {
+        let mut serial = Rollup::new(250_000_000);
+        for &(t, v) in &samples {
+            serial.observe(t, v);
+        }
+        // Time-disjoint partition: each lane owns whole buckets.
+        let mut shards = vec![Rollup::new(250_000_000); lanes];
+        for &(t, v) in &samples {
+            shards[(t / 250_000_000) as usize % lanes].observe(t, v);
+        }
+        let mut node_order = Rollup::new(250_000_000);
+        for s in &shards {
+            node_order.merge(s);
+        }
+        let mut reversed = Rollup::new(250_000_000);
+        for s in shards.iter().rev() {
+            reversed.merge(s);
+        }
+        prop_assert_eq!(&node_order, &serial);
+        prop_assert_eq!(&reversed, &serial);
+
+        // Arbitrary split: semantics agree, bytes need not.
+        let mut folded = Rollup::new(250_000_000);
+        for chunk in chunks_at(&samples, &cuts) {
+            let mut shard = Rollup::new(250_000_000);
+            for (t, v) in chunk {
+                shard.observe(t, v);
+            }
+            folded.merge(&shard);
+        }
+        prop_assert_eq!(folded.len(), serial.len());
+        prop_assert_eq!(folded.total_count(), serial.total_count());
+        for (i, cell) in serial.iter() {
+            let f = folded.cell(i).expect("cell present");
+            prop_assert_eq!(f.count, cell.count);
+            prop_assert_eq!(f.min, cell.min);
+            prop_assert_eq!(f.max, cell.max);
+            prop_assert!(
+                (f.sum - cell.sum).abs() <= 1e-9 * cell.sum.abs().max(1.0),
+                "cell {i} sum drifted: {} vs {}", f.sum, cell.sum
+            );
+        }
+    }
+
+    /// Quantile estimates stay within the sketch's advertised relative
+    /// error of a true sample value, regardless of input.
+    #[test]
+    fn sketch_quantiles_bounded_by_relative_error(
+        mut vals in prop::collection::vec(1e-6f64..1e6, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut s = QuantileSketch::new();
+        for &v in &vals {
+            s.observe(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        let rank = (q * (vals.len() - 1) as f64).floor() as usize;
+        let exact = vals[rank];
+        let est = s.quantile(q);
+        // 1% bucket accuracy plus floor-rank discretization slack: the
+        // estimate must be within the sketch's error of *some* sample
+        // near the rank, so check against the neighbouring values too.
+        let lo = vals[rank.saturating_sub(1)].min(exact);
+        let hi = vals[(rank + 1).min(vals.len() - 1)].max(exact);
+        prop_assert!(
+            est >= lo * 0.97 && est <= hi * 1.03,
+            "q={q}: estimate {est} outside [{lo}, {hi}] +/- 3%"
+        );
+    }
+
+    /// The report round-trips through its JSON encoding bit-exactly,
+    /// alerts included.
+    #[test]
+    fn report_round_trips(
+        vals in prop::collection::vec(-2.0f64..1000.0, 0..100),
+        samples in window_stream(),
+        rules in rules_strategy(),
+    ) {
+        let mut r = sketch_report_of(&vals);
+        for (i, s) in samples.iter().enumerate() {
+            r.rollup("power_w/fleet").observe(i as u64 * 250_000_000, s.active_j);
+        }
+        let mut m = BurnRateMonitor::new(rules, 250_000_000);
+        for s in &samples {
+            m.observe_window(s);
+        }
+        r.alerts.extend_from_slice(m.alerts());
+        let json = r.to_json();
+        let back = ObsReport::from_json(&json).expect("round trip");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// The alert stream is a pure function of (rules, sample stream):
+    /// two monitors fed the same windows agree alert-for-alert, and a
+    /// monitor resumed from a mid-stream clone finishes identically.
+    #[test]
+    fn monitor_is_deterministic_and_resumable(
+        samples in window_stream(),
+        rules in rules_strategy(),
+        split in 0usize..60,
+    ) {
+        let run = || {
+            let mut m = BurnRateMonitor::new(rules, 250_000_000);
+            for s in &samples {
+                m.observe_window(s);
+            }
+            m.alerts().to_vec()
+        };
+        let straight = run();
+        prop_assert_eq!(&run(), &straight);
+
+        let split = split % (samples.len() + 1);
+        let mut m = BurnRateMonitor::new(rules, 250_000_000);
+        for s in &samples[..split] {
+            m.observe_window(s);
+        }
+        let mut resumed = m.clone();
+        for s in &samples[split..] {
+            resumed.observe_window(s);
+        }
+        prop_assert_eq!(resumed.alerts().to_vec(), straight);
+    }
+}

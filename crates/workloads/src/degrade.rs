@@ -22,6 +22,22 @@ static LEDGER: Mutex<BTreeMap<String, DegradeStats>> = Mutex::new(BTreeMap::new(
 /// Requests served per scope, for the driver's throughput column.
 static REQUESTS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 
+/// Observability digests per scope, for the driver's p99-energy and
+/// alert columns.
+static OBS: Mutex<BTreeMap<String, ObsDigest>> = Mutex::new(BTreeMap::new());
+
+/// What one observability-enabled run reports into the ledger: the
+/// typed-alert count and the p99 of its per-request attributed-energy
+/// sketch. Folding keeps the alert sum and the worst (highest) p99
+/// across a scope's cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObsDigest {
+    /// Energy-SLO alerts fired over the run.
+    pub alerts: u64,
+    /// p99 attributed energy per request, Joules.
+    pub p99_j_per_req: f64,
+}
+
 thread_local! {
     static CURRENT: RefCell<Option<String>> = const { RefCell::new(None) };
 }
@@ -93,10 +109,31 @@ pub fn request_ledger() -> Vec<(String, u64)> {
     ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
-/// Clears both ledgers (start of a fresh experiment batch).
+/// Folds one run's observability digest into the ledger under the
+/// current thread's scope; a no-op when no [`DegradeScope`] is active.
+/// Alerts accumulate; the p99 keeps the scope's worst cell.
+pub fn note_obs(digest: ObsDigest) {
+    let Some(scope) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut ledger = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = ledger.entry(scope).or_default();
+    entry.alerts += digest.alerts;
+    entry.p99_j_per_req = entry.p99_j_per_req.max(digest.p99_j_per_req);
+}
+
+/// A snapshot of the per-scope observability digests, sorted by scope
+/// name.
+pub fn obs_ledger() -> Vec<(String, ObsDigest)> {
+    let ledger = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Clears all ledgers (start of a fresh experiment batch).
 pub fn reset_degrade_ledger() {
     LEDGER.lock().unwrap_or_else(|e| e.into_inner()).clear();
     REQUESTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    OBS.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
@@ -147,8 +184,21 @@ mod tests {
             vec![("outer", 120)]
         );
 
+        // The obs ledger sums alerts and keeps the worst p99.
+        note_obs(ObsDigest { alerts: 1, p99_j_per_req: 0.5 }); // no scope: dropped
+        {
+            let _outer = DegradeScope::enter("outer");
+            note_obs(ObsDigest { alerts: 2, p99_j_per_req: 0.8 });
+            note_obs(ObsDigest { alerts: 1, p99_j_per_req: 0.3 });
+        }
+        assert_eq!(
+            obs_ledger(),
+            vec![("outer".to_string(), ObsDigest { alerts: 3, p99_j_per_req: 0.8 })]
+        );
+
         reset_degrade_ledger();
         assert!(degrade_ledger().is_empty());
         assert!(request_ledger().is_empty());
+        assert!(obs_ledger().is_empty());
     }
 }

@@ -43,8 +43,8 @@ pub mod trace;
 pub use apps::{AppEnv, ServerApp, WorkloadKind, POWER_VIRUS_LABEL};
 pub use calibration::{calibrate_machine, MachineCalibration, Microbench};
 pub use degrade::{
-    current_degrade_scope, degrade_ledger, note_degrade, note_requests, request_ledger,
-    reset_degrade_ledger, DegradeScope,
+    current_degrade_scope, degrade_ledger, note_degrade, note_obs, note_requests, obs_ledger,
+    request_ledger, reset_degrade_ledger, DegradeScope, ObsDigest,
 };
 pub use driver::{
     scaled_compute, spawn_driver, spawn_pool, ClosedLoopDriver, CtxAlloc, DriverEnv, PoolWorker,
