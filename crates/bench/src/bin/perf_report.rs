@@ -109,6 +109,42 @@ struct ObsOverhead {
     overhead_frac: f64,
 }
 
+/// Pick-next microbench for one scheduler: the cost of one dispatcher
+/// decision cycle (quantum expiry → requeue → pick → run bookkeeping)
+/// and of one enqueue/pick pair, both through the `Box<dyn Scheduler>`
+/// the kernel actually dispatches through (so the virtual call is part
+/// of the measured number).
+#[derive(Serialize)]
+struct SchedPickCost {
+    sched: String,
+    decision_ns: u64,
+    enqueue_pick_ns: u64,
+}
+
+/// Megafleet-shaped cell wall time with every node's kernel booted on
+/// one scheduler, next to the round-robin baseline. The RR row *is* the
+/// trait-dispatch price — the same policy the kernel used to inline now
+/// runs behind a vtable — and must stay within 2% of the policy rows'
+/// envelope; priority/CFS deltas additionally price the policy itself
+/// (different schedules do different work, so they are a report, not a
+/// regression gate).
+#[derive(Serialize)]
+struct SchedCellWall {
+    sched: String,
+    cell_wall_ms: u64,
+    delta_vs_rr: f64,
+}
+
+/// The scheduler-axis overhead report.
+#[derive(Serialize)]
+struct SchedOverhead {
+    pick_cost: Vec<SchedPickCost>,
+    megafleet_nodes: usize,
+    megafleet_requests: u64,
+    samples: usize,
+    cells: Vec<SchedCellWall>,
+}
+
 /// Wall times for the experiment harness, from real `run_all` runs.
 #[derive(Serialize)]
 struct Harness {
@@ -163,6 +199,7 @@ struct Report {
     intra_cell_shard_scaling: ShardCurve,
     telemetry_tax: Vec<TelemetryTax>,
     obs_overhead: ObsOverhead,
+    sched_overhead: SchedOverhead,
     harness: Harness,
 }
 
@@ -737,6 +774,113 @@ fn obs_overhead() -> ObsOverhead {
     }
 }
 
+/// The three swept schedulers with their default configs, mirroring
+/// `experiments::sched_sweep::swept_kinds` (pc-bench avoids the
+/// experiments dependency cycle by listing them directly).
+fn swept_kinds() -> Vec<ossim::SchedulerKind> {
+    vec![
+        ossim::SchedulerKind::RoundRobin,
+        ossim::SchedulerKind::Priority(ossim::PriorityConfig::default()),
+        ossim::SchedulerKind::Cfs(ossim::CfsConfig::default()),
+    ]
+}
+
+/// Measures the scheduler axis: per-decision dispatch cost through the
+/// trait object, and the megafleet-shaped cell's wall time per policy
+/// (fastest of `RUNS` interleaved rounds, like the obs measurement).
+fn sched_overhead() -> SchedOverhead {
+    use ossim::{ContextId, TaskId};
+    const CORES: usize = 4;
+    const QUEUED: u32 = 16;
+
+    let pick_cost = swept_kinds()
+        .into_iter()
+        .map(|kind| {
+            let mut sched = kind.build(CORES, telemetry::Telemetry::disabled());
+            let mut now_ns = 0u64;
+            // Steady state: QUEUED runnable tasks per core, one current.
+            for core in 0..CORES {
+                for i in 0..QUEUED {
+                    let t = TaskId(core as u32 * QUEUED + i);
+                    sched.enqueue(core, t, Some(ContextId(u64::from(t.0 % 3))), SimTime::ZERO);
+                }
+            }
+            let mut current: Vec<TaskId> = (0..CORES)
+                .map(|core| {
+                    let t = sched.pick_next(core, SimTime::ZERO).expect("queued task");
+                    sched.on_run(core, t, Some(ContextId(u64::from(t.0 % 3))), SimTime::ZERO);
+                    t
+                })
+                .collect();
+            // One dispatcher decision: the kernel's quantum-expiry path
+            // (requeue current, pick, stop/run bookkeeping).
+            let mut core = 0usize;
+            let decision_ns = median_ns(256, || {
+                now_ns += 1_000_000; // one 1 ms quantum
+                let now = SimTime::from_nanos(now_ns);
+                let cur = current[core];
+                let ctx = Some(ContextId(u64::from(cur.0 % 3)));
+                if let Some(next) = sched.on_quantum_expired(core, cur, ctx, now) {
+                    sched.on_stop(core, cur, now);
+                    sched.on_run(core, next, Some(ContextId(u64::from(next.0 % 3))), now);
+                    current[core] = next;
+                }
+                core = (core + 1) % CORES;
+                black_box(sched.queue_len(core));
+            });
+            // One wake: enqueue a task and pick it (the block/unblock path).
+            let mut sched2 = kind.build(1, telemetry::Telemetry::disabled());
+            let mut t = 0u64;
+            let enqueue_pick_ns = median_ns(256, || {
+                t += 1;
+                let now = SimTime::from_nanos(t * 1000);
+                sched2.enqueue(0, TaskId((t % 64) as u32), Some(ContextId(t % 3)), now);
+                black_box(sched2.pick_next(0, now));
+            });
+            SchedPickCost { sched: kind.name().to_string(), decision_ns, enqueue_pick_ns }
+        })
+        .collect();
+
+    // End-to-end: the shard-curve megafleet cell under each scheduler,
+    // interleaved rounds, fastest round per policy.
+    const NODES: usize = 48;
+    const REQUESTS: u64 = 30_000;
+    const RUNS: usize = 9;
+    let mut lab = experiments::Lab::new();
+    let base = experiments::megafleet::cell_config(NODES, REQUESTS);
+    let cals = experiments::megafleet::cell_calibrations(&mut lab, &base);
+    let kinds = swept_kinds();
+    let mut best: Vec<u128> = vec![u128::MAX; kinds.len()];
+    for _ in 0..RUNS {
+        for (i, kind) in kinds.iter().enumerate() {
+            let mut cfg = experiments::megafleet::cell_config(NODES, REQUESTS);
+            cfg.sched = vec![kind.clone()];
+            let t0 = Instant::now();
+            let outcome = cluster::run_cluster(&mut cluster::SimpleBalance::new(), &cfg, &cals);
+            let wall = t0.elapsed();
+            assert!(outcome.completed > 0, "sched cell must serve requests");
+            best[i] = best[i].min(wall.as_micros());
+        }
+    }
+    let rr_us = best[0];
+    let cells = kinds
+        .iter()
+        .zip(&best)
+        .map(|(kind, &us)| SchedCellWall {
+            sched: kind.name().to_string(),
+            cell_wall_ms: (us / 1000) as u64,
+            delta_vs_rr: us as f64 / rr_us.max(1) as f64 - 1.0,
+        })
+        .collect();
+    SchedOverhead {
+        pick_cost,
+        megafleet_nodes: NODES,
+        megafleet_requests: REQUESTS,
+        samples: RUNS,
+        cells,
+    }
+}
+
 fn arg_secs(args: &[String], flag: &str) -> Option<f64> {
     args.iter()
         .position(|a| a == flag)
@@ -792,6 +936,7 @@ fn main() {
         intra_cell_shard_scaling: shard_curve(),
         telemetry_tax: vec![alignment_tax(), refit_tax()],
         obs_overhead: obs_overhead(),
+        sched_overhead: sched_overhead(),
         harness: Harness {
             run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
             run_all_serial_after_s: arg_secs(&args, "--run-all-after"),
@@ -848,6 +993,20 @@ fn main() {
         report.obs_overhead.disabled_wall_ms,
         report.obs_overhead.overhead_frac * 100.0
     );
+    for p in &report.sched_overhead.pick_cost {
+        eprintln!(
+            "  sched {:<8} decision {:>5} ns  enqueue+pick {:>5} ns",
+            p.sched, p.decision_ns, p.enqueue_pick_ns
+        );
+    }
+    for c in &report.sched_overhead.cells {
+        eprintln!(
+            "  sched megafleet cell {:<8} {:>6} ms ({:+.2}% vs rr)",
+            c.sched,
+            c.cell_wall_ms,
+            c.delta_vs_rr * 100.0
+        );
+    }
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write report");
     eprintln!("wrote {}", out.display());

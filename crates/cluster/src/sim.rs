@@ -131,6 +131,11 @@ pub struct ClusterConfig {
     /// default — runs the engine byte-identically to before the plane
     /// existed.
     pub obs: Option<ObsConfig>,
+    /// Kernel scheduling policy per node: entry `n % sched.len()` is
+    /// used for node `n`, so a single entry applies fleet-wide and a
+    /// longer list interleaves policies across nodes. An empty list
+    /// (never produced by the constructors) also means round-robin.
+    pub sched: Vec<ossim::SchedulerKind>,
 }
 
 impl ClusterConfig {
@@ -155,6 +160,7 @@ impl ClusterConfig {
             shards: 1,
             model_bank: None,
             obs: None,
+            sched: vec![ossim::SchedulerKind::RoundRobin],
         }
     }
 
@@ -166,6 +172,15 @@ impl ClusterConfig {
             tiers: topology.tier_indices(),
             ..ClusterConfig::paper_setup()
         }
+    }
+
+    /// The scheduling policy node `n` boots with (see
+    /// [`ClusterConfig::sched`] for the cycling rule).
+    pub fn sched_for(&self, node: usize) -> ossim::SchedulerKind {
+        if self.sched.is_empty() {
+            return ossim::SchedulerKind::RoundRobin;
+        }
+        self.sched[node % self.sched.len()].clone()
     }
 }
 
@@ -1230,7 +1245,10 @@ fn build_node_runtime(
             ..cfg.faults.clone()
         });
     }
-    let mut kernel = Kernel::new(machine, KernelConfig::default());
+    // Kernel-level tracing stays off in cluster nodes; only the
+    // scheduling policy is taken from the cluster config.
+    let kernel_config = KernelConfig { sched: cfg.sched_for(n), ..KernelConfig::default() };
+    let mut kernel = Kernel::new(machine, kernel_config);
     // A restarted incarnation boots at the crash instant: the empty
     // kernel fast-forwards to `start` *before* the facility or any app
     // task exists, so no incarnation ever replays (or re-accrues energy

@@ -65,6 +65,7 @@ fn socket_tagging(lab: &mut Lab, scale: Scale) -> AblationRow {
     let cal = lab.calibration("sandybridge");
     let run = |naive: bool| {
         let mut cfg = RunConfig::new(spec.clone());
+        cfg.sched = crate::runner::sched_kind();
         cfg.load = LoadLevel::Peak;
         cfg.duration = SimDuration::from_secs(scale.run_secs());
         cfg.naive_socket_tagging = naive;
@@ -105,6 +106,7 @@ fn validation_ablation(
     let mut errors = [0.0f64; 2];
     for (i, enabled) in [true, false].into_iter().enumerate() {
         let mut cfg = RunConfig::new(spec.clone());
+        cfg.sched = crate::runner::sched_kind();
         cfg.load = load;
         cfg.duration = SimDuration::from_secs(scale.run_secs());
         tweak(&mut cfg, enabled);
@@ -128,6 +130,7 @@ fn observer_effect(lab: &mut Lab, scale: Scale) -> AblationRow {
     let cal = lab.calibration("sandybridge");
     let run = |compensate: bool| {
         let mut cfg = RunConfig::new(spec.clone());
+        cfg.sched = crate::runner::sched_kind();
         cfg.load = LoadLevel::Peak;
         cfg.duration = SimDuration::from_secs(scale.run_secs());
         cfg.compensate_observer = compensate;

@@ -40,6 +40,7 @@ pub fn run(scale: Scale) -> Anomaly {
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut cfg = RunConfig::new(spec);
+    cfg.sched = crate::runner::sched_kind();
     cfg.load = LoadLevel::Peak;
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     let mut prepared = prepare_app(std::rc::Rc::from(WorkloadKind::GaeHybrid.app()), &cfg, &cal);

@@ -20,6 +20,7 @@ struct Args {
     secs: u64,
     seed: u64,
     conditioning: Option<f64>,
+    sched: ossim::SchedulerKind,
 }
 
 fn usage() -> ! {
@@ -28,7 +29,7 @@ fn usage() -> ! {
          [--workload rsa|solr|webwork|stress|gae|hybrid] \
          [--load peak|half|<fraction>] \
          [--approach core|chipshare|recalibrated] \
-         [--secs N] [--seed N] [--cap WATTS]"
+         [--secs N] [--seed N] [--cap WATTS] [--sched rr|priority|cfs]"
     );
     std::process::exit(2);
 }
@@ -42,6 +43,7 @@ fn parse_args() -> Args {
         secs: 10,
         seed: 42,
         conditioning: None,
+        sched: ossim::SchedulerKind::RoundRobin,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +79,9 @@ fn parse_args() -> Args {
             "--secs" => args.secs = value.parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value.parse().unwrap_or_else(|_| usage()),
             "--cap" => args.conditioning = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--sched" => {
+                args.sched = ossim::SchedulerKind::parse(&value).unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -96,6 +101,7 @@ fn main() {
     cfg.load = args.load;
     cfg.duration = SimDuration::from_secs(args.secs);
     cfg.conditioning = args.conditioning.map(power_containers::ConditioningPolicy::new);
+    cfg.sched = args.sched;
     let outcome = run_app(args.workload, &cfg, &cal);
 
     let secs = outcome.end.as_secs_f64();

@@ -19,6 +19,11 @@
 //!   observability plane (streaming sketches + energy-SLO burn-rate
 //!   monitors); the summary table gains p99 energy-per-request and
 //!   alert columns fed from the obs ledger.
+//! * `--sched rr|priority|cfs` — boot every experiment kernel with the
+//!   named scheduling policy (default `rr`, the paper's round-robin).
+//!   Calibration always runs round-robin so the shared calibration
+//!   cache stays scheduler-independent; `sched_sweep` ignores this flag
+//!   and sweeps all policies itself.
 //!
 //! Per-experiment status, wall time and graceful-degradation decisions
 //! are collected into a summary table; the process exits non-zero if any
@@ -111,6 +116,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("obs_sweep", |s| {
         experiments::obs_sweep::run(s);
     }),
+    ("sched_sweep", |s| {
+        experiments::sched_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -141,6 +149,7 @@ fn main() {
     runner::set_shards(runner::shards_from_args());
     runner::set_trace_dir(runner::trace_dir_from_args());
     runner::set_obs(runner::obs_from_args());
+    runner::set_sched(runner::sched_from_args());
     workloads::reset_degrade_ledger();
     let only = only_from_args();
     if let Some(names) = &only {

@@ -1,0 +1,7 @@
+//! Regenerates the cross-scheduler attribution conformance sweep. Pass
+//! `--quick` for a fast run, `--trace DIR` for decision traces.
+fn main() {
+    experiments::runner::set_jobs(experiments::runner::jobs_from_args());
+    experiments::runner::set_trace_dir(experiments::runner::trace_dir_from_args());
+    let _ = experiments::sched_sweep::run(experiments::Scale::from_args());
+}

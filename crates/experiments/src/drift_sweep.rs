@@ -323,6 +323,7 @@ fn fxhash(name: &str) -> u64 {
 /// engine differs.
 pub fn cell_config(scale: Scale, scenario: &DriftScenario, banked: bool) -> RunConfig {
     let mut cfg = RunConfig::new(hwsim::MachineSpec::sandybridge());
+    cfg.sched = crate::runner::sched_kind();
     cfg.approach = Approach::Recalibrated;
     cfg.load = LoadLevel::Half;
     cfg.duration = SimDuration::from_secs(cell_secs(scale));

@@ -80,6 +80,7 @@ fn run_once(
     let duration = SimDuration::from_secs(secs);
     let virus_start = SimTime::from_secs(secs / 4);
     let mut cfg = RunConfig::new(spec);
+    cfg.sched = crate::runner::sched_kind();
     cfg.load = SATURATING_LOAD;
     cfg.closed_loop = Some(2 * cfg.spec.total_cores());
     cfg.duration = duration;
@@ -162,6 +163,7 @@ pub fn run(scale: Scale) -> DvfsCapping {
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut probe_cfg = RunConfig::new(spec.clone());
+    probe_cfg.sched = crate::runner::sched_kind();
     probe_cfg.load = SATURATING_LOAD;
     probe_cfg.closed_loop = Some(2 * probe_cfg.spec.total_cores());
     probe_cfg.duration = SimDuration::from_secs(3);

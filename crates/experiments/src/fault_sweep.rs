@@ -51,6 +51,7 @@ fn sweep_point(
     faults: FaultConfig,
 ) -> FaultSweepRow {
     let mut cfg = RunConfig::new(spec.clone());
+    cfg.sched = crate::runner::sched_kind();
     cfg.approach = power_containers::Approach::Recalibrated;
     cfg.load = LoadLevel::Half;
     cfg.duration = SimDuration::from_secs(scale.run_secs());

@@ -45,6 +45,7 @@ fn scan_meter(
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut cfg = RunConfig::new(spec.clone());
+    cfg.sched = crate::runner::sched_kind();
     cfg.meter = Some(meter);
     cfg.align_step = Some(step);
     cfg.max_meter_delay = Some(max_delay);

@@ -39,6 +39,7 @@ pub fn run(scale: Scale) -> Fig3 {
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut cfg = RunConfig::new(spec);
+    cfg.sched = crate::runner::sched_kind();
     cfg.meter = Some("on-chip");
     cfg.align_step = Some(SimDuration::from_millis(1));
     cfg.max_meter_delay = Some(SimDuration::from_millis(20));

@@ -47,6 +47,7 @@ pub fn run(scale: Scale) -> Fig5 {
                 let cal = cal.clone();
                 tasks.push(move || {
                     let mut cfg = RunConfig::new(spec);
+                    cfg.sched = crate::runner::sched_kind();
                     cfg.load = load;
                     cfg.duration = SimDuration::from_secs(scale.run_secs() / 2 + 2);
                     cfg.telemetry = crate::runner::trace_handle();

@@ -41,6 +41,7 @@ pub(crate) fn request_records(
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut cfg = RunConfig::new(spec);
+    cfg.sched = crate::runner::sched_kind();
     cfg.load = LoadLevel::Half;
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     let outcome = run_app(kind, &cfg, &cal);

@@ -76,6 +76,7 @@ pub fn run(scale: Scale) -> Fig8 {
                     let mut errors = [0.0f64; 3];
                     for (i, approach) in Approach::ALL.into_iter().enumerate() {
                         let mut cfg = RunConfig::new(spec.clone());
+                        cfg.sched = crate::runner::sched_kind();
                         cfg.approach = approach;
                         cfg.load = load;
                         cfg.duration = SimDuration::from_secs(secs);

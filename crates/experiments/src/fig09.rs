@@ -50,6 +50,7 @@ pub fn run(scale: Scale) -> Fig9 {
     ]);
     for load in [LoadLevel::Peak, LoadLevel::Half] {
         let mut cfg = RunConfig::new(spec.clone());
+        cfg.sched = crate::runner::sched_kind();
         cfg.load = load;
         cfg.duration = SimDuration::from_secs(scale.run_secs());
         let outcome = run_app(WorkloadKind::GaeVosao, &cfg, &cal);

@@ -71,6 +71,7 @@ fn scenario(
 
     // 1. Profile the original composition at peak load.
     let mut cfg = RunConfig::new(spec.clone());
+    cfg.sched = crate::runner::sched_kind();
     cfg.load = LoadLevel::Peak;
     cfg.duration = SimDuration::from_secs(secs);
     let orig = run_app(kind, &cfg, &cal);
@@ -117,6 +118,7 @@ fn scenario(
             new_mean_cycles,
         ));
         let mut cfg = RunConfig::new(spec.clone());
+        cfg.sched = crate::runner::sched_kind();
         cfg.load = LoadLevel::Fraction(fraction);
         cfg.duration = SimDuration::from_secs(secs);
         cfg.seed = crate::SEED + 17;

@@ -71,6 +71,7 @@ fn run_once(
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut cfg = RunConfig::new(spec);
+    cfg.sched = crate::runner::sched_kind();
     cfg.load = SATURATING_LOAD;
     cfg.closed_loop = Some(2 * cfg.spec.total_cores());
     cfg.duration = duration;
@@ -130,6 +131,7 @@ pub fn conditioning_data(scale: Scale) -> ConditioningData {
     let spec = lab.spec("sandybridge");
     let cal = lab.calibration("sandybridge");
     let mut probe_cfg = RunConfig::new(spec.clone());
+    probe_cfg.sched = crate::runner::sched_kind();
     probe_cfg.load = SATURATING_LOAD;
     probe_cfg.closed_loop = Some(2 * probe_cfg.spec.total_cores());
     probe_cfg.duration = SimDuration::from_secs(3);

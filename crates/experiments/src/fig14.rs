@@ -61,6 +61,7 @@ pub fn cluster_outcomes(scale: Scale) -> Vec<ClusterOutcome> {
         profile.iter().map(|r| (r.kind, r.ratio())).collect();
 
     let mut cfg = ClusterConfig::paper_setup();
+    cfg.sched = vec![crate::runner::sched_kind()];
     cfg.duration = SimDuration::from_secs(scale.run_secs());
     cfg.seed = crate::SEED;
     cfg.obs = crate::runner::obs_config();

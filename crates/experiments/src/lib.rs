@@ -35,6 +35,7 @@
 //! | [`drift_sweep`] | extension: the self-calibrating model bank across a regime-shift ladder |
 //! | [`megafleet`] | extension: intra-cell sharded capacity sweep (1000 nodes, 10⁶ requests) |
 //! | [`obs_sweep`] | extension: energy-SLO burn-rate alerts over injected violations |
+//! | [`sched_sweep`] | extension: attribution conformance across pluggable schedulers |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +69,7 @@ pub mod output;
 pub mod overhead;
 pub mod runner;
 pub mod scale_sweep;
+pub mod sched_sweep;
 pub mod table1;
 
 use hwsim::MachineSpec;

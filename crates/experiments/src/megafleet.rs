@@ -88,6 +88,7 @@ const ENERGY_TOL: f64 = 0.20;
 /// issues `requests` regardless of fleet size.
 pub fn cell_config(nodes: usize, requests: u64) -> ClusterConfig {
     let mut cfg = ClusterConfig::sharded(&Topology::scaled_fleet(nodes));
+    cfg.sched = vec![crate::runner::sched_kind()];
     cfg.seed = crate::SEED;
     cfg.shards = crate::runner::shards();
     let rate = offered_cluster_rate(&cfg);

@@ -197,6 +197,7 @@ fn cell_rules(scenario: &ObsScenario) -> SloRules {
 /// the CI smoke cell is exactly a sweep cell).
 pub fn cell_config(scale: Scale, scenario: &ObsScenario) -> ClusterConfig {
     let mut cfg = ClusterConfig::sharded(&Topology::serving_pipeline(FLEET_NODES));
+    cfg.sched = vec![crate::runner::sched_kind()];
     cfg.seed = crate::SEED;
     cfg.shards = crate::runner::shards();
     let rate = offered_cluster_rate(&cfg);

@@ -39,6 +39,55 @@ static TRACE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 /// feeding the run_all p99-energy and alert columns.
 static OBS: AtomicBool = AtomicBool::new(false);
 
+/// Process-wide kernel scheduling policy (`--sched rr|priority|cfs`):
+/// every workload- and cluster-level experiment boots its kernels with
+/// this policy. Calibration runs always stay round-robin so the shared
+/// calibration cache is scheduler-independent. Default: round-robin
+/// (byte-identical to the pre-trait kernels).
+static SCHED: Mutex<Option<ossim::SchedulerKind>> = Mutex::new(None);
+
+/// Sets the process-wide scheduling policy (`None` → round-robin).
+pub fn set_sched(kind: Option<ossim::SchedulerKind>) {
+    *SCHED.lock().unwrap_or_else(|e| e.into_inner()) = kind;
+}
+
+/// The process-wide scheduling policy experiments boot kernels with.
+pub fn sched_kind() -> ossim::SchedulerKind {
+    SCHED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or(ossim::SchedulerKind::RoundRobin)
+}
+
+/// Parses `--sched NAME` / `--sched=NAME` from process args. Returns
+/// `None` (round-robin) when absent; exits with an error on an unknown
+/// policy name so a typo cannot silently run the default.
+pub fn sched_from_args() -> Option<ossim::SchedulerKind> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut kind = None;
+    let mut parse = |v: &str| match ossim::SchedulerKind::parse(v) {
+        Some(k) => kind = Some(k),
+        None => {
+            eprintln!(
+                "error: unknown --sched policy `{v}` (expected one of: {})",
+                ossim::SchedulerKind::ALL_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--sched=") {
+            parse(v);
+        } else if a == "--sched" {
+            if let Some(v) = args.get(i + 1) {
+                parse(v);
+            }
+        }
+    }
+    kind
+}
+
 /// Turns the process-wide observability plane on or off.
 pub fn set_obs(on: bool) {
     OBS.store(on, Ordering::SeqCst);

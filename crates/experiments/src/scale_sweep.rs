@@ -95,9 +95,9 @@ fn tight_cap_w(cores: usize) -> f64 {
 }
 
 /// The three policy kinds, in the canonical (Fig. 14) order.
-const POLICY_KINDS: &[&str] = &["simple", "machine", "workload"];
+pub(crate) const POLICY_KINDS: &[&str] = &["simple", "machine", "workload"];
 
-fn make_policies(
+pub(crate) fn make_policies(
     kind: &str,
     tiers: usize,
     ratios: &[(WorkloadKind, f64)],
@@ -116,6 +116,7 @@ fn make_policies(
 /// CI smoke cell is exactly a sweep cell).
 pub fn cell_config(scale: Scale, nodes: usize, cap_w: Option<f64>) -> ClusterConfig {
     let mut cfg = ClusterConfig::sharded(&Topology::serving_pipeline(nodes));
+    cfg.sched = vec![crate::runner::sched_kind()];
     cfg.seed = crate::SEED;
     cfg.power_cap_w = cap_w;
     // Size the run so the open-loop generator offers the target request
@@ -182,7 +183,7 @@ fn run_cell(
 /// Profiles the two apps' cross-machine energy affinity for the
 /// workload-aware policy (Fig. 13's procedure, short runs — shared by
 /// every cell).
-fn profiled_ratios(lab: &mut Lab, scale: Scale) -> Vec<(WorkloadKind, f64)> {
+pub(crate) fn profiled_ratios(lab: &mut Lab, scale: Scale) -> Vec<(WorkloadKind, f64)> {
     let sb = lab.spec("sandybridge");
     let wc = lab.spec("woodcrest");
     let sb_cal = lab.calibration("sandybridge");

@@ -1,20 +1,21 @@
 //! The simulated operating system kernel.
 //!
 //! [`Kernel`] owns a [`Machine`] and drives it with a discrete-event loop:
-//! per-core run queues with round-robin quanta, Linux-like spreading
-//! placement of woken tasks (idle cores on the least-busy chip first —
-//! the behaviour behind Fig. 1's Woodcrest measurements), sockets with
-//! per-segment request-context tags, fork/wait, blocking I/O and sleeps,
-//! and PMU-overflow interrupts delivered to the installed
+//! per-core run queues managed by a pluggable [`Scheduler`] policy
+//! (round-robin quanta by default), Linux-like spreading placement of
+//! woken tasks (idle cores on the least-busy chip first — the behaviour
+//! behind Fig. 1's Woodcrest measurements), sockets with per-segment
+//! request-context tags, fork/wait, blocking I/O and sleeps, and
+//! PMU-overflow interrupts delivered to the installed
 //! [`KernelHooks`](crate::KernelHooks) facility.
 
 use crate::hooks::{KernelApi, KernelHooks};
 use crate::ids::{ContextId, SocketId, TaskId};
 use crate::program::{Op, ProcCtx, Program, Resume};
+use crate::sched::{SchedStats, Scheduler, SchedulerKind};
 use crate::socket::{Segment, SocketTable};
 use hwsim::{ActivityProfile, CoreId, DeviceKind, Machine, TagFault};
 use simkern::{EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::VecDeque;
 
 /// Work below this many remaining cycles counts as complete (absorbs
 /// nanosecond rounding of completion deadlines).
@@ -48,6 +49,9 @@ pub struct KernelConfig {
     /// interrupts). Disabled by default; every emission site is guarded
     /// so the disabled path costs one branch.
     pub telemetry: telemetry::Telemetry,
+    /// Scheduling policy for the per-core run queues. Round-robin (the
+    /// pre-trait behaviour, byte-identical) by default.
+    pub sched: SchedulerKind,
 }
 
 impl Default for KernelConfig {
@@ -61,6 +65,7 @@ impl Default for KernelConfig {
             net_latency: SimDuration::from_micros(50),
             naive_socket_tagging: false,
             telemetry: telemetry::Telemetry::disabled(),
+            sched: SchedulerKind::RoundRobin,
         }
     }
 }
@@ -160,7 +165,7 @@ pub struct Kernel {
     tasks: Vec<Task>,
     contexts: Vec<Option<ContextId>>,
     running: Vec<Option<TaskId>>,
-    runqueues: Vec<VecDeque<TaskId>>,
+    sched: Box<dyn Scheduler>,
     quantum_end: Vec<SimTime>,
     core_gen: Vec<u64>,
     progress_base: Vec<f64>,
@@ -177,12 +182,13 @@ impl Kernel {
     /// Creates a kernel owning `machine`.
     pub fn new(machine: Machine, config: KernelConfig) -> Kernel {
         let n = machine.spec().total_cores();
+        let sched = config.sched.build(n, config.telemetry.clone());
         Kernel {
             config,
             tasks: Vec::new(),
             contexts: Vec::new(),
             running: vec![None; n],
-            runqueues: (0..n).map(|_| VecDeque::new()).collect(),
+            sched,
             quantum_end: vec![SimTime::MAX; n],
             core_gen: vec![0; n],
             progress_base: vec![0.0; n],
@@ -227,6 +233,22 @@ impl Kernel {
     /// Kernel activity counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Scheduler decision counters for the installed policy.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Canonical short name of the installed scheduling policy.
+    pub fn sched_kind(&self) -> &'static str {
+        self.sched.kind()
+    }
+
+    /// Pins request context `ctx` to priority/weight level `priority`
+    /// (0 = most urgent). Ignored by policies without priorities.
+    pub fn set_context_priority(&mut self, ctx: ContextId, priority: u8) {
+        self.sched.set_context_priority(ctx, priority);
     }
 
     /// Allocates a fresh request-context identifier.
@@ -295,8 +317,7 @@ impl Kernel {
 
     /// `true` when no task is running or runnable (all blocked or exited).
     pub fn is_quiescent(&self) -> bool {
-        self.running.iter().all(Option::is_none)
-            && self.runqueues.iter().all(VecDeque::is_empty)
+        self.running.iter().all(Option::is_none) && self.sched.total_queued() == 0
     }
 
     /// Spawns a top-level task. The task is placed immediately (on an idle
@@ -447,41 +468,17 @@ impl Kernel {
         self.place_runnable(task);
     }
 
-    /// The Fig. 1 placement policy: prefer an idle core on the chip with
-    /// the fewest busy cores (Linux's performance-oriented spreading);
-    /// fall back to the shortest run queue.
-    fn pick_core(&self) -> CoreId {
-        let spec = self.machine.spec();
-        let mut best_idle: Option<(usize, usize)> = None; // (busy_on_chip, core)
-        for core in 0..spec.total_cores() {
-            if self.running[core].is_none() && self.runqueues[core].is_empty() {
-                let chip = spec.chip_of(core);
-                let busy = spec
-                    .cores_of(chip)
-                    .filter(|&c| self.running[c].is_some())
-                    .count();
-                match best_idle {
-                    Some((b, _)) if b <= busy => {}
-                    _ => best_idle = Some((busy, core)),
-                }
-            }
-        }
-        if let Some((_, core)) = best_idle {
-            return CoreId(core);
-        }
-        let core = (0..spec.total_cores())
-            .min_by_key(|&c| self.runqueues[c].len() + usize::from(self.running[c].is_some()))
-            .expect("machine has at least one core");
-        CoreId(core)
-    }
-
     fn place_runnable(&mut self, task: TaskId) {
-        let core = self.pick_core();
-        if self.running[core.0].is_none() && self.runqueues[core.0].is_empty() {
+        // Wake placement is delegated to the scheduler; the default is
+        // the Fig. 1 spreading policy (idle core on the least-busy chip,
+        // else shortest queue).
+        let core = CoreId(self.sched.select_core(self.machine.spec(), &self.running));
+        if self.running[core.0].is_none() && self.sched.queue_len(core.0) == 0 {
             self.install(core, Some(task));
             self.step_task(core);
         } else {
-            self.runqueues[core.0].push_back(task);
+            let ctx = self.context_of(task);
+            self.sched.enqueue(core.0, task, ctx, self.now());
         }
     }
 
@@ -505,6 +502,9 @@ impl Kernel {
     fn install(&mut self, core: CoreId, next: Option<TaskId>) {
         let prev = self.running[core.0];
         self.account(core);
+        if let Some(p) = prev {
+            self.sched.on_stop(core.0, p, self.machine.now());
+        }
         self.stats.context_switches += 1;
         if self.config.telemetry.enabled() {
             let as_id = |t: Option<TaskId>| t.map_or(-1, |t| i64::from(t.0));
@@ -528,6 +528,8 @@ impl Kernel {
                 self.tasks[tid.0 as usize].state = TaskState::Running(core);
                 self.quantum_end[core.0] = self.now() + self.config.quantum;
                 self.progress_base[core.0] = self.machine.counters(core).nonhalt_cycles;
+                let ctx = self.contexts[tid.0 as usize];
+                self.sched.on_run(core.0, tid, ctx, self.machine.now());
             }
             None => {
                 self.machine.set_running(core, None);
@@ -588,7 +590,7 @@ impl Kernel {
                         );
                         self.tasks[idx].pending = Some(Pending::Recv { socket });
                         self.tasks[idx].state = TaskState::BlockedRecv(socket);
-                        let next = self.runqueues[core.0].pop_front();
+                        let next = self.sched.pick_next(core.0, self.machine.now());
                         self.install(core, next);
                         continue;
                     }
@@ -600,7 +602,7 @@ impl Kernel {
                     } else if self.tasks[idx].children_live > 0 {
                         self.tasks[idx].pending = Some(Pending::Wait);
                         self.tasks[idx].state = TaskState::BlockedWait;
-                        let next = self.runqueues[core.0].pop_front();
+                        let next = self.sched.pick_next(core.0, self.machine.now());
                         self.install(core, next);
                         continue;
                     } else {
@@ -674,7 +676,7 @@ impl Kernel {
                 self.tasks[idx].pending = Some(Pending::Sleep);
                 self.tasks[idx].state = TaskState::BlockedSleep;
                 self.events.push(self.now() + duration, KEvent::Wake { task: tid });
-                let next = self.runqueues[core.0].pop_front();
+                let next = self.sched.pick_next(core.0, self.machine.now());
                 self.install(core, next);
             }
             Op::BindContext(ctx) => {
@@ -708,7 +710,7 @@ impl Kernel {
             Some(Pending::Io { device, bytes, started: self.now() });
         self.tasks[tid.0 as usize].state = TaskState::BlockedIo;
         self.events.push(self.now() + dur, KEvent::Wake { task: tid });
-        let next = self.runqueues[core.0].pop_front();
+        let next = self.sched.pick_next(core.0, self.machine.now());
         self.install(core, next);
     }
 
@@ -742,7 +744,7 @@ impl Kernel {
             }
         }
         self.tasks[idx].state = new_state;
-        let next = self.runqueues[core.0].pop_front();
+        let next = self.sched.pick_next(core.0, self.machine.now());
         // The final context switch still sees the exiting task's context so
         // its last CPU slice is attributed correctly; unbind afterwards.
         self.install(core, next);
@@ -811,15 +813,17 @@ impl Kernel {
             // The hook may have injected observer-effect cycles.
             self.account(core);
         }
-        // 2. Quantum expiry with waiting work → round-robin.
+        // 2. Quantum expiry → ask the policy whether to preempt. The
+        //    policy re-queues `tid` itself when it yields a replacement.
         let still_computing = matches!(
             self.tasks[tid.0 as usize].pending,
             Some(Pending::Compute { remaining, .. }) if remaining > CYCLE_EPS
         );
         if self.now() >= self.quantum_end[core.0] {
-            if let Some(next) = self.runqueues[core.0].pop_front() {
+            let ctx = self.contexts[tid.0 as usize];
+            let now = self.machine.now();
+            if let Some(next) = self.sched.on_quantum_expired(core.0, tid, ctx, now) {
                 self.tasks[tid.0 as usize].state = TaskState::Runnable;
-                self.runqueues[core.0].push_back(tid);
                 self.install(core, Some(next));
                 self.step_task(core);
                 return;

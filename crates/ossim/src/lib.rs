@@ -5,10 +5,11 @@
 //! single-threaded simulation of the kernel mechanisms the facility hooks
 //! into —
 //!
-//! * **Tasks and scheduling** ([`Kernel`]): per-core run queues,
-//!   round-robin quanta, and Linux-like wakeup placement that spreads load
-//!   across chips for performance (the behaviour visible in the paper's
-//!   Fig. 1 Woodcrest measurements).
+//! * **Tasks and scheduling** ([`Kernel`]): per-core run queues behind a
+//!   pluggable [`Scheduler`] policy (round-robin quanta by default, plus
+//!   strict-priority and CFS-style fair policies), and Linux-like wakeup
+//!   placement that spreads load across chips for performance (the
+//!   behaviour visible in the paper's Fig. 1 Woodcrest measurements).
 //! * **Programs** ([`Program`], [`Op`]): task behaviour as deterministic
 //!   op-stream state machines — compute bursts with hardware activity
 //!   profiles, socket sends/receives, fork/wait, blocking I/O, sleeps.
@@ -46,10 +47,12 @@ mod hooks;
 mod ids;
 mod kernel;
 mod program;
+mod sched;
 mod socket;
 
 pub use hooks::{KernelApi, KernelHooks, NoHooks};
 pub use ids::{ContextId, SocketId, TaskId};
 pub use kernel::{Kernel, KernelConfig, KernelStats, TaskState};
 pub use program::{FnProgram, Op, ProcCtx, Program, Resume, ScriptProgram};
+pub use sched::{CfsConfig, PriorityConfig, SchedStats, Scheduler, SchedulerKind};
 pub use socket::Segment;

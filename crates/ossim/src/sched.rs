@@ -1,0 +1,675 @@
+//! Pluggable per-core scheduling policies.
+//!
+//! The paper's attribution machinery (§3) must survive *any* interleaving
+//! the OS scheduler produces: per-request energy is integrated over
+//! scheduling segments, so correctness cannot depend on who runs when.
+//! This module factors the kernel's dispatch decisions behind the
+//! [`Scheduler`] trait so that claim is testable rather than assumed.
+//! Three deterministic policies ship:
+//!
+//! * [`SchedulerKind::RoundRobin`] — the original FIFO run queues with
+//!   fixed quanta, extracted byte-identically (the conformance suite
+//!   pins it against a pre-refactor oracle trace).
+//! * [`SchedulerKind::Priority`] — strict multilevel priorities with
+//!   aging-based anti-starvation boosts and starvation accounting.
+//! * [`SchedulerKind::Cfs`] — a CFS-style weighted-fair policy that
+//!   picks the minimum virtual runtime, charging vruntime at
+//!   context-switch boundaries.
+//!
+//! All three share the kernel's Fig.-1 wake placement (idle core on the
+//! least-busy chip, else shortest queue) via the trait's default
+//! [`Scheduler::select_core`]; policies may override it. Every decision
+//! is a pure function of simulated state, so runs are reproducible
+//! bit-for-bit for a fixed seed regardless of host parallelism.
+
+use crate::ids::{ContextId, TaskId};
+use hwsim::MachineSpec;
+use simkern::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use telemetry::{FieldValue, Telemetry};
+
+/// Scheduler decision counters, exposed via `Kernel::sched_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Successful pick-next decisions (a queued task was dispatched).
+    pub picks: u64,
+    /// Quantum-expiry preemptions that switched to a waiting task.
+    pub preemptions: u64,
+    /// Anti-starvation boosts applied (priority scheduler only).
+    pub boosts: u64,
+    /// Longest observed run-queue wait, in nanoseconds.
+    pub max_wait_ns: u64,
+}
+
+impl SchedStats {
+    fn note_wait(&mut self, enqueued: SimTime, now: SimTime) {
+        let ns = now.duration_since(enqueued).as_nanos();
+        if ns > self.max_wait_ns {
+            self.max_wait_ns = ns;
+        }
+        self.picks += 1;
+    }
+}
+
+/// Configuration for the strict-priority scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityConfig {
+    /// Number of priority levels; level 0 is most urgent.
+    pub levels: u8,
+    /// Derive a context's default level as `ctx.0 % levels` (contexts
+    /// without an explicit [`Scheduler::set_context_priority`] call).
+    /// Untagged tasks always run at the middle level.
+    pub derive_from_context: bool,
+    /// A task queued longer than this is boosted to level 0 (aging),
+    /// bounding starvation under sustained high-priority load.
+    pub starvation_after: SimDuration,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> PriorityConfig {
+        PriorityConfig {
+            levels: 4,
+            derive_from_context: true,
+            starvation_after: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Configuration for the CFS-style fair scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfsConfig {
+    /// Weight ratio between adjacent priority levels (Linux uses ~1.25).
+    pub weight_step: f64,
+    /// Number of weight levels; level 0 is heaviest.
+    pub levels: u8,
+    /// Derive a context's default level as `ctx.0 % levels`.
+    pub derive_from_context: bool,
+}
+
+impl Default for CfsConfig {
+    fn default() -> CfsConfig {
+        CfsConfig { weight_step: 1.25, levels: 4, derive_from_context: true }
+    }
+}
+
+/// Which scheduling policy a kernel runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SchedulerKind {
+    /// The original FIFO round-robin (default; byte-identical to the
+    /// pre-trait kernel).
+    #[default]
+    RoundRobin,
+    /// Strict multilevel priority with aging.
+    Priority(PriorityConfig),
+    /// Weighted-fair virtual-runtime scheduling.
+    Cfs(CfsConfig),
+}
+
+impl SchedulerKind {
+    /// Every selectable kind under its canonical flag name, for sweeps.
+    pub const ALL_NAMES: [&'static str; 3] = ["rr", "priority", "cfs"];
+
+    /// The canonical short name (`rr`, `priority`, `cfs`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "rr",
+            SchedulerKind::Priority(_) => "priority",
+            SchedulerKind::Cfs(_) => "cfs",
+        }
+    }
+
+    /// Parses a `--sched` flag value (default configs for each policy).
+    pub fn parse(s: &str) -> Option<SchedulerKind> {
+        match s {
+            "rr" | "round-robin" | "roundrobin" => Some(SchedulerKind::RoundRobin),
+            "priority" | "prio" => Some(SchedulerKind::Priority(PriorityConfig::default())),
+            "cfs" | "fair" => Some(SchedulerKind::Cfs(CfsConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// Builds the policy for a machine with `cores` cores. `telemetry`
+    /// receives `sched`-category decision events when recording.
+    pub fn build(&self, cores: usize, telemetry: Telemetry) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::RoundRobin => Box::new(RoundRobin::new(cores, telemetry)),
+            SchedulerKind::Priority(cfg) => {
+                Box::new(Priority::new(cores, cfg.clone(), telemetry))
+            }
+            SchedulerKind::Cfs(cfg) => Box::new(Cfs::new(cores, cfg.clone(), telemetry)),
+        }
+    }
+}
+
+/// A deterministic per-core scheduling policy.
+///
+/// The kernel owns task lifecycle and blocking; the scheduler owns run
+/// queues and dispatch order. Contracts:
+///
+/// * a task is in at most one queue at a time, and never queued while
+///   running or blocked;
+/// * `pick_next` / `on_quantum_expired` decisions depend only on queue
+///   state, configuration and `now` — never on host state;
+/// * `on_quantum_expired` re-queues `current` itself when (and only
+///   when) it returns a replacement to install.
+pub trait Scheduler {
+    /// The policy's canonical short name.
+    fn kind(&self) -> &'static str;
+
+    /// Adds `task` (bound to `ctx`) to `core`'s run queue.
+    fn enqueue(&mut self, core: usize, task: TaskId, ctx: Option<ContextId>, now: SimTime);
+
+    /// Removes and returns the next task to run on `core`, if any.
+    fn pick_next(&mut self, core: usize, now: SimTime) -> Option<TaskId>;
+
+    /// `current`'s quantum on `core` expired. Returns the task to switch
+    /// to (after internally re-queueing `current`), or `None` to let
+    /// `current` keep the core for another quantum.
+    fn on_quantum_expired(
+        &mut self,
+        core: usize,
+        current: TaskId,
+        ctx: Option<ContextId>,
+        now: SimTime,
+    ) -> Option<TaskId>;
+
+    /// `task` starts running on `core` (context-switch in).
+    fn on_run(&mut self, core: usize, task: TaskId, ctx: Option<ContextId>, now: SimTime) {
+        let _ = (core, task, ctx, now);
+    }
+
+    /// `task` stops running on `core` (context-switch out).
+    fn on_stop(&mut self, core: usize, task: TaskId, now: SimTime) {
+        let _ = (core, task, now);
+    }
+
+    /// Tasks queued (not running) on `core`.
+    fn queue_len(&self, core: usize) -> usize;
+
+    /// Tasks queued across all cores.
+    fn total_queued(&self) -> usize;
+
+    /// Pins `ctx` to priority/weight level `priority` (0 = most urgent).
+    /// Policies without priorities ignore this.
+    fn set_context_priority(&mut self, ctx: ContextId, priority: u8) {
+        let _ = (ctx, priority);
+    }
+
+    /// Decision counters for this policy.
+    fn stats(&self) -> SchedStats;
+
+    /// Chooses the core on which to place a newly-runnable task: the
+    /// Fig. 1 policy — an idle core on the chip with the fewest busy
+    /// cores (Linux's performance-oriented spreading), else the
+    /// shortest run queue. Matches the pre-trait kernel exactly.
+    fn select_core(&self, spec: &MachineSpec, running: &[Option<TaskId>]) -> usize {
+        let mut best_idle: Option<(usize, usize)> = None; // (busy_on_chip, core)
+        for core in 0..spec.total_cores() {
+            if running[core].is_none() && self.queue_len(core) == 0 {
+                let chip = spec.chip_of(core);
+                let busy = spec
+                    .cores_of(chip)
+                    .filter(|&c| running[c].is_some())
+                    .count();
+                match best_idle {
+                    Some((b, _)) if b <= busy => {}
+                    _ => best_idle = Some((busy, core)),
+                }
+            }
+        }
+        if let Some((_, core)) = best_idle {
+            return core;
+        }
+        (0..spec.total_cores())
+            .min_by_key(|&c| self.queue_len(c) + usize::from(running[c].is_some()))
+            .expect("machine has at least one core")
+    }
+}
+
+fn emit_preempt(tele: &Telemetry, now: SimTime, core: usize, prev: TaskId, next: TaskId) {
+    if tele.enabled() {
+        tele.instant_on(
+            now,
+            "sched",
+            "sched_preempt",
+            1,
+            &[
+                ("core", FieldValue::U64(core as u64)),
+                ("prev", FieldValue::U64(u64::from(prev.0))),
+                ("next", FieldValue::U64(u64::from(next.0))),
+            ],
+        );
+        tele.add_count("sched.preempts", 1);
+    }
+}
+
+// ---- round-robin ------------------------------------------------------
+
+/// The original policy: per-core FIFO queues, fixed quanta.
+struct RoundRobin {
+    queues: Vec<VecDeque<(TaskId, SimTime)>>,
+    stats: SchedStats,
+    tele: Telemetry,
+}
+
+impl RoundRobin {
+    fn new(cores: usize, tele: Telemetry) -> RoundRobin {
+        RoundRobin {
+            queues: (0..cores).map(|_| VecDeque::new()).collect(),
+            stats: SchedStats::default(),
+            tele,
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn kind(&self) -> &'static str {
+        "rr"
+    }
+
+    fn enqueue(&mut self, core: usize, task: TaskId, _ctx: Option<ContextId>, now: SimTime) {
+        self.queues[core].push_back((task, now));
+    }
+
+    fn pick_next(&mut self, core: usize, now: SimTime) -> Option<TaskId> {
+        let (task, enqueued) = self.queues[core].pop_front()?;
+        self.stats.note_wait(enqueued, now);
+        Some(task)
+    }
+
+    fn on_quantum_expired(
+        &mut self,
+        core: usize,
+        current: TaskId,
+        _ctx: Option<ContextId>,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        let (next, enqueued) = self.queues[core].pop_front()?;
+        self.queues[core].push_back((current, now));
+        self.stats.note_wait(enqueued, now);
+        self.stats.preemptions += 1;
+        emit_preempt(&self.tele, now, core, current, next);
+        Some(next)
+    }
+
+    fn queue_len(&self, core: usize) -> usize {
+        self.queues[core].len()
+    }
+
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+}
+
+// ---- strict priority --------------------------------------------------
+
+/// Strict multilevel priority: always dispatch the lowest-numbered
+/// non-empty level, FIFO within a level. Aging promotes entries that
+/// waited past `starvation_after` to level 0, so low-priority contexts
+/// are delayed but never starved.
+struct Priority {
+    cfg: PriorityConfig,
+    /// `queues[core][level]` holds `(task, first_enqueued_at)`.
+    queues: Vec<Vec<VecDeque<(TaskId, SimTime)>>>,
+    overrides: HashMap<ContextId, u8>,
+    stats: SchedStats,
+    tele: Telemetry,
+}
+
+impl Priority {
+    fn new(cores: usize, cfg: PriorityConfig, tele: Telemetry) -> Priority {
+        let levels = usize::from(cfg.levels.max(1));
+        Priority {
+            queues: (0..cores)
+                .map(|_| (0..levels).map(|_| VecDeque::new()).collect())
+                .collect(),
+            cfg,
+            overrides: HashMap::new(),
+            stats: SchedStats::default(),
+            tele,
+        }
+    }
+
+    fn level_of(&self, ctx: Option<ContextId>) -> usize {
+        let levels = u64::from(self.cfg.levels.max(1));
+        match ctx {
+            Some(c) => match self.overrides.get(&c) {
+                Some(&p) => usize::from(p).min(levels as usize - 1),
+                None if self.cfg.derive_from_context => (c.0 % levels) as usize,
+                None => (levels / 2) as usize,
+            },
+            None => (levels / 2) as usize,
+        }
+    }
+
+    /// Promotes every entry that has waited past the starvation bound to
+    /// the back of level 0, preserving its original enqueue time.
+    fn age(&mut self, core: usize, now: SimTime) {
+        for level in 1..self.queues[core].len() {
+            while let Some(&(task, t0)) = self.queues[core][level].front() {
+                if now.duration_since(t0) < self.cfg.starvation_after {
+                    break;
+                }
+                self.queues[core][level].pop_front();
+                self.queues[core][0].push_back((task, t0));
+                self.stats.boosts += 1;
+                if self.tele.enabled() {
+                    self.tele.instant_on(
+                        now,
+                        "sched",
+                        "sched_boost",
+                        1,
+                        &[
+                            ("core", FieldValue::U64(core as u64)),
+                            ("task", FieldValue::U64(u64::from(task.0))),
+                            ("from_level", FieldValue::U64(level as u64)),
+                        ],
+                    );
+                    self.tele.add_count("sched.boosts", 1);
+                }
+            }
+        }
+    }
+
+    fn pop_best(&mut self, core: usize, now: SimTime) -> Option<(TaskId, SimTime)> {
+        self.age(core, now);
+        for level in 0..self.queues[core].len() {
+            if let Some(entry) = self.queues[core][level].pop_front() {
+                return Some(entry);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for Priority {
+    fn kind(&self) -> &'static str {
+        "priority"
+    }
+
+    fn enqueue(&mut self, core: usize, task: TaskId, ctx: Option<ContextId>, now: SimTime) {
+        let level = self.level_of(ctx);
+        self.queues[core][level].push_back((task, now));
+    }
+
+    fn pick_next(&mut self, core: usize, now: SimTime) -> Option<TaskId> {
+        let (task, enqueued) = self.pop_best(core, now)?;
+        self.stats.note_wait(enqueued, now);
+        Some(task)
+    }
+
+    fn on_quantum_expired(
+        &mut self,
+        core: usize,
+        current: TaskId,
+        ctx: Option<ContextId>,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        // Strict priority preempts only for an equal-or-more-urgent
+        // waiter; the aging pass inside `pop_best` keeps that bounded.
+        let cur_level = self.level_of(ctx);
+        self.age(core, now);
+        let best = (0..=cur_level.min(self.queues[core].len() - 1))
+            .find(|&l| !self.queues[core][l].is_empty())?;
+        let (next, enqueued) = self.queues[core][best].pop_front().expect("non-empty level");
+        self.queues[core][cur_level].push_back((current, now));
+        self.stats.note_wait(enqueued, now);
+        self.stats.preemptions += 1;
+        emit_preempt(&self.tele, now, core, current, next);
+        Some(next)
+    }
+
+    fn queue_len(&self, core: usize) -> usize {
+        self.queues[core].iter().map(VecDeque::len).sum()
+    }
+
+    fn total_queued(&self) -> usize {
+        (0..self.queues.len()).map(|c| self.queue_len(c)).sum()
+    }
+
+    fn set_context_priority(&mut self, ctx: ContextId, priority: u8) {
+        self.overrides.insert(ctx, priority);
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+}
+
+// ---- CFS-style fair ---------------------------------------------------
+
+/// Weighted-fair scheduling on virtual runtime: each task accrues
+/// `wall_ns / weight` vruntime while running; dispatch always picks the
+/// queued task with minimum `(vruntime, arrival_seq)`. Weights follow
+/// `weight_step^(mid - level)`, so heavier (lower-level) contexts accrue
+/// vruntime more slowly and receive proportionally more CPU.
+struct Cfs {
+    cfg: CfsConfig,
+    /// Per-core ready tree keyed by `(vruntime.to_bits(), seq)` —
+    /// vruntimes are non-negative finite, so bit order is numeric order.
+    trees: Vec<BTreeMap<(u64, u64), (TaskId, SimTime)>>,
+    /// Monotone floor: new/woken tasks start at the core's min vruntime
+    /// so sleepers neither bank unbounded credit nor get starved.
+    floors: Vec<f64>,
+    /// `vruntime[task]`, grown on demand (task ids are dense).
+    vruntime: Vec<f64>,
+    /// Currently-charging task per core: `(task, weight, run_start)`.
+    running: Vec<Option<(TaskId, f64, SimTime)>>,
+    overrides: HashMap<ContextId, u8>,
+    seq: u64,
+    stats: SchedStats,
+    tele: Telemetry,
+}
+
+impl Cfs {
+    fn new(cores: usize, cfg: CfsConfig, tele: Telemetry) -> Cfs {
+        Cfs {
+            cfg,
+            trees: (0..cores).map(|_| BTreeMap::new()).collect(),
+            floors: vec![0.0; cores],
+            vruntime: Vec::new(),
+            running: vec![None; cores],
+            overrides: HashMap::new(),
+            seq: 0,
+            stats: SchedStats::default(),
+            tele,
+        }
+    }
+
+    fn weight_of(&self, ctx: Option<ContextId>) -> f64 {
+        let levels = u64::from(self.cfg.levels.max(1));
+        let level = match ctx {
+            Some(c) => match self.overrides.get(&c) {
+                Some(&p) => u64::from(p).min(levels - 1),
+                None if self.cfg.derive_from_context => c.0 % levels,
+                None => levels / 2,
+            },
+            None => levels / 2,
+        };
+        self.cfg.weight_step.powi((levels / 2) as i32 - level as i32)
+    }
+
+    fn vr_mut(&mut self, task: TaskId) -> &mut f64 {
+        let idx = task.0 as usize;
+        if self.vruntime.len() <= idx {
+            self.vruntime.resize(idx + 1, 0.0);
+        }
+        &mut self.vruntime[idx]
+    }
+
+    fn vr(&self, task: TaskId) -> f64 {
+        self.vruntime.get(task.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Accrues vruntime for whatever `core` has been charging since the
+    /// last switch (no-op when idle or already charged).
+    fn charge(&mut self, core: usize, now: SimTime) {
+        if let Some((task, weight, start)) = self.running[core].take() {
+            let ns = now.duration_since(start).as_nanos() as f64;
+            *self.vr_mut(task) += ns / weight;
+        }
+    }
+
+    fn insert(&mut self, core: usize, task: TaskId, now: SimTime) {
+        let vr = self.vr(task).max(self.floors[core]);
+        *self.vr_mut(task) = vr;
+        self.seq += 1;
+        self.trees[core].insert((vr.to_bits(), self.seq), (task, now));
+    }
+
+    fn pop_min(&mut self, core: usize) -> Option<((u64, u64), (TaskId, SimTime))> {
+        let key = *self.trees[core].keys().next()?;
+        let entry = self.trees[core].remove(&key).expect("present");
+        self.floors[core] = self.floors[core].max(f64::from_bits(key.0));
+        Some((key, entry))
+    }
+}
+
+impl Scheduler for Cfs {
+    fn kind(&self) -> &'static str {
+        "cfs"
+    }
+
+    fn enqueue(&mut self, core: usize, task: TaskId, _ctx: Option<ContextId>, now: SimTime) {
+        self.insert(core, task, now);
+    }
+
+    fn pick_next(&mut self, core: usize, now: SimTime) -> Option<TaskId> {
+        let (_, (task, enqueued)) = self.pop_min(core)?;
+        self.stats.note_wait(enqueued, now);
+        Some(task)
+    }
+
+    fn on_quantum_expired(
+        &mut self,
+        core: usize,
+        current: TaskId,
+        _ctx: Option<ContextId>,
+        now: SimTime,
+    ) -> Option<TaskId> {
+        // Charge the expiring slice first so the fairness comparison is
+        // against up-to-date vruntime.
+        let weight = self.running[core].map_or(1.0, |(_, w, _)| w);
+        self.charge(core, now);
+        let cur_vr = self.vr(current);
+        match self.trees[core].keys().next() {
+            Some(&(bits, _)) if f64::from_bits(bits) < cur_vr => {
+                let (_, (next, enqueued)) = self.pop_min(core).expect("non-empty tree");
+                self.insert(core, current, now);
+                self.stats.note_wait(enqueued, now);
+                self.stats.preemptions += 1;
+                emit_preempt(&self.tele, now, core, current, next);
+                Some(next)
+            }
+            _ => {
+                // Keep the core; re-arm charging from this instant.
+                self.running[core] = Some((current, weight, now));
+                None
+            }
+        }
+    }
+
+    fn on_run(&mut self, core: usize, task: TaskId, ctx: Option<ContextId>, now: SimTime) {
+        self.running[core] = Some((task, self.weight_of(ctx), now));
+    }
+
+    fn on_stop(&mut self, core: usize, task: TaskId, now: SimTime) {
+        if self.running[core].is_some_and(|(t, _, _)| t == task) {
+            self.charge(core, now);
+        }
+    }
+
+    fn queue_len(&self, core: usize) -> usize {
+        self.trees[core].len()
+    }
+
+    fn total_queued(&self) -> usize {
+        self.trees.iter().map(BTreeMap::len).sum()
+    }
+
+    fn set_context_priority(&mut self, ctx: ContextId, priority: u8) {
+        self.overrides.insert(ctx, priority);
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for name in SchedulerKind::ALL_NAMES {
+            assert_eq!(SchedulerKind::parse(name).unwrap().name(), name);
+        }
+        assert!(SchedulerKind::parse("fifo").is_none());
+        assert_eq!(SchedulerKind::default().name(), "rr");
+    }
+
+    #[test]
+    fn rr_fifo_order() {
+        let mut s = RoundRobin::new(1, Telemetry::disabled());
+        let t = SimTime::ZERO;
+        for i in 0..3 {
+            s.enqueue(0, TaskId(i), None, t);
+        }
+        assert_eq!(s.pick_next(0, t), Some(TaskId(0)));
+        assert_eq!(s.on_quantum_expired(0, TaskId(0), None, t), Some(TaskId(1)));
+        // TaskId(0) went to the back.
+        assert_eq!(s.pick_next(0, t), Some(TaskId(2)));
+        assert_eq!(s.pick_next(0, t), Some(TaskId(0)));
+        assert_eq!(s.pick_next(0, t), None);
+    }
+
+    #[test]
+    fn priority_dispatch_and_aging() {
+        let cfg = PriorityConfig {
+            levels: 3,
+            derive_from_context: false,
+            starvation_after: SimDuration::from_millis(1),
+        };
+        let mut s = Priority::new(1, cfg, Telemetry::disabled());
+        s.set_context_priority(ContextId(1), 0);
+        s.set_context_priority(ContextId(2), 2);
+        let t0 = SimTime::ZERO;
+        s.enqueue(0, TaskId(10), Some(ContextId(2)), t0);
+        s.enqueue(0, TaskId(11), Some(ContextId(1)), t0);
+        // Urgent context dispatches first despite later arrival.
+        assert_eq!(s.pick_next(0, t0), Some(TaskId(11)));
+        // After the starvation bound, the level-2 task is boosted to the
+        // back of level 0: it now beats any *lower* level but queues
+        // behind already-urgent work.
+        let late = t0 + SimDuration::from_millis(2);
+        s.enqueue(0, TaskId(12), Some(ContextId(1)), late);
+        assert_eq!(s.pick_next(0, late), Some(TaskId(12)));
+        assert_eq!(s.stats().boosts, 1);
+        assert_eq!(s.pick_next(0, late), Some(TaskId(10)));
+    }
+
+    #[test]
+    fn cfs_prefers_min_vruntime() {
+        let mut s = Cfs::new(1, CfsConfig::default(), Telemetry::disabled());
+        let t0 = SimTime::ZERO;
+        s.enqueue(0, TaskId(0), None, t0);
+        assert_eq!(s.pick_next(0, t0), Some(TaskId(0)));
+        s.on_run(0, TaskId(0), None, t0);
+        // Task 0 runs 1 ms, accruing vruntime; a fresh task then wins.
+        let t1 = t0 + SimDuration::from_millis(1);
+        s.enqueue(0, TaskId(1), None, t1);
+        assert_eq!(s.on_quantum_expired(0, TaskId(0), None, t1), Some(TaskId(1)));
+        assert!(s.vr(TaskId(0)) > 0.0);
+        // Task 0 waits in the tree; task 1 must accrue past it to yield.
+        s.on_run(0, TaskId(1), None, t1);
+        let t2 = t1 + SimDuration::from_micros(10);
+        assert_eq!(s.on_quantum_expired(0, TaskId(1), None, t2), None);
+        let t3 = t1 + SimDuration::from_millis(2);
+        assert_eq!(s.on_quantum_expired(0, TaskId(1), None, t3), Some(TaskId(0)));
+    }
+}

@@ -1,0 +1,214 @@
+//! The shared seeded program set for the scheduler conformance suite.
+//!
+//! Both the round-robin oracle capture and the cross-scheduler
+//! differential tests instantiate *this exact* workload, so a trace
+//! difference can only come from the kernel's scheduling behaviour,
+//! never from the programs. The set deliberately mixes every blocking
+//! shape the kernel knows: multi-quantum compute bursts (several
+//! activity profiles), timer sleeps, disk and network I/O, fork/wait
+//! trees, socket ping-pong pairs, and context re-binding.
+
+use hwsim::{ActivityProfile, Machine, MachineSpec};
+use ossim::{ContextId, FnProgram, Kernel, KernelConfig, Op, Resume, ScriptProgram};
+use simkern::{SimDuration, SimTime};
+
+/// Deterministic xorshift for program-set construction (NOT the
+/// kernel's RNG; this only shapes the static op scripts).
+pub struct SetRng(u64);
+
+impl SetRng {
+    pub fn new(seed: u64) -> SetRng {
+        SetRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn profile_for(i: u64) -> ActivityProfile {
+    match i % 5 {
+        0 => ActivityProfile::cpu_spin(),
+        1 => ActivityProfile::high_ipc(),
+        2 => ActivityProfile::cache_heavy(),
+        3 => ActivityProfile::memory_bound(),
+        _ => ActivityProfile::stress(),
+    }
+}
+
+/// One mixed batch-style script: compute bursts interleaved with
+/// sleeps, I/O, and an optional fork/wait subtree.
+fn batch_script(rng: &mut SetRng) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let steps = 3 + rng.below(5);
+    for _ in 0..steps {
+        match rng.below(6) {
+            0 | 1 => ops.push(Op::Compute {
+                cycles: (200 + rng.below(4200)) as f64 * 1e3,
+                profile: profile_for(rng.next()),
+            }),
+            2 => ops.push(Op::Sleep {
+                duration: SimDuration::from_micros(50 + rng.below(900)),
+            }),
+            3 => ops.push(Op::DiskIo { bytes: 2_000 + rng.below(120_000) }),
+            4 => ops.push(Op::NetIo { bytes: 1_000 + rng.below(60_000) }),
+            _ => {
+                let cycles = (100 + rng.below(1500)) as f64 * 1e3;
+                let wait = rng.below(2) == 0;
+                ops.push(Op::Fork {
+                    child: Box::new(ScriptProgram::new(vec![Op::Compute {
+                        cycles,
+                        profile: profile_for(rng.next()),
+                    }])),
+                    ctx: None,
+                    detached: !wait,
+                });
+                if wait {
+                    ops.push(Op::WaitChild);
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Spawns a socket ping-pong pair (server echoes after a small compute;
+/// client drives `rounds` round trips, re-binding its context each
+/// round so the context-bound hook path is exercised too).
+fn spawn_pingpong(kernel: &mut Kernel, rounds: u32, ctx_base: u64) {
+    let (client_tx, server_rx) = kernel.new_socket_pair();
+    let (server_tx, client_rx) = kernel.new_socket_pair();
+    // Server: recv -> small compute -> reply, for `rounds` rounds.
+    let mut replying = false;
+    let mut served = 0u32;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |pc| {
+            if pc.resume == Resume::Received {
+                replying = true;
+                return Op::Compute { cycles: 8e4, profile: ActivityProfile::high_ipc() };
+            }
+            if replying {
+                replying = false;
+                served += 1;
+                return Op::Send { socket: server_tx, bytes: 64, payload: 0 };
+            }
+            if served >= rounds {
+                return Op::Exit;
+            }
+            Op::Recv { socket: server_rx }
+        })),
+        None,
+    );
+    // Client: re-bind context, send, await the echo; repeat.
+    let mut sent = 0u32;
+    let mut phase = 0u8;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |pc| {
+            if pc.resume == Resume::Received {
+                phase = 0;
+            }
+            match phase {
+                0 => {
+                    if sent >= rounds {
+                        return Op::Exit;
+                    }
+                    sent += 1;
+                    phase = 1;
+                    Op::BindContext(Some(ContextId(ctx_base + u64::from(sent))))
+                }
+                1 => {
+                    phase = 2;
+                    Op::Send { socket: client_tx, bytes: 64, payload: u64::from(sent) }
+                }
+                _ => Op::Recv { socket: client_rx },
+            }
+        })),
+        None,
+    );
+}
+
+/// Spawns a simpler tagged request stream: a client fires `n` tagged
+/// messages paced by sleeps at a server that computes per message.
+fn spawn_tagged_stream(kernel: &mut Kernel, n: u32, ctx_base: u64, rng: &mut SetRng) {
+    let (tx, rx) = kernel.new_socket_pair();
+    // Server: recv -> compute -> repeat forever (exits via detach
+    // starvation at run end; it blocks on recv when idle).
+    let mut served = 0u32;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |pc| {
+            if pc.resume == Resume::Received {
+                served += 1;
+                return Op::Compute { cycles: 3e5, profile: ActivityProfile::cache_heavy() };
+            }
+            if served >= n {
+                return Op::Exit;
+            }
+            Op::Recv { socket: rx }
+        })),
+        None,
+    );
+    // Client: bind ctx, send, sleep, repeat.
+    let gap = 120 + rng.below(300);
+    let mut step = 0u32;
+    kernel.spawn(
+        Box::new(FnProgram::new(move |pc| {
+            let _ = pc;
+            let i = step / 3;
+            if i >= n {
+                return Op::Exit;
+            }
+            step += 1;
+            match step % 3 {
+                1 => Op::BindContext(Some(ContextId(ctx_base + u64::from(i)))),
+                2 => Op::Send { socket: tx, bytes: 256, payload: u64::from(i) },
+                _ => Op::Sleep { duration: SimDuration::from_micros(gap) },
+            }
+        })),
+        None,
+    );
+}
+
+/// Builds the conformance kernel: a 4-core machine loaded with the
+/// seeded program mix. `config` chooses the scheduler under test (and
+/// the telemetry sink); everything else is fixed by `seed`.
+pub fn build(seed: u64, config: KernelConfig) -> Kernel {
+    let mut spec = MachineSpec::sandybridge();
+    spec.cores_per_chip = 2; // 2 chips x 2 cores: placement spreading is visible
+    let mut kernel = Kernel::new(Machine::new(spec, seed), config);
+    let mut rng = SetRng::new(seed);
+    for i in 0..6 {
+        let ctx = kernel.alloc_context();
+        let script = batch_script(&mut rng);
+        let _ = i;
+        kernel.spawn(Box::new(ScriptProgram::new(script)), Some(ctx));
+    }
+    spawn_pingpong(&mut kernel, 20, 1000);
+    spawn_tagged_stream(&mut kernel, 25, 2000, &mut rng);
+    spawn_tagged_stream(&mut kernel, 15, 3000, &mut rng);
+    kernel
+}
+
+/// Runs the conformance workload to quiescence (bounded) and returns
+/// the stop time.
+pub fn run(kernel: &mut Kernel) -> SimTime {
+    kernel.run_until_quiescent(SimTime::from_millis(400))
+}
+
+/// The decision trace: every context-switch event line from the
+/// telemetry JSONL (category `kernel`, name `ctx_switch`), which pins
+/// the complete who-ran-where-when history of the run. Scheduler
+/// decision events (`sched` category) ride along when present.
+pub fn decision_trace(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .filter(|l| l.contains("\"cat\":\"kernel\"") || l.contains("\"cat\":\"sched\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}

@@ -1,0 +1,28 @@
+//! TEMPORARY capture harness: records the pre-refactor round-robin
+//! kernel's decision trace for the conformance suite's oracle golden.
+//! Run once with PC_BLESS=1; the committed golden then pins the
+//! extracted RoundRobin scheduler to the original kernel bit-for-bit.
+
+mod conformance_programs;
+
+use ossim::KernelConfig;
+
+#[test]
+fn capture_rr_oracle() {
+    if std::env::var_os("PC_BLESS").is_none() {
+        return;
+    }
+    let tele = telemetry::Telemetry::recording();
+    let config = KernelConfig { telemetry: tele.clone(), ..KernelConfig::default() };
+    let mut kernel = conformance_programs::build(0xC04F, config);
+    let end = conformance_programs::run(&mut kernel);
+    let trace = conformance_programs::decision_trace(&tele.to_jsonl());
+    let stats = kernel.stats();
+    let summary = format!("end={end} stats={stats:?}\n");
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    std::fs::create_dir_all(&dir).expect("goldens dir");
+    std::fs::write(dir.join("rr_oracle_trace.golden"), &trace).expect("write trace golden");
+    std::fs::write(dir.join("rr_oracle_stats.golden"), &summary).expect("write stats golden");
+    assert!(kernel.is_quiescent(), "conformance set must drain");
+    assert_eq!(stats.tasks_created, stats.tasks_exited, "no lost tasks");
+}

@@ -1,0 +1,273 @@
+//! Cross-scheduler differential conformance suite.
+//!
+//! The same seeded program set (see `conformance_programs`) runs under
+//! every [`SchedulerKind`]; schedulers may interleave tasks however they
+//! like, but the shared invariants must hold for all of them:
+//!
+//! * no lost or duplicated tasks (created == exited, all reaped);
+//! * total CPU work conservation (the programs demand a fixed number of
+//!   cycles, so total non-halted cycles agree across schedulers);
+//! * quiescence (every run drains before the time cap);
+//! * monotone sim-time (enforced by the event loop; the stop time is
+//!   checked to be positive and bounded).
+//!
+//! On top of the shared invariants, each scheduler's complete decision
+//! trace (every context switch and scheduler event) is pinned by a
+//! golden, and the extracted round-robin policy is pinned bit-for-bit
+//! against a trace recorded from the pre-refactor kernel
+//! (`goldens/rr_oracle_trace.golden`). Regenerate per-scheduler goldens
+//! with `PC_BLESS=1` — never the oracle, which is a historical artifact.
+
+mod conformance_programs;
+
+use ossim::{
+    CfsConfig, ContextId, FnProgram, Kernel, KernelConfig, Op, PriorityConfig, SchedulerKind,
+};
+use hwsim::{ActivityProfile, Machine, MachineSpec};
+use simkern::{SimDuration, SimTime};
+
+const SEED: u64 = 0xC04F;
+
+fn all_kinds() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Priority(PriorityConfig::default()),
+        SchedulerKind::Cfs(CfsConfig::default()),
+    ]
+}
+
+struct RunArtifacts {
+    trace: String,
+    stats: ossim::KernelStats,
+    sched_stats: ossim::SchedStats,
+    end: SimTime,
+    total_cycles: f64,
+    quiescent: bool,
+}
+
+fn run_under(kind: SchedulerKind) -> RunArtifacts {
+    let tele = telemetry::Telemetry::recording();
+    let config = KernelConfig { telemetry: tele.clone(), sched: kind, ..KernelConfig::default() };
+    let mut kernel = conformance_programs::build(SEED, config);
+    let end = conformance_programs::run(&mut kernel);
+    let total_cycles = (0..kernel.machine().spec().total_cores())
+        .map(|c| kernel.machine().counters(hwsim::CoreId(c)).nonhalt_cycles)
+        .sum();
+    RunArtifacts {
+        trace: conformance_programs::decision_trace(&tele.to_jsonl()),
+        stats: kernel.stats(),
+        sched_stats: kernel.sched_stats(),
+        end,
+        total_cycles,
+        quiescent: kernel.is_quiescent(),
+    }
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("PC_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with PC_BLESS=1", path.display()));
+    assert_eq!(actual, expected, "{name} drifted; rerun with PC_BLESS=1 if intended");
+}
+
+/// The kernel-category subset of a decision trace (no `sched` events) —
+/// the view the pre-refactor kernel could produce.
+fn kernel_only(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| l.contains("\"cat\":\"kernel\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// The extracted round-robin scheduler replays the pre-refactor kernel's
+/// recorded decision trace bit-for-bit: same context switches at the
+/// same instants on the same cores, and identical kernel counters.
+#[test]
+fn rr_matches_pre_refactor_oracle() {
+    let art = run_under(SchedulerKind::RoundRobin);
+    let oracle = std::fs::read_to_string(golden_path("rr_oracle_trace.golden"))
+        .expect("committed oracle trace");
+    assert_eq!(
+        kernel_only(&art.trace),
+        oracle,
+        "round-robin extraction diverged from the pre-refactor kernel"
+    );
+    let stats_line = format!("end={} stats={:?}\n", art.end, art.stats);
+    let oracle_stats = std::fs::read_to_string(golden_path("rr_oracle_stats.golden"))
+        .expect("committed oracle stats");
+    assert_eq!(stats_line, oracle_stats);
+}
+
+/// Shared invariants hold under every scheduling policy.
+#[test]
+fn shared_invariants_all_schedulers() {
+    let runs: Vec<(SchedulerKind, RunArtifacts)> =
+        all_kinds().into_iter().map(|k| (k.clone(), run_under(k))).collect();
+    let rr_cycles = runs[0].1.total_cycles;
+    let rr_messages = runs[0].1.stats.messages;
+    for (kind, art) in &runs {
+        let name = kind.name();
+        assert!(art.quiescent, "{name}: run did not drain");
+        assert!(
+            art.end > SimTime::ZERO && art.end < SimTime::from_millis(400),
+            "{name}: implausible stop time {}",
+            art.end
+        );
+        assert_eq!(
+            art.stats.tasks_created, art.stats.tasks_exited,
+            "{name}: lost or duplicated tasks"
+        );
+        assert_eq!(
+            art.stats.messages, rr_messages,
+            "{name}: message count depends on scheduler"
+        );
+        // The program set demands a fixed amount of CPU work; schedulers
+        // reorder it but cannot create or destroy cycles (sub-quantum
+        // rounding at dispatch boundaries allows a small epsilon).
+        let rel = (art.total_cycles - rr_cycles).abs() / rr_cycles;
+        assert!(
+            rel < 1e-3,
+            "{name}: total CPU cycles {:.3e} vs rr {rr_cycles:.3e} (rel {rel:.2e})",
+            art.total_cycles
+        );
+        assert!(art.sched_stats.picks > 0, "{name}: scheduler never picked");
+    }
+}
+
+/// Each policy's complete decision trace is deterministic and pinned.
+#[test]
+fn decision_trace_goldens_per_scheduler() {
+    for kind in all_kinds() {
+        let art = run_under(kind.clone());
+        let again = run_under(kind.clone());
+        assert_eq!(art.trace, again.trace, "{}: nondeterministic trace", kind.name());
+        assert_eq!(art.stats, again.stats, "{}: nondeterministic stats", kind.name());
+        assert_eq!(
+            art.sched_stats,
+            again.sched_stats,
+            "{}: nondeterministic sched stats",
+            kind.name()
+        );
+        check_golden(&format!("sched_trace_{}.golden", kind.name()), &art.trace);
+    }
+}
+
+/// The three policies genuinely schedule differently on this program set
+/// (otherwise the conformance suite would be vacuous).
+#[test]
+fn schedulers_diverge_on_conformance_set() {
+    let rr = run_under(SchedulerKind::RoundRobin);
+    let prio = run_under(SchedulerKind::Priority(PriorityConfig::default()));
+    let cfs = run_under(SchedulerKind::Cfs(CfsConfig::default()));
+    assert_ne!(rr.trace, prio.trace, "priority trace identical to round-robin");
+    assert_ne!(rr.trace, cfs.trace, "cfs trace identical to round-robin");
+    assert_ne!(prio.trace, cfs.trace, "cfs trace identical to priority");
+}
+
+/// Starvation regression: under the strict-priority policy, a
+/// low-priority context still completes while high-priority load
+/// saturates the machine — the aging boost bounds its wait.
+#[test]
+fn priority_scheduler_does_not_starve_low_priority() {
+    let mut spec = MachineSpec::sandybridge();
+    spec.chips = 1;
+    spec.cores_per_chip = 1; // single core: high-priority load owns the CPU
+    let cfg = PriorityConfig {
+        levels: 4,
+        derive_from_context: false,
+        starvation_after: SimDuration::from_millis(5),
+    };
+    let config = KernelConfig {
+        sched: SchedulerKind::Priority(cfg),
+        ..KernelConfig::default()
+    };
+    let mut kernel = Kernel::new(Machine::new(spec, 7), config);
+    let hi_ctx = ContextId(1);
+    let lo_ctx = ContextId(2);
+    kernel.set_context_priority(hi_ctx, 0);
+    kernel.set_context_priority(lo_ctx, 3);
+    // Sustained high-priority load: four spinners, each far outlasting
+    // the low-priority job, constantly runnable.
+    for _ in 0..4 {
+        kernel.spawn(
+            Box::new(FnProgram::new(move |pc| {
+                if pc.now >= SimTime::from_millis(60) {
+                    return Op::Exit;
+                }
+                Op::Compute { cycles: 1e6, profile: ActivityProfile::cpu_spin() }
+            })),
+            Some(hi_ctx),
+        );
+    }
+    // One low-priority job needing ~4 ms of CPU at 3.4 GHz.
+    let lo_task = kernel.spawn(
+        Box::new(ossim::ScriptProgram::new(vec![Op::Compute {
+            cycles: 1.4e7,
+            profile: ActivityProfile::high_ipc(),
+        }])),
+        Some(lo_ctx),
+    );
+    kernel.run_until(SimTime::from_millis(100));
+    assert!(
+        !kernel.is_alive(lo_task),
+        "low-priority task starved under sustained high-priority load \
+         (sched stats: {:?})",
+        kernel.sched_stats()
+    );
+    assert!(
+        kernel.sched_stats().boosts > 0,
+        "starvation aging never fired; the completion above is vacuous"
+    );
+    assert_eq!(kernel.stats().tasks_created, kernel.stats().tasks_exited);
+}
+
+/// Without aging, the same setup *does* starve — pinning that the boost
+/// mechanism (not luck) is what rescues the low-priority task.
+#[test]
+fn priority_starvation_exists_without_aging() {
+    let mut spec = MachineSpec::sandybridge();
+    spec.chips = 1;
+    spec.cores_per_chip = 1;
+    let cfg = PriorityConfig {
+        levels: 4,
+        derive_from_context: false,
+        starvation_after: SimDuration::MAX, // aging disabled
+    };
+    let config =
+        KernelConfig { sched: SchedulerKind::Priority(cfg), ..KernelConfig::default() };
+    let mut kernel = Kernel::new(Machine::new(spec, 7), config);
+    kernel.set_context_priority(ContextId(1), 0);
+    kernel.set_context_priority(ContextId(2), 3);
+    for _ in 0..4 {
+        kernel.spawn(
+            Box::new(FnProgram::new(move |pc| {
+                if pc.now >= SimTime::from_millis(60) {
+                    return Op::Exit;
+                }
+                Op::Compute { cycles: 1e6, profile: ActivityProfile::cpu_spin() }
+            })),
+            Some(ContextId(1)),
+        );
+    }
+    let lo_task = kernel.spawn(
+        Box::new(ossim::ScriptProgram::new(vec![Op::Compute {
+            cycles: 1.4e7,
+            profile: ActivityProfile::high_ipc(),
+        }])),
+        Some(ContextId(2)),
+    );
+    kernel.run_until(SimTime::from_millis(30));
+    assert!(
+        kernel.is_alive(lo_task),
+        "low-priority task ran although strictly-higher load saturated the core"
+    );
+}

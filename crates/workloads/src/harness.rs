@@ -98,6 +98,9 @@ pub struct RunConfig {
     /// single rolling recalibrator with one model per operating regime
     /// (requires [`Approach::Recalibrated`]).
     pub model_bank: Option<power_containers::BankConfig>,
+    /// Kernel scheduling policy for this run (round-robin by default;
+    /// the attribution sweeps rerun workloads under every policy).
+    pub sched: ossim::SchedulerKind,
 }
 
 impl RunConfig {
@@ -124,6 +127,7 @@ impl RunConfig {
             faults: hwsim::FaultConfig::none(),
             telemetry: telemetry::Telemetry::disabled(),
             model_bank: None,
+            sched: ossim::SchedulerKind::RoundRobin,
         }
     }
 }
@@ -330,6 +334,7 @@ pub fn prepare_app(
     let kernel_config = KernelConfig {
         naive_socket_tagging: cfg.naive_socket_tagging,
         telemetry: cfg.telemetry.clone(),
+        sched: cfg.sched.clone(),
         ..KernelConfig::default()
     };
     let mut kernel = Kernel::new(machine, kernel_config);

@@ -60,6 +60,77 @@ fn fig05_cells_conserve_energy() {
 }
 
 #[test]
+fn fig05_cells_conserve_energy_under_every_scheduler() {
+    // The scheduler decides who runs when; attribution samples what ran.
+    // Swapping the kernel's pick-next policy must not unbalance the
+    // energy ledger on any workload.
+    let mut lab = Lab::new();
+    let spec = lab.spec("sandybridge");
+    let cal = lab.calibration("sandybridge");
+    let mut tasks = Vec::new();
+    for kind in experiments::sched_sweep::swept_kinds() {
+        for workload in WorkloadKind::ALL {
+            let (kind, spec, cal) = (kind.clone(), spec.clone(), cal.clone());
+            tasks.push(move || {
+                let mut cfg = RunConfig::new(spec);
+                cfg.sched = kind.clone();
+                cfg.load = LoadLevel::Peak;
+                cfg.duration = SimDuration::from_secs(Scale::Quick.run_secs() / 2 + 2);
+                let outcome = run_app(workload, &cfg, &cal);
+                (
+                    format!("fig05 sandybridge/{}/peak sched={}", workload.name(), kind.name()),
+                    outcome.attributed_energy_j(),
+                    outcome.measured_active_energy_j(),
+                )
+            });
+        }
+    }
+    let cells = experiments::runner::run_parallel(experiments::runner::jobs(), tasks);
+    for cell in cells {
+        let (label, attributed, measured) = cell.expect("sched fig05 cell must not panic");
+        assert_energy_conserved(&label, attributed, measured, CLEAN_TOL);
+    }
+}
+
+#[test]
+fn chaos_rung_conserves_energy_under_every_scheduler() {
+    // The heaviest conservation test crossed with the scheduler axis: a
+    // crash-bearing chaos rung where every node runs the swept
+    // scheduler. Crashes may lose the journaled window, but the ledger
+    // must still balance per node under any pick-next policy.
+    let mut lab = Lab::new();
+    let sc = experiments::chaos_sweep::SCENARIOS
+        .iter()
+        .find(|s| s.crash_hz > 0.0)
+        .expect("a crash-bearing chaos scenario");
+    for kind in experiments::sched_sweep::swept_kinds() {
+        let mut cfg = experiments::chaos_sweep::cell_config(Scale::Quick, sc);
+        cfg.sched = vec![kind.clone()];
+        let cals = experiments::chaos_sweep::cell_calibrations(&mut lab, &cfg);
+        let mut policies: Vec<Box<dyn cluster::DistributionPolicy>> = (0..cfg.tiers.len())
+            .map(|_| Box::new(cluster::SimpleBalance::new()) as Box<dyn cluster::DistributionPolicy>)
+            .collect();
+        let outcome = cluster::run_pipeline(&mut policies, &cfg, &cals);
+        assert!(outcome.crashes > 0, "chaos cell `{}` must crash", sc.name);
+        assert!(outcome.completed > 0, "chaos cell `{}` must keep serving", sc.name);
+        for (i, node) in outcome.per_node.iter().enumerate() {
+            assert_energy_conserved(
+                &format!(
+                    "chaos_sweep {} sched={} node {i} ({}, tier {})",
+                    sc.name,
+                    kind.name(),
+                    node.machine,
+                    node.tier
+                ),
+                node.attributed_energy_j + node.lost_energy_j,
+                node.active_energy_j,
+                FAULT_TOL,
+            );
+        }
+    }
+}
+
+#[test]
 fn fault_sweep_cells_conserve_energy() {
     let mut lab = Lab::new();
     let spec = lab.spec("sandybridge");
