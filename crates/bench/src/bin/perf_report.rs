@@ -145,6 +145,32 @@ struct SchedOverhead {
     cells: Vec<SchedCellWall>,
 }
 
+/// Price of the elasticity controller when it has nothing to do: the
+/// cost of one `Autoscaler::decide` on its steady-state hot path
+/// (mid-band utilization, cold cap → `Hold`), and the wall-time delta
+/// of a megafleet-shaped cell run fixed vs with the controller live
+/// but pinned at its floor (min == initial fleet, so every evaluation
+/// decides `Hold`). `overhead_frac` under 2% is the acceptance
+/// criterion: elasticity must cost nothing while the fleet is
+/// right-sized, because the controller runs at every tick barrier of
+/// every autoscaled cell whether or not traffic ever moves.
+#[derive(Serialize)]
+struct AutoscaleOverhead {
+    decide_ns: u64,
+    megafleet_nodes: usize,
+    megafleet_requests: u64,
+    samples: usize,
+    /// Controller evaluations the steady cell actually performed.
+    cell_evals: u64,
+    fixed_wall_ms: u64,
+    steady_wall_ms: u64,
+    /// End-to-end wall delta divided by `cell_evals` — the in-engine
+    /// per-evaluation price including the fleet-power sample the
+    /// controller reads (signed: scheduler noise can run negative).
+    ns_per_eval_end_to_end: i64,
+    overhead_frac: f64,
+}
+
 /// Wall times for the experiment harness, from real `run_all` runs.
 #[derive(Serialize)]
 struct Harness {
@@ -200,6 +226,7 @@ struct Report {
     telemetry_tax: Vec<TelemetryTax>,
     obs_overhead: ObsOverhead,
     sched_overhead: SchedOverhead,
+    autoscale_overhead: AutoscaleOverhead,
     harness: Harness,
 }
 
@@ -881,6 +908,80 @@ fn sched_overhead() -> SchedOverhead {
     }
 }
 
+/// Measures the elasticity controller's price at steady state: the
+/// `decide` hot path alone, then the megafleet cell fixed vs floored
+/// (interleaved rounds, fastest each, like the obs measurement).
+fn autoscale_overhead() -> AutoscaleOverhead {
+    use cluster::{AutoscaleConfig, Autoscaler, FleetSample, ScaleDecision};
+    const NODES: usize = 48;
+    const REQUESTS: u64 = 30_000;
+    const RUNS: usize = 9;
+
+    // The steady-state decision: utilization inside the hysteresis
+    // band, cap cold, nothing landing — every call must hold.
+    let mut scaler = Autoscaler::new(AutoscaleConfig::standard(NODES, NODES));
+    let every = scaler.config().eval_every;
+    let mut now = SimTime::ZERO;
+    let decide_ns = median_ns(256, || {
+        now += every;
+        let (d, _) = scaler.decide(&FleetSample {
+            now,
+            active: NODES,
+            landing: 0,
+            draining: 0,
+            standby: 0,
+            util: 1.0,
+            power_frac: 0.0,
+        });
+        assert_eq!(d, ScaleDecision::Hold, "steady sample must hold");
+        black_box(d);
+    });
+
+    let mut lab = experiments::Lab::new();
+    let base = experiments::megafleet::cell_config(NODES, REQUESTS);
+    let cals = experiments::megafleet::cell_calibrations(&mut lab, &base);
+    let mut cell_evals = 0u64;
+    let wall_us = |floored: bool, cell_evals: &mut u64| {
+        let mut cfg = experiments::megafleet::cell_config(NODES, REQUESTS);
+        if floored {
+            // min == initial: no standby to provision, the floor blocks
+            // every drain — the controller runs but never resizes.
+            cfg.autoscale = Some(AutoscaleConfig::standard(NODES, NODES));
+        }
+        let t0 = Instant::now();
+        let outcome = cluster::run_cluster(&mut cluster::SimpleBalance::new(), &cfg, &cals);
+        let wall = t0.elapsed();
+        if floored {
+            assert_eq!(
+                (outcome.scale_outs, outcome.scale_ins),
+                (0, 0),
+                "floored controller must never resize"
+            );
+            assert!(outcome.autoscale_evals > 0, "controller must actually run");
+            *cell_evals = outcome.autoscale_evals;
+        }
+        wall.as_micros()
+    };
+    let mut fixed_us = u128::MAX;
+    let mut steady_us = u128::MAX;
+    for _ in 0..RUNS {
+        fixed_us = fixed_us.min(wall_us(false, &mut cell_evals));
+        steady_us = steady_us.min(wall_us(true, &mut cell_evals));
+    }
+    AutoscaleOverhead {
+        decide_ns,
+        megafleet_nodes: NODES,
+        megafleet_requests: REQUESTS,
+        samples: RUNS,
+        cell_evals,
+        fixed_wall_ms: (fixed_us / 1000) as u64,
+        steady_wall_ms: (steady_us / 1000) as u64,
+        ns_per_eval_end_to_end: (steady_us as i64 - fixed_us as i64) * 1000
+            / cell_evals.max(1) as i64,
+        overhead_frac: steady_us as f64 / fixed_us.max(1) as f64 - 1.0,
+    }
+}
+
 fn arg_secs(args: &[String], flag: &str) -> Option<f64> {
     args.iter()
         .position(|a| a == flag)
@@ -937,6 +1038,7 @@ fn main() {
         telemetry_tax: vec![alignment_tax(), refit_tax()],
         obs_overhead: obs_overhead(),
         sched_overhead: sched_overhead(),
+        autoscale_overhead: autoscale_overhead(),
         harness: Harness {
             run_all_serial_before_s: arg_secs(&args, "--run-all-before"),
             run_all_serial_after_s: arg_secs(&args, "--run-all-after"),
@@ -1007,6 +1109,17 @@ fn main() {
             c.delta_vs_rr * 100.0
         );
     }
+    let a = &report.autoscale_overhead;
+    eprintln!(
+        "  autoscale decide {} ns; floored megafleet cell {} ms vs {} ms fixed \
+         ({:+.2}%, {} evals, {:+} ns/eval end-to-end)",
+        a.decide_ns,
+        a.steady_wall_ms,
+        a.fixed_wall_ms,
+        a.overhead_frac * 100.0,
+        a.cell_evals,
+        a.ns_per_eval_end_to_end
+    );
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write report");
     eprintln!("wrote {}", out.display());

@@ -37,12 +37,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod obs;
 pub mod policy;
 pub mod profile;
 pub mod sim;
 pub mod topology;
 
+pub use autoscale::{
+    Autoscaler, AutoscaleConfig, BrownoutConfig, BrownoutLevel, FleetSample, RollingUpgrade,
+    ScaleDecision,
+};
 pub use obs::{ObsConfig, ObsOutcome};
 pub use policy::{
     ArrivalView, DistributionPolicy, MachineHeterogeneityAware, NodeView, SimpleBalance,
@@ -51,6 +56,7 @@ pub use policy::{
 pub use profile::{energy_affinity, mean_request_energy_j, AffinityRow};
 pub use sim::{
     offered_cluster_rate, run_cluster, run_pipeline, AdmissionConfig, ClusterConfig,
-    ClusterOutcome, CrashRecord, CtxEnergy, NodeOutcome, RecoveryConfig, ShedReason,
+    ClusterOutcome, CrashRecord, CtxEnergy, NodeOutcome, RecoveryConfig, ScaleEvent, ScaleKind,
+    ShedReason,
 };
 pub use topology::{generation_rank, Tier, Topology};

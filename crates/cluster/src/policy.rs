@@ -116,8 +116,11 @@ impl DistributionPolicy for SimpleBalance {
     }
 
     fn choose(&mut self, _req: ArrivalView, nodes: &[NodeView]) -> usize {
-        let n = self.next;
-        self.next = (self.next + 1) % nodes.len();
+        // Re-mod the stored cursor: the view can shrink between calls
+        // when the autoscaler drains nodes (a no-op on fixed fleets,
+        // where the cursor is always already in range).
+        let n = self.next % nodes.len();
+        self.next = (n + 1) % nodes.len();
         n
     }
 }

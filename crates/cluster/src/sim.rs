@@ -47,6 +47,7 @@
 //! All recovery knobs default to *off*: a configuration that does not
 //! opt in behaves byte-identically to the pre-recovery engine.
 
+use crate::autoscale::{Autoscaler, AutoscaleConfig, BrownoutLevel, FleetSample, ScaleDecision};
 use crate::obs::{ObsConfig, ObsOutcome, ObsPlane};
 use crate::policy::{ArrivalView, DistributionPolicy, NodeView};
 use crate::topology::{generation_rank, Topology};
@@ -61,7 +62,10 @@ use simkern::{FxHashMap, SimDuration, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
-use workloads::{AppEnv, MachineCalibration, OpenLoopGen, RunStats, ServerApp, WorkloadKind};
+use workloads::{
+    AppEnv, Arrival, MachineCalibration, OpenLoopGen, RunStats, ServerApp, TrafficGen,
+    TrafficShape, WorkloadKind,
+};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -136,6 +140,16 @@ pub struct ClusterConfig {
     /// longer list interleaves policies across nodes. An empty list
     /// (never produced by the constructors) also means round-robin.
     pub sched: Vec<ossim::SchedulerKind>,
+    /// Non-stationary traffic shape (diurnal × flash crowds × sessions).
+    /// `None` — the default — drives the legacy stationary
+    /// [`OpenLoopGen`] byte-identically to before the traffic layer
+    /// existed; `Some` swaps in a [`TrafficGen`] at the same mean
+    /// per-app rates.
+    pub traffic: Option<TrafficShape>,
+    /// Elastic autoscaling (requires a single-tier cluster). `None` —
+    /// the default — keeps the whole topology active for the entire
+    /// run, byte-identically to the pre-elasticity engine.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl ClusterConfig {
@@ -161,6 +175,8 @@ impl ClusterConfig {
             model_bank: None,
             obs: None,
             sched: vec![ossim::SchedulerKind::RoundRobin],
+            traffic: None,
+            autoscale: None,
         }
     }
 
@@ -271,15 +287,19 @@ pub enum ShedReason {
     PowerHeadroom,
     /// The per-hop retry budget ran out without a reply.
     RetriesExhausted,
+    /// The brownout ladder shed an arrival whose session was marked
+    /// optional ([`workloads::Arrival::optional`]).
+    BrownoutOptional,
 }
 
 impl ShedReason {
     /// Every reason, in [`ClusterOutcome::shed`] index order.
-    pub const ALL: [ShedReason; 4] = [
+    pub const ALL: [ShedReason; 5] = [
         ShedReason::NoHealthyNode,
         ShedReason::QueueDepth,
         ShedReason::PowerHeadroom,
         ShedReason::RetriesExhausted,
+        ShedReason::BrownoutOptional,
     ];
 
     /// Stable human-readable name.
@@ -289,6 +309,7 @@ impl ShedReason {
             ShedReason::QueueDepth => "queue-depth",
             ShedReason::PowerHeadroom => "power-headroom",
             ShedReason::RetriesExhausted => "retries-exhausted",
+            ShedReason::BrownoutOptional => "brownout-optional",
         }
     }
 
@@ -299,6 +320,7 @@ impl ShedReason {
             ShedReason::QueueDepth => 1,
             ShedReason::PowerHeadroom => 2,
             ShedReason::RetriesExhausted => 3,
+            ShedReason::BrownoutOptional => 4,
         }
     }
 
@@ -309,6 +331,7 @@ impl ShedReason {
             ShedReason::QueueDepth => "cluster.shed.queue-depth",
             ShedReason::PowerHeadroom => "cluster.shed.power-headroom",
             ShedReason::RetriesExhausted => "cluster.shed.retries-exhausted",
+            ShedReason::BrownoutOptional => "cluster.shed.brownout-optional",
         }
     }
 }
@@ -331,6 +354,77 @@ pub struct CrashRecord {
     pub restored_containers: u64,
     /// Age of the restored checkpoint at the moment of the crash.
     pub checkpoint_age: SimDuration,
+}
+
+/// Which elasticity transition a [`ScaleEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// The controller provisioned a standby node.
+    Out,
+    /// The controller drained an active node to standby.
+    In,
+    /// The provision half of a rolling-upgrade pair.
+    UpgradeOut,
+    /// The drain half of a rolling-upgrade pair.
+    UpgradeIn,
+}
+
+impl ScaleKind {
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleKind::Out => "scale-out",
+            ScaleKind::In => "scale-in",
+            ScaleKind::UpgradeOut => "upgrade-out",
+            ScaleKind::UpgradeIn => "upgrade-in",
+        }
+    }
+}
+
+/// One completed fleet-resize transition, as journaled by the engine.
+/// A scale-out completes when the provisioned node starts warming up; a
+/// scale-in completes when the drained node freezes to standby.
+#[derive(Debug, Clone)]
+pub struct ScaleEvent {
+    /// Flat node index.
+    pub node: usize,
+    /// Transition direction.
+    pub kind: ScaleKind,
+    /// When the controller decided the resize.
+    pub decided_at: SimTime,
+    /// When the transition completed (warm-up start / standby freeze).
+    pub completed_at: SimTime,
+    /// Attributed energy lost by the transition, Joules. A clean drain
+    /// journals a final checkpoint at the freeze instant, so this is
+    /// exactly `0.0` — unlike a crash loss window.
+    pub lost_energy_j: f64,
+    /// In-flight requests force-killed by a drain-deadline expiry
+    /// (always 0 on a clean drain; the stragglers re-enter the retry
+    /// machinery where budget remains).
+    pub lost_requests: u64,
+    /// `true` when the drain deadline expired before the node emptied.
+    pub forced: bool,
+    /// Warm-up energy charged to the provisioning container for this
+    /// transition (idle draw over boot + warm-up), Joules.
+    pub provision_energy_j: f64,
+}
+
+/// Elasticity state of one node, orthogonal to [`Lifecycle`] (which
+/// keeps tracking crash/restart health): a node's kernel only runs
+/// while `Active` or `Draining`; `Standby` and `Provisioning` hold it
+/// frozen and out of every routing view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScaleState {
+    /// In the routing views, serving load.
+    Active,
+    /// Frozen, out of the views, available to provision.
+    Standby,
+    /// Bought but not yet landed: boot latency until `ready`, then the
+    /// node rebuilds, restores its journal and starts warming up.
+    Provisioning { decided_at: SimTime, ready: SimTime, kind: ScaleKind },
+    /// Out of the views, finishing its outstanding work; force-retired
+    /// at `deadline` if stragglers remain.
+    Draining { decided_at: SimTime, deadline: SimTime, kind: ScaleKind },
 }
 
 /// The dispatcher's trace track.
@@ -468,6 +562,13 @@ struct Node {
     checkpoints: u64,
     last_health_check: SimTime,
     responses_at_check: u64,
+    /// Elasticity state; always `Active` without [`ClusterConfig::autoscale`].
+    scale: ScaleState,
+    /// When the current active stretch began (`None` while frozen).
+    active_since: Option<SimTime>,
+    /// Seconds spent active (or draining) across every stretch; the
+    /// idle-energy burden is `machine_idle_w × uptime_s`.
+    uptime_s: f64,
     /// This node's private trace sink, shared only with this node's
     /// facility. The engine drains it into the main sink in node order
     /// at every tick barrier and folds the metrics registry in at the
@@ -516,7 +617,7 @@ impl Node {
     /// set; the engine journals the loss and rebuilds the node before
     /// calling again.
     fn advance_to(&mut self, t: SimTime) {
-        if self.pending_crash {
+        if self.pending_crash || !self.participates() {
             return;
         }
         loop {
@@ -608,7 +709,7 @@ impl Node {
     /// observably fail), breaker admitting, and — while warming up —
     /// below a one-request-per-core probe load.
     fn available(&self, now: SimTime) -> bool {
-        if self.pending_crash {
+        if self.pending_crash || self.scale != ScaleState::Active {
             return false;
         }
         if let Some(w) = &self.active_window {
@@ -661,6 +762,12 @@ impl Node {
         }
     }
 
+    /// `true` while the node's kernel runs (active or draining); a
+    /// frozen standby/provisioning node neither advances nor accrues.
+    fn participates(&self) -> bool {
+        matches!(self.scale, ScaleState::Active | ScaleState::Draining { .. })
+    }
+
     /// Energy the facility attributed on this node (requests +
     /// background, CPU + I/O) — mirrors
     /// `workloads::RunOutcome::attributed_energy_j`. After a restart
@@ -709,6 +816,13 @@ pub struct NodeOutcome {
     /// Mean utilization over the run (the final incarnation's counters
     /// after a crash).
     pub utilization: f64,
+    /// Seconds this node spent active or draining. The full run
+    /// duration without autoscaling; the sum of active stretches with
+    /// it.
+    pub uptime_s: f64,
+    /// Idle-power burden over the active stretches, Joules
+    /// (`machine_idle_w × uptime_s`) — what scale-in saves.
+    pub idle_energy_j: f64,
 }
 
 /// Cumulative attributed energy of one request across every node it
@@ -791,6 +905,28 @@ pub struct ClusterOutcome {
     /// Observability-plane results (sketches, rollups, typed alerts,
     /// provenance). `None` unless [`ClusterConfig::obs`] was set.
     pub obs: Option<Box<ObsOutcome>>,
+    /// One entry per completed resize transition, in completion order
+    /// (empty without [`ClusterConfig::autoscale`]).
+    pub scale_log: Vec<ScaleEvent>,
+    /// Completed scale-outs (including upgrade provision halves).
+    pub scale_outs: u64,
+    /// Completed scale-ins (including upgrade drain halves).
+    pub scale_ins: u64,
+    /// Rolling-upgrade pairs started.
+    pub upgrades: u64,
+    /// Brownout-ladder climbs (one per level stepped up).
+    pub brownout_engagements: u64,
+    /// Brownout-ladder descents (one per level stepped down).
+    pub brownout_releases: u64,
+    /// Controller evaluations performed.
+    pub autoscale_evals: u64,
+    /// Warm-up energy charged to provisioning transitions, Joules.
+    pub provisioning_energy_j: f64,
+    /// Fleet idle-power burden (sum of per-node idle energies), Joules.
+    pub idle_energy_j: f64,
+    /// Highest fleet active power observed at any tick barrier, Watts
+    /// (0 when no power cap / admission machinery sampled it).
+    pub peak_power_w: f64,
 }
 
 impl ClusterOutcome {
@@ -908,36 +1044,63 @@ pub fn run_pipeline(
 /// dispatcher cost.
 struct TierViews {
     views: Vec<Vec<NodeView>>,
+    /// Flat node indices of each tier's *active* members, in config
+    /// order (`views[t]` is parallel to `members[t]`). Without
+    /// autoscaling every node is active and this is exactly
+    /// `cfg.tiers`.
+    members: Vec<Vec<usize>>,
     pos: Vec<(usize, usize)>,
+    active: Vec<bool>,
 }
 
 impl TierViews {
-    fn new(cfg: &ClusterConfig) -> TierViews {
-        let mut pos = vec![(0usize, 0usize); cfg.nodes.len()];
-        let views = cfg
-            .tiers
-            .iter()
-            .enumerate()
-            .map(|(t, tier)| {
-                tier.iter()
-                    .enumerate()
-                    .map(|(p, &i)| {
-                        pos[i] = (t, p);
-                        NodeView {
-                            outstanding: 0.0,
-                            cores: cfg.nodes[i].total_cores(),
-                            rank: generation_rank(&cfg.nodes[i]),
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        TierViews { views, pos }
+    fn new(cfg: &ClusterConfig, active: Vec<bool>, nodes: &[Node]) -> TierViews {
+        let mut tv = TierViews {
+            views: vec![Vec::new(); cfg.tiers.len()],
+            members: vec![Vec::new(); cfg.tiers.len()],
+            pos: vec![(0usize, 0usize); cfg.nodes.len()],
+            active,
+        };
+        for t in 0..cfg.tiers.len() {
+            tv.rebuild_tier(t, cfg, nodes);
+        }
+        tv
     }
 
-    /// Refreshes node `n`'s view after its outstanding estimate changed.
+    /// Rebuilds one tier's member list and views from the activity
+    /// mask, preserving config order (so the all-active mask reproduces
+    /// the legacy views byte-identically).
+    fn rebuild_tier(&mut self, t: usize, cfg: &ClusterConfig, nodes: &[Node]) {
+        self.members[t] = cfg.tiers[t].iter().copied().filter(|&i| self.active[i]).collect();
+        self.views[t] = self.members[t]
+            .iter()
+            .map(|&i| NodeView {
+                outstanding: nodes[i].outstanding_std,
+                cores: cfg.nodes[i].total_cores(),
+                rank: generation_rank(&cfg.nodes[i]),
+            })
+            .collect();
+        for (p, &i) in self.members[t].iter().enumerate() {
+            self.pos[i] = (t, p);
+        }
+    }
+
+    /// Adds or removes node `n` from its tier's routing membership.
+    fn set_active(&mut self, n: usize, tier: usize, on: bool, cfg: &ClusterConfig, nodes: &[Node]) {
+        if self.active[n] == on {
+            return;
+        }
+        self.active[n] = on;
+        self.rebuild_tier(tier, cfg, nodes);
+    }
+
+    /// Refreshes node `n`'s view after its outstanding estimate changed
+    /// (no-op for a node outside the routing membership).
     #[inline]
     fn sync(&mut self, n: usize, outstanding_std: f64) {
+        if !self.active[n] {
+            return;
+        }
         let (t, p) = self.pos[n];
         self.views[t][p].outstanding = outstanding_std;
     }
@@ -945,6 +1108,28 @@ impl TierViews {
     #[inline]
     fn tier(&self, t: usize) -> &[NodeView] {
         &self.views[t]
+    }
+
+    #[inline]
+    fn members(&self, t: usize) -> &[usize] {
+        &self.members[t]
+    }
+}
+
+/// The engine's arrival source: the legacy stationary Poisson generator,
+/// or the diurnal/flash-crowd/session-structured [`TrafficGen`] when
+/// [`ClusterConfig::traffic`] is set.
+enum ArrivalGen {
+    Open(OpenLoopGen),
+    Traffic(Box<TrafficGen>),
+}
+
+impl ArrivalGen {
+    fn next(&mut self, apps: &[Box<dyn ServerApp>]) -> Option<Arrival> {
+        match self {
+            ArrivalGen::Open(g) => g.next(apps),
+            ArrivalGen::Traffic(g) => g.next(apps),
+        }
     }
 }
 
@@ -1017,6 +1202,11 @@ fn route(
     rerouted: &mut u64,
     decisions: &mut u64,
 ) -> Option<usize> {
+    if tier.is_empty() {
+        // A fully drained tier (possible only transiently under
+        // autoscaling) routes nowhere; the caller sheds or retries.
+        return None;
+    }
     *decisions += 1;
     let mut chosen = tier[policy.choose(req, views)];
     if !nodes[chosen].available(t) {
@@ -1331,6 +1521,13 @@ fn run_engine(
         assert!(seen.iter().all(|&s| s), "every node must belong to a tier");
         assert!(cfg.tiers.iter().all(|t| !t.is_empty()), "tiers must be nonempty");
     }
+    if let Some(ac) = cfg.autoscale.as_ref() {
+        assert_eq!(cfg.tiers.len(), 1, "autoscaling drives a single-tier cluster");
+        assert!(
+            ac.initial_nodes <= cfg.tiers[0].len(),
+            "initial fleet larger than the topology"
+        );
+    }
     let apps: Vec<Box<dyn ServerApp>> = cfg.apps.iter().map(|k| k.app()).collect();
     let total_cores: usize = cfg.nodes.iter().map(MachineSpec::total_cores).sum();
     let tier_of: HashMap<usize, usize> = cfg
@@ -1345,6 +1542,15 @@ fn run_engine(
         .map(|r| r.checkpoint_every)
         .unwrap_or(DEFAULT_CHECKPOINT_EVERY);
     let crashes_possible = cfg.faults.node_crash_hz > 0.0;
+
+    // Initially active set: everything without autoscaling; the first
+    // `initial_nodes` flat indices with it. The topology sorts newest
+    // generation first, so the initial fleet is the newest machines and
+    // scale-out walks toward older standbys.
+    let initially_active: Vec<bool> = match cfg.autoscale.as_ref() {
+        Some(ac) => (0..cfg.nodes.len()).map(|n| n < ac.initial_nodes).collect(),
+        None => vec![true; cfg.nodes.len()],
+    };
 
     let mut nodes: Vec<Node> = Vec::new();
     for (n, spec) in cfg.nodes.iter().enumerate() {
@@ -1406,6 +1612,9 @@ fn run_engine(
             checkpoints: 0,
             last_health_check: SimTime::ZERO,
             responses_at_check: 0,
+            scale: if initially_active[n] { ScaleState::Active } else { ScaleState::Standby },
+            active_since: initially_active[n].then_some(SimTime::ZERO),
+            uptime_s: 0.0,
             tele,
             track: node_track(n),
         });
@@ -1421,11 +1630,29 @@ fn run_engine(
         .iter()
         .map(|spec| apps.iter().map(|a| service_secs(a.as_ref(), spec)).collect())
         .collect();
-    let tier0_cores: usize = cfg.tiers[0].iter().map(|&i| cfg.nodes[i].total_cores()).sum();
+    // Admission reads the *active* tier-0 core count, maintained across
+    // resizes (equal to the static total without autoscaling).
+    let mut tier0_active_cores: usize = cfg.tiers[0]
+        .iter()
+        .filter(|&&i| initially_active[i])
+        .map(|&i| cfg.nodes[i].total_cores())
+        .sum();
 
     let rate = per_app_rate(cfg);
     let end = SimTime::ZERO + cfg.duration;
-    let mut gen = OpenLoopGen::new(cfg.seed, &vec![rate; apps.len()], end);
+    // Both arrival sources offer the same mean per-app rates, so a
+    // fixed-fleet and an autoscaled run of one config face identical
+    // traffic (the traffic generator is itself deterministic in the
+    // seed alone).
+    let mut gen = match cfg.traffic.as_ref() {
+        Some(shape) => ArrivalGen::Traffic(Box::new(TrafficGen::new(
+            cfg.seed,
+            &vec![rate; apps.len()],
+            end,
+            shape,
+        ))),
+        None => ArrivalGen::Open(OpenLoopGen::new(cfg.seed, &vec![rate; apps.len()], end)),
+    };
     let mut pending = gen.next(&apps);
 
     // Live requests by stable request id; `serial_req` resolves a wire
@@ -1440,7 +1667,7 @@ fn run_engine(
     // allocated range simply misses, exactly as with a map.
     assert!(cfg.apps.len() <= u8::MAX as usize, "app index must fit u8");
     let mut ctx_app: Vec<u8> = Vec::new();
-    let mut views = TierViews::new(cfg);
+    let mut views = TierViews::new(cfg, initially_active.clone(), &nodes);
     // Reusable scratch: drained segments and due-request harvests live
     // across ticks instead of being reallocated per node per tick.
     let mut seg_buf: Vec<ossim::Segment> = Vec::new();
@@ -1461,6 +1688,24 @@ fn run_engine(
     let mut crash_log: Vec<CrashRecord> = Vec::new();
     let mut decisions = 0u64;
     let mut degradations_detected = 0u64;
+    // Elasticity state: the pure controller, the resize journal, and
+    // the rolling-upgrade schedule cursor. All actuation happens on the
+    // driving thread at tick barriers.
+    let mut scaler = cfg.autoscale.map(Autoscaler::new);
+    let mut scale_log: Vec<ScaleEvent> = Vec::new();
+    let mut scale_outs = 0u64;
+    let mut scale_ins = 0u64;
+    let mut upgrades = 0u64;
+    let mut brownout_engagements = 0u64;
+    let mut brownout_releases = 0u64;
+    let mut provisioning_energy_j = 0.0f64;
+    let mut peak_power_w = 0.0f64;
+    let mut next_upgrade_at = cfg
+        .autoscale
+        .as_ref()
+        .and_then(|ac| ac.upgrade.as_ref().map(|up| SimTime::ZERO + up.start));
+    let mut upgrades_left =
+        cfg.autoscale.as_ref().and_then(|ac| ac.upgrade.as_ref()).map_or(0, |up| up.count);
     // The observability plane lives entirely on this (driving) thread;
     // its window samples are read at tick barriers in node order, so
     // its output is byte-identical at every shard count.
@@ -1617,6 +1862,7 @@ fn run_engine(
             for node in nodes.iter_mut() {
                 if t < node.next_checkpoint_at
                     || matches!(node.lifecycle, Lifecycle::Down { .. })
+                    || !node.participates()
                 {
                     continue;
                 }
@@ -1671,7 +1917,7 @@ fn run_engine(
                     let req = ArrivalView { app: cfg.apps[app_idx], label };
                     match route(
                         policies[next_stage],
-                        &cfg.tiers[next_stage],
+                        views.members(next_stage),
                         views.tier(next_stage),
                         &nodes,
                         req,
@@ -1798,7 +2044,8 @@ fn run_engine(
                 due_buf.sort_unstable();
                 for &req_id in due_buf.iter() {
                     let Some(fl) = inflight.get_mut(&req_id) else { continue };
-                    let alt = cfg.tiers[fl.stage]
+                    let alt = views
+                        .members(fl.stage)
                         .iter()
                         .copied()
                         .filter(|&i| i != fl.node && nodes[i].available(t))
@@ -1832,8 +2079,12 @@ fn run_engine(
                 }
             }
         }
-        // 3. Health checks and lifecycle timers.
+        // 3. Health checks and lifecycle timers (frozen standby /
+        //    provisioning nodes hold no work and skip both).
         for (n, node) in nodes.iter_mut().enumerate() {
+            if !node.participates() {
+                continue;
+            }
             node.lifecycle_tick(t);
             if node.health_check(t) {
                 degradations_detected += 1;
@@ -1872,7 +2123,7 @@ fn run_engine(
                 let req = ArrivalView { app: cfg.apps[fl.app], label: fl.label };
                 match route(
                     policies[fl.stage],
-                    &cfg.tiers[fl.stage],
+                    views.members(fl.stage),
                     views.tier(fl.stage),
                     &nodes,
                     req,
@@ -1922,14 +2173,422 @@ fn run_engine(
                 }
             }
         }
-        // 4. Admission control, then dispatch the tick's batch of
-        //    arrivals into tier 0.
-        let fleet_power_w: f64 = match (cfg.admission.as_ref(), cfg.power_cap_w) {
-            (Some(_), Some(_)) => nodes
+        // 3.7 Elasticity, all on the driving thread so resizes are
+        //     byte-identical at every --jobs/--shards count: sample the
+        //     fleet power, land provisioned nodes, progress drains,
+        //     fire the rolling-upgrade schedule, then run one
+        //     controller evaluation when due.
+        let fleet_power_w: f64 = if cfg.power_cap_w.is_some()
+            && (cfg.admission.is_some() || scaler.is_some())
+        {
+            // Only kernels that advance draw power: a frozen standby's
+            // machine still *reports* the instantaneous state it was
+            // built with (worker pools parked on cores), which would
+            // read as a permanently busy fleet.
+            nodes
                 .iter()
+                .filter(|nd| nd.participates())
                 .map(|nd| nd.kernel.machine().true_active_power_watts())
-                .sum(),
-            _ => 0.0,
+                .sum()
+        } else {
+            0.0
+        };
+        peak_power_w = peak_power_w.max(fleet_power_w);
+        if let Some(sc) = scaler.as_mut() {
+            let ac = *sc.config();
+            // (a) Land provisioned nodes whose boot latency expired:
+            //     carry the dead stretch's counters, rebuild a fresh
+            //     incarnation at `t` (the crash-restart machinery,
+            //     minus the loss window), restore the retirement
+            //     checkpoint, and start warming up. Boot + warm-up
+            //     idle draw is charged to the provisioning transition.
+            for n in 0..nodes.len() {
+                let ScaleState::Provisioning { decided_at, ready, kind } = nodes[n].scale
+                else {
+                    continue;
+                };
+                if t < ready {
+                    continue;
+                }
+                {
+                    let node = &mut nodes[n];
+                    let m = node.kernel.machine();
+                    node.carried_energy_j += m.true_active_energy_j();
+                    for (tot, c) in
+                        node.carried_fault_counts.iter_mut().zip(m.fault_log().counts())
+                    {
+                        *tot += c;
+                    }
+                    let ks = node.kernel.stats();
+                    node.carried_tags_lost += ks.tags_lost;
+                    node.carried_tags_corrupted += ks.tags_corrupted;
+                    node.incarnation += 1;
+                    let tele = node.tele.clone();
+                    let (kernel, facility, inboxes, reply_rx) = build_node_runtime(
+                        n,
+                        node.incarnation,
+                        t,
+                        cfg,
+                        &cals[n],
+                        &apps,
+                        total_cores,
+                        Rc::clone(&node.stats),
+                        &tele,
+                    );
+                    node.kernel = kernel;
+                    node.facility = facility;
+                    node.inboxes = inboxes;
+                    node.reply_rx = reply_rx;
+                    let _ = node
+                        .facility
+                        .borrow_mut()
+                        .containers_mut()
+                        .restore(&node.last_checkpoint, t);
+                    node.last_checkpoint =
+                        node.facility.borrow().containers().checkpoint(t);
+                    node.checkpoints += 1;
+                    node.next_checkpoint_at =
+                        if crashes_possible { t + checkpoint_every } else { SimTime::MAX };
+                    // Fault windows that opened while the node was
+                    // frozen never happened for it.
+                    while node.next_window < node.fault_windows.len()
+                        && node.fault_windows[node.next_window].start < t
+                    {
+                        node.next_window += 1;
+                    }
+                    node.active_window = None;
+                    node.breaker = Breaker::new();
+                    node.lifecycle = Lifecycle::WarmingUp { until: t + ac.warmup };
+                    node.responses_at_check = node.responses;
+                    node.last_health_check = t;
+                    node.scale = ScaleState::Active;
+                    node.active_since = Some(t);
+                }
+                let spec = &cfg.nodes[n];
+                let boot_j = spec.truth.machine_idle_w()
+                    * (ac.provision_delay + ac.warmup).as_secs_f64();
+                provisioning_energy_j += boot_j;
+                tier0_active_cores += spec.total_cores();
+                let tier = nodes[n].tier;
+                views.set_active(n, tier, true, cfg, &nodes);
+                scale_outs += 1;
+                scale_log.push(ScaleEvent {
+                    node: n,
+                    kind,
+                    decided_at,
+                    completed_at: t,
+                    lost_energy_j: 0.0,
+                    lost_requests: 0,
+                    forced: false,
+                    provision_energy_j: boot_j,
+                });
+                cfg.telemetry.instant_on(
+                    t,
+                    "cluster",
+                    kind.name(),
+                    DISPATCHER_TRACK,
+                    &[("node", (n as u64).into()), ("boot_j", boot_j.into())],
+                );
+                cfg.telemetry.add_count("autoscale.scale_out", 1);
+            }
+            // (b) Progress draining nodes. A node whose outstanding
+            //     work emptied retires cleanly: the final checkpoint is
+            //     taken at the freeze instant, so the journaled loss is
+            //     *exactly* zero (attribution accrues into the same
+            //     totals the checkpoint snapshots — unlike a crash,
+            //     which loses everything since the last periodic
+            //     journal entry). A node past its drain deadline
+            //     force-kills its stragglers — they re-enter the retry
+            //     machinery like crash victims — and retires anyway;
+            //     their partially-done work stays attributed, so even a
+            //     forced drain loses requests but not energy.
+            for (n, node) in nodes.iter_mut().enumerate() {
+                let ScaleState::Draining { decided_at, deadline, kind } = node.scale
+                else {
+                    continue;
+                };
+                if node.pending_crash {
+                    // The crash machinery owns this node this tick; the
+                    // rebuilt (emptied) node retires on a later tick.
+                    continue;
+                }
+                let forced = t >= deadline && !node.outstanding.is_empty();
+                if !node.outstanding.is_empty() && !forced {
+                    continue;
+                }
+                let (killed, lost_e) = {
+                    let mut killed: Vec<u64> = Vec::new();
+                    if forced {
+                        killed = node.outstanding.keys().copied().collect();
+                        killed.sort_unstable();
+                        node.outstanding.clear();
+                        node.outstanding_std = 0.0;
+                        node.lost_requests += killed.len() as u64;
+                    }
+                    if node.active_window.take().is_some() {
+                        node.tele.end_span(t, node.track);
+                    }
+                    node.last_checkpoint =
+                        node.facility.borrow().containers().checkpoint(t);
+                    node.checkpoints += 1;
+                    node.next_checkpoint_at = SimTime::MAX;
+                    // The live totals and the checkpoint sum the same
+                    // per-container energies in different association
+                    // orders, so a clean drain can read a few ULPs
+                    // apart; below a nanojoule the checkpoint IS the
+                    // state (a real crash loss window is joules).
+                    let raw = node.attributed_energy_j()
+                        - node.last_checkpoint.attributed_energy_j();
+                    let lost_e = if raw < 1e-9 { 0.0 } else { raw };
+                    if let Some(s) = node.active_since.take() {
+                        node.uptime_s += t.duration_since(s).as_secs_f64();
+                    }
+                    node.lifecycle = Lifecycle::Healthy;
+                    node.breaker = Breaker::new();
+                    node.scale = ScaleState::Standby;
+                    (killed, lost_e)
+                };
+                let killed_n = killed.len() as u64;
+                for serial in killed {
+                    let Some(req_id) = serial_req.remove(serial) else { continue };
+                    let Some(fl) = inflight.get_mut(&req_id) else { continue };
+                    if fl.serial != serial {
+                        if fl.hedge.map(|(_, s)| s) == Some(serial) {
+                            fl.hedge = None;
+                        }
+                        continue;
+                    }
+                    if let Some((hn, hs)) = fl.hedge.take() {
+                        fl.node = hn;
+                        fl.serial = hs;
+                        continue;
+                    }
+                    match cfg.recovery.as_ref() {
+                        Some(rec) if fl.attempt < rec.max_retries => {
+                            schedule_retry(
+                                &cfg.telemetry,
+                                &mut retry_queue,
+                                rec,
+                                cfg.seed,
+                                req_id,
+                                fl,
+                                &mut retried,
+                                t,
+                            );
+                        }
+                        _ => {
+                            inflight.remove(&req_id);
+                            dropped += 1;
+                            lost_in_crash += 1;
+                            cfg.telemetry.add_count("cluster.lost_in_crash", 1);
+                        }
+                    }
+                }
+                scale_ins += 1;
+                scale_log.push(ScaleEvent {
+                    node: n,
+                    kind,
+                    decided_at,
+                    completed_at: t,
+                    lost_energy_j: lost_e,
+                    lost_requests: killed_n,
+                    forced,
+                    provision_energy_j: 0.0,
+                });
+                cfg.telemetry.instant_on(
+                    t,
+                    "cluster",
+                    kind.name(),
+                    DISPATCHER_TRACK,
+                    &[
+                        ("node", (n as u64).into()),
+                        ("forced", (forced as u64).into()),
+                        ("lost_j", lost_e.into()),
+                    ],
+                );
+                cfg.telemetry.add_count("autoscale.scale_in", 1);
+            }
+            // (c) Rolling generation upgrades: at each scheduled slot,
+            //     drain the oldest active node (highest flat index —
+            //     the topology sorts newest first) and provision the
+            //     newest standby, as one paired swap.
+            if let Some(up) = ac.upgrade {
+                while upgrades_left > 0 && next_upgrade_at.is_some_and(|at| t >= at) {
+                    let victim = (0..nodes.len()).rev().find(|&i| {
+                        matches!(nodes[i].scale, ScaleState::Active)
+                            && nodes[i].lifecycle == Lifecycle::Healthy
+                            && !nodes[i].pending_crash
+                    });
+                    let fresh = (0..nodes.len())
+                        .find(|&i| matches!(nodes[i].scale, ScaleState::Standby));
+                    // A slot with no standby (elasticity bought them
+                    // all) or no healthy victim holds its place and
+                    // retries next tick rather than skipping the swap.
+                    let (Some(victim), Some(fresh)) = (victim, fresh) else { break };
+                    next_upgrade_at = next_upgrade_at.map(|at| at + up.every);
+                    upgrades_left -= 1;
+                    nodes[victim].scale = ScaleState::Draining {
+                        decided_at: t,
+                        deadline: t + ac.drain_deadline,
+                        kind: ScaleKind::UpgradeIn,
+                    };
+                    tier0_active_cores -= cfg.nodes[victim].total_cores();
+                    let tier = nodes[victim].tier;
+                    views.set_active(victim, tier, false, cfg, &nodes);
+                    nodes[fresh].scale = ScaleState::Provisioning {
+                        decided_at: t,
+                        ready: t + ac.provision_delay,
+                        kind: ScaleKind::UpgradeOut,
+                    };
+                    upgrades += 1;
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "upgrade",
+                        DISPATCHER_TRACK,
+                        &[("out", (victim as u64).into()), ("in", (fresh as u64).into())],
+                    );
+                    cfg.telemetry.add_count("autoscale.upgrade", 1);
+                }
+            }
+            // (d) One controller evaluation when due.
+            if sc.due(t) {
+                let mut active = 0usize;
+                let mut landing = 0usize;
+                let mut draining = 0usize;
+                let mut standby = 0usize;
+                let mut out_std = 0.0f64;
+                for node in nodes.iter() {
+                    match node.scale {
+                        ScaleState::Active => {
+                            active += 1;
+                            out_std += node.outstanding_std;
+                            if matches!(node.lifecycle, Lifecycle::WarmingUp { .. }) {
+                                landing += 1;
+                            }
+                        }
+                        ScaleState::Provisioning { .. } => landing += 1,
+                        ScaleState::Draining { .. } => draining += 1,
+                        ScaleState::Standby => standby += 1,
+                    }
+                }
+                let sample = FleetSample {
+                    now: t,
+                    active,
+                    landing,
+                    draining,
+                    standby,
+                    util: if tier0_active_cores > 0 {
+                        out_std / tier0_active_cores as f64
+                    } else {
+                        f64::INFINITY
+                    },
+                    power_frac: cfg.power_cap_w.map_or(0.0, |cap| fleet_power_w / cap),
+                };
+                let prev_level = sc.level();
+                let (decision, level) = sc.decide(&sample);
+                if level != prev_level {
+                    if level > prev_level {
+                        brownout_engagements += 1;
+                        cfg.telemetry.add_count("autoscale.brownout.engage", 1);
+                    } else {
+                        brownout_releases += 1;
+                        cfg.telemetry.add_count("autoscale.brownout.release", 1);
+                    }
+                    cfg.telemetry.instant_on(
+                        t,
+                        "cluster",
+                        "brownout",
+                        DISPATCHER_TRACK,
+                        &[("level", (level.index() as u64).into())],
+                    );
+                }
+                // DVFS clamp: re-asserted on every active node each
+                // evaluation while the top rung holds (covering nodes
+                // that landed since), restored to full duty on release.
+                // A slowdown fault window in force is overridden until
+                // its own end boundary; the chaos rungs tolerate that
+                // interplay.
+                if level == BrownoutLevel::DvfsClamp {
+                    for node in nodes.iter_mut() {
+                        if matches!(node.scale, ScaleState::Active) {
+                            node.set_all_duty(DutyCycle::at_most(ac.brownout.dvfs_clamp));
+                        }
+                    }
+                } else if prev_level == BrownoutLevel::DvfsClamp {
+                    for node in nodes.iter_mut() {
+                        if node.participates() {
+                            node.set_all_duty(DutyCycle::FULL);
+                        }
+                    }
+                }
+                match decision {
+                    ScaleDecision::Out(k) => {
+                        let mut started = 0usize;
+                        for (n, node) in nodes.iter_mut().enumerate() {
+                            if started == k {
+                                break;
+                            }
+                            if !matches!(node.scale, ScaleState::Standby) {
+                                continue;
+                            }
+                            node.scale = ScaleState::Provisioning {
+                                decided_at: t,
+                                ready: t + ac.provision_delay,
+                                kind: ScaleKind::Out,
+                            };
+                            started += 1;
+                            cfg.telemetry.instant_on(
+                                t,
+                                "cluster",
+                                "provision",
+                                DISPATCHER_TRACK,
+                                &[("node", (n as u64).into())],
+                            );
+                        }
+                    }
+                    ScaleDecision::In(k) => {
+                        let mut started = 0usize;
+                        for n in (0..nodes.len()).rev() {
+                            if started == k {
+                                break;
+                            }
+                            if !matches!(nodes[n].scale, ScaleState::Active)
+                                || nodes[n].lifecycle != Lifecycle::Healthy
+                                || nodes[n].pending_crash
+                            {
+                                continue;
+                            }
+                            nodes[n].scale = ScaleState::Draining {
+                                decided_at: t,
+                                deadline: t + ac.drain_deadline,
+                                kind: ScaleKind::In,
+                            };
+                            tier0_active_cores -= cfg.nodes[n].total_cores();
+                            let tier = nodes[n].tier;
+                            views.set_active(n, tier, false, cfg, &nodes);
+                            started += 1;
+                            cfg.telemetry.instant_on(
+                                t,
+                                "cluster",
+                                "drain",
+                                DISPATCHER_TRACK,
+                                &[("node", (n as u64).into())],
+                            );
+                        }
+                    }
+                    ScaleDecision::Hold => {}
+                }
+            }
+        }
+        // 4. Admission control (brownout-aware: the ladder sheds
+        //    optional sessions first, then tightens the queue bound),
+        //    then dispatch the tick's batch of arrivals into tier 0.
+        let brownout = scaler.as_ref().map_or(BrownoutLevel::Normal, Autoscaler::level);
+        let admission_scale = if brownout >= BrownoutLevel::TightenAdmission {
+            cfg.autoscale.as_ref().map_or(1.0, |ac| ac.brownout.admission_tighten)
+        } else {
+            1.0
         };
         while let Some(a) = pending {
             if a.at > t {
@@ -1938,10 +2597,21 @@ fn run_engine(
             pending = gen.next(&apps);
             dispatched += 1;
             cfg.telemetry.add_count("cluster.dispatched", 1);
+            if brownout >= BrownoutLevel::ShedOptional && a.optional {
+                note_shed(
+                    &cfg.telemetry,
+                    &mut shed,
+                    &mut dropped,
+                    a.at,
+                    ShedReason::BrownoutOptional,
+                );
+                continue;
+            }
             if let Some(adm) = cfg.admission.as_ref() {
                 let depth: f64 =
-                    cfg.tiers[0].iter().map(|&i| nodes[i].outstanding_std).sum();
-                if depth > adm.max_queue_per_core * tier0_cores as f64 {
+                    views.members(0).iter().map(|&i| nodes[i].outstanding_std).sum();
+                if depth > adm.max_queue_per_core * tier0_active_cores as f64 * admission_scale
+                {
                     note_shed(&cfg.telemetry, &mut shed, &mut dropped, a.at, ShedReason::QueueDepth);
                     continue;
                 }
@@ -1961,7 +2631,7 @@ fn run_engine(
             let req = ArrivalView { app: cfg.apps[a.app], label: a.label };
             let Some(target) = route(
                 policies[0],
-                &cfg.tiers[0],
+                views.members(0),
                 views.tier(0),
                 &nodes,
                 req,
@@ -2048,6 +2718,11 @@ fn run_engine(
     // responses.
     advance_shards(&mut nodes, end, cfg.shards);
     for node in &mut nodes {
+        // Frozen standby/provisioning nodes stay frozen: their kernels
+        // hold the state journaled at retirement and accrue nothing.
+        if !node.participates() {
+            continue;
+        }
         if let Some(w) = node.active_window.take() {
             let _ = w;
             node.tele.end_span(end, node.track);
@@ -2109,8 +2784,23 @@ fn run_engine(
     cluster_degrade.requests_shed += dropped;
     workloads::note_degrade(cluster_degrade);
     workloads::note_requests(dispatched);
+    workloads::note_autoscale(workloads::AutoscaleDigest {
+        scale_outs,
+        scale_ins,
+        upgrades,
+        brownout_engagements,
+        shed_optional: shed[ShedReason::BrownoutOptional.index()],
+    });
 
     let secs = cfg.duration.as_secs_f64();
+    // Close the books on uptime: nodes still active (or draining) at
+    // the end accrue through `end`; a fixed fleet therefore reads
+    // exactly the run duration per node.
+    for node in nodes.iter_mut() {
+        if let Some(s) = node.active_since.take() {
+            node.uptime_s += end.duration_since(s).as_secs_f64();
+        }
+    }
     let per_node: Vec<NodeOutcome> = nodes
         .iter()
         .map(|n| {
@@ -2134,9 +2824,12 @@ fn run_engine(
                 lost_energy_j: n.lost_energy_j,
                 crashes: n.crashes as u64,
                 utilization: util,
+                uptime_s: n.uptime_s,
+                idle_energy_j: m.spec().truth.machine_idle_w() * n.uptime_s,
             }
         })
         .collect();
+    let fleet_idle_energy_j: f64 = per_node.iter().map(|n| n.idle_energy_j).sum();
 
     // The comprehensive per-app energy accounting, resolved through the
     // dispatcher's ctx→app map over every node's container records and
@@ -2310,5 +3003,15 @@ fn run_engine(
         tags_corrupted,
         fault_counts,
         obs: obs_outcome,
+        scale_log,
+        scale_outs,
+        scale_ins,
+        upgrades,
+        brownout_engagements,
+        brownout_releases,
+        autoscale_evals: scaler.as_ref().map_or(0, Autoscaler::evals),
+        provisioning_energy_j,
+        idle_energy_j: fleet_idle_energy_j,
+        peak_power_w,
     }
 }

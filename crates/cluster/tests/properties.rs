@@ -254,3 +254,54 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Offered-request counts (and the rest of the outcome's counters)
+    /// are invariant under the intra-cell shard count even when
+    /// non-stationary traffic drives the elastic autoscaler: every
+    /// routing, admission, and resize decision stays on the driving
+    /// thread, so `--shards` can only change who advances kernels.
+    #[test]
+    fn traffic_offered_counts_invariant_across_shards(seed in 0u64..1000) {
+        use cluster::{run_cluster, AutoscaleConfig};
+        use workloads::{Diurnal, TrafficShape};
+
+        let mut base = ClusterConfig::sharded(&Topology::scaled_fleet(4));
+        base.seed = seed;
+        base.duration = SimDuration::from_millis(1200);
+        base.workers_per_core = 2;
+        base.traffic = Some(TrafficShape {
+            diurnal: Some(Diurnal {
+                period: SimDuration::from_millis(1200),
+                amplitude: 0.7,
+                phase: 0.0,
+            }),
+            ..TrafficShape::steady()
+        });
+        base.autoscale = Some(AutoscaleConfig::standard(2, 3));
+        let cals = cals_for(&base);
+        let outcomes: Vec<ClusterOutcome> = [1usize, 3]
+            .iter()
+            .map(|&shards| {
+                let mut cfg = base.clone();
+                cfg.shards = shards;
+                run_cluster(&mut SimpleBalance::new(), &cfg, &cals)
+            })
+            .collect();
+        let (a, b) = (&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(a.dispatched, b.dispatched, "offered counts must not depend on --shards");
+        prop_assert!(a.dispatched > 0, "the diurnal window must offer requests");
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.in_flight, b.in_flight);
+        prop_assert_eq!(a.scale_outs, b.scale_outs);
+        prop_assert_eq!(a.scale_ins, b.scale_ins);
+        for (x, y) in a.per_node.iter().zip(&b.per_node) {
+            prop_assert_eq!(x.dispatched, y.dispatched);
+            prop_assert!(x.active_energy_j == y.active_energy_j, "energy must match bit-for-bit");
+            prop_assert!(x.uptime_s == y.uptime_s, "resize instants must match bit-for-bit");
+        }
+    }
+}

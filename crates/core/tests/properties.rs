@@ -362,3 +362,105 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Graceful drain vs crash: the elastic autoscaler's scale-in path
+    /// journals its final [`ManagerCheckpoint`] at the freeze instant,
+    /// so the drain's loss window — `attributed − checkpointed` — is
+    /// *exactly* zero for any attribution history; a crash restoring a
+    /// stale periodic checkpoint loses exactly the energy attributed
+    /// after it, and nothing else.
+    #[test]
+    fn drain_checkpoint_loses_exactly_zero_energy(
+        // (cpu_j, io_j, to_background) attribution steps, one per ms.
+        steps in prop::collection::vec(
+            (0.0f64..5.0, 0.0f64..1.0, any::<bool>()),
+            2..60,
+        ),
+        // The stale periodic checkpoint sits this many steps before the
+        // end — the crash's loss window.
+        stale_by in 1usize..40,
+    ) {
+        use power_containers::ManagerCheckpoint;
+
+        let mut mgr = ContainerManager::new(true);
+        let events = hwsim::CounterBlock::default();
+        let mut stale = ManagerCheckpoint::empty();
+        let stale_at = steps.len().saturating_sub(stale_by);
+        let mut lost_after_stale = 0.0;
+        for (i, &(cpu_j, io_j, bg)) in steps.iter().enumerate() {
+            if i == stale_at {
+                stale = mgr.checkpoint(SimTime::from_millis(i as u64));
+            }
+            let now = SimTime::from_millis(1 + i as u64);
+            let ctx = if bg { None } else { Some(ContextId(1 + i as u64)) };
+            if let Some(c) = ctx {
+                mgr.bind(c, now);
+            }
+            // One 1 ms sample at `cpu_j * 1e3` watts attributes cpu_j.
+            mgr.attribute(ctx, cpu_j * 1e3, 1.0, 1e-3, &events, now);
+            mgr.attribute_io(ctx, io_j, now);
+            if i >= stale_at {
+                lost_after_stale += cpu_j * 1e-3 * 1e3 + io_j;
+            }
+        }
+        let live_total = mgr.total_energy_with_background_j()
+            + mgr.total_request_io_energy_j()
+            + mgr.background().io_energy_j();
+
+        // Graceful drain: checkpoint taken at the freeze instant. Every
+        // journaled total is a copy of the live cumulative counter, so
+        // each component of the loss window is exactly 0.0 — not merely
+        // small. (The aggregate `attributed_energy_j()` sums the same
+        // components in a different association order than a live read,
+        // so the engine's drain path clamps that sub-nanojoule residue;
+        // component-wise the checkpoint is bit-exact.)
+        let drain = mgr.checkpoint(SimTime::from_millis(steps.len() as u64));
+        prop_assert_eq!(
+            drain.total_request_energy_j.to_bits(),
+            mgr.total_request_energy_j().to_bits(),
+            "clean drain must journal the exact request-energy total"
+        );
+        prop_assert_eq!(
+            drain.total_request_io_energy_j.to_bits(),
+            mgr.total_request_io_energy_j().to_bits(),
+            "clean drain must journal the exact request-I/O total"
+        );
+        prop_assert_eq!(
+            drain.background_energy_j.to_bits(),
+            mgr.background().energy_j().to_bits(),
+            "clean drain must journal the exact background energy"
+        );
+        prop_assert_eq!(
+            drain.background_io_energy_j.to_bits(),
+            mgr.background().io_energy_j().to_bits(),
+            "clean drain must journal the exact background I/O energy"
+        );
+
+        // Crash: the stale checkpoint misses exactly the attribution
+        // performed after it was taken — a positive loss window
+        // whenever any energy landed after the checkpoint.
+        let crash_loss = live_total - stale.attributed_energy_j();
+        prop_assert!(
+            (crash_loss - lost_after_stale).abs() < 1e-9 * (1.0 + lost_after_stale),
+            "crash loss window {} must equal post-checkpoint attribution {}",
+            crash_loss,
+            lost_after_stale
+        );
+        if lost_after_stale > 0.0 {
+            prop_assert!(crash_loss > 0.0, "a crash with post-checkpoint work loses energy");
+        }
+
+        // Restoring the drain checkpoint hands the totals to the next
+        // incarnation exactly.
+        let mut fresh = ContainerManager::new(true);
+        fresh.restore(&drain, SimTime::from_millis(1 + steps.len() as u64));
+        let restored = fresh.total_energy_with_background_j()
+            + fresh.total_request_io_energy_j()
+            + fresh.background().io_energy_j();
+        prop_assert_eq!(
+            restored, live_total,
+            "restored incarnation must carry the drained node's exact totals"
+        );
+    }
+}

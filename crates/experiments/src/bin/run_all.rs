@@ -119,6 +119,9 @@ const EXPERIMENTS: &[Experiment] = &[
     ("sched_sweep", |s| {
         experiments::sched_sweep::run(s);
     }),
+    ("diurnal_sweep", |s| {
+        experiments::diurnal_sweep::run(s);
+    }),
 ];
 
 /// Parses `--only a,b,c` (repeatable, comma-separated) from process args.
@@ -200,6 +203,8 @@ fn main() {
         workloads::request_ledger().into_iter().collect();
     let obs: std::collections::BTreeMap<String, workloads::ObsDigest> =
         workloads::obs_ledger().into_iter().collect();
+    let autoscale: std::collections::BTreeMap<String, workloads::AutoscaleDigest> =
+        workloads::autoscale_ledger().into_iter().collect();
     let mut table = Table::new([
         "experiment",
         "status",
@@ -211,6 +216,8 @@ fn main() {
         "drift",
         "p99 J/req",
         "alerts",
+        "resizes",
+        "brownout",
     ]);
     let mut failed = 0usize;
     for ((name, _), outcome) in selected.iter().zip(&outcomes) {
@@ -226,6 +233,19 @@ fn main() {
         let (p99_j, alerts) = match obs.get(*name) {
             None => ("-".to_string(), "-".to_string()),
             Some(o) => (format!("{:.4}", o.p99_j_per_req), o.alerts.to_string()),
+        };
+        // Elasticity columns: completed resizes (outs/ins, with upgrade
+        // pairs noted) and brownout-ladder climbs + optional sheds.
+        let (resizes, brownout) = match autoscale.get(*name) {
+            None => ("-".to_string(), "-".to_string()),
+            Some(a) => (
+                if a.upgrades > 0 {
+                    format!("{}/{} ({} upg)", a.scale_outs, a.scale_ins, a.upgrades)
+                } else {
+                    format!("{}/{}", a.scale_outs, a.scale_ins)
+                },
+                format!("{} ({} shed)", a.brownout_engagements, a.shed_optional),
+            ),
         };
         match outcome {
             Ok(wall) => {
@@ -250,6 +270,8 @@ fn main() {
                     drift,
                     p99_j,
                     alerts,
+                    resizes,
+                    brownout,
                 ]);
             }
             Err(msg) => {
@@ -267,6 +289,8 @@ fn main() {
                     drift,
                     p99_j,
                     alerts,
+                    resizes,
+                    brownout,
                 ]);
             }
         }

@@ -36,6 +36,7 @@
 //! | [`megafleet`] | extension: intra-cell sharded capacity sweep (1000 nodes, 10⁶ requests) |
 //! | [`obs_sweep`] | extension: energy-SLO burn-rate alerts over injected violations |
 //! | [`sched_sweep`] | extension: attribution conformance across pluggable schedulers |
+//! | [`diurnal_sweep`] | extension: diurnal/flash-crowd traffic, elastic autoscaler vs fixed fleet |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +46,7 @@ pub mod anomaly;
 pub mod cache;
 pub mod chaos_sweep;
 pub mod coefficients;
+pub mod diurnal_sweep;
 pub mod drift_sweep;
 pub mod dvfs;
 pub mod fault_sweep;

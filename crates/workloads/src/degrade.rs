@@ -26,6 +26,36 @@ static REQUESTS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 /// alert columns.
 static OBS: Mutex<BTreeMap<String, ObsDigest>> = Mutex::new(BTreeMap::new());
 
+/// Elasticity digests per scope, for the driver's resize and brownout
+/// columns.
+static AUTOSCALE: Mutex<BTreeMap<String, AutoscaleDigest>> = Mutex::new(BTreeMap::new());
+
+/// What one cluster run reports about its elasticity controller: resize
+/// transitions completed, brownout-ladder movements, and optional
+/// arrivals shed by the ladder. All counters accumulate across a
+/// scope's cells; a fixed-fleet run reports zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoscaleDigest {
+    /// Completed scale-outs (including upgrade provision halves).
+    pub scale_outs: u64,
+    /// Completed scale-ins (including upgrade drain halves).
+    pub scale_ins: u64,
+    /// Rolling-upgrade pairs started.
+    pub upgrades: u64,
+    /// Brownout-ladder climbs.
+    pub brownout_engagements: u64,
+    /// Arrivals shed because their session was optional while the
+    /// ladder held at shed-optional or above.
+    pub shed_optional: u64,
+}
+
+impl AutoscaleDigest {
+    /// `true` when every counter is zero (nothing worth a ledger row).
+    pub fn is_empty(&self) -> bool {
+        *self == AutoscaleDigest::default()
+    }
+}
+
 /// What one observability-enabled run reports into the ledger: the
 /// typed-alert count and the p99 of its per-request attributed-energy
 /// sketch. Folding keeps the alert sum and the worst (highest) p99
@@ -129,11 +159,38 @@ pub fn obs_ledger() -> Vec<(String, ObsDigest)> {
     ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
 }
 
+/// Folds one cluster run's elasticity digest into the ledger under the
+/// current thread's scope. Empty digests (fixed-fleet runs) never
+/// create entries, and runs without a [`DegradeScope`] are dropped.
+pub fn note_autoscale(digest: AutoscaleDigest) {
+    if digest.is_empty() {
+        return;
+    }
+    let Some(scope) = CURRENT.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    let mut ledger = AUTOSCALE.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = ledger.entry(scope).or_default();
+    entry.scale_outs += digest.scale_outs;
+    entry.scale_ins += digest.scale_ins;
+    entry.upgrades += digest.upgrades;
+    entry.brownout_engagements += digest.brownout_engagements;
+    entry.shed_optional += digest.shed_optional;
+}
+
+/// A snapshot of the per-scope elasticity digests, sorted by scope
+/// name.
+pub fn autoscale_ledger() -> Vec<(String, AutoscaleDigest)> {
+    let ledger = AUTOSCALE.lock().unwrap_or_else(|e| e.into_inner());
+    ledger.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
 /// Clears all ledgers (start of a fresh experiment batch).
 pub fn reset_degrade_ledger() {
     LEDGER.lock().unwrap_or_else(|e| e.into_inner()).clear();
     REQUESTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
     OBS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    AUTOSCALE.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 #[cfg(test)]
@@ -184,6 +241,34 @@ mod tests {
             vec![("outer", 120)]
         );
 
+        // The autoscale ledger accumulates and drops empty digests.
+        note_autoscale(AutoscaleDigest { scale_outs: 1, ..AutoscaleDigest::default() }); // no scope
+        {
+            let _outer = DegradeScope::enter("outer");
+            note_autoscale(AutoscaleDigest::default()); // empty: no entry
+            note_autoscale(AutoscaleDigest {
+                scale_outs: 3,
+                scale_ins: 2,
+                upgrades: 1,
+                brownout_engagements: 4,
+                shed_optional: 7,
+            });
+            note_autoscale(AutoscaleDigest { scale_outs: 1, ..AutoscaleDigest::default() });
+        }
+        assert_eq!(
+            autoscale_ledger(),
+            vec![(
+                "outer".to_string(),
+                AutoscaleDigest {
+                    scale_outs: 4,
+                    scale_ins: 2,
+                    upgrades: 1,
+                    brownout_engagements: 4,
+                    shed_optional: 7,
+                }
+            )]
+        );
+
         // The obs ledger sums alerts and keeps the worst p99.
         note_obs(ObsDigest { alerts: 1, p99_j_per_req: 0.5 }); // no scope: dropped
         {
@@ -200,5 +285,6 @@ mod tests {
         assert!(degrade_ledger().is_empty());
         assert!(request_ledger().is_empty());
         assert!(obs_ledger().is_empty());
+        assert!(autoscale_ledger().is_empty());
     }
 }

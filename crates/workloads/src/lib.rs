@@ -39,12 +39,14 @@ pub mod harness;
 pub mod loadgen;
 pub mod stats;
 pub mod trace;
+pub mod traffic;
 
 pub use apps::{AppEnv, ServerApp, WorkloadKind, POWER_VIRUS_LABEL};
 pub use calibration::{calibrate_machine, MachineCalibration, Microbench};
 pub use degrade::{
-    current_degrade_scope, degrade_ledger, note_degrade, note_obs, note_requests, obs_ledger,
-    request_ledger, reset_degrade_ledger, DegradeScope, ObsDigest,
+    autoscale_ledger, current_degrade_scope, degrade_ledger, note_autoscale, note_degrade,
+    note_obs, note_requests, obs_ledger, request_ledger, reset_degrade_ledger, AutoscaleDigest,
+    DegradeScope, ObsDigest,
 };
 pub use driver::{
     scaled_compute, spawn_driver, spawn_pool, ClosedLoopDriver, CtxAlloc, DriverEnv, PoolWorker,
@@ -56,3 +58,4 @@ pub use harness::{
 pub use loadgen::{Arrival, OpenLoopGen};
 pub use stats::{Completion, RunStats};
 pub use trace::{spawn_trace_driver, RequestTrace, TraceEntry};
+pub use traffic::{Diurnal, FlashCrowds, Sessions, TrafficGen, TrafficShape};

@@ -22,6 +22,11 @@ pub struct Arrival {
     pub app: usize,
     /// App-local request-type label.
     pub label: u32,
+    /// Whether the request belongs to an *optional* session — work a
+    /// browned-out cluster sheds before violating its power cap. Open
+    /// loop streams never mark arrivals optional; only
+    /// [`TrafficGen`](crate::TrafficGen) sessions do.
+    pub optional: bool,
 }
 
 /// One app's Poisson stream.
@@ -89,7 +94,7 @@ impl OpenLoopGen {
         s.next_at = at + SimDuration::from_secs_f64(gap);
         let label = apps[i].pick_label(&mut s.label_rng);
         self.issued += 1;
-        Some(Arrival { at, app: i, label })
+        Some(Arrival { at, app: i, label, optional: false })
     }
 
     /// Arrivals produced so far.

@@ -1,0 +1,540 @@
+//! Deterministic non-stationary traffic: diurnal sinusoid × flash-crowd
+//! spikes × heavy-tailed sessions.
+//!
+//! [`OpenLoopGen`](crate::OpenLoopGen) drives every stationary
+//! experiment; this module is the realism layer on top of it. A
+//! [`TrafficGen`] produces one *session* process per application: session
+//! starts follow a non-homogeneous Poisson process whose rate envelope is
+//! the product of a diurnal sinusoid ([`Diurnal`]) and any active
+//! flash-crowd spikes ([`FlashCrowds`]), sampled exactly by
+//! Lewis–Shedler thinning against the envelope's precomputed maximum.
+//! Each session then issues a bounded-Pareto number of requests
+//! ([`Sessions`]) separated by exponential think gaps, and a seeded
+//! fraction of sessions is marked *optional* — work a browned-out
+//! cluster may shed first.
+//!
+//! Determinism contract: two generators built from equal seeds and
+//! configs yield byte-identical arrival sequences (time, app, label,
+//! optional flag), regardless of caller interleaving — the same contract
+//! [`OpenLoopGen`](crate::OpenLoopGen) honors, so the cluster engine can
+//! swap either in without touching its replay guarantees.
+
+use crate::apps::ServerApp;
+use crate::loadgen::Arrival;
+use simkern::{SimDuration, SimRng, SimTime};
+use std::collections::BinaryHeap;
+
+/// Diurnal rate modulation: a mean-one sinusoid over one compressed day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    /// Length of one simulated "day".
+    pub period: SimDuration,
+    /// Peak-to-mean swing in `[0, 1)`: the envelope runs between
+    /// `1 - amplitude` and `1 + amplitude`.
+    pub amplitude: f64,
+    /// Phase offset in radians (0 starts at the mean, rising).
+    pub phase: f64,
+}
+
+impl Diurnal {
+    fn factor(&self, t: SimTime) -> f64 {
+        let frac = t.as_secs_f64() / self.period.as_secs_f64();
+        1.0 + self.amplitude * (std::f64::consts::TAU * frac + self.phase).sin()
+    }
+}
+
+/// Flash-crowd spike schedule: seeded Poisson spike starts, each a
+/// ramp/hold/decay excess on top of the diurnal envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowds {
+    /// Expected spikes per simulated second (typically ≪ 1).
+    pub spikes_per_sec: f64,
+    /// Linear ramp-up duration of each spike.
+    pub ramp: SimDuration,
+    /// Full-excess hold duration.
+    pub hold: SimDuration,
+    /// Linear decay duration back to baseline.
+    pub decay: SimDuration,
+    /// Peak multiplicative excess: at full strength a spike multiplies
+    /// the rate by `1 + peak_excess`.
+    pub peak_excess: f64,
+}
+
+/// One materialized spike window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Spike {
+    start: SimTime,
+    ramp: f64,
+    hold: f64,
+    decay: f64,
+    peak_excess: f64,
+}
+
+impl Spike {
+    /// The spike's excess contribution at `t` (0 outside the window).
+    fn excess(&self, t: SimTime) -> f64 {
+        let dt = t.as_secs_f64() - self.start.as_secs_f64();
+        if dt < 0.0 {
+            0.0
+        } else if dt < self.ramp {
+            self.peak_excess * dt / self.ramp
+        } else if dt < self.ramp + self.hold {
+            self.peak_excess
+        } else if dt < self.ramp + self.hold + self.decay {
+            self.peak_excess * (1.0 - (dt - self.ramp - self.hold) / self.decay)
+        } else {
+            0.0
+        }
+    }
+
+    fn end_s(&self) -> f64 {
+        self.start.as_secs_f64() + self.ramp + self.hold + self.decay
+    }
+}
+
+/// Heavy-tailed session shape: requests per session follow a bounded
+/// Pareto, separated by exponential think gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sessions {
+    /// Pareto tail index (smaller ⇒ heavier tail). Must be positive.
+    pub alpha: f64,
+    /// Minimum requests per session (≥ 1).
+    pub min_len: u32,
+    /// Maximum requests per session (tail truncation).
+    pub max_len: u32,
+    /// Mean think gap between a session's consecutive requests.
+    pub think: SimDuration,
+}
+
+impl Sessions {
+    /// Mean session length of the bounded Pareto (used to convert a
+    /// target request rate into a session-start rate).
+    pub fn mean_len(&self) -> f64 {
+        // E[X] for the bounded (truncated, discretized-by-ceiling)
+        // Pareto is awkward in closed form; integrate the continuous
+        // bounded Pareto instead — accurate enough for rate sizing.
+        let (a, l, h) = (self.alpha, f64::from(self.min_len), f64::from(self.max_len));
+        if (a - 1.0).abs() < 1e-9 {
+            (l * h / (h - l)) * (h / l).ln().max(f64::MIN_POSITIVE)
+        } else {
+            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                * (l.powf(1.0 - a) - h.powf(1.0 - a))
+        }
+    }
+
+    /// Draws one session length by inverting the bounded-Pareto CDF.
+    fn draw_len(&self, rng: &mut SimRng) -> u32 {
+        let (a, l, h) = (self.alpha, f64::from(self.min_len), f64::from(self.max_len));
+        let u = rng.next_f64();
+        let x = (l.powf(-a) - u * (l.powf(-a) - h.powf(-a))).powf(-1.0 / a);
+        (x.floor() as u32).clamp(self.min_len, self.max_len)
+    }
+}
+
+/// Full shape of one non-stationary traffic mix, applied uniformly to
+/// every app stream (each stream still draws from independent RNGs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficShape {
+    /// Diurnal modulation, or `None` for a flat envelope.
+    pub diurnal: Option<Diurnal>,
+    /// Flash-crowd spikes, or `None` for none.
+    pub flash: Option<FlashCrowds>,
+    /// Session structure.
+    pub sessions: Sessions,
+    /// Fraction of sessions whose requests are [`Arrival::optional`].
+    pub optional_fraction: f64,
+}
+
+impl TrafficShape {
+    /// A steady (no diurnal, no flash) session-structured shape —
+    /// useful as a control arm.
+    pub fn steady() -> TrafficShape {
+        TrafficShape {
+            diurnal: None,
+            flash: None,
+            sessions: Sessions {
+                alpha: 1.5,
+                min_len: 1,
+                max_len: 64,
+                think: SimDuration::from_millis(40),
+            },
+            optional_fraction: 0.15,
+        }
+    }
+}
+
+/// A request scheduled inside a session, pending in a stream's heap.
+/// Ordered by (time, push sequence) so ties pop deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    at: SimTime,
+    seq: u64,
+    optional: bool,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One app's session stream.
+#[derive(Debug)]
+struct SessionStream {
+    /// Session-start rate at envelope 1.0 (requests rate / mean length).
+    base_session_rate: f64,
+    /// Next candidate session start (pre-thinning position).
+    next_session_at: Option<SimTime>,
+    pending: BinaryHeap<Pending>,
+    seq: u64,
+    session_rng: SimRng,
+    label_rng: SimRng,
+}
+
+/// Deterministic merged non-stationary arrival generator. Same `next`
+/// interface as [`OpenLoopGen`](crate::OpenLoopGen).
+#[derive(Debug)]
+pub struct TrafficGen {
+    streams: Vec<SessionStream>,
+    spikes: Vec<Spike>,
+    shape: TrafficShape,
+    /// Envelope upper bound used by the thinning sampler.
+    env_max: f64,
+    end: SimTime,
+    issued: u64,
+}
+
+impl TrafficGen {
+    /// Creates a generator offering a mean of `rates[i]` requests per
+    /// second for app `i` (diurnal mean is one; flash crowds add
+    /// excess on top), stopping at `end`. Spike times are drawn once at
+    /// construction from `seed` so the envelope is a pure function of
+    /// time thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty, any rate is not positive, or the
+    /// shape is degenerate (zero period, `amplitude ≥ 1`, `min_len >
+    /// max_len`, ...).
+    pub fn new(seed: u64, rates: &[f64], end: SimTime, shape: &TrafficShape) -> TrafficGen {
+        assert!(!rates.is_empty(), "traffic generator needs at least one stream");
+        if let Some(d) = &shape.diurnal {
+            assert!(!d.period.is_zero(), "diurnal period must be positive");
+            assert!((0.0..1.0).contains(&d.amplitude), "amplitude must be in [0, 1)");
+        }
+        let s = &shape.sessions;
+        assert!(s.alpha > 0.0 && s.min_len >= 1 && s.min_len <= s.max_len, "bad session shape");
+        assert!((0.0..=1.0).contains(&shape.optional_fraction), "bad optional fraction");
+
+        let spikes = match &shape.flash {
+            None => Vec::new(),
+            Some(f) => {
+                assert!(f.spikes_per_sec > 0.0 && f.peak_excess > 0.0, "bad flash config");
+                let mut rng = SimRng::new(seed).split(0xF1A5);
+                let mut out = Vec::new();
+                let mut t = 0.0;
+                loop {
+                    t += rng.exponential(1.0 / f.spikes_per_sec);
+                    if t >= end.as_secs_f64() {
+                        break;
+                    }
+                    out.push(Spike {
+                        start: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                        ramp: f.ramp.as_secs_f64().max(1e-6),
+                        hold: f.hold.as_secs_f64(),
+                        decay: f.decay.as_secs_f64().max(1e-6),
+                        peak_excess: f.peak_excess,
+                    });
+                }
+                out
+            }
+        };
+        // Tight thinning bound: max diurnal factor × (1 + the largest
+        // simultaneous spike excess), found by sweeping window edges.
+        let diurnal_max = shape.diurnal.map_or(1.0, |d| 1.0 + d.amplitude);
+        let mut edges: Vec<(f64, f64)> = Vec::new();
+        for sp in &spikes {
+            edges.push((sp.start.as_secs_f64(), sp.peak_excess));
+            edges.push((sp.end_s(), -sp.peak_excess));
+        }
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("finite spike edges"));
+        let (mut live, mut max_excess) = (0.0, 0.0f64);
+        for (_, delta) in edges {
+            live += delta;
+            max_excess = max_excess.max(live);
+        }
+        let env_max = diurnal_max * (1.0 + max_excess);
+
+        let mean_len = s.mean_len();
+        let streams = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| {
+                assert!(rate > 0.0, "stream {i} rate must be positive");
+                let mut st = SessionStream {
+                    base_session_rate: rate / mean_len,
+                    next_session_at: Some(SimTime::ZERO),
+                    pending: BinaryHeap::new(),
+                    seq: 0,
+                    session_rng: SimRng::new(seed).split(0x5E55 ^ i as u64),
+                    label_rng: SimRng::new(seed).split(0x1ABE1 ^ i as u64),
+                };
+                st.advance_session_clock(end, env_max, &spikes, &shape.diurnal);
+                st
+            })
+            .collect();
+        TrafficGen { streams, spikes, shape: *shape, env_max, end, issued: 0 }
+    }
+
+    /// The envelope (diurnal × flash factor) at `t` — exposed so tests
+    /// and experiments can plot the offered-rate shape they asked for.
+    pub fn envelope(&self, t: SimTime) -> f64 {
+        envelope_at(t, &self.spikes, &self.shape.diurnal)
+    }
+
+    /// The number of flash-crowd spikes materialized for this run.
+    pub fn spike_count(&self) -> usize {
+        self.spikes.len()
+    }
+
+    /// The next arrival in merged time order, or `None` once every
+    /// stream is exhausted. Requests of sessions that started before
+    /// `end` may themselves land past `end`; those are clipped so the
+    /// offered count is exactly what the engine admits.
+    pub fn next(&mut self, apps: &[Box<dyn ServerApp>]) -> Option<Arrival> {
+        assert_eq!(apps.len(), self.streams.len(), "one app per stream");
+        loop {
+            // Materialize sessions due before each stream's earliest
+            // pending request so the merge below sees true minima.
+            for st in &mut self.streams {
+                while let Some(at) = st.next_session_at {
+                    if st.pending.peek().is_some_and(|p| p.at <= at) {
+                        break;
+                    }
+                    st.start_session(at, &self.shape);
+                    st.advance_session_clock(self.end, self.env_max, &self.spikes, &self.shape.diurnal);
+                }
+            }
+            let (i, _) = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter_map(|(i, st)| st.pending.peek().map(|p| (i, p.at)))
+                .min_by_key(|&(i, at)| (at, i))?;
+            let st = &mut self.streams[i];
+            let p = st.pending.pop().expect("peeked nonempty");
+            if p.at >= self.end {
+                // Clip the tail of the last sessions; drain the heap so
+                // the stream reads exhausted.
+                st.pending.clear();
+                continue;
+            }
+            let label = apps[i].pick_label(&mut st.label_rng);
+            self.issued += 1;
+            return Some(Arrival { at: p.at, app: i, label, optional: p.optional });
+        }
+    }
+
+    /// Arrivals produced so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+fn envelope_at(t: SimTime, spikes: &[Spike], diurnal: &Option<Diurnal>) -> f64 {
+    let d = diurnal.as_ref().map_or(1.0, |d| d.factor(t));
+    let flash = 1.0 + spikes.iter().map(|s| s.excess(t)).sum::<f64>();
+    d * flash
+}
+
+impl SessionStream {
+    /// Advances `next_session_at` to the next accepted (thinned)
+    /// session start, or `None` past `end`.
+    fn advance_session_clock(
+        &mut self,
+        end: SimTime,
+        env_max: f64,
+        spikes: &[Spike],
+        diurnal: &Option<Diurnal>,
+    ) {
+        let Some(mut t) = self.next_session_at else { return };
+        let bound = self.base_session_rate * env_max;
+        loop {
+            t += SimDuration::from_secs_f64(self.session_rng.exponential(1.0 / bound));
+            if t >= end {
+                self.next_session_at = None;
+                return;
+            }
+            if self.session_rng.next_f64() < envelope_at(t, spikes, diurnal) / env_max {
+                self.next_session_at = Some(t);
+                return;
+            }
+        }
+    }
+
+    /// Materializes one session starting at `at`: draws its length,
+    /// optional flag, and think gaps, and schedules every request.
+    fn start_session(&mut self, at: SimTime, shape: &TrafficShape) {
+        let len = shape.sessions.draw_len(&mut self.session_rng);
+        let optional = self.session_rng.chance(shape.optional_fraction);
+        let mut t = at;
+        for k in 0..len {
+            if k > 0 {
+                let gap = self.session_rng.exponential(shape.sessions.think.as_secs_f64());
+                t += SimDuration::from_secs_f64(gap);
+            }
+            self.pending.push(Pending { at: t, seq: self.seq, optional });
+            self.seq += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadKind;
+
+    fn apps() -> Vec<Box<dyn ServerApp>> {
+        vec![WorkloadKind::RsaCrypto.app(), WorkloadKind::GaeVosao.app()]
+    }
+
+    fn shape() -> TrafficShape {
+        TrafficShape {
+            diurnal: Some(Diurnal {
+                period: SimDuration::from_secs(20),
+                amplitude: 0.6,
+                phase: 0.0,
+            }),
+            flash: Some(FlashCrowds {
+                spikes_per_sec: 0.08,
+                ramp: SimDuration::from_millis(400),
+                hold: SimDuration::from_millis(800),
+                decay: SimDuration::from_millis(900),
+                peak_excess: 3.0,
+            }),
+            sessions: Sessions {
+                alpha: 1.5,
+                min_len: 1,
+                max_len: 48,
+                think: SimDuration::from_millis(30),
+            },
+            optional_fraction: 0.2,
+        }
+    }
+
+    fn drain(gen: &mut TrafficGen, apps: &[Box<dyn ServerApp>]) -> Vec<Arrival> {
+        std::iter::from_fn(|| gen.next(apps)).collect()
+    }
+
+    #[test]
+    fn equal_seeds_produce_identical_sequences() {
+        let apps = apps();
+        let end = SimTime::from_secs(20);
+        let sh = shape();
+        let a = drain(&mut TrafficGen::new(7, &[120.0, 60.0], end, &sh), &apps);
+        let b = drain(&mut TrafficGen::new(7, &[120.0, 60.0], end, &sh), &apps);
+        assert!(a.len() > 1000, "expected substantial traffic, got {}", a.len());
+        assert_eq!(a, b);
+        let c = drain(&mut TrafficGen::new(8, &[120.0, 60.0], end, &sh), &apps);
+        assert_ne!(a, c, "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_clipped_and_flagged() {
+        let apps = apps();
+        let end = SimTime::from_secs(12);
+        let mut gen = TrafficGen::new(3, &[200.0, 50.0], end, &shape());
+        let arrivals = drain(&mut gen, &apps);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at, "merged stream out of order");
+        }
+        assert!(arrivals.iter().all(|a| a.at < end));
+        let optional = arrivals.iter().filter(|a| a.optional).count() as f64;
+        let frac = optional / arrivals.len() as f64;
+        assert!(frac > 0.03 && frac < 0.6, "optional fraction {frac:.3} implausible");
+        assert_eq!(gen.issued(), arrivals.len() as u64);
+    }
+
+    #[test]
+    fn diurnal_envelope_shapes_offered_rate() {
+        let apps = apps();
+        let end = SimTime::from_secs(40);
+        let sh = TrafficShape {
+            diurnal: Some(Diurnal {
+                period: SimDuration::from_secs(40),
+                amplitude: 0.8,
+                phase: 0.0,
+            }),
+            flash: None,
+            ..TrafficShape::steady()
+        };
+        let arrivals = drain(&mut TrafficGen::new(42, &[300.0, 300.0], end, &sh), &apps);
+        // First half-period sits above the mean, second below.
+        let mid = SimTime::from_secs(20);
+        let first = arrivals.iter().filter(|a| a.at < mid).count() as f64;
+        let second = arrivals.len() as f64 - first;
+        assert!(
+            first > 1.8 * second,
+            "diurnal peak half ({first}) should dominate trough half ({second})"
+        );
+    }
+
+    #[test]
+    fn flash_crowds_concentrate_arrivals() {
+        let end = SimTime::from_secs(30);
+        let sh = TrafficShape {
+            diurnal: None,
+            flash: Some(FlashCrowds {
+                spikes_per_sec: 0.05,
+                ramp: SimDuration::from_millis(300),
+                hold: SimDuration::from_secs(1),
+                decay: SimDuration::from_millis(700),
+                peak_excess: 5.0,
+            }),
+            ..TrafficShape::steady()
+        };
+        let mut gen = TrafficGen::new(9, &[200.0], end, &sh);
+        assert!(gen.spike_count() >= 1, "expected at least one spike in 30 s");
+        let one_app: Vec<Box<dyn ServerApp>> = vec![WorkloadKind::RsaCrypto.app()];
+        let arrivals = drain(&mut gen, &one_app);
+        // The per-second arrival histogram must show a spike second well
+        // above the baseline mean.
+        let mut per_sec = vec![0u64; 30];
+        for a in &arrivals {
+            per_sec[(a.at.as_secs_f64() as usize).min(29)] += 1;
+        }
+        let max = *per_sec.iter().max().unwrap() as f64;
+        let mean = arrivals.len() as f64 / 30.0;
+        assert!(max > 2.0 * mean, "peak second {max} vs mean {mean:.0} — no flash visible");
+    }
+
+    #[test]
+    fn session_lengths_are_heavy_tailed_and_bounded() {
+        let s = Sessions {
+            alpha: 1.1,
+            min_len: 1,
+            max_len: 100,
+            think: SimDuration::from_millis(10),
+        };
+        let mut rng = SimRng::new(11);
+        let lens: Vec<u32> = (0..20_000).map(|_| s.draw_len(&mut rng)).collect();
+        assert!(lens.iter().all(|&l| (1..=100).contains(&l)));
+        let ones = lens.iter().filter(|&&l| l == 1).count();
+        let tail = lens.iter().filter(|&&l| l >= 50).count();
+        assert!(ones > 10_000, "mode should be the minimum ({ones})");
+        assert!(tail > 50, "tail too light ({tail} ≥50-length sessions)");
+        let mean = lens.iter().map(|&l| f64::from(l)).sum::<f64>() / lens.len() as f64;
+        let predicted = s.mean_len();
+        assert!(
+            (mean - predicted).abs() / predicted < 0.25,
+            "empirical mean {mean:.2} vs predicted {predicted:.2}"
+        );
+    }
+}
